@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures/claims (see the
+per-experiment index in DESIGN.md) and asserts the qualitative "shape"
+of the result — who wins and in which direction — so a regression in the
+models is caught even though absolute numbers differ from the authors'
+testbed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells import default_library
+from repro.tech import CMOS035
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return CMOS035
+
+
+@pytest.fixture(scope="session")
+def library(tech):
+    return default_library(tech)
+
+
+@pytest.fixture(scope="session")
+def paper_grid():
+    return np.asarray([-50.0, -25.0, 0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0])

@@ -1,0 +1,55 @@
+"""Benchmark BASE: proposed cell-mix sensor versus the prior-art baselines.
+
+Regenerates the comparison the paper's introduction argues in prose:
+the cell-based ring sensor versus the analogue diode sensor (Pentium 4 /
+PowerPC style) and the FPGA ring oscillator of reference [5].
+"""
+
+import pytest
+
+from repro.experiments import run_baseline_comparison
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_comparison_table(benchmark, tech, paper_grid):
+    result = benchmark.pedantic(
+        run_baseline_comparison,
+        kwargs=dict(technology=tech, temperatures_c=paper_grid),
+        rounds=2,
+        iterations=1,
+    )
+    print()
+    print(result.format_table())
+
+    proposed = result.entry("proposed cell-mix ring")
+    plain = result.entry("inverter-only ring")
+    fpga = result.entry("FPGA-style ring [5]")
+    diode = result.entry("diode delta-VBE sensor")
+
+    # The optimised cell mix beats the unoptimised digital alternatives.
+    assert proposed.worst_error_c < plain.worst_error_c
+    assert proposed.worst_error_c < fpga.worst_error_c
+    # It is competitive with the analogue diode chain while needing no
+    # analogue design and a fraction of the area.
+    assert proposed.worst_error_c < diode.worst_error_c
+    assert not proposed.requires_analog_design
+    assert diode.requires_analog_design
+    assert proposed.area_um2 < 0.1 * diode.area_um2
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_comparison_with_alternative_mix(benchmark, tech, paper_grid):
+    """The comparison's conclusion is not specific to one particular mix."""
+    result = benchmark.pedantic(
+        run_baseline_comparison,
+        kwargs=dict(
+            technology=tech,
+            temperatures_c=paper_grid,
+            proposed_configuration="5NAND2",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    proposed = result.entry("proposed cell-mix ring")
+    plain = result.entry("inverter-only ring")
+    assert proposed.worst_error_c < plain.worst_error_c

@@ -1,0 +1,56 @@
+"""Benchmark ABL-CAL: calibration effort versus accuracy over process spread.
+
+Quantifies why the smart unit needs (and how much it gains from)
+per-die calibration: process variation moves the absolute oscillation
+frequency a lot, the linearity very little.
+"""
+
+import pytest
+
+from repro.experiments import run_calibration_study
+
+
+@pytest.mark.benchmark(group="calibration")
+def test_calibration_scheme_ablation(benchmark, tech):
+    result = benchmark.pedantic(
+        run_calibration_study,
+        kwargs=dict(technology=tech, monte_carlo_samples=8, seed=20250617),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format_table())
+
+    design = result.worst_by_scheme["design"]
+    one_point = result.worst_by_scheme["one-point"]
+    two_point = result.worst_by_scheme["two-point"]
+
+    # Each calibration insertion buys a large accuracy improvement ...
+    assert one_point < design
+    assert two_point < one_point
+    # ... and after two points only the intrinsic non-linearity is left.
+    assert two_point < 1.5
+    assert design > 5.0
+
+
+@pytest.mark.benchmark(group="calibration")
+def test_calibration_study_linear_mix_vs_inverter(benchmark, tech):
+    """The two-point residual tracks the configuration's non-linearity."""
+    inverter_only = run_calibration_study(
+        tech, configuration_text="5INV", monte_carlo_samples=4, seed=7
+    )
+    linear_mix = benchmark.pedantic(
+        run_calibration_study,
+        kwargs=dict(
+            technology=tech,
+            configuration_text="2INV+3NAND2",
+            monte_carlo_samples=4,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert (
+        linear_mix.worst_by_scheme["two-point"]
+        < inverter_only.worst_by_scheme["two-point"]
+    )

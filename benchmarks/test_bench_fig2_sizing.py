@@ -1,0 +1,48 @@
+"""Benchmark FIG2: non-linearity versus Wp/Wn ratio (transistor sizing).
+
+Regenerates the paper's Fig. 2 data series (error-vs-temperature curves
+for ratios 1.75 / 2.25 / 3 / 4 plus the continuous optimum) and prints
+the same rows the paper plots.  Asserted shape: the error is strongly
+ratio dependent, changes sign across the sweep, and the best ratio
+reaches the paper's "below 0.2 %" level.
+"""
+
+import pytest
+
+from repro.experiments import run_fig2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_width_ratio_sweep(benchmark, tech, paper_grid):
+    result = benchmark.pedantic(
+        run_fig2,
+        kwargs=dict(technology=tech, temperatures_c=paper_grid),
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(result.format_table())
+
+    sweep = result.sweep
+    assert sweep.improvement_factor() > 2.0
+    assert sweep.best().max_abs_error_percent < 0.2
+    # Sign flip across the swept ratios (the optimum is interior).
+    mid_errors = {p.width_ratio: p.linearity.error_at(50.0) for p in sweep.points}
+    assert mid_errors[1.75] > 0.0 > mid_errors[4.0]
+    # The continuous optimum lies inside the paper's swept range.
+    assert 1.75 <= result.optimum.width_ratio <= 4.0
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_dense_temperature_resolution(benchmark, tech):
+    """Same experiment on a dense 41-point grid (stress the sweep cost)."""
+    import numpy as np
+
+    dense = np.linspace(-50.0, 150.0, 41)
+    result = benchmark.pedantic(
+        run_fig2,
+        kwargs=dict(technology=tech, temperatures_c=dense),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.sweep.best().max_abs_error_percent < 0.25

@@ -1,0 +1,48 @@
+"""Benchmark FIG3: non-linearity of the standard-cell mix configurations.
+
+Regenerates the paper's Fig. 3 data series (error-vs-temperature curves
+for the six reconstructed configurations) plus the exhaustive search
+over all INV/NAND/NOR mixes the paper's method implies.  Asserted shape:
+the mixes bracket the inverter-only ring and the best mix approaches the
+transistor-level optimum of Fig. 2 without leaving the library.
+"""
+
+import pytest
+
+from repro.experiments import run_fig2, run_fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_paper_configurations(benchmark, tech, paper_grid):
+    result = benchmark.pedantic(
+        run_fig3,
+        kwargs=dict(technology=tech, temperatures_c=paper_grid, run_search=False),
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(result.format_table())
+
+    reference = result.inverter_reference().max_abs_error_percent
+    errors = {label: c.max_abs_error_percent for label, c in result.candidates.items()}
+    assert min(errors.values()) < reference      # some mix improves on 5INV
+    assert max(errors.values()) > reference      # some mix is worse than 5INV
+    assert errors["5NAND2"] < 0.25               # a NAND-heavy mix is nearly linear
+    assert errors["2INV+3NOR2"] > 1.0            # the NOR-heavy mix is clearly worse
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_exhaustive_mix_search(benchmark, tech, paper_grid):
+    result = benchmark.pedantic(
+        run_fig3,
+        kwargs=dict(technology=tech, temperatures_c=paper_grid, run_search=True),
+        rounds=1,
+        iterations=1,
+    )
+    fig2 = run_fig2(tech, temperatures_c=paper_grid)
+    best_mix = result.best_searched_configuration().max_abs_error_percent
+    best_sizing = fig2.sweep.best().max_abs_error_percent
+    # Cell-level optimisation reaches the same level as transistor-level
+    # sizing (the paper's headline claim), within a factor of two.
+    assert best_mix < 2.0 * best_sizing
+    assert result.search.evaluated_count >= 100

@@ -1,0 +1,44 @@
+"""Benchmark ABL-SELFHEAT: the value of disabling the oscillator.
+
+Quantifies the paper's stated motivation for the enable/disable feature
+of the smart unit: a free-running ring biases its own reading upward,
+and duty cycling removes almost all of that error.
+"""
+
+import pytest
+
+from repro.experiments import run_selfheating_study
+
+
+@pytest.mark.benchmark(group="self-heating")
+def test_selfheating_duty_cycle_ablation(benchmark, tech):
+    result = benchmark.pedantic(
+        run_selfheating_study,
+        kwargs=dict(technology=tech, grid_resolution=24),
+        rounds=2,
+        iterations=1,
+    )
+    print()
+    print(result.format_table())
+
+    # Free-running self-heating is a measurable bias ...
+    assert result.free_running_error_c() > 0.05
+    # ... which the measurement duty cycle reduces by orders of magnitude.
+    assert result.improvement_factor() > 20.0
+    rises = [r.temperature_rise_c for r in result.reports]
+    assert rises == sorted(rises, reverse=True)
+
+
+@pytest.mark.benchmark(group="self-heating")
+def test_selfheating_scales_with_oscillator_power(benchmark, tech):
+    """Sanity ablation: a hotter sensor macro produces proportionally more bias."""
+    light = run_selfheating_study(tech, configuration_text="5INV", grid_resolution=16)
+    heavy = benchmark.pedantic(
+        run_selfheating_study,
+        kwargs=dict(technology=tech, configuration_text="5NAND2", grid_resolution=16),
+        rounds=1,
+        iterations=1,
+    )
+    ratio = heavy.free_running_error_c() / light.free_running_error_c()
+    power_ratio = heavy.oscillator_power_w / light.oscillator_power_w
+    assert ratio == pytest.approx(power_ratio, rel=0.1)

@@ -1,0 +1,51 @@
+"""Benchmark SMART: the smart-unit features of the paper's Section 3.
+
+Regenerates the quantitative view of the smart unit: digital transfer
+function, quantisation-limited resolution, calibrated accuracy,
+duty-cycling power saving, and the multiplexed thermal-mapping scan on
+the example floorplan.
+"""
+
+import pytest
+
+from repro.experiments import run_smart_unit
+
+
+@pytest.mark.benchmark(group="smart-unit")
+def test_smart_unit_single_sensor_and_mapping(benchmark, tech):
+    result = benchmark.pedantic(
+        run_smart_unit,
+        kwargs=dict(technology=tech, sensor_grid=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format_summary())
+
+    # Digital conversion behaves like a sensor datasheet would promise.
+    assert result.transfer.is_monotonic()
+    assert result.resolution.temperature_resolution_c < 0.1
+    assert result.worst_measurement_error_c < 1.0
+    assert result.conversion_time_s < 100e-6
+
+    # Disabling the oscillator between measurements saves orders of
+    # magnitude of sensor power (the anti-self-heating feature).
+    assert result.power_saving_factor() > 20.0
+
+    # The multiplexed sensor bank reads its local junction temperatures
+    # accurately and reconstructs the die map to within a few degrees.
+    assert result.mapping_report.worst_site_error_c() < 1.0
+    assert result.mapping_report.map_rms_error_c() < result.mapping_report.true_map.gradient_c()
+
+
+@pytest.mark.benchmark(group="smart-unit")
+def test_smart_unit_denser_sensor_grid_improves_map(benchmark, tech):
+    """Ablation: more multiplexed sensors -> better thermal-map reconstruction."""
+    sparse = run_smart_unit(tech, sensor_grid=2)
+    dense = benchmark.pedantic(
+        run_smart_unit,
+        kwargs=dict(technology=tech, sensor_grid=4),
+        rounds=1,
+        iterations=1,
+    )
+    assert dense.mapping_report.map_rms_error_c() < sparse.mapping_report.map_rms_error_c()

@@ -1,0 +1,39 @@
+"""Benchmark STAGES: linearity versus the number of ring stages.
+
+Regenerates the paper's textual claim that 5-, 9- and 21-stage rings
+have similar linearity, so the stage count can be chosen for period /
+area / readout reasons.
+"""
+
+import pytest
+
+from repro.experiments import run_stage_count
+
+
+@pytest.mark.benchmark(group="stages")
+def test_stage_count_study(benchmark, tech):
+    result = benchmark.pedantic(
+        run_stage_count,
+        kwargs=dict(technology=tech),
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(result.format_table())
+
+    # Normalised non-linearity is essentially independent of stage count.
+    assert result.nonlinearity_spread_percent() < 0.05
+    # The absolute period scales proportionally with the stage count.
+    assert result.period_scaling_error() < 0.05
+
+
+@pytest.mark.benchmark(group="stages")
+def test_stage_count_with_cell_mix_stages(benchmark, tech):
+    """Extension: the stage-count insensitivity also holds for NAND rings."""
+    result = benchmark.pedantic(
+        run_stage_count,
+        kwargs=dict(technology=tech, cell_name="NAND2", stage_counts=(5, 9, 21)),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.nonlinearity_spread_percent() < 0.05

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Calibration flow across process corners and Monte-Carlo samples.
+
+A cell-based sensor ships on every die of a digital product, so its
+production-test cost matters: how many calibration insertions does it
+need?  This example walks the flow a test engineer would:
+
+1. characterise the *typical* sensor at design time (the shared slope),
+2. for each process corner and a handful of Monte-Carlo dies, apply
+   three calibration schemes (none / one-point / two-point),
+3. report the worst-case temperature error of each scheme, and
+4. show that what two-point calibration cannot remove is exactly the
+   ring's intrinsic non-linearity — the quantity the paper's cell-mix
+   optimisation minimises.
+
+Run with:  python examples/calibration_and_corners.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CMOS035, RingConfiguration, SmartTemperatureSensor
+from repro.analysis import nonlinearity
+from repro.core import design_calibration, one_point_calibration
+from repro.experiments import run_calibration_study
+from repro.tech import corner_technologies
+
+
+def main() -> None:
+    technology = CMOS035
+    configuration = RingConfiguration.parse("2INV+3NAND2")
+    temperatures = np.linspace(-50.0, 150.0, 17)
+
+    # ------------------------------------------------------------------ #
+    # Step 1: the design-time (typical process) transfer function.
+    # ------------------------------------------------------------------ #
+    typical = SmartTemperatureSensor.from_configuration(technology, configuration)
+    design_transfer = typical.transfer_function(temperatures)
+    design_cal = design_calibration(
+        design_transfer.measured_periods_s, design_transfer.temperatures_c
+    )
+    print(f"Design-time slope: {design_cal.slope_c_per_second / 1e12:.3f} C/ps "
+          f"(one division + one multiply in the digital block)")
+
+    # ------------------------------------------------------------------ #
+    # Step 2: per-corner behaviour of the three calibration schemes.
+    # ------------------------------------------------------------------ #
+    print("\ncorner   uncalibrated   one-point   two-point   intrinsic |NL|")
+    print("------   ------------   ---------   ---------   ---------------")
+    for corner_name, corner_tech in corner_technologies(technology).items():
+        sensor = SmartTemperatureSensor.from_configuration(corner_tech, configuration)
+
+        sensor.install_calibration(design_cal)
+        uncalibrated = sensor.worst_case_error_c(temperatures)
+
+        sensor.install_calibration(
+            one_point_calibration(
+                sensor.measured_period(25.0), 25.0, design_cal.slope_c_per_second
+            )
+        )
+        one_point = sensor.worst_case_error_c(temperatures)
+
+        sensor.calibrate_two_point(-50.0, 150.0)
+        two_point = sensor.worst_case_error_c(temperatures)
+
+        intrinsic = nonlinearity(
+            sensor.temperature_response(temperatures)
+        ).max_abs_temperature_error_c
+
+        print(f"{corner_name:6s}   {uncalibrated:12.2f}   {one_point:9.2f}   "
+              f"{two_point:9.3f}   {intrinsic:15.3f}")
+
+    # ------------------------------------------------------------------ #
+    # Step 3: the same study with Monte-Carlo dies (the ABL-CAL bench).
+    # ------------------------------------------------------------------ #
+    study = run_calibration_study(
+        technology,
+        configuration_text=configuration.label(),
+        monte_carlo_samples=12,
+        temperatures_c=temperatures,
+        seed=20250617,
+    )
+    print()
+    print(study.format_table())
+
+    print(
+        "\nTakeaway: the absolute frequency spread (tens of degrees if "
+        "uncalibrated) collapses to the sub-kelvin intrinsic non-linearity "
+        "after a two-point calibration, and choosing a linear cell mix is "
+        "what keeps that residual small."
+    )
+
+
+if __name__ == "__main__":
+    main()

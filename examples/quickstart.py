@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: build, calibrate and read the smart temperature sensor.
+
+This is the five-minute tour of the library:
+
+1. pick the paper's 0.35 um technology,
+2. build a smart sensor whose ring oscillator uses a linearised mix of
+   standard cells (2 inverters + 3 NAND2, one of the Fig. 3 mixes),
+3. two-point calibrate it,
+4. read junction temperatures across the military range and compare the
+   digital estimate against the truth.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import CMOS035, RingConfiguration, SmartTemperatureSensor
+from repro.analysis import nonlinearity
+from repro.core import ReadoutConfig
+
+
+def main() -> None:
+    technology = CMOS035
+    configuration = RingConfiguration.parse("2INV+3NAND2")
+
+    print(f"Technology        : {technology.name} (VDD = {technology.vdd} V)")
+    print(f"Ring configuration: {configuration.label()} "
+          f"({configuration.stage_count} stages)")
+
+    # The readout counts ring cycles during a 256-cycle window of a
+    # 50 MHz reference clock (about 5 us per conversion).
+    readout = ReadoutConfig(reference_clock_hz=50e6, window_cycles=256, counter_bits=16)
+    sensor = SmartTemperatureSensor.from_configuration(
+        technology, configuration, readout=readout, name="quickstart"
+    )
+
+    # Sensor characteristic before any calibration: the raw period and
+    # its linearity over the paper's -50..150 C range.
+    response = sensor.temperature_response()
+    linearity = nonlinearity(response)
+    print(f"\nOscillation period : {response.period_at(25.0) * 1e12:7.1f} ps at 25 C")
+    print(f"Sensitivity        : {response.mean_sensitivity() * 1e15:7.1f} fs/K")
+    print(f"Non-linearity      : {linearity.max_abs_error_percent:7.3f} % of full scale "
+          f"({linearity.max_abs_temperature_error_c:.2f} C equivalent)")
+
+    # Two-point calibration at the insertion temperatures a production
+    # test would use.
+    calibration = sensor.calibrate_two_point(-40.0, 125.0)
+    print(f"\nCalibration        : {calibration.kind}, "
+          f"slope {calibration.slope_c_per_second / 1e12:.3f} C/ps")
+
+    print("\n true T (C) |  code  | estimate (C) | error (C) | busy after?")
+    print(" -----------+--------+--------------+-----------+-------------")
+    for true_temperature in (-50.0, -25.0, 0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0):
+        reading = sensor.measure(true_temperature)
+        print(
+            f"  {true_temperature:9.1f} | {reading.code:6d} | "
+            f"{reading.temperature_estimate_c:12.2f} | {reading.error_c:9.3f} | "
+            f"{'yes' if sensor.busy else 'no'}"
+        )
+
+    worst = sensor.worst_case_error_c()
+    print(f"\nWorst-case measurement error over -50..150 C: {worst:.3f} C")
+    print(f"Conversion time: {sensor.history()[-1].conversion_time_s * 1e6:.1f} us; "
+          f"sensor power while measuring: "
+          f"{sensor.measurement_power_w(85.0) * 1e6:.1f} uW")
+
+
+if __name__ == "__main__":
+    main()

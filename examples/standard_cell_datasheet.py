@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Generate a timing "datasheet" for the standard-cell library.
+
+The sensor is built only from ordinary library gates, so everything the
+designer needs is the cells' delay-versus-temperature behaviour.  This
+example characterises the default library with the analytical model,
+validates two cells against the transistor-level simulator, and writes a
+Liberty-like ``.lib`` file — the artefact a cell-based flow would consume.
+
+Run with:  python examples/standard_cell_datasheet.py [output.lib]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CMOS035, default_library
+from repro.cells import characterize_cell, measure_cell_delays, write_library
+
+
+def main() -> None:
+    technology = CMOS035
+    library = default_library(technology, drives=(1,), max_fan_in=3)
+    temperatures = (-50.0, -25.0, 0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0)
+
+    print(library.describe())
+    print()
+
+    # Delay-versus-temperature table at a fan-out-of-4 load for every
+    # inverting cell (the candidates for ring-oscillator stages).
+    print("Cell delays (tpHL+tpLH, ps) at FO4 load versus temperature:")
+    header = f"{'cell':10s}" + "".join(f"{t:>9.0f}C" for t in temperatures) + "   tempco(fs/K)"
+    print(header)
+    for cell in library.inverting_cells():
+        load = 4.0 * cell.input_capacitance()
+        table = characterize_cell(cell, temperatures, loads_f=(load, 2 * load))
+        row = f"{cell.name:10s}"
+        for temperature in temperatures:
+            row += f"{table.pair_sum(temperature, load) * 1e12:10.1f}"
+        tempco = table.temperature_sensitivity(load) * 1e15
+        row += f"   {tempco:12.2f}"
+        print(row)
+
+    # Spot-validate the analytical model against the MNA simulator.
+    print("\nModel validation against the transistor-level simulator (27 C, FO4):")
+    for name in ("INV", "NAND2"):
+        cell = library.get(name)
+        measurement = measure_cell_delays(cell, temperature_c=27.0, timestep_s=2e-12)
+        print(
+            f"  {cell.name:10s} simulated tpHL/tpLH = "
+            f"{measurement.simulated.tphl * 1e12:6.1f} / "
+            f"{measurement.simulated.tplh * 1e12:6.1f} ps, "
+            f"analytical = {measurement.analytical.tphl * 1e12:6.1f} / "
+            f"{measurement.analytical.tplh * 1e12:6.1f} ps "
+            f"(worst error {max(measurement.tphl_error_rel, measurement.tplh_error_rel) * 100:.0f} %)"
+        )
+
+    # Export the Liberty-like datasheet.
+    output = sys.argv[1] if len(sys.argv) > 1 else "stdcells_cmos035.lib"
+    write_library(library, output, temperatures_c=(-50.0, 25.0, 150.0))
+    print(f"\nLiberty-like timing library written to {output}")
+
+
+if __name__ == "__main__":
+    main()

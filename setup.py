@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The pyproject.toml carries all metadata; this file exists so that
+``pip install -e .`` works with legacy (non-PEP-660) editable installs
+on environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,112 @@
+"""repro — Smart ring-oscillator temperature sensor for cell-based ICs.
+
+A from-scratch Python reproduction of *"Smart Temperature Sensor for
+Thermal Testing of Cell-Based ICs"* (Bota, Rosales, Segura — DATE 2005):
+a built-in temperature sensor made only of standard library gates, whose
+ring-oscillator period tracks junction temperature, linearised by
+choosing the right mix of cells, and wrapped in a digital smart unit
+(counter readout, enable/busy control, multiplexed thermal mapping).
+
+Subpackages
+-----------
+
+``repro.tech``
+    Technology parameters and their temperature dependence, process
+    corners, scaling.
+``repro.devices``
+    MOSFET (alpha-power law), diode and passive device models.
+``repro.circuit``
+    Small MNA circuit simulator (DC + transient) and waveform analysis.
+``repro.delay``
+    Analytical alpha-power gate-delay and load models.
+``repro.cells``
+    Standard-cell library (INV/NAND/NOR/BUF), characterisation, Liberty
+    export.
+``repro.oscillator``
+    Ring-oscillator construction, configurations, temperature response.
+``repro.core``
+    The paper's contribution: the smart sensor, readout, controller,
+    calibration, multiplexer and thermal monitor.
+``repro.thermal``
+    Die floorplan, power maps, compact thermal RC model and solvers.
+``repro.analysis``
+    Non-linearity, sensitivity, resolution and Monte-Carlo analysis.
+``repro.baselines``
+    Diode (delta-VBE) and FPGA-style ring baselines.
+``repro.optimize``
+    Transistor-sizing sweep and cell-mix search.
+``repro.experiments``
+    One entry point per paper figure / claim (used by benchmarks).
+
+Quick start
+-----------
+
+>>> from repro import CMOS035, RingConfiguration, SmartTemperatureSensor
+>>> sensor = SmartTemperatureSensor.from_configuration(
+...     CMOS035, RingConfiguration.parse("2INV+3NAND2"))
+>>> _ = sensor.calibrate_two_point(-40.0, 125.0)
+>>> reading = sensor.measure(85.0)
+>>> abs(reading.temperature_estimate_c - 85.0) < 2.0
+True
+"""
+
+from .tech import (
+    CMOS013,
+    CMOS018,
+    CMOS025,
+    CMOS035,
+    Technology,
+    TechnologyError,
+    TransistorParameters,
+    get_technology,
+)
+from .cells import CellLibrary, StandardCell, default_library
+from .oscillator import (
+    PAPER_FIG3_CONFIGURATIONS,
+    RingConfiguration,
+    RingOscillator,
+    TemperatureResponse,
+    analytical_response,
+)
+from .analysis import nonlinearity, sensitivity_report
+from .core import (
+    LinearCalibration,
+    ReadoutConfig,
+    SensorMultiplexer,
+    SmartTemperatureSensor,
+    ThermalMonitor,
+)
+from .thermal import Floorplan, PowerMap, ThermalGrid, solve_steady_state
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CMOS013",
+    "CMOS018",
+    "CMOS025",
+    "CMOS035",
+    "Technology",
+    "TechnologyError",
+    "TransistorParameters",
+    "get_technology",
+    "CellLibrary",
+    "StandardCell",
+    "default_library",
+    "PAPER_FIG3_CONFIGURATIONS",
+    "RingConfiguration",
+    "RingOscillator",
+    "TemperatureResponse",
+    "analytical_response",
+    "nonlinearity",
+    "sensitivity_report",
+    "LinearCalibration",
+    "ReadoutConfig",
+    "SensorMultiplexer",
+    "SmartTemperatureSensor",
+    "ThermalMonitor",
+    "Floorplan",
+    "PowerMap",
+    "ThermalGrid",
+    "solve_steady_state",
+    "__version__",
+]

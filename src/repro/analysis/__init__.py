@@ -1,0 +1,37 @@
+"""Sensor-characteristic analysis: linearity, sensitivity, resolution, MC."""
+
+from .linearity import (
+    LinearFit,
+    NonlinearityResult,
+    fit_line,
+    nonlinearity,
+    temperature_error,
+)
+from .sensitivity import SensitivityReport, sensitivity_report
+from .resolution import (
+    ResolutionReport,
+    required_window_for_resolution,
+    resolution_report,
+)
+from .statistics import SummaryStatistics, summarize
+from .montecarlo import MonteCarloStudy, run_monte_carlo
+from .supply import SupplySensitivityReport, supply_sensitivity
+
+__all__ = [
+    "LinearFit",
+    "NonlinearityResult",
+    "fit_line",
+    "nonlinearity",
+    "temperature_error",
+    "SensitivityReport",
+    "sensitivity_report",
+    "ResolutionReport",
+    "required_window_for_resolution",
+    "resolution_report",
+    "SummaryStatistics",
+    "summarize",
+    "MonteCarloStudy",
+    "run_monte_carlo",
+    "SupplySensitivityReport",
+    "supply_sensitivity",
+]

@@ -1,0 +1,53 @@
+"""Small statistics helpers shared by the Monte-Carlo and benchmark code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..tech.parameters import TechnologyError
+
+__all__ = ["SummaryStatistics", "summarize"]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p05: float
+    p50: float
+    p95: float
+
+    def describe(self, unit: str = "") -> str:
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"n={self.count} mean={self.mean:.4g}{suffix} std={self.std:.4g}{suffix} "
+            f"min={self.minimum:.4g}{suffix} p50={self.p50:.4g}{suffix} "
+            f"max={self.maximum:.4g}{suffix}"
+        )
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Summarise a non-empty sample of floats."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise TechnologyError("cannot summarise an empty sample")
+    if np.any(np.isnan(array)):
+        raise TechnologyError("sample contains NaN values")
+    return SummaryStatistics(
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        std=float(np.std(array)),
+        minimum=float(np.min(array)),
+        maximum=float(np.max(array)),
+        p05=float(np.percentile(array, 5)),
+        p50=float(np.percentile(array, 50)),
+        p95=float(np.percentile(array, 95)),
+    )

@@ -1,0 +1,106 @@
+"""Supply-voltage cross-sensitivity of the ring-oscillator sensor.
+
+A known weakness of delay-based temperature sensing is that the gate
+delay also depends on the supply voltage, so supply noise or IR drop
+masquerades as a temperature change.  The paper does not analyse this,
+but any user of the sensor must budget for it, so the reproduction
+provides the analysis: how many millivolts of supply error correspond to
+one kelvin of apparent temperature change, for a given ring
+configuration — and how the cell mix affects that trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..cells.library import CellLibrary, default_library
+from ..oscillator.config import RingConfiguration
+from ..oscillator.ring import RingOscillator
+from ..tech.parameters import Technology, TechnologyError
+
+__all__ = ["SupplySensitivityReport", "supply_sensitivity"]
+
+
+@dataclass(frozen=True)
+class SupplySensitivityReport:
+    """Cross-sensitivity of one ring configuration to supply voltage.
+
+    Attributes
+    ----------
+    label:
+        Ring configuration label.
+    nominal_supply_v:
+        Supply voltage around which the sensitivities are evaluated.
+    temperature_c:
+        Junction temperature of the evaluation.
+    period_per_kelvin_s:
+        d(period)/dT at the operating point.
+    period_per_volt_s:
+        d(period)/dVdd at the operating point (negative: more supply,
+        faster ring).
+    """
+
+    label: str
+    nominal_supply_v: float
+    temperature_c: float
+    period_per_kelvin_s: float
+    period_per_volt_s: float
+
+    @property
+    def kelvin_per_millivolt(self) -> float:
+        """Apparent temperature change caused by 1 mV of supply change."""
+        return abs(self.period_per_volt_s) / abs(self.period_per_kelvin_s) * 1e-3
+
+    def supply_error_budget_mv(self, temperature_error_budget_c: float) -> float:
+        """Largest supply deviation consistent with a temperature-error budget."""
+        if temperature_error_budget_c <= 0.0:
+            raise TechnologyError("temperature error budget must be positive")
+        return temperature_error_budget_c / self.kelvin_per_millivolt
+
+
+def supply_sensitivity(
+    technology: Technology,
+    configuration: RingConfiguration,
+    temperature_c: float = 85.0,
+    supply_delta_v: float = 0.05,
+    temperature_delta_c: float = 5.0,
+    library_builder: Optional[Callable[[Technology], CellLibrary]] = None,
+) -> SupplySensitivityReport:
+    """Evaluate the temperature and supply sensitivities of a ring.
+
+    Both derivatives are taken by central differences: the supply
+    derivative by rebuilding the ring's library at ``Vdd +/- delta``
+    (input capacitances do not change, only the drive), the temperature
+    derivative directly from the period model.
+    """
+    if supply_delta_v <= 0.0 or temperature_delta_c <= 0.0:
+        raise TechnologyError("finite-difference deltas must be positive")
+    builder = library_builder or default_library
+
+    def period_at(vdd: float, temp_c: float) -> float:
+        tech = technology.with_supply(vdd)
+        ring = RingOscillator(builder(tech), configuration)
+        return ring.period(temp_c)
+
+    nominal_vdd = technology.vdd
+    period_per_volt = (
+        period_at(nominal_vdd + supply_delta_v, temperature_c)
+        - period_at(nominal_vdd - supply_delta_v, temperature_c)
+    ) / (2.0 * supply_delta_v)
+    period_per_kelvin = (
+        period_at(nominal_vdd, temperature_c + temperature_delta_c)
+        - period_at(nominal_vdd, temperature_c - temperature_delta_c)
+    ) / (2.0 * temperature_delta_c)
+    if period_per_kelvin == 0.0:
+        raise TechnologyError("the ring has no temperature sensitivity at this point")
+
+    return SupplySensitivityReport(
+        label=configuration.label(),
+        nominal_supply_v=nominal_vdd,
+        temperature_c=temperature_c,
+        period_per_kelvin_s=period_per_kelvin,
+        period_per_volt_s=period_per_volt,
+    )

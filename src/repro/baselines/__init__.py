@@ -1,0 +1,12 @@
+"""Baseline sensors the paper positions itself against."""
+
+from .diode_sensor import DiodeSensorConfig, DiodeSensorReading, DiodeTemperatureSensor
+from .fpga_ro import FpgaRingConfig, fpga_ring_oscillator
+
+__all__ = [
+    "DiodeSensorConfig",
+    "DiodeSensorReading",
+    "DiodeTemperatureSensor",
+    "FpgaRingConfig",
+    "fpga_ring_oscillator",
+]

@@ -1,0 +1,166 @@
+"""Cell power models: switching energy and temperature-dependent leakage.
+
+The paper's motivation is thermal: power density rises with scaling and
+clock frequency, so dies need built-in thermal monitoring.  To close
+that loop inside the reproduction (workload power -> die temperature ->
+sensor reading -> thermal-management action), the library needs a power
+model for the logic the die is made of, not just for the sensor itself.
+
+Two components are modelled per cell:
+
+``switching energy``
+    ``E = C_total * Vdd^2`` per output transition pair (the usual CV^2
+    metric); dynamic power is then ``E * f * activity``.
+
+``leakage power``
+    Subthreshold leakage grows exponentially as the threshold voltage
+    falls with temperature; modelled per transistor width from the
+    technology's subthreshold slope.  This is the mechanism behind
+    thermal runaway concerns and makes the thermal-management study
+    meaningfully temperature-coupled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..tech.parameters import Technology, TechnologyError, celsius_to_kelvin
+from ..tech.temperature import device_at, thermal_voltage
+from .cell import StandardCell
+
+__all__ = ["CellPowerModel", "GatePower"]
+
+#: Subthreshold leakage per micron of width at nominal temperature with
+#: the gate at the rail (A/um); representative of a 0.35 um process.
+LEAKAGE_AT_NOMINAL_A_PER_UM = 5.0e-12
+
+
+@dataclass(frozen=True)
+class GatePower:
+    """Power breakdown of one gate at one operating point."""
+
+    dynamic_w: float
+    leakage_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.leakage_w
+
+
+class CellPowerModel:
+    """Switching-energy and leakage model for standard cells.
+
+    Parameters
+    ----------
+    technology:
+        The CMOS technology the cells belong to.
+    leakage_at_nominal_a_per_um:
+        Off-state channel leakage per micron of transistor width at the
+        reference temperature.
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        leakage_at_nominal_a_per_um: float = LEAKAGE_AT_NOMINAL_A_PER_UM,
+    ) -> None:
+        if leakage_at_nominal_a_per_um <= 0.0:
+            raise TechnologyError("leakage density must be positive")
+        self.technology = technology
+        self.leakage_at_nominal = leakage_at_nominal_a_per_um
+
+    # ------------------------------------------------------------------ #
+    # dynamic power
+    # ------------------------------------------------------------------ #
+
+    def switching_energy_j(self, cell: StandardCell, load_f: float) -> float:
+        """Energy per full output transition pair (rise + fall), joules."""
+        if load_f < 0.0:
+            raise TechnologyError("load capacitance must be non-negative")
+        total_cap = load_f + cell.output_parasitic_capacitance() + cell.input_capacitance()
+        return total_cap * self.technology.vdd ** 2
+
+    def dynamic_power_w(
+        self,
+        cell: StandardCell,
+        load_f: float,
+        clock_frequency_hz: float,
+        activity: float = 0.1,
+    ) -> float:
+        """Average dynamic power at a clock frequency and switching activity."""
+        if clock_frequency_hz < 0.0:
+            raise TechnologyError("clock frequency must be non-negative")
+        if not 0.0 <= activity <= 1.0:
+            raise TechnologyError("activity factor must lie in [0, 1]")
+        return self.switching_energy_j(cell, load_f) * clock_frequency_hz * activity
+
+    # ------------------------------------------------------------------ #
+    # leakage
+    # ------------------------------------------------------------------ #
+
+    def leakage_current_a(self, cell: StandardCell, temperature_c: float) -> float:
+        """Total off-state leakage current of the cell at a temperature.
+
+        The temperature dependence follows the subthreshold exponential:
+        the threshold-voltage drop with temperature divided by the
+        (temperature-dependent) subthreshold swing, which reproduces the
+        familiar x10 leakage per ~60-80 C at this node.
+        """
+        temp_k = celsius_to_kelvin(temperature_c)
+        total = 0.0
+        for params, width in (
+            (self.technology.nmos, cell.nmos_width_um * cell.topology.fan_in),
+            (self.technology.pmos, cell.pmos_width_um * cell.topology.fan_in),
+        ):
+            nominal_device = device_at(params, self.technology.nominal_temperature_k)
+            hot_device = device_at(params, temp_k)
+            slope_factor = params.subthreshold_slope_mv_per_dec / (
+                1000.0 * thermal_voltage(temp_k) * math.log(10.0)
+            )
+            slope_factor = max(slope_factor, 1.0)
+            vth_drop = nominal_device.vth - hot_device.vth
+            boost = math.exp(vth_drop / (slope_factor * thermal_voltage(temp_k)))
+            total += self.leakage_at_nominal * width * boost
+        return total * cell.topology.stages
+
+    def leakage_power_w(self, cell: StandardCell, temperature_c: float) -> float:
+        """Static power drawn from the supply at a temperature."""
+        return self.leakage_current_a(cell, temperature_c) * self.technology.vdd
+
+    # ------------------------------------------------------------------ #
+    # combined
+    # ------------------------------------------------------------------ #
+
+    def gate_power(
+        self,
+        cell: StandardCell,
+        temperature_c: float,
+        clock_frequency_hz: float,
+        load_f: float,
+        activity: float = 0.1,
+    ) -> GatePower:
+        """Dynamic plus leakage power of one gate at an operating point."""
+        return GatePower(
+            dynamic_w=self.dynamic_power_w(cell, load_f, clock_frequency_hz, activity),
+            leakage_w=self.leakage_power_w(cell, temperature_c),
+        )
+
+    def block_power_w(
+        self,
+        cell: StandardCell,
+        gate_count: int,
+        temperature_c: float,
+        clock_frequency_hz: float,
+        activity: float = 0.1,
+    ) -> float:
+        """Power of a block of ``gate_count`` identical gates.
+
+        Each gate is assumed to drive a fan-out-of-4 load, the usual
+        rule of thumb for synthesised logic.
+        """
+        if gate_count < 0:
+            raise TechnologyError("gate_count must be non-negative")
+        load = 4.0 * cell.input_capacitance()
+        per_gate = self.gate_power(cell, temperature_c, clock_frequency_hz, load, activity)
+        return gate_count * per_gate.total_w

@@ -1,0 +1,69 @@
+"""The paper's contribution: the smart temperature sensor and its unit.
+
+* :class:`~repro.core.sensor.SmartTemperatureSensor` — ring oscillator +
+  counter readout + controller + calibration.
+* :class:`~repro.core.multiplexer.SensorMultiplexer` — shared readout for
+  several distributed sensors.
+* :class:`~repro.core.mapping.ThermalMonitor` — distributed sensors on a
+  floorplan with full-die thermal-map reconstruction.
+"""
+
+from .readout import CountReading, PeriodCounter, ReadoutConfig, ReferenceCounter
+from .controller import (
+    ControllerConfig,
+    ControllerState,
+    ControllerStatus,
+    MeasurementController,
+)
+from .calibration import (
+    CalibrationError,
+    LinearCalibration,
+    PolynomialCalibration,
+    design_calibration,
+    fit_polynomial_calibration,
+    one_point_calibration,
+    two_point_calibration,
+)
+from .sensor import SensorReading, SensorTransferFunction, SmartTemperatureSensor
+from .multiplexer import ScanResult, SensorMultiplexer
+from .mapping import ThermalMonitor, ThermalMonitorReport
+from .thermal_manager import (
+    DtmResult,
+    DtmTracePoint,
+    DynamicThermalManager,
+    PerformanceState,
+    ThrottlingPolicy,
+)
+from .registers import RegisterMap, SmartSensorRegisters
+
+__all__ = [
+    "CountReading",
+    "PeriodCounter",
+    "ReadoutConfig",
+    "ReferenceCounter",
+    "ControllerConfig",
+    "ControllerState",
+    "ControllerStatus",
+    "MeasurementController",
+    "CalibrationError",
+    "LinearCalibration",
+    "PolynomialCalibration",
+    "design_calibration",
+    "fit_polynomial_calibration",
+    "one_point_calibration",
+    "two_point_calibration",
+    "SensorReading",
+    "SensorTransferFunction",
+    "SmartTemperatureSensor",
+    "ScanResult",
+    "SensorMultiplexer",
+    "ThermalMonitor",
+    "ThermalMonitorReport",
+    "DtmResult",
+    "DtmTracePoint",
+    "DynamicThermalManager",
+    "PerformanceState",
+    "ThrottlingPolicy",
+    "RegisterMap",
+    "SmartSensorRegisters",
+]

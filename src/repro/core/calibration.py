@@ -1,0 +1,211 @@
+"""Calibration of the measured-period-to-temperature transfer function.
+
+The smart unit's counter produces a code that is inversely proportional
+to the oscillation period (cycles counted in a fixed window).  The
+digital processing block therefore first converts the code back into a
+*period estimate* (one fixed-point division by the known window) and
+then applies a calibration that maps period to temperature.  Working in
+the period domain is what makes the paper's linearity results usable: the
+period — not its reciprocal — is the quantity that is linear in
+temperature.
+
+Three calibration schemes are modelled, in increasing per-die cost:
+
+``design`` (zero-point)
+    Use the transfer function predicted at design time (typical
+    process).  Free, but the full process spread lands in the error.
+
+``one-point``
+    Measure the period at one known temperature, keep the design-time
+    slope.  Removes the offset component of process variation.
+
+``two-point``
+    Measure at two known temperatures and fit the line through them.
+    Removes offset and slope errors; what remains is the sensor's
+    intrinsic non-linearity — the quantity the paper's Fig. 2 / Fig. 3
+    minimise — plus readout quantisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..tech.parameters import TechnologyError
+
+__all__ = [
+    "CalibrationError",
+    "LinearCalibration",
+    "PolynomialCalibration",
+    "two_point_calibration",
+    "one_point_calibration",
+    "design_calibration",
+    "fit_polynomial_calibration",
+]
+
+
+class CalibrationError(ValueError):
+    """Raised when a calibration cannot be constructed or applied."""
+
+
+@dataclass(frozen=True)
+class LinearCalibration:
+    """A linear period-to-temperature map ``T = slope * period + offset``.
+
+    ``slope_c_per_second`` is the inverse of the sensor's sensitivity
+    (kelvin per second of period change); for the default 5-stage rings
+    it is of the order of 1e12 C/s because the period moves by roughly a
+    picosecond per kelvin.
+    """
+
+    slope_c_per_second: float
+    offset_c: float
+    kind: str = "two-point"
+
+    def __post_init__(self) -> None:
+        if self.slope_c_per_second == 0.0:
+            raise CalibrationError("calibration slope must be non-zero")
+
+    def temperature(self, period_s: float) -> float:
+        """Convert a measured period (seconds) to a temperature estimate."""
+        if period_s <= 0.0:
+            raise CalibrationError("measured period must be positive")
+        return self.slope_c_per_second * float(period_s) + self.offset_c
+
+    def period(self, temperature_c: float) -> float:
+        """Inverse map: the period expected at a temperature."""
+        return (temperature_c - self.offset_c) / self.slope_c_per_second
+
+    def with_offset_shift(self, delta_c: float) -> "LinearCalibration":
+        """Return a copy with the offset shifted by ``delta_c`` kelvin."""
+        return LinearCalibration(
+            slope_c_per_second=self.slope_c_per_second,
+            offset_c=self.offset_c + delta_c,
+            kind=self.kind,
+        )
+
+
+@dataclass(frozen=True)
+class PolynomialCalibration:
+    """Polynomial period-to-temperature map (linearity-corrected readout).
+
+    The paper's sensor relies on choosing a linear ring configuration,
+    but a downstream user can instead spend a few multipliers on a
+    polynomial correction; this class provides that option so the
+    trade-off can be quantified.
+
+    To keep the fit numerically well conditioned (periods are of the
+    order of 1e-10 s), the polynomial acts on the normalised variable
+    ``x = (period - period_offset_s) / period_scale_s``; coefficients
+    follow ``numpy.polyval`` ordering (highest power first).
+    """
+
+    coefficients: Tuple[float, ...]
+    period_offset_s: float = 0.0
+    period_scale_s: float = 1.0
+    kind: str = "polynomial"
+
+    def __post_init__(self) -> None:
+        if len(self.coefficients) < 2:
+            raise CalibrationError("a polynomial calibration needs at least degree 1")
+        if self.period_scale_s <= 0.0:
+            raise CalibrationError("period_scale_s must be positive")
+
+    def temperature(self, period_s: float) -> float:
+        """Convert a measured period (seconds) to a temperature estimate."""
+        if period_s <= 0.0:
+            raise CalibrationError("measured period must be positive")
+        x = (float(period_s) - self.period_offset_s) / self.period_scale_s
+        return float(np.polyval(self.coefficients, x))
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+
+def two_point_calibration(
+    periods_s: Sequence[float],
+    temperatures_c: Sequence[float],
+) -> LinearCalibration:
+    """Fit the line through two (period, temperature) calibration points."""
+    if len(periods_s) != 2 or len(temperatures_c) != 2:
+        raise CalibrationError("two-point calibration needs exactly two points")
+    period_low, period_high = float(periods_s[0]), float(periods_s[1])
+    temp_low, temp_high = float(temperatures_c[0]), float(temperatures_c[1])
+    if period_low <= 0.0 or period_high <= 0.0:
+        raise CalibrationError("calibration periods must be positive")
+    if period_low == period_high:
+        raise CalibrationError("calibration periods must differ")
+    if temp_low == temp_high:
+        raise CalibrationError("calibration temperatures must differ")
+    slope = (temp_high - temp_low) / (period_high - period_low)
+    offset = temp_low - slope * period_low
+    return LinearCalibration(slope_c_per_second=slope, offset_c=offset, kind="two-point")
+
+
+def one_point_calibration(
+    period_s: float,
+    temperature_c: float,
+    design_slope_c_per_second: float,
+) -> LinearCalibration:
+    """Anchor the design-time slope at one measured point."""
+    if design_slope_c_per_second == 0.0:
+        raise CalibrationError("design slope must be non-zero")
+    if period_s <= 0.0:
+        raise CalibrationError("measured period must be positive")
+    offset = temperature_c - design_slope_c_per_second * float(period_s)
+    return LinearCalibration(
+        slope_c_per_second=design_slope_c_per_second, offset_c=offset, kind="one-point"
+    )
+
+
+def design_calibration(
+    periods_s: Sequence[float],
+    temperatures_c: Sequence[float],
+) -> LinearCalibration:
+    """Least-squares line over a design-time (typical-process) transfer function.
+
+    This is the "calibration" a part would ship with if no per-die
+    trimming were performed at all.
+    """
+    periods_arr = np.asarray(periods_s, dtype=float)
+    temps_arr = np.asarray(temperatures_c, dtype=float)
+    if periods_arr.size < 2 or periods_arr.size != temps_arr.size:
+        raise CalibrationError("design calibration needs matching period/temperature arrays")
+    if np.any(periods_arr <= 0.0):
+        raise CalibrationError("design periods must be positive")
+    if np.all(periods_arr == periods_arr[0]):
+        raise CalibrationError("periods do not vary over the design transfer function")
+    slope, offset = np.polyfit(periods_arr, temps_arr, deg=1)
+    return LinearCalibration(
+        slope_c_per_second=float(slope), offset_c=float(offset), kind="design"
+    )
+
+
+def fit_polynomial_calibration(
+    periods_s: Sequence[float],
+    temperatures_c: Sequence[float],
+    degree: int = 2,
+) -> PolynomialCalibration:
+    """Least-squares polynomial calibration of the requested degree."""
+    periods_arr = np.asarray(periods_s, dtype=float)
+    temps_arr = np.asarray(temperatures_c, dtype=float)
+    if degree < 1:
+        raise CalibrationError("degree must be at least 1")
+    if periods_arr.size <= degree:
+        raise CalibrationError("not enough points for the requested polynomial degree")
+    if np.any(periods_arr <= 0.0):
+        raise CalibrationError("calibration periods must be positive")
+    offset = float(np.mean(periods_arr))
+    scale = float(np.std(periods_arr))
+    if scale <= 0.0:
+        raise CalibrationError("calibration periods must not be all identical")
+    normalised = (periods_arr - offset) / scale
+    coefficients = np.polyfit(normalised, temps_arr, deg=degree)
+    return PolynomialCalibration(
+        coefficients=tuple(float(c) for c in coefficients),
+        period_offset_s=offset,
+        period_scale_s=scale,
+    )

@@ -1,0 +1,250 @@
+"""Thermal monitoring of a die with distributed smart sensors.
+
+This module closes the loop the paper sketches: ring-oscillator sensors
+are placed at several points of a floorplan, the die's temperature field
+is computed from its power map with the compact thermal model, each
+sensor reads its *local* junction temperature through the multiplexed
+smart unit, and the monitor reconstructs a full-die thermal map from the
+sparse sensor readings.  The reconstruction error against the true field
+quantifies how many sensors a thermal-mapping application needs — one of
+the design questions the smart unit's multiplexer exists to answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cells.library import CellLibrary, default_library
+from ..oscillator.config import RingConfiguration
+from ..oscillator.ring import RingOscillator
+from ..tech.parameters import Technology, TechnologyError
+from ..thermal.floorplan import Floorplan, SensorSite
+from ..thermal.grid import TemperatureMap, ThermalGrid, ThermalGridParameters
+from ..thermal.power import PowerMap
+from ..thermal.solver import solve_steady_state
+from .multiplexer import ScanResult, SensorMultiplexer
+from .readout import ReadoutConfig
+from .sensor import SmartTemperatureSensor
+
+__all__ = ["ThermalMonitorReport", "ThermalMonitor"]
+
+
+@dataclass(frozen=True)
+class ThermalMonitorReport:
+    """Result of one thermal-mapping scan.
+
+    Attributes
+    ----------
+    scan:
+        The raw multiplexer scan (codes, per-sensor estimates).
+    true_map:
+        The reference temperature field from the thermal model.
+    site_true_temperatures_c:
+        True junction temperature at every sensor site.
+    site_estimates_c:
+        Calibrated sensor estimate at every site.
+    reconstructed_map:
+        Full-die map reconstructed from the sensor estimates.
+    """
+
+    scan: ScanResult
+    true_map: TemperatureMap
+    site_true_temperatures_c: Dict[str, float]
+    site_estimates_c: Dict[str, float]
+    reconstructed_map: TemperatureMap
+
+    def site_errors_c(self) -> Dict[str, float]:
+        """Per-site measurement error (estimate minus truth)."""
+        return {
+            name: self.site_estimates_c[name] - self.site_true_temperatures_c[name]
+            for name in self.site_estimates_c
+        }
+
+    def worst_site_error_c(self) -> float:
+        errors = list(self.site_errors_c().values())
+        return float(np.max(np.abs(errors)))
+
+    def hotspot_error_c(self) -> float:
+        """Error of the reconstructed map at the true hotspot location."""
+        x, y = self.true_map.hotspot_location()
+        return self.reconstructed_map.sample(x, y) - self.true_map.max_c()
+
+    def map_rms_error_c(self) -> float:
+        """RMS error of the reconstructed field over the whole die."""
+        difference = self.reconstructed_map.values_c - self.true_map.values_c
+        return float(np.sqrt(np.mean(difference ** 2)))
+
+
+class ThermalMonitor:
+    """Distributed smart-sensor thermal-mapping unit.
+
+    Parameters
+    ----------
+    technology:
+        CMOS technology of the sensors.
+    floorplan:
+        Die floorplan; its sensor sites define where sensors are placed.
+    configuration:
+        Ring configuration used for every sensor (the paper's optimised
+        cell mix).
+    library:
+        Cell library; the default library of the technology when omitted.
+    readout:
+        Shared readout configuration.
+    grid_resolution:
+        Resolution of the thermal model grid.
+    ambient_c:
+        Package/board ambient temperature.
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        floorplan: Floorplan,
+        configuration: RingConfiguration,
+        library: Optional[CellLibrary] = None,
+        readout: ReadoutConfig = ReadoutConfig(),
+        grid_resolution: int = 32,
+        ambient_c: float = 45.0,
+        thermal_parameters: ThermalGridParameters = ThermalGridParameters(),
+    ) -> None:
+        sites = floorplan.sensor_sites()
+        if not sites:
+            raise TechnologyError(
+                "the floorplan has no sensor sites; call add_sensor_site/add_sensor_grid first"
+            )
+        self.technology = technology
+        self.floorplan = floorplan
+        self.configuration = configuration
+        self.library = library if library is not None else default_library(technology)
+        self.readout = readout
+        self.ambient_c = float(ambient_c)
+        self.grid_resolution = int(grid_resolution)
+        self.thermal_parameters = thermal_parameters
+
+        sensors: List[SmartTemperatureSensor] = []
+        for site in sites:
+            ring = RingOscillator(self.library, configuration)
+            sensors.append(
+                SmartTemperatureSensor(ring, readout=readout, name=site.name)
+            )
+        self.multiplexer = SensorMultiplexer(sensors)
+        self._sites: Dict[str, SensorSite] = {site.name: site for site in sites}
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+
+    def calibrate(self, low_temperature_c: float = -40.0, high_temperature_c: float = 125.0) -> None:
+        """Two-point calibrate every sensor in the bank."""
+        self.multiplexer.calibrate_all_two_point(low_temperature_c, high_temperature_c)
+
+    def sensor_sites(self) -> List[SensorSite]:
+        return list(self._sites.values())
+
+    # ------------------------------------------------------------------ #
+    # thermal field
+    # ------------------------------------------------------------------ #
+
+    def temperature_field(self, power: PowerMap) -> TemperatureMap:
+        """Reference temperature field for a workload power map."""
+        grid = ThermalGrid.for_power_map(power, self.thermal_parameters)
+        return solve_steady_state(grid, power, self.ambient_c)
+
+    def power_map_for_floorplan(self) -> PowerMap:
+        """Rasterised power map of the monitor's floorplan."""
+        return PowerMap.from_floorplan(
+            self.floorplan, nx=self.grid_resolution, ny=self.grid_resolution
+        )
+
+    # ------------------------------------------------------------------ #
+    # monitoring
+    # ------------------------------------------------------------------ #
+
+    def scan(self, power: Optional[PowerMap] = None) -> ThermalMonitorReport:
+        """Run one full thermal-mapping scan for a workload.
+
+        The true temperature field is computed from the power map, each
+        sensor is fed the local junction temperature at its site, the
+        multiplexer scans all channels, and a full-die map is rebuilt
+        from the sensor estimates by inverse-distance interpolation.
+        """
+        if power is None:
+            power = self.power_map_for_floorplan()
+        true_map = self.temperature_field(power)
+
+        site_truth: Dict[str, float] = {}
+        for name, site in self._sites.items():
+            site_truth[name] = true_map.sample(site.x_mm, site.y_mm)
+
+        scan = self.multiplexer.scan(site_truth)
+
+        site_estimates: Dict[str, float] = {}
+        for name, reading in scan.readings.items():
+            if reading.temperature_estimate_c is None:
+                raise TechnologyError(
+                    "sensors must be calibrated before a thermal-mapping scan; "
+                    "call calibrate() first"
+                )
+            site_estimates[name] = reading.temperature_estimate_c
+
+        reconstructed = self._reconstruct(site_estimates, true_map)
+        return ThermalMonitorReport(
+            scan=scan,
+            true_map=true_map,
+            site_true_temperatures_c=site_truth,
+            site_estimates_c=site_estimates,
+            reconstructed_map=reconstructed,
+        )
+
+    def _reconstruct(
+        self, site_estimates: Dict[str, float], reference: TemperatureMap
+    ) -> TemperatureMap:
+        """Inverse-distance-weighted interpolation of the sensor readings."""
+        values = np.zeros_like(reference.values_c)
+        cell_w = reference.width_mm / reference.nx
+        cell_h = reference.height_mm / reference.ny
+        positions = [
+            (self._sites[name].x_mm, self._sites[name].y_mm, estimate)
+            for name, estimate in site_estimates.items()
+        ]
+        for row in range(reference.ny):
+            for column in range(reference.nx):
+                x = (column + 0.5) * cell_w
+                y = (row + 0.5) * cell_h
+                weights = []
+                temps = []
+                exact = None
+                for sx, sy, estimate in positions:
+                    distance = float(np.hypot(x - sx, y - sy))
+                    if distance < 1e-9:
+                        exact = estimate
+                        break
+                    weights.append(1.0 / distance ** 2)
+                    temps.append(estimate)
+                if exact is not None:
+                    values[row, column] = exact
+                else:
+                    weights_arr = np.asarray(weights)
+                    temps_arr = np.asarray(temps)
+                    values[row, column] = float(
+                        np.sum(weights_arr * temps_arr) / np.sum(weights_arr)
+                    )
+        return TemperatureMap(reference.width_mm, reference.height_mm, values)
+
+    def detect_overheating(
+        self, report: ThermalMonitorReport, threshold_c: float
+    ) -> List[str]:
+        """Names of sensor sites whose estimate exceeds a thermal threshold.
+
+        This is the hook a dynamic thermal-management policy (clock
+        throttling, task migration) would consume.
+        """
+        return [
+            name
+            for name, estimate in report.site_estimates_c.items()
+            if estimate >= threshold_c
+        ]

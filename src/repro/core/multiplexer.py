@@ -1,0 +1,141 @@
+"""Multiplexed readout of several distributed sensors.
+
+The paper's smart unit can "multiplex the readout from different
+ring-oscillators distributed on different points for thermal mapping".
+The :class:`SensorMultiplexer` models that sharing: one readout counter
+and one controller serve many ring oscillators, selected one at a time.
+Only the selected oscillator is enabled, so the multiplexer inherits the
+self-heating benefit of the single-sensor controller, and the scan time
+is the per-sensor conversion time multiplied by the channel count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..tech.parameters import TechnologyError
+from .sensor import SensorReading, SmartTemperatureSensor
+
+__all__ = ["ScanResult", "SensorMultiplexer"]
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Result of scanning every channel of the multiplexer once."""
+
+    readings: Dict[str, SensorReading]
+    total_time_s: float
+
+    def codes(self) -> Dict[str, int]:
+        return {name: reading.code for name, reading in self.readings.items()}
+
+    def temperatures(self) -> Dict[str, Optional[float]]:
+        return {
+            name: reading.temperature_estimate_c
+            for name, reading in self.readings.items()
+        }
+
+    def hottest_channel(self) -> str:
+        """Channel with the highest estimated (or true) temperature."""
+        def key(item) -> float:
+            reading = item[1]
+            if reading.temperature_estimate_c is not None:
+                return reading.temperature_estimate_c
+            return reading.true_temperature_c
+
+        return max(self.readings.items(), key=key)[0]
+
+
+class SensorMultiplexer:
+    """A bank of smart sensors sharing one readout path.
+
+    Parameters
+    ----------
+    sensors:
+        The sensors to multiplex; their names must be unique.
+    """
+
+    def __init__(self, sensors: Sequence[SmartTemperatureSensor]) -> None:
+        if not sensors:
+            raise TechnologyError("a multiplexer needs at least one sensor")
+        names = [sensor.name for sensor in sensors]
+        if len(names) != len(set(names)):
+            raise TechnologyError("sensor names must be unique within a multiplexer")
+        self._sensors: Dict[str, SmartTemperatureSensor] = {
+            sensor.name: sensor for sensor in sensors
+        }
+        self._selected: str = names[0]
+
+    # ------------------------------------------------------------------ #
+    # channel management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def channel_count(self) -> int:
+        return len(self._sensors)
+
+    def channel_names(self) -> List[str]:
+        return list(self._sensors)
+
+    @property
+    def selected(self) -> str:
+        """Name of the currently selected channel."""
+        return self._selected
+
+    def select(self, name: str) -> None:
+        """Route the readout to the named channel."""
+        if name not in self._sensors:
+            raise TechnologyError(
+                f"no channel named {name!r}; available: {', '.join(self._sensors)}"
+            )
+        self._selected = name
+
+    def sensor(self, name: str) -> SmartTemperatureSensor:
+        """Access one of the multiplexed sensors by name."""
+        if name not in self._sensors:
+            raise TechnologyError(f"no channel named {name!r}")
+        return self._sensors[name]
+
+    def sensors(self) -> List[SmartTemperatureSensor]:
+        return list(self._sensors.values())
+
+    # ------------------------------------------------------------------ #
+    # measurements
+    # ------------------------------------------------------------------ #
+
+    def measure_selected(self, junction_temperature_c: float) -> SensorReading:
+        """Measure the selected channel at its junction temperature."""
+        return self._sensors[self._selected].measure(junction_temperature_c)
+
+    def scan(self, junction_temperatures_c: Mapping[str, float]) -> ScanResult:
+        """Measure every channel once, in channel order.
+
+        Parameters
+        ----------
+        junction_temperatures_c:
+            Local junction temperature per channel name; every channel
+            must be covered.
+        """
+        missing = [name for name in self._sensors if name not in junction_temperatures_c]
+        if missing:
+            raise TechnologyError(
+                f"missing junction temperatures for channels: {', '.join(missing)}"
+            )
+        readings: Dict[str, SensorReading] = {}
+        total_time = 0.0
+        for name in self._sensors:
+            self.select(name)
+            reading = self.measure_selected(float(junction_temperatures_c[name]))
+            readings[name] = reading
+            total_time += reading.conversion_time_s
+        return ScanResult(readings=readings, total_time_s=total_time)
+
+    def calibrate_all_two_point(
+        self, low_temperature_c: float = -40.0, high_temperature_c: float = 125.0
+    ) -> None:
+        """Apply a two-point calibration to every channel."""
+        for sensor in self._sensors.values():
+            sensor.calibrate_two_point(low_temperature_c, high_temperature_c)

@@ -1,0 +1,160 @@
+"""Period-to-digital conversion.
+
+The paper's smart unit contains "an additional digital processing block
+to convert the oscillation period to temperature expressed in digital
+format".  The standard cell-friendly way to do that — and the one
+modelled here — is a counter gated by a reference-clock window:
+
+* the ring oscillator output clocks a counter,
+* the counter is enabled for a fixed number of reference-clock cycles
+  (the *gating window*),
+* the final count is ``floor(window / period)``, a digital code that
+  decreases as temperature (and therefore period) rises.
+
+The dual scheme (count reference cycles during N ring cycles) is also
+provided because it is sometimes preferred when the ring is much slower
+than the reference clock.  Both are pure behavioural models: they model
+the quantisation, saturation and conversion time of the hardware, not
+its gate-level structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..tech.parameters import TechnologyError
+
+__all__ = ["ReadoutConfig", "CountReading", "PeriodCounter", "ReferenceCounter"]
+
+
+@dataclass(frozen=True)
+class ReadoutConfig:
+    """Parameters of the counter-based readout.
+
+    Attributes
+    ----------
+    reference_clock_hz:
+        Frequency of the system reference clock that defines the gating
+        window.
+    window_cycles:
+        Length of the gating window in reference-clock cycles.
+    counter_bits:
+        Width of the result counter; the code saturates rather than
+        wrapping, as a safe hardware implementation would.
+    """
+
+    reference_clock_hz: float = 50.0e6
+    window_cycles: int = 256
+    counter_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.reference_clock_hz <= 0.0:
+            raise TechnologyError("reference clock frequency must be positive")
+        if self.window_cycles <= 0:
+            raise TechnologyError("window_cycles must be positive")
+        if not 4 <= self.counter_bits <= 32:
+            raise TechnologyError("counter_bits must lie in [4, 32]")
+
+    @property
+    def window_s(self) -> float:
+        """Gating-window duration in seconds."""
+        return self.window_cycles / self.reference_clock_hz
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable counter value."""
+        return (1 << self.counter_bits) - 1
+
+    @property
+    def conversion_time_s(self) -> float:
+        """Time one measurement occupies the unit (window plus handshake)."""
+        # Two reference cycles of synchronisation before and after the window.
+        return (self.window_cycles + 4) / self.reference_clock_hz
+
+
+@dataclass(frozen=True)
+class CountReading:
+    """One digital conversion result."""
+
+    code: int
+    saturated: bool
+    window_s: float
+
+    def cycles_counted(self) -> int:
+        return self.code
+
+
+class PeriodCounter:
+    """Counts ring-oscillator cycles inside a reference gating window."""
+
+    def __init__(self, config: ReadoutConfig = ReadoutConfig()) -> None:
+        self.config = config
+
+    def convert(self, oscillation_period_s: float) -> CountReading:
+        """Convert an oscillation period to a digital code.
+
+        Parameters
+        ----------
+        oscillation_period_s:
+            Period of the ring oscillator during the measurement.
+        """
+        if oscillation_period_s <= 0.0:
+            raise TechnologyError("oscillation period must be positive")
+        ideal = self.config.window_s / oscillation_period_s
+        code = int(math.floor(ideal))
+        saturated = code > self.config.max_code
+        if saturated:
+            code = self.config.max_code
+        return CountReading(code=code, saturated=saturated, window_s=self.config.window_s)
+
+    def code_to_period(self, code: int) -> float:
+        """Best-estimate period implied by a code (mid-quantisation-step)."""
+        if code <= 0:
+            raise TechnologyError("code must be positive to invert the conversion")
+        return self.config.window_s / (code + 0.5)
+
+    def quantisation_step_s(self, oscillation_period_s: float) -> float:
+        """Change of period corresponding to one LSB around an operating point."""
+        reading = self.convert(oscillation_period_s)
+        if reading.code <= 1:
+            raise TechnologyError("code too small to define a quantisation step")
+        upper = self.config.window_s / reading.code
+        lower = self.config.window_s / (reading.code + 1)
+        return upper - lower
+
+
+class ReferenceCounter:
+    """Counts reference-clock cycles during a fixed number of ring cycles.
+
+    The dual of :class:`PeriodCounter`: the code *increases* with
+    temperature because a hotter (slower) ring keeps the window open
+    longer.  Useful when the ring oscillates slower than the reference
+    clock or when a code proportional (rather than inversely
+    proportional) to the period is preferred.
+    """
+
+    def __init__(self, config: ReadoutConfig = ReadoutConfig(), ring_cycles: int = 256) -> None:
+        if ring_cycles <= 0:
+            raise TechnologyError("ring_cycles must be positive")
+        self.config = config
+        self.ring_cycles = ring_cycles
+
+    def convert(self, oscillation_period_s: float) -> CountReading:
+        """Convert an oscillation period to a digital code."""
+        if oscillation_period_s <= 0.0:
+            raise TechnologyError("oscillation period must be positive")
+        window = self.ring_cycles * oscillation_period_s
+        ideal = window * self.config.reference_clock_hz
+        code = int(math.floor(ideal))
+        saturated = code > self.config.max_code
+        if saturated:
+            code = self.config.max_code
+        return CountReading(code=code, saturated=saturated, window_s=window)
+
+    def code_to_period(self, code: int) -> float:
+        """Best-estimate period implied by a code."""
+        if code <= 0:
+            raise TechnologyError("code must be positive to invert the conversion")
+        window = (code + 0.5) / self.config.reference_clock_hz
+        return window / self.ring_cycles

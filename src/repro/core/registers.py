@@ -1,0 +1,225 @@
+"""Register-map front end of the smart sensor unit.
+
+A "smart" sensor in a cell-based SoC is accessed by software through a
+memory-mapped register interface, not by poking Python objects.  This
+module provides that last layer: a small register file with the fields a
+real implementation of the paper's unit would expose —
+
+========  ======  ==========================================================
+address   name    contents
+========  ======  ==========================================================
+0x00      CTRL    bit0 START (self-clearing), bit1 ENABLE, bits[7:4] CHANNEL
+0x04      STATUS  bit0 BUSY, bit1 DATA_VALID, bit2 SATURATED
+0x08      DATA    last conversion code (read clears DATA_VALID)
+0x0C      TEMP    calibrated temperature in signed 8.4 fixed point (deg C)
+0x10      CONFIG  bits[15:0] gating-window cycles (read only here)
+========  ======  ==========================================================
+
+The register model drives the same behavioural sensor/multiplexer
+objects used everywhere else, so software-style polling loops can be
+tested end to end (see ``tests/test_core_registers.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..tech.parameters import TechnologyError
+from .multiplexer import SensorMultiplexer
+from .sensor import SensorReading
+
+__all__ = ["RegisterMap", "SmartSensorRegisters"]
+
+#: Register addresses (byte offsets).
+CTRL_ADDR = 0x00
+STATUS_ADDR = 0x04
+DATA_ADDR = 0x08
+TEMP_ADDR = 0x0C
+CONFIG_ADDR = 0x10
+
+#: CTRL bit positions.
+CTRL_START_BIT = 0
+CTRL_ENABLE_BIT = 1
+CTRL_CHANNEL_SHIFT = 4
+CTRL_CHANNEL_MASK = 0xF
+
+#: STATUS bit positions.
+STATUS_BUSY_BIT = 0
+STATUS_DATA_VALID_BIT = 1
+STATUS_SATURATED_BIT = 2
+
+
+@dataclass(frozen=True)
+class RegisterMap:
+    """Addresses and field encodings of the unit (for documentation/tools)."""
+
+    ctrl: int = CTRL_ADDR
+    status: int = STATUS_ADDR
+    data: int = DATA_ADDR
+    temperature: int = TEMP_ADDR
+    config: int = CONFIG_ADDR
+
+
+def _to_fixed_point_8_4(value_c: float) -> int:
+    """Encode a temperature as signed 8.4 fixed point (two's complement, 12 bits)."""
+    scaled = int(round(value_c * 16.0))
+    scaled = max(-2048, min(2047, scaled))
+    return scaled & 0xFFF
+
+
+def _from_fixed_point_8_4(raw: int) -> float:
+    """Decode a signed 8.4 fixed-point temperature."""
+    raw &= 0xFFF
+    if raw >= 0x800:
+        raw -= 0x1000
+    return raw / 16.0
+
+
+class SmartSensorRegisters:
+    """Memory-mapped front end over a (multiplexed) smart sensor bank.
+
+    Parameters
+    ----------
+    multiplexer:
+        The sensor bank the registers control.  Single-sensor units just
+        pass a one-channel multiplexer.
+    """
+
+    def __init__(self, multiplexer: SensorMultiplexer) -> None:
+        self.multiplexer = multiplexer
+        self.register_map = RegisterMap()
+        self._channel_index = 0
+        self._enable = False
+        self._data_valid = False
+        self._last_reading: Optional[SensorReading] = None
+        self._channel_names = multiplexer.channel_names()
+        if len(self._channel_names) > CTRL_CHANNEL_MASK + 1:
+            raise TechnologyError(
+                "the register interface supports at most 16 multiplexed channels"
+            )
+        #: Junction temperatures used when a conversion is started; in a
+        #: real chip this is physical reality, in the model it is provided
+        #: by the caller (e.g. the thermal model) before starting.
+        self.junction_temperatures_c: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # environment hook
+    # ------------------------------------------------------------------ #
+
+    def set_junction_temperatures(self, temperatures_c: Mapping[str, float]) -> None:
+        """Provide the junction temperature at every sensor site."""
+        unknown = set(temperatures_c) - set(self._channel_names)
+        if unknown:
+            raise TechnologyError(f"unknown channels: {', '.join(sorted(unknown))}")
+        self.junction_temperatures_c.update(
+            {name: float(value) for name, value in temperatures_c.items()}
+        )
+
+    # ------------------------------------------------------------------ #
+    # bus interface
+    # ------------------------------------------------------------------ #
+
+    def write(self, address: int, value: int) -> None:
+        """Bus write access."""
+        if value < 0:
+            raise TechnologyError("register writes must be non-negative integers")
+        if address == CTRL_ADDR:
+            self._write_ctrl(value)
+        elif address in (STATUS_ADDR, DATA_ADDR, TEMP_ADDR, CONFIG_ADDR):
+            raise TechnologyError(f"register at 0x{address:02X} is read-only")
+        else:
+            raise TechnologyError(f"no register at address 0x{address:02X}")
+
+    def read(self, address: int) -> int:
+        """Bus read access."""
+        if address == CTRL_ADDR:
+            return self._read_ctrl()
+        if address == STATUS_ADDR:
+            return self._read_status()
+        if address == DATA_ADDR:
+            return self._read_data()
+        if address == TEMP_ADDR:
+            return self._read_temperature()
+        if address == CONFIG_ADDR:
+            return self._selected_sensor().readout.window_cycles & 0xFFFF
+        raise TechnologyError(f"no register at address 0x{address:02X}")
+
+    # ------------------------------------------------------------------ #
+    # register behaviour
+    # ------------------------------------------------------------------ #
+
+    def _selected_sensor(self):
+        name = self._channel_names[self._channel_index]
+        return self.multiplexer.sensor(name)
+
+    def _write_ctrl(self, value: int) -> None:
+        self._enable = bool((value >> CTRL_ENABLE_BIT) & 1)
+        channel = (value >> CTRL_CHANNEL_SHIFT) & CTRL_CHANNEL_MASK
+        if channel >= len(self._channel_names):
+            raise TechnologyError(
+                f"CTRL selects channel {channel} but only "
+                f"{len(self._channel_names)} channels exist"
+            )
+        self._channel_index = channel
+        if (value >> CTRL_START_BIT) & 1:
+            self._start_conversion()
+
+    def _start_conversion(self) -> None:
+        if not self._enable:
+            raise TechnologyError("CTRL.START written while CTRL.ENABLE is clear")
+        name = self._channel_names[self._channel_index]
+        if name not in self.junction_temperatures_c:
+            raise TechnologyError(
+                f"no junction temperature provided for channel {name!r}; "
+                "call set_junction_temperatures first"
+            )
+        self.multiplexer.select(name)
+        self._last_reading = self.multiplexer.measure_selected(
+            self.junction_temperatures_c[name]
+        )
+        self._data_valid = True
+
+    def _read_ctrl(self) -> int:
+        value = (int(self._enable) << CTRL_ENABLE_BIT)
+        value |= self._channel_index << CTRL_CHANNEL_SHIFT
+        return value  # START is self-clearing and always reads 0
+
+    def _read_status(self) -> int:
+        sensor = self._selected_sensor()
+        value = int(sensor.busy) << STATUS_BUSY_BIT
+        value |= int(self._data_valid) << STATUS_DATA_VALID_BIT
+        if self._last_reading is not None and self._last_reading.saturated:
+            value |= 1 << STATUS_SATURATED_BIT
+        return value
+
+    def _read_data(self) -> int:
+        if self._last_reading is None:
+            return 0
+        self._data_valid = False
+        return self._last_reading.code
+
+    def _read_temperature(self) -> int:
+        if self._last_reading is None or self._last_reading.temperature_estimate_c is None:
+            return 0
+        return _to_fixed_point_8_4(self._last_reading.temperature_estimate_c)
+
+    # ------------------------------------------------------------------ #
+    # software-style helpers
+    # ------------------------------------------------------------------ #
+
+    def convert_channel(self, channel: int, junction_temperature_c: float) -> float:
+        """Driver-style helper: select, start, poll and decode one channel."""
+        name = self._channel_names[channel]
+        self.set_junction_temperatures({name: junction_temperature_c})
+        self.write(CTRL_ADDR, (1 << CTRL_ENABLE_BIT) | (channel << CTRL_CHANNEL_SHIFT))
+        self.write(
+            CTRL_ADDR,
+            (1 << CTRL_ENABLE_BIT) | (channel << CTRL_CHANNEL_SHIFT) | (1 << CTRL_START_BIT),
+        )
+        status = self.read(STATUS_ADDR)
+        if not (status >> STATUS_DATA_VALID_BIT) & 1:
+            raise TechnologyError("conversion did not complete")
+        raw = self.read(TEMP_ADDR)
+        self.read(DATA_ADDR)  # clear DATA_VALID as a driver would
+        return _from_fixed_point_8_4(raw)

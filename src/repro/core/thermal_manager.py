@@ -1,0 +1,303 @@
+"""Closed-loop dynamic thermal management (DTM) built on the smart sensor.
+
+The paper positions its sensor as "the core part of any thermal
+management system".  This module supplies that system so the sensor can
+be evaluated in its end application: a throttling controller reads the
+multiplexed sensors periodically and switches the die between
+performance states (full speed, throttled, emergency) to keep the
+junction temperature below a limit, while the die temperature evolves
+according to the compact thermal model.
+
+The simulation is deliberately simple — one global performance state,
+threshold-with-hysteresis policy — because that is exactly the kind of
+policy the 0.35 um-era products cited by the paper (Pentium 4 thermal
+throttling, PowerPC thermal assist unit) implemented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import diags
+from scipy.sparse.linalg import factorized
+
+from ..oscillator.config import RingConfiguration
+from ..tech.parameters import Technology, TechnologyError
+from ..thermal.floorplan import Floorplan
+from ..thermal.grid import TemperatureMap, ThermalGrid, ThermalGridParameters
+from ..thermal.power import PowerMap
+from .mapping import ThermalMonitor
+from .readout import ReadoutConfig
+
+__all__ = [
+    "PerformanceState",
+    "ThrottlingPolicy",
+    "DtmTracePoint",
+    "DtmResult",
+    "DynamicThermalManager",
+]
+
+
+@dataclass(frozen=True)
+class PerformanceState:
+    """One operating point of the managed die."""
+
+    name: str
+    power_scale: float
+    performance: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.power_scale <= 1.5:
+            raise TechnologyError("power_scale must lie in [0, 1.5]")
+        if not 0.0 <= self.performance <= 1.0:
+            raise TechnologyError("performance must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ThrottlingPolicy:
+    """Threshold-with-hysteresis throttling policy.
+
+    Attributes
+    ----------
+    throttle_threshold_c:
+        Sensor reading above which the die steps down one performance state.
+    release_threshold_c:
+        Reading below which the die steps back up (must be lower than the
+        throttle threshold to provide hysteresis).
+    emergency_threshold_c:
+        Reading above which the die jumps straight to the lowest state.
+    states:
+        Performance states ordered from fastest to slowest.
+    """
+
+    throttle_threshold_c: float = 110.0
+    release_threshold_c: float = 95.0
+    emergency_threshold_c: float = 125.0
+    states: Tuple[PerformanceState, ...] = (
+        PerformanceState("full-speed", power_scale=1.0, performance=1.0),
+        PerformanceState("throttled", power_scale=0.6, performance=0.6),
+        PerformanceState("emergency", power_scale=0.25, performance=0.2),
+    )
+
+    def __post_init__(self) -> None:
+        if self.release_threshold_c >= self.throttle_threshold_c:
+            raise TechnologyError(
+                "release threshold must be below the throttle threshold (hysteresis)"
+            )
+        if self.emergency_threshold_c <= self.throttle_threshold_c:
+            raise TechnologyError(
+                "emergency threshold must be above the throttle threshold"
+            )
+        if len(self.states) < 2:
+            raise TechnologyError("at least two performance states are required")
+        scales = [state.power_scale for state in self.states]
+        if scales != sorted(scales, reverse=True):
+            raise TechnologyError("states must be ordered from fastest to slowest")
+
+    def next_state_index(self, current_index: int, hottest_reading_c: float) -> int:
+        """Policy step: new state index given the hottest sensor reading."""
+        last = len(self.states) - 1
+        if hottest_reading_c >= self.emergency_threshold_c:
+            return last
+        if hottest_reading_c >= self.throttle_threshold_c:
+            return min(current_index + 1, last)
+        if hottest_reading_c <= self.release_threshold_c:
+            return max(current_index - 1, 0)
+        return current_index
+
+
+@dataclass(frozen=True)
+class DtmTracePoint:
+    """One control-interval sample of the closed-loop simulation."""
+
+    time_s: float
+    state_name: str
+    power_w: float
+    true_peak_c: float
+    hottest_reading_c: float
+    performance: float
+
+
+@dataclass(frozen=True)
+class DtmResult:
+    """Outcome of a closed-loop DTM simulation."""
+
+    trace: Tuple[DtmTracePoint, ...]
+    limit_c: float
+    final_map: TemperatureMap
+
+    def peak_temperature_c(self) -> float:
+        return max(point.true_peak_c for point in self.trace)
+
+    def time_above_limit_s(self) -> float:
+        """Total time the true peak temperature exceeded the limit."""
+        if len(self.trace) < 2:
+            return 0.0
+        total = 0.0
+        for previous, current in zip(self.trace, self.trace[1:]):
+            if current.true_peak_c > self.limit_c:
+                total += current.time_s - previous.time_s
+        return total
+
+    def average_performance(self) -> float:
+        """Mean delivered performance (1.0 = never throttled)."""
+        return float(np.mean([point.performance for point in self.trace]))
+
+    def throttle_events(self) -> int:
+        """Number of transitions into a slower performance state."""
+        events = 0
+        order = {point.time_s: point.state_name for point in self.trace}
+        names = [point.state_name for point in self.trace]
+        ranks = {state: rank for rank, state in enumerate(dict.fromkeys(names))}
+        previous_rank: Optional[int] = None
+        for point in self.trace:
+            rank = ranks[point.state_name]
+            if previous_rank is not None and rank > previous_rank:
+                events += 1
+            previous_rank = rank
+        return events
+
+    def state_occupancy(self) -> Dict[str, float]:
+        """Fraction of control intervals spent in each performance state."""
+        names = [point.state_name for point in self.trace]
+        return {name: names.count(name) / len(names) for name in dict.fromkeys(names)}
+
+
+class DynamicThermalManager:
+    """Closed-loop simulation of sensor-driven thermal throttling.
+
+    Parameters
+    ----------
+    technology:
+        CMOS technology of the sensors.
+    floorplan:
+        Die floorplan; must contain sensor sites (the monitor reads them).
+    configuration:
+        Ring configuration of every sensor.
+    policy:
+        Throttling policy.
+    readout:
+        Sensor readout configuration.
+    grid_resolution:
+        Thermal-model grid resolution.
+    ambient_c:
+        Package/board ambient temperature.
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        floorplan: Floorplan,
+        configuration: RingConfiguration,
+        policy: ThrottlingPolicy = ThrottlingPolicy(),
+        readout: ReadoutConfig = ReadoutConfig(),
+        grid_resolution: int = 24,
+        ambient_c: float = 45.0,
+        thermal_parameters: ThermalGridParameters = ThermalGridParameters(),
+    ) -> None:
+        self.technology = technology
+        self.floorplan = floorplan
+        self.policy = policy
+        self.ambient_c = float(ambient_c)
+        self.monitor = ThermalMonitor(
+            technology,
+            floorplan,
+            configuration,
+            readout=readout,
+            grid_resolution=grid_resolution,
+            ambient_c=ambient_c,
+            thermal_parameters=thermal_parameters,
+        )
+        self.monitor.calibrate(-50.0, 150.0)
+        self._base_power = PowerMap.from_floorplan(
+            floorplan, nx=grid_resolution, ny=grid_resolution
+        )
+        self._grid = ThermalGrid.for_power_map(self._base_power, thermal_parameters)
+
+    @property
+    def base_power_map(self) -> PowerMap:
+        """Workload power map at full speed."""
+        return self._base_power
+
+    def _sensor_readings(self, die_map: TemperatureMap) -> Dict[str, float]:
+        """Read every sensor at its local junction temperature."""
+        temperatures = {
+            site.name: die_map.sample(site.x_mm, site.y_mm)
+            for site in self.monitor.sensor_sites()
+        }
+        scan = self.monitor.multiplexer.scan(temperatures)
+        readings: Dict[str, float] = {}
+        for name, reading in scan.readings.items():
+            if reading.temperature_estimate_c is None:
+                raise TechnologyError("DTM requires calibrated sensors")
+            readings[name] = reading.temperature_estimate_c
+        return readings
+
+    def run(
+        self,
+        duration_s: float = 2.0,
+        control_interval_s: float = 0.02,
+        limit_c: float = 115.0,
+        workload_scale: float = 1.0,
+    ) -> DtmResult:
+        """Run the closed-loop simulation.
+
+        Parameters
+        ----------
+        duration_s:
+            Simulated wall-clock time.
+        control_interval_s:
+            Period of the sensor scan + policy decision (also the thermal
+            integration step).
+        limit_c:
+            Junction-temperature limit used for the reporting metrics
+            (time-above-limit); the policy thresholds live in the policy.
+        workload_scale:
+            Scaling of the workload power (for what-if studies).
+        """
+        if duration_s <= 0.0 or control_interval_s <= 0.0:
+            raise TechnologyError("duration and control interval must be positive")
+        if control_interval_s >= duration_s:
+            raise TechnologyError("control interval must be shorter than the duration")
+        if workload_scale < 0.0:
+            raise TechnologyError("workload_scale must be non-negative")
+
+        steps = int(np.ceil(duration_s / control_interval_s))
+        grid = self._grid
+        capacitance = grid.capacitance_vector
+        system = (diags(capacitance / control_interval_s) + grid.conductance_matrix).tocsc()
+        solve = factorized(system)
+
+        state_index = 0
+        rise = np.zeros(grid.nx * grid.ny)
+        trace: List[DtmTracePoint] = []
+
+        for step in range(1, steps + 1):
+            time = step * control_interval_s
+            state = self.policy.states[state_index]
+            power = self._base_power.scaled(workload_scale * state.power_scale)
+            rhs = power.values_w.reshape(-1) + capacitance / control_interval_s * rise
+            rise = solve(rhs)
+            die_map = TemperatureMap(
+                grid.width_mm,
+                grid.height_mm,
+                rise.reshape((grid.ny, grid.nx)) + self.ambient_c,
+            )
+
+            readings = self._sensor_readings(die_map)
+            hottest = max(readings.values())
+            trace.append(
+                DtmTracePoint(
+                    time_s=time,
+                    state_name=state.name,
+                    power_w=power.total_power_w(),
+                    true_peak_c=die_map.max_c(),
+                    hottest_reading_c=hottest,
+                    performance=state.performance,
+                )
+            )
+            state_index = self.policy.next_state_index(state_index, hottest)
+
+        return DtmResult(trace=tuple(trace), limit_c=limit_c, final_map=die_map)

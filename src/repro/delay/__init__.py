@@ -1,0 +1,29 @@
+"""Analytical propagation-delay models (alpha-power law + load models)."""
+
+from .alpha_power import (
+    DELAY_FIT_FACTOR,
+    DelayModelOptions,
+    DriveNetwork,
+    StackModel,
+    effective_saturation_current,
+    gate_delay,
+)
+from .load import (
+    StageLoad,
+    input_capacitance,
+    output_parasitic_capacitance,
+    wire_capacitance,
+)
+
+__all__ = [
+    "DELAY_FIT_FACTOR",
+    "DelayModelOptions",
+    "DriveNetwork",
+    "StackModel",
+    "effective_saturation_current",
+    "gate_delay",
+    "StageLoad",
+    "input_capacitance",
+    "output_parasitic_capacitance",
+    "wire_capacitance",
+]

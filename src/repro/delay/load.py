@@ -1,0 +1,75 @@
+"""Capacitive load models for standard-cell stages.
+
+The delay of a ring-oscillator stage depends on the capacitance hanging
+on its output node: the gate capacitance of the next stage's driven
+input, the driving cell's own drain (parasitic) capacitance, and a small
+amount of local wiring.  These helpers compute each contribution from
+the technology parameters so that both the analytical delay model and
+the transistor-level netlists use consistent numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tech.parameters import Technology, TechnologyError
+
+__all__ = ["input_capacitance", "output_parasitic_capacitance", "wire_capacitance", "StageLoad"]
+
+
+def input_capacitance(tech: Technology, nmos_width_um: float, pmos_width_um: float) -> float:
+    """Gate capacitance (F) presented by one input of a CMOS gate.
+
+    One input of a static CMOS gate drives exactly one NMOS and one PMOS
+    gate terminal regardless of the gate type; only the widths differ.
+    """
+    if nmos_width_um <= 0.0 or pmos_width_um <= 0.0:
+        raise TechnologyError("transistor widths must be positive")
+    return (
+        tech.nmos.gate_cap_f_per_um * nmos_width_um
+        + tech.pmos.gate_cap_f_per_um * pmos_width_um
+    )
+
+
+def output_parasitic_capacitance(
+    tech: Technology,
+    nmos_width_um: float,
+    pmos_width_um: float,
+    nmos_on_output: int = 1,
+    pmos_on_output: int = 1,
+) -> float:
+    """Drain-junction capacitance (F) loading a gate's own output node.
+
+    ``nmos_on_output`` / ``pmos_on_output`` count how many drains of each
+    polarity connect to the output (e.g. a NAND2 has 1 NMOS drain — the
+    top of the stack — and 2 PMOS drains on the output).
+    """
+    if nmos_on_output < 0 or pmos_on_output < 0:
+        raise TechnologyError("drain counts must be non-negative")
+    n_cap = (
+        tech.nmos.junction_cap_f_per_um + 2.0 * tech.nmos.overlap_cap_f_per_um
+    ) * nmos_width_um * nmos_on_output
+    p_cap = (
+        tech.pmos.junction_cap_f_per_um + 2.0 * tech.pmos.overlap_cap_f_per_um
+    ) * pmos_width_um * pmos_on_output
+    return n_cap + p_cap
+
+
+def wire_capacitance(tech: Technology, length_um: float) -> float:
+    """Local interconnect capacitance (F) for a wire of given length."""
+    if length_um < 0.0:
+        raise TechnologyError("wire length must be non-negative")
+    return tech.wire_cap_f_per_um * length_um
+
+
+@dataclass(frozen=True)
+class StageLoad:
+    """Decomposition of the load on one oscillator stage's output."""
+
+    next_stage_input_f: float
+    self_parasitic_f: float
+    wire_f: float
+
+    @property
+    def total_f(self) -> float:
+        return self.next_stage_input_f + self.self_parasitic_f + self.wire_f

@@ -1,0 +1,15 @@
+"""Device models: MOSFET (alpha-power law), thermal diode, passives."""
+
+from .mosfet import DeviceSizing, MosfetModel, MosfetOperatingPoint
+from .diode import DiodeModel, DiodeParameters
+from .passives import CapacitorSpec, ResistorSpec
+
+__all__ = [
+    "DeviceSizing",
+    "MosfetModel",
+    "MosfetOperatingPoint",
+    "DiodeModel",
+    "DiodeParameters",
+    "CapacitorSpec",
+    "ResistorSpec",
+]

@@ -1,0 +1,67 @@
+"""Passive component values with first-order temperature dependence.
+
+Resistors and capacitors appear in two places in the reproduction: as
+explicit load elements in the transistor-level simulator, and as the
+thermal-network elements of the die model (where "resistance" is
+thermal resistance in K/W and "capacitance" is heat capacity in J/K).
+Both uses share the simple linear temperature-coefficient model below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tech.parameters import TechnologyError
+
+__all__ = ["ResistorSpec", "CapacitorSpec"]
+
+
+@dataclass(frozen=True)
+class ResistorSpec:
+    """A resistor with a linear temperature coefficient.
+
+    ``value(T) = nominal * (1 + tc1 * (T - T_ref))``
+    """
+
+    nominal_ohm: float
+    tc1_per_k: float = 0.0
+    reference_temperature_k: float = 300.15
+
+    def __post_init__(self) -> None:
+        if self.nominal_ohm <= 0.0:
+            raise TechnologyError("resistance must be positive")
+
+    def value_at(self, temp_k: float) -> float:
+        """Resistance (ohm) at temperature ``temp_k``."""
+        factor = 1.0 + self.tc1_per_k * (temp_k - self.reference_temperature_k)
+        if factor <= 0.0:
+            raise TechnologyError(
+                "temperature coefficient drives the resistance non-positive"
+            )
+        return self.nominal_ohm * factor
+
+    def conductance_at(self, temp_k: float) -> float:
+        """Conductance (siemens) at temperature ``temp_k``."""
+        return 1.0 / self.value_at(temp_k)
+
+
+@dataclass(frozen=True)
+class CapacitorSpec:
+    """A capacitor with a linear temperature coefficient."""
+
+    nominal_f: float
+    tc1_per_k: float = 0.0
+    reference_temperature_k: float = 300.15
+
+    def __post_init__(self) -> None:
+        if self.nominal_f <= 0.0:
+            raise TechnologyError("capacitance must be positive")
+
+    def value_at(self, temp_k: float) -> float:
+        """Capacitance (farad) at temperature ``temp_k``."""
+        factor = 1.0 + self.tc1_per_k * (temp_k - self.reference_temperature_k)
+        if factor <= 0.0:
+            raise TechnologyError(
+                "temperature coefficient drives the capacitance non-positive"
+            )
+        return self.nominal_f * factor

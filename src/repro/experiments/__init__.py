@@ -1,0 +1,42 @@
+"""One module per paper figure / claim, plus the ablations (see DESIGN.md)."""
+
+from .fig1_waveform import Fig1Result, run_fig1
+from .fig2_sizing import Fig2Result, run_fig2
+from .fig3_cellmix import Fig3Result, run_fig3
+from .stage_count import StageCountResult, run_stage_count
+from .smart_unit import SmartUnitResult, run_smart_unit
+from .baseline_comparison import BaselineComparisonResult, run_baseline_comparison
+from .selfheating_study import SelfHeatingStudyResult, run_selfheating_study
+from .calibration_study import CalibrationStudyResult, run_calibration_study
+from .supply_sensitivity import SupplySensitivityResult, run_supply_sensitivity
+from .scaling_study import ScalingStudyResult, run_scaling_study
+from .dtm_study import DtmStudyResult, run_dtm_study
+from .runner import ExperimentRegistry, default_registry, run_all
+
+__all__ = [
+    "Fig1Result",
+    "run_fig1",
+    "Fig2Result",
+    "run_fig2",
+    "Fig3Result",
+    "run_fig3",
+    "StageCountResult",
+    "run_stage_count",
+    "SmartUnitResult",
+    "run_smart_unit",
+    "BaselineComparisonResult",
+    "run_baseline_comparison",
+    "SelfHeatingStudyResult",
+    "run_selfheating_study",
+    "CalibrationStudyResult",
+    "run_calibration_study",
+    "SupplySensitivityResult",
+    "run_supply_sensitivity",
+    "ScalingStudyResult",
+    "run_scaling_study",
+    "DtmStudyResult",
+    "run_dtm_study",
+    "ExperimentRegistry",
+    "default_registry",
+    "run_all",
+]

@@ -1,0 +1,139 @@
+"""Experiment ABL-CAL: calibration effort versus accuracy across process spread.
+
+Cell-based sensors must live with whatever the digital process gives
+them, so the absolute frequency of the ring spreads with process while
+(per the paper's argument) the linearity barely moves.  This ablation
+quantifies how much calibration effort the smart unit needs: the
+worst-case temperature error over corners and Monte-Carlo samples with
+no per-die calibration, with a one-point calibration, and with a
+two-point calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.statistics import SummaryStatistics, summarize
+from ..cells.library import default_library
+from ..core.calibration import design_calibration, one_point_calibration
+from ..core.readout import ReadoutConfig
+from ..core.sensor import SmartTemperatureSensor
+from ..oscillator.config import RingConfiguration
+from ..oscillator.period import default_temperature_grid
+from ..oscillator.ring import RingOscillator
+from ..tech.corners import corner_technologies, sample_technologies
+from ..tech.libraries import CMOS035
+from ..tech.parameters import Technology
+
+__all__ = ["CalibrationStudyResult", "run_calibration_study"]
+
+
+@dataclass(frozen=True)
+class CalibrationStudyResult:
+    """Outcome of the calibration ablation."""
+
+    technology_name: str
+    configuration_label: str
+    sample_count: int
+    errors_by_scheme: Dict[str, SummaryStatistics]
+    worst_by_scheme: Dict[str, float]
+
+    def format_table(self) -> str:
+        lines = [
+            "ABL-CAL - worst-case temperature error vs calibration scheme",
+            f"ring: {self.configuration_label}, {self.sample_count} process samples "
+            "(corners + Monte-Carlo)",
+            f"{'scheme':>12s} {'mean worst err (C)':>20s} {'max worst err (C)':>20s}",
+        ]
+        for scheme in ("design", "one-point", "two-point"):
+            stats = self.errors_by_scheme[scheme]
+            lines.append(
+                f"{scheme:>12s} {stats.mean:20.3f} {self.worst_by_scheme[scheme]:20.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _sensor_for(tech: Technology, configuration: RingConfiguration,
+                readout: ReadoutConfig) -> SmartTemperatureSensor:
+    library = default_library(tech)
+    ring = RingOscillator(library, configuration)
+    return SmartTemperatureSensor(ring, readout=readout, name=f"cal_{tech.name}")
+
+
+def run_calibration_study(
+    technology: Optional[Technology] = None,
+    configuration_text: str = "2INV+3NAND2",
+    readout: ReadoutConfig = ReadoutConfig(),
+    monte_carlo_samples: int = 12,
+    temperatures_c: Optional[Sequence[float]] = None,
+    reference_temperature_c: float = 25.0,
+    seed: int = 20250617,
+) -> CalibrationStudyResult:
+    """Run the calibration-scheme ablation.
+
+    Parameters
+    ----------
+    technology:
+        Typical technology; corners and Monte-Carlo samples are derived
+        from it.
+    configuration_text:
+        Ring configuration of the sensor.
+    readout:
+        Counter readout configuration.
+    monte_carlo_samples:
+        Number of Monte-Carlo technology samples in addition to the five
+        corners.
+    temperatures_c:
+        Evaluation sweep.
+    reference_temperature_c:
+        Insertion temperature of the one-point calibration.
+    seed:
+        RNG seed for the Monte-Carlo sampling.
+    """
+    tech = technology if technology is not None else CMOS035
+    temps = (
+        np.asarray(temperatures_c, dtype=float)
+        if temperatures_c is not None
+        else default_temperature_grid(points=17)
+    )
+    configuration = RingConfiguration.parse(configuration_text)
+
+    # Design-time (typical-process) transfer function: the shared slope
+    # source for the design and one-point schemes.
+    typical_sensor = _sensor_for(tech, configuration, readout)
+    design_transfer = typical_sensor.transfer_function(temps)
+    design_cal = design_calibration(
+        design_transfer.measured_periods_s, design_transfer.temperatures_c
+    )
+
+    samples: List[Technology] = list(corner_technologies(tech).values())
+    samples.extend(sample_technologies(tech, monte_carlo_samples, seed=seed))
+
+    worst_errors: Dict[str, List[float]] = {"design": [], "one-point": [], "two-point": []}
+    for sample in samples:
+        sensor = _sensor_for(sample, configuration, readout)
+
+        sensor.install_calibration(design_cal)
+        worst_errors["design"].append(sensor.worst_case_error_c(temps))
+
+        one_point = one_point_calibration(
+            sensor.measured_period(reference_temperature_c),
+            reference_temperature_c,
+            design_cal.slope_c_per_second,
+        )
+        sensor.install_calibration(one_point)
+        worst_errors["one-point"].append(sensor.worst_case_error_c(temps))
+
+        sensor.calibrate_two_point(float(temps[0]), float(temps[-1]))
+        worst_errors["two-point"].append(sensor.worst_case_error_c(temps))
+
+    return CalibrationStudyResult(
+        technology_name=tech.name,
+        configuration_label=configuration.label(),
+        sample_count=len(samples),
+        errors_by_scheme={k: summarize(v) for k, v in worst_errors.items()},
+        worst_by_scheme={k: float(np.max(v)) for k, v in worst_errors.items()},
+    )

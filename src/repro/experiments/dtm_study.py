@@ -1,0 +1,147 @@
+"""Experiment EXT-DTM: closed-loop thermal management driven by the sensor.
+
+The final justification for a built-in temperature sensor is the system
+it enables: dynamic thermal management.  This extension runs the
+closed-loop simulation (workload power -> die temperature -> multiplexed
+sensor readings -> throttling policy -> workload power ...) and compares
+it against the same die with no thermal management, answering the two
+questions a product team would ask: does the sensor-driven policy keep
+the junction below the limit, and how much performance does it cost?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.readout import ReadoutConfig
+from ..core.thermal_manager import DtmResult, DynamicThermalManager, ThrottlingPolicy
+from ..oscillator.config import RingConfiguration
+from ..tech.libraries import CMOS035
+from ..tech.parameters import Technology
+from ..thermal.floorplan import Floorplan
+
+__all__ = ["DtmStudyResult", "run_dtm_study"]
+
+
+@dataclass(frozen=True)
+class DtmStudyResult:
+    """Outcome of the closed-loop thermal-management experiment."""
+
+    technology_name: str
+    configuration_label: str
+    limit_c: float
+    unmanaged: DtmResult
+    managed: DtmResult
+
+    def peak_reduction_c(self) -> float:
+        """How much the policy lowers the peak junction temperature."""
+        return self.unmanaged.peak_temperature_c() - self.managed.peak_temperature_c()
+
+    def keeps_die_below_limit(self, tolerance_c: float = 2.0) -> bool:
+        """Whether the managed die stays (almost) below the limit."""
+        return self.managed.peak_temperature_c() <= self.limit_c + tolerance_c
+
+    def performance_cost(self) -> float:
+        """Fraction of performance given up by throttling (0 = none)."""
+        return 1.0 - self.managed.average_performance()
+
+    def format_summary(self) -> str:
+        lines = [
+            "EXT-DTM - sensor-driven dynamic thermal management",
+            f"  ring configuration       : {self.configuration_label}",
+            f"  junction limit            : {self.limit_c:.0f} C",
+            f"  unmanaged peak            : {self.unmanaged.peak_temperature_c():.1f} C "
+            f"({self.unmanaged.time_above_limit_s() * 1e3:.0f} ms above the limit)",
+            f"  managed peak              : {self.managed.peak_temperature_c():.1f} C "
+            f"({self.managed.time_above_limit_s() * 1e3:.0f} ms above the limit)",
+            f"  peak reduction            : {self.peak_reduction_c():.1f} C",
+            f"  throttle events           : {self.managed.throttle_events()}",
+            f"  average performance       : {self.managed.average_performance() * 100:.1f} % "
+            f"(cost {self.performance_cost() * 100:.1f} %)",
+            f"  state occupancy           : "
+            + ", ".join(
+                f"{name} {fraction * 100:.0f}%"
+                for name, fraction in self.managed.state_occupancy().items()
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def run_dtm_study(
+    technology: Optional[Technology] = None,
+    configuration_text: str = "2INV+3NAND2",
+    workload_scale: float = 1.6,
+    duration_s: float = 2.0,
+    control_interval_s: float = 0.02,
+    limit_c: float = 115.0,
+    sensor_grid: int = 3,
+    grid_resolution: int = 20,
+) -> DtmStudyResult:
+    """Run the DTM experiment: unmanaged versus sensor-managed die.
+
+    ``workload_scale`` > 1 represents a power virus / worst-case workload
+    that would push the unmanaged die past the junction limit — the case
+    thermal management exists for.
+    """
+    tech = technology if technology is not None else CMOS035
+    configuration = RingConfiguration.parse(configuration_text)
+
+    floorplan = Floorplan.example_processor()
+    floorplan.add_sensor_grid(sensor_grid, sensor_grid)
+
+    policy = ThrottlingPolicy(
+        throttle_threshold_c=limit_c - 10.0,
+        release_threshold_c=limit_c - 25.0,
+        emergency_threshold_c=limit_c + 5.0,
+    )
+    manager = DynamicThermalManager(
+        tech,
+        floorplan,
+        configuration,
+        policy=policy,
+        readout=ReadoutConfig(),
+        grid_resolution=grid_resolution,
+    )
+
+    # Unmanaged reference: same loop with a policy that never throttles.
+    class _NeverThrottle(ThrottlingPolicy):
+        def next_state_index(self, current_index: int, hottest_reading_c: float) -> int:
+            return 0
+
+    # The unmanaged reference die carries the same sensors (they only
+    # observe; the policy never throttles).
+    unmanaged_floorplan = Floorplan.example_processor()
+    unmanaged_floorplan.add_sensor_grid(sensor_grid, sensor_grid)
+    unmanaged_manager = DynamicThermalManager(
+        tech,
+        unmanaged_floorplan,
+        configuration,
+        policy=_NeverThrottle(
+            throttle_threshold_c=limit_c - 10.0,
+            release_threshold_c=limit_c - 25.0,
+            emergency_threshold_c=limit_c + 5.0,
+        ),
+        readout=ReadoutConfig(),
+        grid_resolution=grid_resolution,
+    )
+
+    managed = manager.run(
+        duration_s=duration_s,
+        control_interval_s=control_interval_s,
+        limit_c=limit_c,
+        workload_scale=workload_scale,
+    )
+    unmanaged = unmanaged_manager.run(
+        duration_s=duration_s,
+        control_interval_s=control_interval_s,
+        limit_c=limit_c,
+        workload_scale=workload_scale,
+    )
+    return DtmStudyResult(
+        technology_name=tech.name,
+        configuration_label=configuration.label(),
+        limit_c=limit_c,
+        unmanaged=unmanaged,
+        managed=managed,
+    )

@@ -1,0 +1,166 @@
+"""Run every reproduction experiment and emit a consolidated text report.
+
+``python -m repro.experiments.runner`` regenerates the data behind every
+figure and claim of the paper (and the ablations added by this
+reproduction) and prints the tables recorded in EXPERIMENTS.md.  The
+benchmark harness under ``benchmarks/`` wraps the same entry points with
+pytest-benchmark so runtimes are tracked as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..tech.libraries import CMOS035, get_technology
+from ..tech.parameters import Technology
+from .baseline_comparison import run_baseline_comparison
+from .calibration_study import run_calibration_study
+from .dtm_study import run_dtm_study
+from .fig1_waveform import run_fig1
+from .fig2_sizing import run_fig2
+from .fig3_cellmix import run_fig3
+from .scaling_study import run_scaling_study
+from .selfheating_study import run_selfheating_study
+from .smart_unit import run_smart_unit
+from .stage_count import run_stage_count
+from .supply_sensitivity import run_supply_sensitivity
+
+__all__ = ["ExperimentRegistry", "run_all", "main"]
+
+
+@dataclass(frozen=True)
+class ExperimentRegistry:
+    """Mapping of experiment ids to the callables that produce their report."""
+
+    experiments: Dict[str, Callable[[Technology], str]]
+
+    def names(self) -> List[str]:
+        return list(self.experiments)
+
+    def run(self, name: str, technology: Technology) -> str:
+        if name not in self.experiments:
+            raise KeyError(
+                f"unknown experiment {name!r}; available: {', '.join(self.experiments)}"
+            )
+        return self.experiments[name](technology)
+
+
+def _fig1_report(technology: Technology) -> str:
+    return run_fig1(technology, cycles=4.0, points_per_period=150).format_summary()
+
+
+def _fig2_report(technology: Technology) -> str:
+    return run_fig2(technology).format_table()
+
+
+def _fig3_report(technology: Technology) -> str:
+    return run_fig3(technology).format_table()
+
+
+def _stages_report(technology: Technology) -> str:
+    return run_stage_count(technology).format_table()
+
+
+def _smart_report(technology: Technology) -> str:
+    return run_smart_unit(technology).format_summary()
+
+
+def _baseline_report(technology: Technology) -> str:
+    return run_baseline_comparison(technology).format_table()
+
+
+def _selfheat_report(technology: Technology) -> str:
+    return run_selfheating_study(technology).format_table()
+
+
+def _calibration_report(technology: Technology) -> str:
+    return run_calibration_study(technology, monte_carlo_samples=8).format_table()
+
+
+def _supply_report(technology: Technology) -> str:
+    return run_supply_sensitivity(technology).format_table()
+
+
+def _scaling_report(technology: Technology) -> str:
+    return run_scaling_study(reoptimize=True).format_table()
+
+
+def _dtm_report(technology: Technology) -> str:
+    return run_dtm_study(technology, duration_s=1.0, grid_resolution=16).format_summary()
+
+
+def default_registry() -> ExperimentRegistry:
+    """The standard experiment set (ids match DESIGN.md)."""
+    return ExperimentRegistry(
+        experiments={
+            "FIG1": _fig1_report,
+            "FIG2": _fig2_report,
+            "FIG3": _fig3_report,
+            "STAGES": _stages_report,
+            "SMART": _smart_report,
+            "BASE": _baseline_report,
+            "ABL-SELFHEAT": _selfheat_report,
+            "ABL-CAL": _calibration_report,
+            "EXT-SUPPLY": _supply_report,
+            "EXT-SCALING": _scaling_report,
+            "EXT-DTM": _dtm_report,
+        }
+    )
+
+
+def run_all(
+    technology: Optional[Technology] = None,
+    only: Optional[List[str]] = None,
+    registry: Optional[ExperimentRegistry] = None,
+) -> str:
+    """Run the selected experiments and return the consolidated report."""
+    tech = technology if technology is not None else CMOS035
+    reg = registry if registry is not None else default_registry()
+    names = only if only else reg.names()
+    sections: List[str] = [
+        "Reproduction report: Smart Temperature Sensor for Thermal Testing of "
+        "Cell-Based ICs (DATE 2005)",
+        f"technology: {tech.name} (vdd={tech.vdd} V)",
+        "=" * 78,
+    ]
+    for name in names:
+        sections.append(reg.run(name, tech))
+        sections.append("-" * 78)
+    return "\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--technology",
+        default="cmos035",
+        help="technology node to evaluate (default: cmos035)",
+    )
+    parser.add_argument(
+        "--experiment",
+        action="append",
+        dest="experiments",
+        help="run only the named experiment (may be repeated)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    technology = get_technology(args.technology)
+    report = run_all(technology, only=args.experiments)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Experiment EXT-SCALING: the sensor across technology nodes.
+
+The paper's introduction motivates thermal monitoring with technology
+scaling (junction temperatures rise node over node).  This extension
+asks the follow-up question: does the *sensor itself* keep working as
+the technology scales?  It evaluates the same cell-mix sensor on the
+0.35 / 0.25 / 0.18 / 0.13 um nodes and reports sensitivity, linearity
+and the supply-scaling headroom, plus the power-density trend that
+drives the motivation in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.linearity import nonlinearity
+from ..analysis.sensitivity import sensitivity_report
+from ..cells.library import default_library
+from ..oscillator.config import RingConfiguration
+from ..oscillator.period import analytical_response, default_temperature_grid
+from ..oscillator.ring import RingOscillator
+from ..tech.libraries import CMOS013, CMOS018, CMOS025, CMOS035
+from ..tech.parameters import Technology
+from ..tech.scaling import ScalingRules, power_density_scaling_factor
+
+__all__ = ["NodePoint", "ScalingStudyResult", "run_scaling_study"]
+
+DEFAULT_NODES = (CMOS035, CMOS025, CMOS018, CMOS013)
+
+
+@dataclass(frozen=True)
+class NodePoint:
+    """Sensor figures of merit on one technology node."""
+
+    technology_name: str
+    feature_size_um: float
+    vdd: float
+    period_at_25c_s: float
+    relative_sensitivity_per_k: float
+    max_nonlinearity_percent: float
+    reoptimized_label: Optional[str] = None
+    reoptimized_nonlinearity_percent: Optional[float] = None
+
+    @property
+    def frequency_at_25c_hz(self) -> float:
+        return 1.0 / self.period_at_25c_s
+
+
+@dataclass(frozen=True)
+class ScalingStudyResult:
+    """Outcome of the technology-scaling extension experiment."""
+
+    configuration_label: str
+    points: List[NodePoint]
+    power_density_trend: float
+
+    def sensitivity_retained(self) -> float:
+        """Relative sensitivity at the smallest node over the largest node."""
+        return (
+            self.points[-1].relative_sensitivity_per_k
+            / self.points[0].relative_sensitivity_per_k
+        )
+
+    def all_nodes_usable(self, nonlinearity_limit_percent: float = 1.0) -> bool:
+        """Whether the chosen mix stays acceptably linear on every node."""
+        return all(
+            point.max_nonlinearity_percent < nonlinearity_limit_percent
+            for point in self.points
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"EXT-SCALING - sensor ({self.configuration_label}) across technology nodes",
+            f"{'node':10s} {'feature':>8s} {'VDD':>6s} {'period@25C':>12s} "
+            f"{'rel. sens.':>12s} {'max|NL|':>9s}   re-optimised mix",
+        ]
+        for point in self.points:
+            reopt = ""
+            if point.reoptimized_label is not None:
+                reopt = (
+                    f"   {point.reoptimized_label} "
+                    f"({point.reoptimized_nonlinearity_percent:.3f}%)"
+                )
+            lines.append(
+                f"{point.technology_name:10s} {point.feature_size_um:7.2f}u "
+                f"{point.vdd:6.2f} {point.period_at_25c_s * 1e12:10.1f}ps "
+                f"{point.relative_sensitivity_per_k * 100:10.3f}%/K "
+                f"{point.max_nonlinearity_percent:8.3f}%" + reopt
+            )
+        lines.append(
+            "power density trend of the constant-voltage-leaning scaling that "
+            f"motivates the paper: x{self.power_density_trend:.1f} per 2x shrink"
+        )
+        return "\n".join(lines)
+
+
+def run_scaling_study(
+    configuration_text: str = "2INV+3NAND2",
+    nodes: Sequence[Technology] = DEFAULT_NODES,
+    temperatures_c: Optional[Sequence[float]] = None,
+    reoptimize: bool = False,
+) -> ScalingStudyResult:
+    """Evaluate one ring configuration on several technology nodes.
+
+    With ``reoptimize=True`` the cell-mix search is rerun on every node,
+    showing that the paper's *method* ports across nodes even when the
+    particular mix chosen for 0.35 um does not stay optimal.
+    """
+    configuration = RingConfiguration.parse(configuration_text)
+    temps = (
+        np.asarray(temperatures_c, dtype=float)
+        if temperatures_c is not None
+        else default_temperature_grid(points=21)
+    )
+    points: List[NodePoint] = []
+    for tech in nodes:
+        library = default_library(tech)
+        ring = RingOscillator(library, configuration)
+        response = analytical_response(ring, temps)
+        reopt_label = None
+        reopt_nl = None
+        if reoptimize:
+            from ..optimize.cellmix import search_cell_mix
+
+            best = search_cell_mix(
+                library, stage_count=configuration.stage_count,
+                temperatures_c=temps, top_k=1,
+            ).best()
+            reopt_label = best.label
+            reopt_nl = best.max_abs_error_percent
+        points.append(
+            NodePoint(
+                technology_name=tech.name,
+                feature_size_um=tech.feature_size_um,
+                vdd=tech.vdd,
+                period_at_25c_s=ring.period(25.0),
+                relative_sensitivity_per_k=sensitivity_report(response).relative_sensitivity_per_k,
+                max_nonlinearity_percent=nonlinearity(response).max_abs_error_percent,
+                reoptimized_label=reopt_label,
+                reoptimized_nonlinearity_percent=reopt_nl,
+            )
+        )
+    # The generalised-scaling power-density factor for a 2x shrink with the
+    # partial voltage scaling real products used (the paper's motivation).
+    trend = power_density_scaling_factor(
+        ScalingRules(dimension_factor=2.0, voltage_factor=1.4)
+    )
+    return ScalingStudyResult(
+        configuration_label=configuration.label(),
+        points=points,
+        power_density_trend=trend,
+    )

@@ -1,0 +1,35 @@
+"""Sensor design-space optimisation: transistor sizing and cell mixes."""
+
+from .sizing import (
+    PAPER_FIG2_RATIOS,
+    SizingPoint,
+    SizingSweepResult,
+    build_sized_ring,
+    optimize_width_ratio,
+    sweep_width_ratio,
+)
+from .cellmix import (
+    DEFAULT_MIX_CELLS,
+    CellMixCandidate,
+    CellMixSearchResult,
+    enumerate_configurations,
+    evaluate_configuration,
+    greedy_cell_mix,
+    search_cell_mix,
+)
+
+__all__ = [
+    "PAPER_FIG2_RATIOS",
+    "SizingPoint",
+    "SizingSweepResult",
+    "build_sized_ring",
+    "optimize_width_ratio",
+    "sweep_width_ratio",
+    "DEFAULT_MIX_CELLS",
+    "CellMixCandidate",
+    "CellMixSearchResult",
+    "enumerate_configurations",
+    "evaluate_configuration",
+    "greedy_cell_mix",
+    "search_cell_mix",
+]

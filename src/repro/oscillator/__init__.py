@@ -1,0 +1,30 @@
+"""Ring-oscillator construction, period models and configurations."""
+
+from .config import (
+    PAPER_FIG3_CONFIGURATIONS,
+    ConfigurationError,
+    RingConfiguration,
+    paper_fig3_configurations,
+)
+from .ring import RingOscillator, RingStage
+from .period import (
+    TemperatureResponse,
+    analytical_response,
+    default_temperature_grid,
+    paper_temperature_grid,
+    simulated_response,
+)
+
+__all__ = [
+    "PAPER_FIG3_CONFIGURATIONS",
+    "ConfigurationError",
+    "RingConfiguration",
+    "paper_fig3_configurations",
+    "RingOscillator",
+    "RingStage",
+    "TemperatureResponse",
+    "analytical_response",
+    "default_temperature_grid",
+    "paper_temperature_grid",
+    "simulated_response",
+]

@@ -1,0 +1,155 @@
+"""Temperature-response helpers for ring oscillators.
+
+The sensor characteristic is the mapping ``temperature -> period``; this
+module provides the container for such a characteristic and the sweep
+functions that produce it, either analytically (fast, used by the design
+space exploration) or through transistor-level simulation (slow, used
+for validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..tech.parameters import TechnologyError
+from .ring import RingOscillator
+
+__all__ = [
+    "TemperatureResponse",
+    "default_temperature_grid",
+    "paper_temperature_grid",
+    "analytical_response",
+    "simulated_response",
+]
+
+
+def default_temperature_grid(
+    t_min_c: float = -50.0, t_max_c: float = 150.0, points: int = 41
+) -> np.ndarray:
+    """Dense uniform temperature grid over the paper's range."""
+    if points < 2:
+        raise TechnologyError("a temperature grid needs at least two points")
+    if t_max_c <= t_min_c:
+        raise TechnologyError("t_max_c must exceed t_min_c")
+    return np.linspace(t_min_c, t_max_c, points)
+
+
+def paper_temperature_grid() -> np.ndarray:
+    """The nine temperatures the paper's figures mark on the x-axis."""
+    return np.asarray([-50.0, -25.0, 0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0])
+
+
+@dataclass(frozen=True)
+class TemperatureResponse:
+    """A sampled ``temperature -> period`` characteristic.
+
+    Attributes
+    ----------
+    label:
+        Configuration label this response belongs to.
+    temperatures_c:
+        Strictly increasing temperatures (deg C).
+    periods_s:
+        Oscillation period at each temperature (seconds).
+    """
+
+    label: str
+    temperatures_c: np.ndarray
+    periods_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        temps = np.asarray(self.temperatures_c, dtype=float)
+        periods = np.asarray(self.periods_s, dtype=float)
+        if temps.ndim != 1 or periods.ndim != 1 or temps.shape != periods.shape:
+            raise TechnologyError("temperatures and periods must be matching 1-D arrays")
+        if temps.size < 3:
+            raise TechnologyError("a temperature response needs at least three points")
+        if np.any(np.diff(temps) <= 0):
+            raise TechnologyError("temperatures must be strictly increasing")
+        if np.any(periods <= 0):
+            raise TechnologyError("periods must be positive")
+        object.__setattr__(self, "temperatures_c", temps)
+        object.__setattr__(self, "periods_s", periods)
+
+    # ------------------------------------------------------------------ #
+    # derived characteristics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def frequencies_hz(self) -> np.ndarray:
+        return 1.0 / self.periods_s
+
+    def span_s(self) -> float:
+        """Full-scale period span over the temperature range."""
+        return float(self.periods_s[-1] - self.periods_s[0])
+
+    def mean_sensitivity(self) -> float:
+        """Average d(period)/dT (s/K) over the full range."""
+        return self.span_s() / float(self.temperatures_c[-1] - self.temperatures_c[0])
+
+    def relative_sensitivity(self) -> float:
+        """Average (1/period) d(period)/dT (1/K) — a size-independent figure."""
+        mid = float(np.interp(
+            0.5 * (self.temperatures_c[0] + self.temperatures_c[-1]),
+            self.temperatures_c,
+            self.periods_s,
+        ))
+        return self.mean_sensitivity() / mid
+
+    def is_monotonic(self) -> bool:
+        """Whether the period increases monotonically with temperature."""
+        return bool(np.all(np.diff(self.periods_s) > 0))
+
+    def period_at(self, temperature_c: float) -> float:
+        """Linearly interpolated period at an arbitrary temperature."""
+        temps = self.temperatures_c
+        if not temps[0] <= temperature_c <= temps[-1]:
+            raise TechnologyError(
+                f"temperature {temperature_c} C outside the response range "
+                f"[{temps[0]}, {temps[-1]}]"
+            )
+        return float(np.interp(temperature_c, temps, self.periods_s))
+
+    def subsampled(self, temperatures_c: Sequence[float]) -> "TemperatureResponse":
+        """Response restricted (by interpolation) to a coarser grid."""
+        temps = np.asarray(sorted(float(t) for t in temperatures_c))
+        periods = np.asarray([self.period_at(t) for t in temps])
+        return TemperatureResponse(self.label, temps, periods)
+
+
+def analytical_response(
+    ring: RingOscillator,
+    temperatures_c: Optional[Sequence[float]] = None,
+) -> TemperatureResponse:
+    """Temperature response computed with the analytical delay model."""
+    temps = (
+        np.asarray(temperatures_c, dtype=float)
+        if temperatures_c is not None
+        else default_temperature_grid()
+    )
+    periods = ring.period_series(temps)
+    return TemperatureResponse(ring.label(), temps, periods)
+
+
+def simulated_response(
+    ring: RingOscillator,
+    temperatures_c: Sequence[float],
+    cycles: float = 8.0,
+    points_per_period: int = 300,
+) -> TemperatureResponse:
+    """Temperature response measured with the transistor-level simulator.
+
+    Considerably slower than :func:`analytical_response`; intended for
+    validation at a handful of temperatures.
+    """
+    temps = np.asarray(sorted(float(t) for t in temperatures_c))
+    periods = np.asarray(
+        [
+            ring.simulated_period(float(t), cycles=cycles, points_per_period=points_per_period)
+            for t in temps
+        ]
+    )
+    return TemperatureResponse(ring.label(), temps, periods)

@@ -1,0 +1,276 @@
+"""Ring-oscillator model.
+
+A :class:`RingOscillator` binds a :class:`~repro.oscillator.config.RingConfiguration`
+to a :class:`~repro.cells.library.CellLibrary` and answers the two
+questions the sensor needs:
+
+* *analytically*: what is the oscillation period at a given junction
+  temperature?  (Sum of tpHL + tpLH of every stage, each stage loaded by
+  the next stage's input capacitance, its own output parasitics and a
+  short local wire.)  This backs the Fig. 2 / Fig. 3 temperature sweeps.
+* *at transistor level*: build the ring as an MNA netlist with explicit
+  load capacitors and travelling-wave initial conditions, so the
+  transient simulator can produce the start-up waveform of the paper's
+  Fig. 1 and validate the analytical period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cells.cell import CellError, StandardCell
+from ..cells.library import CellLibrary
+from ..circuit.netlist import Circuit
+from ..circuit.transient import TransientOptions, TransientResult, simulate_transient
+from ..circuit.waveform import Waveform
+from ..delay.load import wire_capacitance
+from ..tech.parameters import celsius_to_kelvin
+from .config import ConfigurationError, RingConfiguration
+
+__all__ = ["RingOscillator", "RingStage"]
+
+
+@dataclass(frozen=True)
+class RingStage:
+    """One stage of a resolved ring: the driving cell and its output load."""
+
+    index: int
+    cell: StandardCell
+    load_f: float
+
+
+class RingOscillator:
+    """A ring oscillator built from standard-library cells.
+
+    Parameters
+    ----------
+    library:
+        Cell library providing the stages.
+    configuration:
+        Ordered stage cell names.
+    wire_length_um:
+        Local wire length between consecutive stages (adds a small fixed
+        capacitance per stage).
+    external_load_f:
+        Additional capacitance on every stage output, e.g. the tap that
+        feeds the readout counter (applied to the tapped stage only if
+        ``tap_stage`` is given).
+    tap_stage:
+        Stage index whose output drives the readout logic; ``None``
+        spreads ``external_load_f`` over no stage.
+    """
+
+    def __init__(
+        self,
+        library: CellLibrary,
+        configuration: RingConfiguration,
+        wire_length_um: float = 2.0,
+        external_load_f: float = 0.0,
+        tap_stage: Optional[int] = None,
+    ) -> None:
+        self.library = library
+        self.configuration = configuration
+        self.wire_length_um = float(wire_length_um)
+        self.external_load_f = float(external_load_f)
+        if tap_stage is not None and not 0 <= tap_stage < configuration.stage_count:
+            raise ConfigurationError(
+                f"tap_stage {tap_stage} outside the ring (0..{configuration.stage_count - 1})"
+            )
+        self.tap_stage = tap_stage
+
+        self._cells: List[StandardCell] = []
+        for name in configuration.stages:
+            cell = library.get(name)
+            if not cell.topology.inverting:
+                raise ConfigurationError(
+                    f"cell {cell.name!r} is not inverting and cannot be a ring stage"
+                )
+            if cell.topology.stages != 1:
+                raise ConfigurationError(
+                    f"cell {cell.name!r} is a multi-stage cell and cannot be a ring stage"
+                )
+            self._cells.append(cell)
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stage_count(self) -> int:
+        return self.configuration.stage_count
+
+    @property
+    def technology(self):
+        return self.library.technology
+
+    def cells(self) -> List[StandardCell]:
+        """The resolved stage cells in ring order."""
+        return list(self._cells)
+
+    def stages(self) -> List[RingStage]:
+        """Stages with their resolved output loads."""
+        tech = self.technology
+        wire_f = wire_capacitance(tech, self.wire_length_um)
+        result: List[RingStage] = []
+        for index, cell in enumerate(self._cells):
+            next_cell = self._cells[(index + 1) % self.stage_count]
+            load = next_cell.input_capacitance() + wire_f
+            if self.tap_stage is not None and index == self.tap_stage:
+                load += self.external_load_f
+            result.append(RingStage(index=index, cell=cell, load_f=load))
+        return result
+
+    def transistor_count(self) -> int:
+        """Total transistors in the ring (excluding readout logic)."""
+        return sum(cell.transistor_count() for cell in self._cells)
+
+    def area_um2(self) -> float:
+        """First-order layout area of the ring."""
+        return sum(cell.area_um2() for cell in self._cells)
+
+    def label(self) -> str:
+        return self.configuration.label()
+
+    # ------------------------------------------------------------------ #
+    # analytical period
+    # ------------------------------------------------------------------ #
+
+    def period(self, temperature_c: float) -> float:
+        """Oscillation period (s) at a junction temperature.
+
+        ``T = sum_i (tpHL_i + tpLH_i)`` — the textbook ring-oscillator
+        period formula quoted in the paper's Section 2, generalised to
+        per-stage delays because the stages need not be identical.
+        """
+        total = 0.0
+        for stage in self.stages():
+            total += stage.cell.stage_delay_sum(temperature_c, stage.load_f)
+        return total
+
+    def frequency(self, temperature_c: float) -> float:
+        """Oscillation frequency (Hz) at a junction temperature."""
+        return 1.0 / self.period(temperature_c)
+
+    def period_series(self, temperatures_c: Sequence[float]) -> np.ndarray:
+        """Periods (s) over a temperature sweep."""
+        return np.asarray([self.period(float(t)) for t in temperatures_c])
+
+    def sensitivity(self, temperature_c: float, delta_c: float = 1.0) -> float:
+        """Local d(period)/dT (s/K) by central difference."""
+        upper = self.period(temperature_c + delta_c)
+        lower = self.period(temperature_c - delta_c)
+        return (upper - lower) / (2.0 * delta_c)
+
+    def dynamic_power(self, temperature_c: float, activity: float = 1.0) -> float:
+        """Dynamic power (W) dissipated by the free-running ring.
+
+        Every stage output swings rail to rail once per period, so
+        ``P = f * Vdd^2 * sum(C_stage)``; used by the self-heating study.
+        """
+        tech = self.technology
+        total_cap = sum(
+            stage.load_f + stage.cell.output_parasitic_capacitance()
+            for stage in self.stages()
+        )
+        return activity * self.frequency(temperature_c) * tech.vdd ** 2 * total_cap
+
+    # ------------------------------------------------------------------ #
+    # transistor-level simulation
+    # ------------------------------------------------------------------ #
+
+    def stage_node(self, index: int) -> str:
+        """Name of the output node of a stage in the generated netlist."""
+        if not 0 <= index < self.stage_count:
+            raise ConfigurationError(f"stage index {index} outside the ring")
+        return f"s{index}"
+
+    def build_circuit(self, temperature_c: float) -> Circuit:
+        """Build the transistor-level netlist of the ring.
+
+        Gate input capacitances and drain parasitics are added as
+        explicit lumped capacitors on every stage output (the MOSFET
+        elements model only the channel current), and travelling-wave
+        initial conditions are installed so the oscillation starts
+        immediately instead of hanging at the metastable DC point.
+        """
+        tech = self.technology
+        temp_k = celsius_to_kelvin(temperature_c)
+        vdd = tech.vdd
+        circuit = Circuit(name=f"ring_{self.label()}")
+        circuit.add_voltage_source("vdd", "gnd", vdd, name="VDD")
+
+        stages = self.stages()
+        for stage in stages:
+            input_node = self.stage_node((stage.index - 1) % self.stage_count)
+            output_node = self.stage_node(stage.index)
+            stage.cell.build_into(
+                circuit,
+                input_node,
+                output_node,
+                "vdd",
+                temp_k,
+                instance=f"u{stage.index}",
+            )
+            total_cap = stage.load_f + stage.cell.output_parasitic_capacitance()
+            circuit.add_capacitor(
+                output_node, "gnd", total_cap, name=f"CL{stage.index}"
+            )
+
+        # Travelling-wave initial condition: alternate rails around the
+        # ring and park the last node at mid-rail so one edge is already
+        # in flight at t = 0.
+        conditions: Dict[str, float] = {"vdd": vdd}
+        for index in range(self.stage_count):
+            if index == self.stage_count - 1:
+                conditions[self.stage_node(index)] = 0.5 * vdd
+            else:
+                conditions[self.stage_node(index)] = vdd if index % 2 else 0.0
+        circuit.set_initial_conditions(conditions)
+        return circuit
+
+    def simulate(
+        self,
+        temperature_c: float,
+        cycles: float = 6.0,
+        points_per_period: int = 400,
+        observe_stage: int = 0,
+    ) -> Waveform:
+        """Simulate the ring and return the waveform of one stage output.
+
+        Parameters
+        ----------
+        temperature_c:
+            Junction temperature.
+        cycles:
+            Simulated duration expressed in analytical periods.
+        points_per_period:
+            Timestep resolution (analytical period / this value).
+        observe_stage:
+            Which stage output to return.
+        """
+        if cycles <= 1.0:
+            raise ConfigurationError("simulate at least one full period")
+        analytical_period = self.period(temperature_c)
+        timestep = analytical_period / float(points_per_period)
+        duration = cycles * analytical_period
+        circuit = self.build_circuit(temperature_c)
+        options = TransientOptions(timestep=timestep, use_dc_start=False)
+        node = self.stage_node(observe_stage)
+        result = simulate_transient(circuit, duration, options, record_nodes=[node])
+        return result.waveform(node)
+
+    def simulated_period(
+        self,
+        temperature_c: float,
+        cycles: float = 8.0,
+        points_per_period: int = 400,
+    ) -> float:
+        """Oscillation period extracted from a transient simulation."""
+        waveform = self.simulate(temperature_c, cycles=cycles, points_per_period=points_per_period)
+        return waveform.period(threshold=0.5 * self.technology.vdd, skip_cycles=2)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingOscillator({self.label()!r}, {self.library.technology.name})"

@@ -1,0 +1,88 @@
+"""Technology and PVT (process/voltage/temperature) models.
+
+Public surface:
+
+* :class:`~repro.tech.parameters.Technology` and
+  :class:`~repro.tech.parameters.TransistorParameters` — parameter
+  containers.
+* :data:`~repro.tech.libraries.CMOS035` (and smaller nodes) — predefined
+  technologies; the paper's experiments use the 0.35 um node.
+* :mod:`~repro.tech.temperature` — temperature dependence of mobility,
+  threshold voltage and saturation velocity.
+* :mod:`~repro.tech.corners` — process corners and Monte-Carlo sampling.
+* :mod:`~repro.tech.scaling` — constant-field scaling helpers.
+"""
+
+from .parameters import (
+    CELSIUS_OFFSET,
+    T_NOMINAL_K,
+    Technology,
+    TechnologyError,
+    TransistorParameters,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    validate_operating_point,
+)
+from .temperature import (
+    DeviceAtTemperature,
+    alpha_at,
+    device_at,
+    device_at_celsius,
+    mobility_at,
+    saturation_velocity_at,
+    threshold_voltage_at,
+    thermal_voltage,
+)
+from .libraries import (
+    CMOS013,
+    CMOS018,
+    CMOS025,
+    CMOS035,
+    available_technologies,
+    get_technology,
+    register_technology,
+)
+from .corners import (
+    STANDARD_CORNERS,
+    CornerSpec,
+    VariationModel,
+    apply_corner,
+    corner_technologies,
+    sample_technologies,
+)
+from .scaling import ScalingRules, power_density_scaling_factor, scale_technology
+
+__all__ = [
+    "CELSIUS_OFFSET",
+    "T_NOMINAL_K",
+    "Technology",
+    "TechnologyError",
+    "TransistorParameters",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "validate_operating_point",
+    "DeviceAtTemperature",
+    "alpha_at",
+    "device_at",
+    "device_at_celsius",
+    "mobility_at",
+    "saturation_velocity_at",
+    "threshold_voltage_at",
+    "thermal_voltage",
+    "CMOS013",
+    "CMOS018",
+    "CMOS025",
+    "CMOS035",
+    "available_technologies",
+    "get_technology",
+    "register_technology",
+    "STANDARD_CORNERS",
+    "CornerSpec",
+    "VariationModel",
+    "apply_corner",
+    "corner_technologies",
+    "sample_technologies",
+    "ScalingRules",
+    "power_density_scaling_factor",
+    "scale_technology",
+]

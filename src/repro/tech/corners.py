@@ -1,0 +1,216 @@
+"""Process corners and Monte-Carlo variation of a technology.
+
+Process variation shifts the absolute oscillation frequency of the ring
+oscillator (which is why the smart sensor needs calibration) but, as the
+paper argues, affects the *linearity* only weakly.  The corner and
+Monte-Carlo machinery here feeds the calibration ablation benches.
+
+Corners follow the usual five-corner convention:
+
+======  =====================  =====================
+corner  NMOS                   PMOS
+======  =====================  =====================
+TT      typical                typical
+FF      fast (low Vth, hi mu)  fast
+SS      slow (hi Vth, low mu)  slow
+FS      fast                   slow
+SF      slow                   fast
+======  =====================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .parameters import Technology, TechnologyError, TransistorParameters
+
+__all__ = [
+    "CornerSpec",
+    "STANDARD_CORNERS",
+    "apply_corner",
+    "corner_technologies",
+    "VariationModel",
+    "sample_technologies",
+]
+
+
+@dataclass(frozen=True)
+class CornerSpec:
+    """Relative parameter shifts defining one process corner.
+
+    ``vth_shift_*`` are absolute voltage shifts (V); ``mobility_scale_*``
+    are multiplicative factors.
+    """
+
+    name: str
+    vth_shift_nmos: float
+    vth_shift_pmos: float
+    mobility_scale_nmos: float
+    mobility_scale_pmos: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: dVthN={self.vth_shift_nmos * 1e3:+.0f} mV, "
+            f"dVthP={self.vth_shift_pmos * 1e3:+.0f} mV, "
+            f"muN x{self.mobility_scale_nmos:.2f}, "
+            f"muP x{self.mobility_scale_pmos:.2f}"
+        )
+
+
+STANDARD_CORNERS: Dict[str, CornerSpec] = {
+    "TT": CornerSpec("TT", 0.0, 0.0, 1.0, 1.0),
+    "FF": CornerSpec("FF", -0.05, -0.05, 1.08, 1.08),
+    "SS": CornerSpec("SS", +0.05, +0.05, 0.92, 0.92),
+    "FS": CornerSpec("FS", -0.05, +0.05, 1.08, 0.92),
+    "SF": CornerSpec("SF", +0.05, -0.05, 0.92, 1.08),
+}
+
+
+def _shift_device(
+    params: TransistorParameters, vth_shift: float, mobility_scale: float
+) -> TransistorParameters:
+    new_vth = params.vth0 + vth_shift
+    if new_vth <= 0.0:
+        raise TechnologyError(
+            f"corner shift {vth_shift} V drives vth0 of {params.polarity} negative"
+        )
+    return params.scaled(vth0=new_vth, mobility=params.mobility * mobility_scale)
+
+
+def apply_corner(tech: Technology, corner: CornerSpec) -> Technology:
+    """Return a copy of ``tech`` shifted to the given corner.
+
+    The corner name is appended to the technology name so that results
+    keyed by technology remain unambiguous.
+    """
+    nmos = _shift_device(tech.nmos, corner.vth_shift_nmos, corner.mobility_scale_nmos)
+    pmos = _shift_device(tech.pmos, corner.vth_shift_pmos, corner.mobility_scale_pmos)
+    shifted = tech.with_transistors(nmos=nmos, pmos=pmos)
+    return Technology(
+        name=f"{tech.name}_{corner.name.lower()}",
+        feature_size_um=shifted.feature_size_um,
+        vdd=shifted.vdd,
+        nmos=shifted.nmos,
+        pmos=shifted.pmos,
+        wire_cap_f_per_um=shifted.wire_cap_f_per_um,
+        min_width_um=shifted.min_width_um,
+        metal_layers=shifted.metal_layers,
+        extra=dict(shifted.extra),
+    )
+
+
+def corner_technologies(
+    tech: Technology, corners: Optional[Sequence[str]] = None
+) -> Dict[str, Technology]:
+    """Generate corner variants of a technology.
+
+    Parameters
+    ----------
+    tech:
+        The typical (TT) technology.
+    corners:
+        Corner names to generate; all five standard corners by default.
+    """
+    names = list(corners) if corners is not None else list(STANDARD_CORNERS)
+    result: Dict[str, Technology] = {}
+    for name in names:
+        try:
+            spec = STANDARD_CORNERS[name.upper()]
+        except KeyError as exc:
+            raise TechnologyError(f"unknown corner {name!r}") from exc
+        result[spec.name] = apply_corner(tech, spec)
+    return result
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Gaussian process-variation model for Monte-Carlo sampling.
+
+    Sigmas are one-standard-deviation values; threshold variation is
+    absolute (volts), mobility and oxide-capacitance variation are
+    relative.
+    """
+
+    vth_sigma: float = 0.02
+    mobility_sigma_rel: float = 0.03
+    cox_sigma_rel: float = 0.02
+    correlated_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.correlated_fraction <= 1.0:
+            raise TechnologyError("correlated_fraction must lie in [0, 1]")
+        if self.vth_sigma < 0 or self.mobility_sigma_rel < 0 or self.cox_sigma_rel < 0:
+            raise TechnologyError("variation sigmas must be non-negative")
+
+
+def sample_technologies(
+    tech: Technology,
+    count: int,
+    model: Optional[VariationModel] = None,
+    seed: Optional[int] = None,
+) -> List[Technology]:
+    """Draw Monte-Carlo samples of a technology.
+
+    A fraction of the variation (``correlated_fraction``) is shared
+    between NMOS and PMOS (die-to-die component), the remainder is
+    independent per device type (within-die component).  This mirrors
+    how real inter-/intra-die variation splits and matters for the
+    calibration study: fully correlated variation is removed by a
+    one-point calibration, uncorrelated variation is not.
+    """
+    if count <= 0:
+        raise TechnologyError("count must be positive")
+    model = model or VariationModel()
+    rng = np.random.default_rng(seed)
+    rho = model.correlated_fraction
+    samples: List[Technology] = []
+    for index in range(count):
+        shared = rng.standard_normal(3)
+        local_n = rng.standard_normal(3)
+        local_p = rng.standard_normal(3)
+        mix_n = np.sqrt(rho) * shared + np.sqrt(1.0 - rho) * local_n
+        mix_p = np.sqrt(rho) * shared + np.sqrt(1.0 - rho) * local_p
+
+        def _vary(params: TransistorParameters, mix: np.ndarray) -> TransistorParameters:
+            vth = params.vth0 + model.vth_sigma * float(mix[0])
+            mobility = params.mobility * (1.0 + model.mobility_sigma_rel * float(mix[1]))
+            cox = params.cox_f_per_um2 * (1.0 + model.cox_sigma_rel * float(mix[2]))
+            vth = max(vth, 0.05)
+            mobility = max(mobility, 1.0)
+            cox = max(cox, 1e-16)
+            return params.scaled(vth0=vth, mobility=mobility, cox_f_per_um2=cox)
+
+        varied = tech.with_transistors(
+            nmos=_vary(tech.nmos, mix_n), pmos=_vary(tech.pmos, mix_p)
+        )
+        samples.append(
+            Technology(
+                name=f"{tech.name}_mc{index:04d}",
+                feature_size_um=varied.feature_size_um,
+                vdd=varied.vdd,
+                nmos=varied.nmos,
+                pmos=varied.pmos,
+                wire_cap_f_per_um=varied.wire_cap_f_per_um,
+                min_width_um=varied.min_width_um,
+                metal_layers=varied.metal_layers,
+                extra=dict(varied.extra),
+            )
+        )
+    return samples
+
+
+def iter_corner_and_samples(
+    tech: Technology,
+    monte_carlo_count: int = 0,
+    seed: Optional[int] = None,
+) -> Iterator[Technology]:
+    """Yield the TT technology, all corners and optional MC samples."""
+    yield tech
+    for corner_tech in corner_technologies(tech).values():
+        yield corner_tech
+    if monte_carlo_count:
+        for sample in sample_technologies(tech, monte_carlo_count, seed=seed):
+            yield sample

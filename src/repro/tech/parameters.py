@@ -1,0 +1,302 @@
+"""Technology parameter containers.
+
+The paper evaluates its sensor in a 0.35 um-class CMOS technology.  A
+"technology" here is the set of electrical parameters needed by the
+device models (:mod:`repro.devices`), the analytical delay models
+(:mod:`repro.delay`) and the cell library (:mod:`repro.cells`):
+
+* nominal supply voltage,
+* per-device-type (NMOS / PMOS) threshold voltage, mobility-derived
+  transconductance, velocity-saturation index (the Sakurai--Newton
+  *alpha*), channel length, gate-oxide capacitance, junction and overlap
+  capacitances,
+* and the temperature coefficients of the threshold voltage, the carrier
+  mobility and the saturation velocity.
+
+Only plain dataclasses live here; the physics that turns these numbers
+into temperature-dependent device behaviour is in
+:mod:`repro.tech.temperature` and :mod:`repro.devices.mosfet`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Reference temperature (kelvin) at which nominal parameters are quoted.
+T_NOMINAL_K = 300.15
+
+#: Absolute-zero offset used throughout the package to convert between
+#: degrees Celsius (the unit used by the paper's figures) and kelvin
+#: (the unit used by the physical models).
+CELSIUS_OFFSET = 273.15
+
+#: Boltzmann constant over electron charge (volts per kelvin); used by the
+#: diode baseline sensor and by subthreshold terms.
+K_B_OVER_Q = 8.617333262e-5
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    return float(temp_c) + CELSIUS_OFFSET
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from kelvin to degrees Celsius."""
+    return float(temp_k) - CELSIUS_OFFSET
+
+
+class TechnologyError(ValueError):
+    """Raised when a technology description is inconsistent or unphysical."""
+
+
+@dataclass(frozen=True)
+class TransistorParameters:
+    """Electrical parameters of one MOSFET type (NMOS or PMOS).
+
+    All values are quoted at the reference temperature ``T_NOMINAL_K``
+    and for the *drawn* channel length of the technology.  Sign
+    conventions follow the usual "magnitude" style: threshold voltages
+    are positive numbers for both device polarities, and the device
+    model applies the polarity.
+
+    Attributes
+    ----------
+    polarity:
+        ``"nmos"`` or ``"pmos"``.
+    vth0:
+        Zero-bias threshold-voltage magnitude (V) at the reference
+        temperature.
+    mobility:
+        Effective channel mobility (cm^2 / V / s) at the reference
+        temperature.
+    alpha:
+        Sakurai--Newton velocity-saturation index.  ``alpha = 2`` is the
+        long-channel square law, ``alpha -> 1`` is fully
+        velocity-saturated.
+    channel_length_um:
+        Effective channel length (micrometres).
+    cox_f_per_um2:
+        Gate-oxide capacitance per unit area (F / um^2).
+    vsat_cm_per_s:
+        Carrier saturation velocity (cm / s) at the reference
+        temperature.
+    vth_temp_coeff:
+        Threshold-voltage temperature coefficient (V / K).  The
+        threshold-voltage *magnitude* decreases by this amount per
+        kelvin of temperature increase.
+    mobility_temp_exponent:
+        Exponent ``m`` of the mobility power law
+        ``mu(T) = mu(T0) * (T / T0) ** -m``.
+    vsat_temp_coeff:
+        Fractional decrease of the saturation velocity per kelvin.
+    alpha_temp_coeff:
+        First-order temperature drift of the velocity-saturation index
+        (1 / K); usually very small and positive (devices become less
+        velocity saturated as drive current drops).
+    body_effect_gamma:
+        Body-effect coefficient (V^0.5) used for stacked transistors.
+    subthreshold_slope_mv_per_dec:
+        Subthreshold swing in mV/decade at the reference temperature;
+        only used by leakage estimates.
+    junction_cap_f_per_um:
+        Drain/source junction capacitance per micron of device width
+        (F / um), used for self-loading (parasitic output capacitance).
+    overlap_cap_f_per_um:
+        Gate-drain/source overlap capacitance per micron of width
+        (F / um), counted on both the input capacitance and (Miller
+        doubled) on the output.
+    """
+
+    polarity: str
+    vth0: float
+    mobility: float
+    alpha: float
+    channel_length_um: float
+    cox_f_per_um2: float
+    vsat_cm_per_s: float
+    vth_temp_coeff: float
+    mobility_temp_exponent: float
+    vsat_temp_coeff: float = 1.0e-4
+    alpha_temp_coeff: float = 0.0
+    body_effect_gamma: float = 0.4
+    subthreshold_slope_mv_per_dec: float = 85.0
+    junction_cap_f_per_um: float = 1.0e-15
+    overlap_cap_f_per_um: float = 0.35e-15
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise TechnologyError(
+                f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}"
+            )
+        if self.vth0 <= 0.0:
+            raise TechnologyError("vth0 must be a positive magnitude")
+        if self.mobility <= 0.0:
+            raise TechnologyError("mobility must be positive")
+        if not 1.0 <= self.alpha <= 2.0:
+            raise TechnologyError(
+                f"alpha must lie in [1, 2] (velocity saturated .. square law), "
+                f"got {self.alpha}"
+            )
+        if self.channel_length_um <= 0.0:
+            raise TechnologyError("channel_length_um must be positive")
+        if self.cox_f_per_um2 <= 0.0:
+            raise TechnologyError("cox_f_per_um2 must be positive")
+        if self.vsat_cm_per_s <= 0.0:
+            raise TechnologyError("vsat_cm_per_s must be positive")
+        if self.mobility_temp_exponent < 0.0:
+            raise TechnologyError("mobility_temp_exponent must be >= 0")
+        if self.vth_temp_coeff < 0.0:
+            raise TechnologyError(
+                "vth_temp_coeff is the magnitude of dVth/dT and must be >= 0"
+            )
+
+    @property
+    def gate_cap_f_per_um(self) -> float:
+        """Gate capacitance per micron of width (F / um).
+
+        ``Cox * L`` plus the overlap contribution of source and drain.
+        """
+        return (
+            self.cox_f_per_um2 * self.channel_length_um
+            + 2.0 * self.overlap_cap_f_per_um
+        )
+
+    @property
+    def process_transconductance(self) -> float:
+        """``k' = mu * Cox`` in A / V^2 for a square device (W = L).
+
+        Mobility is converted from cm^2/V/s to um^2/V/s so that the
+        result is consistent with widths and lengths in micrometres and
+        capacitances in F/um^2.
+        """
+        mobility_um2 = self.mobility * 1.0e8  # cm^2 -> um^2
+        return mobility_um2 * self.cox_f_per_um2
+
+    def scaled(self, **overrides: float) -> "TransistorParameters":
+        """Return a copy with selected fields replaced.
+
+        Used by process-corner generation and Monte-Carlo sampling.
+        """
+        return dataclasses.replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A complete CMOS technology description.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"cmos035"``).
+    feature_size_um:
+        Drawn feature size in micrometres (0.35 for the paper's node).
+    vdd:
+        Nominal supply voltage (V).
+    nmos / pmos:
+        Per-polarity transistor parameters.
+    wire_cap_f_per_um:
+        Local interconnect capacitance per micron of wire (F / um); the
+        ring oscillator stages are abutted so this only adds a small
+        constant per stage.
+    min_width_um:
+        Minimum drawn transistor width.
+    metal_layers:
+        Number of routing layers (informational; used by the floorplan
+        area model).
+    """
+
+    name: str
+    feature_size_um: float
+    vdd: float
+    nmos: TransistorParameters
+    pmos: TransistorParameters
+    wire_cap_f_per_um: float = 0.2e-15
+    min_width_um: float = 0.5
+    metal_layers: int = 4
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.feature_size_um <= 0.0:
+            raise TechnologyError("feature_size_um must be positive")
+        if self.vdd <= 0.0:
+            raise TechnologyError("vdd must be positive")
+        if self.nmos.polarity != "nmos":
+            raise TechnologyError("nmos parameters must have polarity 'nmos'")
+        if self.pmos.polarity != "pmos":
+            raise TechnologyError("pmos parameters must have polarity 'pmos'")
+        if self.vdd <= max(self.nmos.vth0, self.pmos.vth0):
+            raise TechnologyError(
+                "vdd must exceed both threshold voltages for the gates to switch"
+            )
+
+    def transistor(self, polarity: str) -> TransistorParameters:
+        """Return the parameter block for ``"nmos"`` or ``"pmos"``."""
+        if polarity == "nmos":
+            return self.nmos
+        if polarity == "pmos":
+            return self.pmos
+        raise TechnologyError(f"unknown polarity {polarity!r}")
+
+    @property
+    def nominal_temperature_k(self) -> float:
+        """Reference temperature at which the parameters are quoted."""
+        return T_NOMINAL_K
+
+    def with_supply(self, vdd: float) -> "Technology":
+        """Return a copy of the technology operated at a different supply."""
+        return dataclasses.replace(self, vdd=vdd)
+
+    def with_transistors(
+        self,
+        nmos: Optional[TransistorParameters] = None,
+        pmos: Optional[TransistorParameters] = None,
+    ) -> "Technology":
+        """Return a copy with one or both transistor blocks replaced."""
+        return dataclasses.replace(
+            self,
+            nmos=nmos if nmos is not None else self.nmos,
+            pmos=pmos if pmos is not None else self.pmos,
+        )
+
+    def beta_ratio(self) -> float:
+        """Mobility ratio ``mu_n / mu_p`` at the reference temperature.
+
+        This is the classic rule-of-thumb value for the PMOS/NMOS width
+        ratio that equalises rise and fall drive strength.
+        """
+        return self.nmos.mobility / self.pmos.mobility
+
+    def thermal_design_range_c(self) -> tuple:
+        """Temperature range (deg C) over which the sensor is characterised.
+
+        The paper sweeps -50 C to 150 C; stored in ``extra`` so corners
+        and scaled nodes can override it.
+        """
+        low = self.extra.get("t_min_c", -50.0)
+        high = self.extra.get("t_max_c", 150.0)
+        return (low, high)
+
+
+def validate_operating_point(tech: Technology, temperature_c: float) -> None:
+    """Raise :class:`TechnologyError` if a temperature is outside sane limits.
+
+    The physical models remain well defined slightly outside the military
+    range, but far outside it (e.g. below 0 K) the power-law mobility
+    model diverges, so we guard against obviously wrong inputs.
+    """
+    temp_k = celsius_to_kelvin(temperature_c)
+    if temp_k <= 50.0:
+        raise TechnologyError(
+            f"temperature {temperature_c} C ({temp_k:.1f} K) is below the "
+            "validity range of the mobility model"
+        )
+    if temp_k >= 600.0:
+        raise TechnologyError(
+            f"temperature {temperature_c} C ({temp_k:.1f} K) is above the "
+            "validity range of the device models"
+        )
+    if math.isnan(temp_k):
+        raise TechnologyError("temperature must not be NaN")

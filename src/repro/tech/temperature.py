@@ -1,0 +1,167 @@
+"""Temperature dependence of the MOSFET small-set parameters.
+
+The ring-oscillator temperature sensor works because the propagation
+delay of a CMOS gate varies with the junction temperature.  Three
+physical mechanisms drive that variation and are modelled here:
+
+``mobility``
+    Lattice scattering reduces the carrier mobility as temperature
+    rises, following the usual power law
+    ``mu(T) = mu(T0) * (T / T0) ** -m`` with ``m`` between roughly 1.2
+    and 2.0.  Lower mobility means less drive current and longer delay.
+
+``threshold voltage``
+    The threshold-voltage magnitude decreases roughly linearly with
+    temperature (0.5 mV/K to 2.5 mV/K).  A lower threshold means more
+    overdrive, more current and *shorter* delay, partially cancelling
+    the mobility term.  The balance between the two effects determines
+    both the sensitivity and the curvature (non-linearity) of the
+    delay-versus-temperature characteristic, which is exactly the
+    degree of freedom the paper exploits.
+
+``saturation velocity``
+    Decreases weakly and approximately linearly with temperature.
+
+All functions take the temperature in kelvin; helpers working in
+Celsius live next to the experiment code, because the paper quotes its
+sweep in Celsius.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .parameters import (
+    T_NOMINAL_K,
+    TechnologyError,
+    TransistorParameters,
+    celsius_to_kelvin,
+)
+
+__all__ = [
+    "mobility_at",
+    "threshold_voltage_at",
+    "saturation_velocity_at",
+    "alpha_at",
+    "thermal_voltage",
+    "DeviceAtTemperature",
+    "device_at",
+]
+
+
+def _check_temperature(temp_k: float) -> float:
+    temp_k = float(temp_k)
+    if not temp_k > 0.0 or math.isnan(temp_k):
+        raise TechnologyError(f"temperature must be positive kelvin, got {temp_k}")
+    return temp_k
+
+
+def mobility_at(params: TransistorParameters, temp_k: float) -> float:
+    """Carrier mobility (cm^2/V/s) at temperature ``temp_k``.
+
+    Power-law lattice-scattering model referenced to ``T_NOMINAL_K``.
+    """
+    temp_k = _check_temperature(temp_k)
+    ratio = temp_k / T_NOMINAL_K
+    return params.mobility * ratio ** (-params.mobility_temp_exponent)
+
+
+def threshold_voltage_at(params: TransistorParameters, temp_k: float) -> float:
+    """Threshold-voltage magnitude (V) at temperature ``temp_k``.
+
+    Linear model ``Vth(T) = Vth0 - k_vt * (T - T0)``.  The result is
+    clamped at a small positive floor: far above the design range the
+    linear extrapolation would otherwise make the device a depletion
+    transistor, which the rest of the models do not support.
+    """
+    temp_k = _check_temperature(temp_k)
+    vth = params.vth0 - params.vth_temp_coeff * (temp_k - T_NOMINAL_K)
+    return max(vth, 0.05)
+
+
+def saturation_velocity_at(params: TransistorParameters, temp_k: float) -> float:
+    """Saturation velocity (cm/s) at temperature ``temp_k``."""
+    temp_k = _check_temperature(temp_k)
+    factor = 1.0 - params.vsat_temp_coeff * (temp_k - T_NOMINAL_K)
+    return params.vsat_cm_per_s * max(factor, 0.1)
+
+
+def alpha_at(params: TransistorParameters, temp_k: float) -> float:
+    """Velocity-saturation index at temperature ``temp_k``.
+
+    The drift with temperature is small; the result is clamped to the
+    physically meaningful interval [1, 2].
+    """
+    temp_k = _check_temperature(temp_k)
+    alpha = params.alpha + params.alpha_temp_coeff * (temp_k - T_NOMINAL_K)
+    return min(2.0, max(1.0, alpha))
+
+
+def thermal_voltage(temp_k: float) -> float:
+    """Thermal voltage ``kT/q`` in volts."""
+    temp_k = _check_temperature(temp_k)
+    return 8.617333262e-5 * temp_k
+
+
+@dataclass(frozen=True)
+class DeviceAtTemperature:
+    """Snapshot of the temperature-dependent parameters of one device type.
+
+    Produced by :func:`device_at` and consumed by the device models and
+    the analytical delay model, so that the temperature dependence is
+    computed in exactly one place.
+    """
+
+    polarity: str
+    temperature_k: float
+    vth: float
+    mobility: float
+    alpha: float
+    vsat_cm_per_s: float
+    process_transconductance: float
+    gate_cap_f_per_um: float
+    junction_cap_f_per_um: float
+    overlap_cap_f_per_um: float
+    body_effect_gamma: float
+    channel_length_um: float
+
+    @property
+    def temperature_c(self) -> float:
+        return self.temperature_k - 273.15
+
+
+def device_at(params: TransistorParameters, temp_k: float) -> DeviceAtTemperature:
+    """Evaluate all temperature-dependent parameters of a device type.
+
+    Parameters
+    ----------
+    params:
+        Nominal transistor parameters.
+    temp_k:
+        Junction temperature in kelvin.
+    """
+    temp_k = _check_temperature(temp_k)
+    mobility = mobility_at(params, temp_k)
+    mobility_um2 = mobility * 1.0e8
+    return DeviceAtTemperature(
+        polarity=params.polarity,
+        temperature_k=temp_k,
+        vth=threshold_voltage_at(params, temp_k),
+        mobility=mobility,
+        alpha=alpha_at(params, temp_k),
+        vsat_cm_per_s=saturation_velocity_at(params, temp_k),
+        process_transconductance=mobility_um2 * params.cox_f_per_um2,
+        gate_cap_f_per_um=params.gate_cap_f_per_um,
+        junction_cap_f_per_um=params.junction_cap_f_per_um,
+        overlap_cap_f_per_um=params.overlap_cap_f_per_um,
+        body_effect_gamma=params.body_effect_gamma,
+        channel_length_um=params.channel_length_um,
+    )
+
+
+def device_at_celsius(
+    params: TransistorParameters, temp_c: float
+) -> DeviceAtTemperature:
+    """Convenience wrapper of :func:`device_at` taking degrees Celsius."""
+    return device_at(params, celsius_to_kelvin(temp_c))

@@ -1,0 +1,274 @@
+"""Equivalent RC network of the die (compact thermal model).
+
+The junction temperature the ring-oscillator sensor reads is set by the
+power map and the die's heat-spreading behaviour.  The standard compact
+model — the thermal analogue of an electrical RC network — is used:
+
+* the die is discretised into the same grid as the power map,
+* each cell has a *vertical* thermal conductance to the ambient
+  (representing the die, die-attach, package and heatsink path),
+* adjacent cells are connected by *lateral* conductances through the
+  silicon, which is what spreads hotspots, and
+* each cell has a heat capacity, giving the transient time constants
+  needed by the self-heating and duty-cycling studies.
+
+The defaults correspond to a package with a forced-air heatsink
+(junction-to-ambient around 4 K/W for an 8x8 mm die), representative of
+the 10-15 W processors of the 0.35 um era the paper targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..tech.parameters import TechnologyError
+from .power import PowerMap
+
+__all__ = ["ThermalGridParameters", "ThermalGrid", "TemperatureMap"]
+
+
+@dataclass(frozen=True)
+class ThermalGridParameters:
+    """Physical parameters of the compact thermal model.
+
+    Attributes
+    ----------
+    die_thickness_mm:
+        Silicon thickness available for lateral spreading.
+    silicon_conductivity_w_per_mk:
+        Thermal conductivity of silicon (~150 W/m/K at room temperature).
+    package_resistance_k_mm2_per_w:
+        Area-specific junction-to-ambient resistance.  The whole-die
+        junction-to-ambient resistance is this value divided by the die
+        area; 250 K.mm^2/W over an 8x8 mm die gives ~3.9 K/W, typical for
+        a forced-air heatsink on a 10-15 W processor of the 0.35 um era.
+    volumetric_heat_capacity_j_per_mm3k:
+        Volumetric heat capacity of silicon (1.63e-3 J/mm^3/K).
+    """
+
+    die_thickness_mm: float = 0.5
+    silicon_conductivity_w_per_mk: float = 150.0
+    package_resistance_k_mm2_per_w: float = 250.0
+    volumetric_heat_capacity_j_per_mm3k: float = 1.63e-3
+
+    def __post_init__(self) -> None:
+        if self.die_thickness_mm <= 0.0:
+            raise TechnologyError("die thickness must be positive")
+        if self.silicon_conductivity_w_per_mk <= 0.0:
+            raise TechnologyError("silicon conductivity must be positive")
+        if self.package_resistance_k_mm2_per_w <= 0.0:
+            raise TechnologyError("package resistance must be positive")
+        if self.volumetric_heat_capacity_j_per_mm3k <= 0.0:
+            raise TechnologyError("heat capacity must be positive")
+
+
+@dataclass(frozen=True)
+class TemperatureMap:
+    """Temperatures (deg C) on the thermal grid."""
+
+    width_mm: float
+    height_mm: float
+    values_c: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values_c, dtype=float)
+        if values.ndim != 2:
+            raise TechnologyError("temperature map must be two-dimensional")
+        object.__setattr__(self, "values_c", values)
+
+    @property
+    def nx(self) -> int:
+        return int(self.values_c.shape[1])
+
+    @property
+    def ny(self) -> int:
+        return int(self.values_c.shape[0])
+
+    def max_c(self) -> float:
+        return float(np.max(self.values_c))
+
+    def min_c(self) -> float:
+        return float(np.min(self.values_c))
+
+    def mean_c(self) -> float:
+        return float(np.mean(self.values_c))
+
+    def gradient_c(self) -> float:
+        """Largest on-die temperature difference."""
+        return self.max_c() - self.min_c()
+
+    def sample(self, x_mm: float, y_mm: float) -> float:
+        """Bilinearly interpolated temperature at a point on the die."""
+        if not (0.0 <= x_mm <= self.width_mm and 0.0 <= y_mm <= self.height_mm):
+            raise TechnologyError(f"point ({x_mm}, {y_mm}) mm lies outside the die")
+        cell_w = self.width_mm / self.nx
+        cell_h = self.height_mm / self.ny
+        # Continuous cell-centre coordinates.
+        fx = x_mm / cell_w - 0.5
+        fy = y_mm / cell_h - 0.5
+        x0 = int(np.clip(np.floor(fx), 0, self.nx - 2))
+        y0 = int(np.clip(np.floor(fy), 0, self.ny - 2))
+        tx = float(np.clip(fx - x0, 0.0, 1.0))
+        ty = float(np.clip(fy - y0, 0.0, 1.0))
+        v00 = self.values_c[y0, x0]
+        v01 = self.values_c[y0, x0 + 1]
+        v10 = self.values_c[y0 + 1, x0]
+        v11 = self.values_c[y0 + 1, x0 + 1]
+        return float(
+            v00 * (1 - tx) * (1 - ty)
+            + v01 * tx * (1 - ty)
+            + v10 * (1 - tx) * ty
+            + v11 * tx * ty
+        )
+
+    def hotspot_location(self) -> Tuple[float, float]:
+        """(x, y) millimetre coordinates of the hottest cell centre."""
+        row, column = np.unravel_index(int(np.argmax(self.values_c)), self.values_c.shape)
+        cell_w = self.width_mm / self.nx
+        cell_h = self.height_mm / self.ny
+        return ((column + 0.5) * cell_w, (row + 0.5) * cell_h)
+
+
+class ThermalGrid:
+    """Discretised thermal RC network matching a power map's grid.
+
+    Parameters
+    ----------
+    width_mm / height_mm:
+        Die dimensions.
+    nx / ny:
+        Grid resolution (must match the power maps used with it).
+    parameters:
+        Physical parameters of the compact model.
+    """
+
+    def __init__(
+        self,
+        width_mm: float,
+        height_mm: float,
+        nx: int,
+        ny: int,
+        parameters: ThermalGridParameters = ThermalGridParameters(),
+    ) -> None:
+        if nx < 2 or ny < 2:
+            raise TechnologyError("thermal grid needs at least a 2x2 resolution")
+        if width_mm <= 0.0 or height_mm <= 0.0:
+            raise TechnologyError("die dimensions must be positive")
+        self.width_mm = float(width_mm)
+        self.height_mm = float(height_mm)
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.parameters = parameters
+        self._conductance = self._build_conductance_matrix()
+        self._capacitance = self._build_capacitance_vector()
+
+    @classmethod
+    def for_power_map(
+        cls, power: PowerMap, parameters: ThermalGridParameters = ThermalGridParameters()
+    ) -> "ThermalGrid":
+        """Build a grid matching a power map's geometry and resolution."""
+        return cls(power.width_mm, power.height_mm, power.nx, power.ny, parameters)
+
+    # ------------------------------------------------------------------ #
+    # matrix construction
+    # ------------------------------------------------------------------ #
+
+    def _index(self, column: int, row: int) -> int:
+        return row * self.nx + column
+
+    @property
+    def cell_width_mm(self) -> float:
+        return self.width_mm / self.nx
+
+    @property
+    def cell_height_mm(self) -> float:
+        return self.height_mm / self.ny
+
+    @property
+    def cell_area_mm2(self) -> float:
+        return self.cell_width_mm * self.cell_height_mm
+
+    def vertical_conductance_w_per_k(self) -> float:
+        """Cell-to-ambient conductance through the package path."""
+        return self.cell_area_mm2 / self.parameters.package_resistance_k_mm2_per_w
+
+    def lateral_conductance_w_per_k(self, horizontal: bool) -> float:
+        """Cell-to-neighbour conductance through the silicon."""
+        k_si = self.parameters.silicon_conductivity_w_per_mk / 1000.0  # W/mm/K
+        thickness = self.parameters.die_thickness_mm
+        if horizontal:
+            cross_section = self.cell_height_mm * thickness
+            length = self.cell_width_mm
+        else:
+            cross_section = self.cell_width_mm * thickness
+            length = self.cell_height_mm
+        return k_si * cross_section / length
+
+    def cell_heat_capacity_j_per_k(self) -> float:
+        """Heat capacity of one grid cell."""
+        volume = self.cell_area_mm2 * self.parameters.die_thickness_mm
+        return volume * self.parameters.volumetric_heat_capacity_j_per_mm3k
+
+    def _build_conductance_matrix(self) -> sparse.csr_matrix:
+        size = self.nx * self.ny
+        g_vertical = self.vertical_conductance_w_per_k()
+        g_h = self.lateral_conductance_w_per_k(horizontal=True)
+        g_v = self.lateral_conductance_w_per_k(horizontal=False)
+        matrix = sparse.lil_matrix((size, size))
+        for row in range(self.ny):
+            for column in range(self.nx):
+                index = self._index(column, row)
+                matrix[index, index] += g_vertical
+                if column + 1 < self.nx:
+                    neighbour = self._index(column + 1, row)
+                    matrix[index, index] += g_h
+                    matrix[neighbour, neighbour] += g_h
+                    matrix[index, neighbour] -= g_h
+                    matrix[neighbour, index] -= g_h
+                if row + 1 < self.ny:
+                    neighbour = self._index(column, row + 1)
+                    matrix[index, index] += g_v
+                    matrix[neighbour, neighbour] += g_v
+                    matrix[index, neighbour] -= g_v
+                    matrix[neighbour, index] -= g_v
+        return matrix.tocsr()
+
+    def _build_capacitance_vector(self) -> np.ndarray:
+        return np.full(self.nx * self.ny, self.cell_heat_capacity_j_per_k())
+
+    # ------------------------------------------------------------------ #
+    # access used by the solver
+    # ------------------------------------------------------------------ #
+
+    @property
+    def conductance_matrix(self) -> sparse.csr_matrix:
+        """Sparse conductance matrix G such that ``G * dT = P``."""
+        return self._conductance
+
+    @property
+    def capacitance_vector(self) -> np.ndarray:
+        """Per-cell heat capacities (J/K)."""
+        return self._capacitance
+
+    def junction_to_ambient_resistance_k_per_w(self) -> float:
+        """Effective whole-die junction-to-ambient resistance.
+
+        Computed for uniform power injection; a quick sanity figure for
+        comparing the model against package datasheet values.
+        """
+        total_vertical = self.vertical_conductance_w_per_k() * self.nx * self.ny
+        return 1.0 / total_vertical
+
+    def check_power_map(self, power: PowerMap) -> None:
+        """Validate that a power map matches this grid's geometry."""
+        if power.nx != self.nx or power.ny != self.ny:
+            raise TechnologyError(
+                f"power map resolution {power.ny}x{power.nx} does not match the "
+                f"thermal grid {self.ny}x{self.nx}"
+            )
+        if abs(power.width_mm - self.width_mm) > 1e-9 or abs(power.height_mm - self.height_mm) > 1e-9:
+            raise TechnologyError("power map dimensions do not match the thermal grid")

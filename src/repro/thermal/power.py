@@ -1,0 +1,139 @@
+"""Power maps: dissipated power discretised on the thermal grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tech.parameters import TechnologyError
+from .floorplan import Floorplan
+
+__all__ = ["PowerMap"]
+
+
+@dataclass
+class PowerMap:
+    """Power dissipation on a regular (ny, nx) grid over the die.
+
+    Attributes
+    ----------
+    width_mm / height_mm:
+        Die dimensions the grid covers.
+    values_w:
+        Array of shape ``(ny, nx)`` with the power (watts) dissipated in
+        each grid cell.
+    """
+
+    width_mm: float
+    height_mm: float
+    values_w: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values_w, dtype=float)
+        if values.ndim != 2:
+            raise TechnologyError("power map must be two-dimensional")
+        if np.any(values < 0.0):
+            raise TechnologyError("power values must be non-negative")
+        if self.width_mm <= 0.0 or self.height_mm <= 0.0:
+            raise TechnologyError("power map dimensions must be positive")
+        self.values_w = values
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def zeros(cls, width_mm: float, height_mm: float, nx: int, ny: int) -> "PowerMap":
+        """An all-zero power map of the requested resolution."""
+        if nx < 2 or ny < 2:
+            raise TechnologyError("power map needs at least a 2x2 grid")
+        return cls(width_mm, height_mm, np.zeros((ny, nx)))
+
+    @classmethod
+    def from_floorplan(cls, floorplan: Floorplan, nx: int = 32, ny: int = 32) -> "PowerMap":
+        """Rasterise the floorplan's blocks onto a grid.
+
+        Each block's power is distributed uniformly over the grid cells
+        whose centres fall inside the block.
+        """
+        power = cls.zeros(floorplan.width_mm, floorplan.height_mm, nx, ny)
+        for block in floorplan.blocks():
+            mask = np.zeros((ny, nx), dtype=bool)
+            for row in range(ny):
+                for column in range(nx):
+                    x, y = power.cell_center(column, row)
+                    if block.contains(x, y):
+                        mask[row, column] = True
+            covered = int(np.count_nonzero(mask))
+            if covered == 0:
+                # Block smaller than a cell: dump its power into the cell
+                # containing its centre.
+                column, row = power.cell_index(*block.center)
+                power.values_w[row, column] += block.power_w
+            else:
+                power.values_w[mask] += block.power_w / covered
+        return power
+
+    # ------------------------------------------------------------------ #
+    # geometry helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nx(self) -> int:
+        return int(self.values_w.shape[1])
+
+    @property
+    def ny(self) -> int:
+        return int(self.values_w.shape[0])
+
+    @property
+    def cell_width_mm(self) -> float:
+        return self.width_mm / self.nx
+
+    @property
+    def cell_height_mm(self) -> float:
+        return self.height_mm / self.ny
+
+    def cell_center(self, column: int, row: int) -> Tuple[float, float]:
+        """(x, y) millimetre coordinates of a cell centre."""
+        return (
+            (column + 0.5) * self.cell_width_mm,
+            (row + 0.5) * self.cell_height_mm,
+        )
+
+    def cell_index(self, x_mm: float, y_mm: float) -> Tuple[int, int]:
+        """(column, row) of the cell containing a point."""
+        if not (0.0 <= x_mm <= self.width_mm and 0.0 <= y_mm <= self.height_mm):
+            raise TechnologyError(f"point ({x_mm}, {y_mm}) mm lies outside the die")
+        column = min(int(x_mm / self.cell_width_mm), self.nx - 1)
+        row = min(int(y_mm / self.cell_height_mm), self.ny - 1)
+        return column, row
+
+    # ------------------------------------------------------------------ #
+    # modification and queries
+    # ------------------------------------------------------------------ #
+
+    def add_point_source(self, x_mm: float, y_mm: float, power_w: float) -> None:
+        """Add a point heat source (e.g. a running ring oscillator)."""
+        if power_w < 0.0:
+            raise TechnologyError("point-source power must be non-negative")
+        column, row = self.cell_index(x_mm, y_mm)
+        self.values_w[row, column] += power_w
+
+    def scaled(self, factor: float) -> "PowerMap":
+        """A copy with every cell scaled by ``factor`` (activity scaling)."""
+        if factor < 0.0:
+            raise TechnologyError("scale factor must be non-negative")
+        return PowerMap(self.width_mm, self.height_mm, self.values_w * factor)
+
+    def copy(self) -> "PowerMap":
+        return PowerMap(self.width_mm, self.height_mm, self.values_w.copy())
+
+    def total_power_w(self) -> float:
+        return float(np.sum(self.values_w))
+
+    def power_density_w_per_mm2(self) -> np.ndarray:
+        """Per-cell power density."""
+        return self.values_w / (self.cell_width_mm * self.cell_height_mm)

@@ -1,0 +1,121 @@
+"""Self-heating of the ring-oscillator sensor.
+
+A free-running ring oscillator dissipates power at the very spot whose
+temperature it is supposed to report, biasing the measurement upward.
+The paper's smart unit therefore disables the oscillator between
+measurements.  This module quantifies that design choice: given a sensor
+(its power draw), the die thermal model, and a measurement duty cycle,
+it reports the temperature error caused by self-heating — the ablation
+study ABL-SELFHEAT in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..tech.parameters import TechnologyError
+from .grid import TemperatureMap, ThermalGrid, ThermalGridParameters
+from .power import PowerMap
+from .solver import solve_steady_state, solve_transient
+
+__all__ = ["SelfHeatingReport", "self_heating_error", "duty_cycle_study"]
+
+
+@dataclass(frozen=True)
+class SelfHeatingReport:
+    """Self-heating error of one sensor operating condition.
+
+    Attributes
+    ----------
+    duty_cycle:
+        Fraction of time the oscillator runs.
+    oscillator_power_w:
+        Power the oscillator draws while running.
+    temperature_rise_c:
+        Local temperature rise at the sensor site caused by the
+        oscillator itself (time-averaged).
+    background_temperature_c:
+        Temperature at the sensor site without the oscillator running.
+    """
+
+    duty_cycle: float
+    oscillator_power_w: float
+    temperature_rise_c: float
+    background_temperature_c: float
+
+    @property
+    def measured_temperature_c(self) -> float:
+        """Temperature the sensor would actually report."""
+        return self.background_temperature_c + self.temperature_rise_c
+
+
+def self_heating_error(
+    background_power: PowerMap,
+    sensor_x_mm: float,
+    sensor_y_mm: float,
+    oscillator_power_w: float,
+    duty_cycle: float = 1.0,
+    ambient_c: float = 45.0,
+    parameters: ThermalGridParameters = ThermalGridParameters(),
+) -> SelfHeatingReport:
+    """Steady-state self-heating error of a sensor at one die location.
+
+    The time-averaged heating of a duty-cycled oscillator equals the
+    steady-state heating of an oscillator drawing ``duty * power`` (the
+    thermal time constants are far longer than the measurement window),
+    so the duty cycle enters as a simple power scaling.
+    """
+    if not 0.0 <= duty_cycle <= 1.0:
+        raise TechnologyError("duty cycle must lie in [0, 1]")
+    if oscillator_power_w < 0.0:
+        raise TechnologyError("oscillator power must be non-negative")
+
+    grid = ThermalGrid.for_power_map(background_power, parameters)
+    baseline = solve_steady_state(grid, background_power, ambient_c)
+    background_temp = baseline.sample(sensor_x_mm, sensor_y_mm)
+
+    heated = background_power.copy()
+    heated.add_point_source(sensor_x_mm, sensor_y_mm, oscillator_power_w * duty_cycle)
+    with_sensor = solve_steady_state(grid, heated, ambient_c)
+    sensor_temp = with_sensor.sample(sensor_x_mm, sensor_y_mm)
+
+    return SelfHeatingReport(
+        duty_cycle=duty_cycle,
+        oscillator_power_w=oscillator_power_w,
+        temperature_rise_c=sensor_temp - background_temp,
+        background_temperature_c=background_temp,
+    )
+
+
+def duty_cycle_study(
+    background_power: PowerMap,
+    sensor_x_mm: float,
+    sensor_y_mm: float,
+    oscillator_power_w: float,
+    duty_cycles=(1.0, 0.5, 0.1, 0.01, 0.001),
+    ambient_c: float = 45.0,
+    parameters: ThermalGridParameters = ThermalGridParameters(),
+):
+    """Self-heating error versus measurement duty cycle.
+
+    Returns a list of :class:`SelfHeatingReport`, one per duty cycle,
+    from free-running (1.0) down to the sparse duty cycles the
+    auto-disable controller achieves.
+    """
+    reports = []
+    for duty in duty_cycles:
+        reports.append(
+            self_heating_error(
+                background_power,
+                sensor_x_mm,
+                sensor_y_mm,
+                oscillator_power_w,
+                duty_cycle=float(duty),
+                ambient_c=ambient_c,
+                parameters=parameters,
+            )
+        )
+    return reports

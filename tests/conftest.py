@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (the default cell library, reference rings, the
+example floorplan's power map) are session-scoped so the several hundred
+tests that need them do not rebuild them over and over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import default_library
+from repro.core import ReadoutConfig, SmartTemperatureSensor
+from repro.oscillator import RingConfiguration, RingOscillator, analytical_response
+from repro.tech import CMOS035
+from repro.thermal import Floorplan, PowerMap
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The paper's 0.35 um technology."""
+    return CMOS035
+
+
+@pytest.fixture(scope="session")
+def library(tech):
+    """Default standard-cell library for the 0.35 um technology."""
+    return default_library(tech)
+
+
+@pytest.fixture(scope="session")
+def inverter_ring(library):
+    """The paper's 5-stage inverter ring."""
+    return RingOscillator(library, RingConfiguration.uniform("INV", 5))
+
+
+@pytest.fixture(scope="session")
+def mixed_ring(library):
+    """A linearised cell-mix ring (2 INV + 3 NAND2)."""
+    return RingOscillator(library, RingConfiguration.parse("2INV+3NAND2"))
+
+
+@pytest.fixture(scope="session")
+def paper_temperatures():
+    """The nine temperatures marked on the paper's figures."""
+    return np.asarray([-50.0, -25.0, 0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0])
+
+
+@pytest.fixture(scope="session")
+def inverter_response(inverter_ring, paper_temperatures):
+    """Temperature response of the inverter ring on the paper grid."""
+    return analytical_response(inverter_ring, paper_temperatures)
+
+
+@pytest.fixture(scope="session")
+def mixed_response(mixed_ring, paper_temperatures):
+    """Temperature response of the cell-mix ring on the paper grid."""
+    return analytical_response(mixed_ring, paper_temperatures)
+
+
+@pytest.fixture()
+def smart_sensor(tech):
+    """A freshly built (uncalibrated) smart sensor per test."""
+    return SmartTemperatureSensor.from_configuration(
+        tech, RingConfiguration.parse("2INV+3NAND2"), readout=ReadoutConfig()
+    )
+
+
+@pytest.fixture(scope="session")
+def example_power_map():
+    """Rasterised power map of the example processor floorplan."""
+    return PowerMap.from_floorplan(Floorplan.example_processor(), nx=16, ny=16)

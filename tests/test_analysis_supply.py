@@ -1,0 +1,50 @@
+"""Unit tests for the supply-voltage cross-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis import supply_sensitivity
+from repro.oscillator import RingConfiguration
+from repro.tech import CMOS035, TechnologyError
+
+
+@pytest.fixture(scope="module")
+def inverter_report():
+    return supply_sensitivity(CMOS035, RingConfiguration.uniform("INV", 5))
+
+
+class TestSupplySensitivity:
+    def test_more_supply_makes_the_ring_faster(self, inverter_report):
+        assert inverter_report.period_per_volt_s < 0.0
+
+    def test_more_temperature_makes_the_ring_slower(self, inverter_report):
+        assert inverter_report.period_per_kelvin_s > 0.0
+
+    def test_cross_sensitivity_order_of_magnitude(self, inverter_report):
+        # Tens of millikelvin of apparent error per millivolt of supply
+        # change is the textbook figure for a 3.3 V ring sensor.
+        assert 0.01 < inverter_report.kelvin_per_millivolt < 0.5
+
+    def test_error_budget_inverse_of_sensitivity(self, inverter_report):
+        budget_1c = inverter_report.supply_error_budget_mv(1.0)
+        budget_2c = inverter_report.supply_error_budget_mv(2.0)
+        assert budget_2c == pytest.approx(2.0 * budget_1c)
+
+    def test_error_budget_requires_positive_budget(self, inverter_report):
+        with pytest.raises(TechnologyError):
+            inverter_report.supply_error_budget_mv(0.0)
+
+    def test_invalid_deltas_rejected(self):
+        with pytest.raises(TechnologyError):
+            supply_sensitivity(
+                CMOS035, RingConfiguration.uniform("INV", 5), supply_delta_v=0.0
+            )
+
+    def test_configuration_changes_cross_sensitivity(self):
+        nand_heavy = supply_sensitivity(CMOS035, RingConfiguration.parse("5NAND2"))
+        nor_heavy = supply_sensitivity(CMOS035, RingConfiguration.parse("5NOR2"))
+        # The stacked-PMOS ring is more supply sensitive (less overdrive
+        # headroom), so the mix choice is also a supply-rejection knob.
+        assert nor_heavy.kelvin_per_millivolt > nand_heavy.kelvin_per_millivolt
+
+    def test_label_records_configuration(self, inverter_report):
+        assert inverter_report.label == "5INV"

@@ -1,0 +1,104 @@
+"""Unit tests for the baseline sensors (diode and FPGA-style ring)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import nonlinearity
+from repro.baselines import (
+    DiodeSensorConfig,
+    DiodeTemperatureSensor,
+    FpgaRingConfig,
+    fpga_ring_oscillator,
+)
+from repro.oscillator import analytical_response
+from repro.tech import CMOS035, TechnologyError
+
+
+class TestDiodeSensorConfig:
+    def test_defaults_valid(self):
+        config = DiodeSensorConfig()
+        assert config.bias_current_high_a > config.bias_current_low_a
+
+    def test_invalid_currents_rejected(self):
+        with pytest.raises(TechnologyError):
+            DiodeSensorConfig(bias_current_low_a=1e-5, bias_current_high_a=1e-6)
+
+    def test_invalid_adc_rejected(self):
+        with pytest.raises(TechnologyError):
+            DiodeSensorConfig(adc_bits=2)
+        with pytest.raises(TechnologyError):
+            DiodeSensorConfig(adc_full_scale_v=0.0)
+
+
+class TestDiodeSensor:
+    def test_ptat_voltage_increases_with_temperature(self):
+        sensor = DiodeTemperatureSensor()
+        assert sensor.ptat_voltage(150.0) > sensor.ptat_voltage(-50.0) > 0.0
+
+    def test_adc_code_monotonic_and_in_range(self):
+        sensor = DiodeTemperatureSensor()
+        codes = [sensor.adc_code(t) for t in (-50.0, 0.0, 50.0, 100.0, 150.0)]
+        assert codes == sorted(codes)
+        assert all(0 <= code < 1024 for code in codes)
+
+    def test_accuracy_within_a_few_kelvin(self):
+        sensor = DiodeTemperatureSensor()
+        temps = np.linspace(-50.0, 150.0, 21)
+        assert sensor.worst_case_error_c(temps) < 6.0
+
+    def test_error_dominated_by_analog_imperfections(self):
+        ideal = DiodeTemperatureSensor(
+            DiodeSensorConfig(gain_error=0.0, offset_error_v=0.0, adc_bits=14)
+        )
+        real = DiodeTemperatureSensor()
+        temps = np.linspace(-50.0, 150.0, 11)
+        assert ideal.worst_case_error_c(temps) < real.worst_case_error_c(temps)
+
+    def test_requires_analog_design_flag(self):
+        assert DiodeTemperatureSensor.requires_analog_design is True
+
+    def test_reading_error_property(self):
+        reading = DiodeTemperatureSensor().measure(25.0)
+        assert reading.error_c == pytest.approx(
+            reading.temperature_estimate_c - 25.0
+        )
+
+
+class TestFpgaRing:
+    def test_default_config_valid(self):
+        config = FpgaRingConfig()
+        assert config.stage_count % 2 == 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(TechnologyError):
+            FpgaRingConfig(stage_count=4)
+        with pytest.raises(TechnologyError):
+            FpgaRingConfig(lut_input_cap_multiplier=0.5)
+        with pytest.raises(TechnologyError):
+            FpgaRingConfig(routing_wire_length_um=-1.0)
+
+    def test_much_slower_than_standard_cell_ring(self, inverter_ring):
+        # Heavier routing load and more stages make the FPGA-style ring
+        # substantially slower per stage than the abutted standard-cell ring.
+        fpga = fpga_ring_oscillator(CMOS035)
+        per_stage_fpga = fpga.period(25.0) / fpga.stage_count
+        per_stage_std = inverter_ring.period(25.0) / inverter_ring.stage_count
+        assert per_stage_fpga > 1.4 * per_stage_std
+        assert fpga.period(25.0) > 2.0 * inverter_ring.period(25.0)
+
+    def test_still_monotonic_in_temperature(self):
+        fpga = fpga_ring_oscillator(CMOS035)
+        response = analytical_response(fpga, np.linspace(-50.0, 150.0, 9))
+        assert response.is_monotonic()
+
+    def test_linearity_not_better_than_optimised_mix(self, mixed_response):
+        fpga = fpga_ring_oscillator(CMOS035)
+        fpga_nl = nonlinearity(
+            analytical_response(fpga, np.linspace(-50.0, 150.0, 9))
+        ).max_abs_error_percent
+        mix_nl = nonlinearity(mixed_response).max_abs_error_percent
+        assert fpga_nl > mix_nl
+
+    def test_area_larger_due_to_lut_multiplier(self, inverter_ring):
+        fpga = fpga_ring_oscillator(CMOS035)
+        assert fpga.area_um2() > inverter_ring.area_um2()

@@ -1,0 +1,78 @@
+"""Unit tests for the cell library container and factories."""
+
+import pytest
+
+from repro.cells import CellError, CellLibrary, default_library, inverter, nand_gate, nor_gate
+from repro.tech import CMOS018, CMOS035
+
+
+class TestFactories:
+    def test_drive_strength_scales_widths(self):
+        x1 = inverter(CMOS035, drive=1)
+        x2 = inverter(CMOS035, drive=2)
+        assert x2.nmos_width_um == pytest.approx(2.0 * x1.nmos_width_um)
+        assert x2.name == "INV_X2"
+
+    def test_invalid_drive_rejected(self):
+        with pytest.raises(CellError):
+            inverter(CMOS035, drive=0)
+
+    def test_explicit_width_override(self):
+        cell = inverter(CMOS035, nmos_width_um=1.5, pmos_width_um=4.5)
+        assert cell.width_ratio == pytest.approx(3.0)
+
+    def test_nand_nor_names_include_fan_in(self):
+        assert nand_gate(CMOS035, 3).name == "NAND3_X1"
+        assert nor_gate(CMOS035, 4).name == "NOR4_X1"
+
+
+class TestCellLibrary:
+    def test_default_library_contents(self):
+        library = default_library(CMOS035)
+        for name in ("INV", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "NOR4", "BUF"):
+            assert name in library
+
+    def test_lookup_is_case_insensitive_and_drive_suffixed(self):
+        library = default_library(CMOS035)
+        assert library.get("nand2").name == "NAND2_X1"
+        assert library.get("NAND2_X2").name == "NAND2_X2"
+
+    def test_unknown_cell_raises_with_available_list(self):
+        library = default_library(CMOS035)
+        with pytest.raises(CellError) as excinfo:
+            library.get("XOR2")
+        assert "INV" in str(excinfo.value)
+
+    def test_duplicate_add_rejected(self):
+        library = CellLibrary("lib", CMOS035)
+        library.add(inverter(CMOS035))
+        with pytest.raises(CellError):
+            library.add(inverter(CMOS035))
+        library.add(inverter(CMOS035), overwrite=True)
+
+    def test_add_rejects_foreign_technology(self):
+        library = CellLibrary("lib", CMOS035)
+        with pytest.raises(CellError):
+            library.add(inverter(CMOS018))
+
+    def test_inverting_cells_excludes_buffer(self):
+        library = default_library(CMOS035)
+        names = {cell.topology.kind for cell in library.inverting_cells()}
+        assert "BUF" not in names
+        assert {"INV", "NAND", "NOR"} <= names
+
+    def test_len_and_names(self):
+        library = default_library(CMOS035, drives=(1,), max_fan_in=2)
+        # INV, BUF, NAND2, NOR2 at one drive strength.
+        assert len(library) == 4
+        assert sorted(library.names()) == library.names()
+
+    def test_describe_mentions_every_cell(self):
+        library = default_library(CMOS035, drives=(1,), max_fan_in=2)
+        text = library.describe()
+        for name in library.names():
+            assert name in text
+
+    def test_max_fan_in_validation(self):
+        with pytest.raises(CellError):
+            default_library(CMOS035, max_fan_in=1)

@@ -1,0 +1,86 @@
+"""Unit tests for the cell power model (switching energy + leakage)."""
+
+import pytest
+
+from repro.cells import CellPowerModel, inverter, nand_gate
+from repro.tech import CMOS035, TechnologyError
+
+
+@pytest.fixture(scope="module")
+def power_model():
+    return CellPowerModel(CMOS035)
+
+
+@pytest.fixture(scope="module")
+def inv():
+    return inverter(CMOS035)
+
+
+class TestSwitchingEnergy:
+    def test_energy_scale_is_femtojoules(self, power_model, inv):
+        energy = power_model.switching_energy_j(inv, load_f=10e-15)
+        assert 1e-14 < energy < 1e-12
+
+    def test_energy_increases_with_load(self, power_model, inv):
+        assert power_model.switching_energy_j(inv, 20e-15) > power_model.switching_energy_j(
+            inv, 5e-15
+        )
+
+    def test_negative_load_rejected(self, power_model, inv):
+        with pytest.raises(TechnologyError):
+            power_model.switching_energy_j(inv, -1e-15)
+
+
+class TestDynamicPower:
+    def test_scales_linearly_with_frequency_and_activity(self, power_model, inv):
+        base = power_model.dynamic_power_w(inv, 10e-15, 100e6, activity=0.1)
+        double_f = power_model.dynamic_power_w(inv, 10e-15, 200e6, activity=0.1)
+        double_a = power_model.dynamic_power_w(inv, 10e-15, 100e6, activity=0.2)
+        assert double_f == pytest.approx(2.0 * base)
+        assert double_a == pytest.approx(2.0 * base)
+
+    def test_invalid_inputs_rejected(self, power_model, inv):
+        with pytest.raises(TechnologyError):
+            power_model.dynamic_power_w(inv, 10e-15, -1.0)
+        with pytest.raises(TechnologyError):
+            power_model.dynamic_power_w(inv, 10e-15, 100e6, activity=1.5)
+
+
+class TestLeakage:
+    def test_leakage_grows_strongly_with_temperature(self, power_model, inv):
+        cold = power_model.leakage_power_w(inv, 25.0)
+        hot = power_model.leakage_power_w(inv, 125.0)
+        assert hot > 5.0 * cold  # roughly a decade per 60-80 C
+
+    def test_leakage_positive_but_small_at_room(self, power_model, inv):
+        leakage = power_model.leakage_power_w(inv, 25.0)
+        assert 0.0 < leakage < 1e-6
+
+    def test_larger_cells_leak_more(self, power_model):
+        inv_leak = power_model.leakage_current_a(inverter(CMOS035), 85.0)
+        nand3_leak = power_model.leakage_current_a(nand_gate(CMOS035, 3), 85.0)
+        assert nand3_leak > inv_leak
+
+    def test_invalid_leakage_density_rejected(self):
+        with pytest.raises(TechnologyError):
+            CellPowerModel(CMOS035, leakage_at_nominal_a_per_um=0.0)
+
+
+class TestBlockPower:
+    def test_gate_power_combines_components(self, power_model, inv):
+        gate = power_model.gate_power(inv, 85.0, 100e6, 10e-15)
+        assert gate.total_w == pytest.approx(gate.dynamic_w + gate.leakage_w)
+
+    def test_block_power_scales_with_gate_count(self, power_model, inv):
+        one = power_model.block_power_w(inv, 1000, 85.0, 100e6)
+        two = power_model.block_power_w(inv, 2000, 85.0, 100e6)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_dynamic_dominates_at_full_speed_on_this_node(self, power_model, inv):
+        # At 0.35 um / 3.3 V leakage is a small fraction of active power.
+        gate = power_model.gate_power(inv, 85.0, 200e6, 10e-15, activity=0.2)
+        assert gate.dynamic_w > 10.0 * gate.leakage_w
+
+    def test_negative_gate_count_rejected(self, power_model, inv):
+        with pytest.raises(TechnologyError):
+            power_model.block_power_w(inv, -1, 85.0, 100e6)

@@ -1,0 +1,112 @@
+"""Unit tests for NLDM-style timing tables and the Liberty exporter."""
+
+import numpy as np
+import pytest
+
+from repro.cells import (
+    CellError,
+    TimingTable,
+    characterize_cell,
+    format_cell,
+    format_library,
+    inverter,
+    nand_gate,
+    default_library,
+    write_library,
+)
+from repro.tech import CMOS035
+
+
+@pytest.fixture(scope="module")
+def inv_table():
+    return characterize_cell(inverter(CMOS035), temperatures_c=(-50.0, 25.0, 150.0))
+
+
+class TestCharacterize:
+    def test_grid_shape(self, inv_table):
+        assert inv_table.tphl_s.shape == (3, 4)
+        assert inv_table.tplh_s.shape == (3, 4)
+
+    def test_requires_two_temperatures(self):
+        with pytest.raises(CellError):
+            characterize_cell(inverter(CMOS035), temperatures_c=(25.0,))
+
+    def test_custom_loads(self):
+        table = characterize_cell(
+            inverter(CMOS035), temperatures_c=(-50.0, 150.0), loads_f=(5e-15, 20e-15)
+        )
+        assert table.loads_f.size == 2
+
+    def test_delays_increase_with_temperature_and_load(self, inv_table):
+        grid = inv_table.tphl_s
+        assert np.all(np.diff(grid, axis=0) > 0)  # hotter rows are slower
+        assert np.all(np.diff(grid, axis=1) > 0)  # heavier columns are slower
+
+
+class TestTimingTableInterpolation:
+    def test_exact_grid_points_recovered(self, inv_table):
+        cell = inverter(CMOS035)
+        load = float(inv_table.loads_f[1])
+        expected = cell.delays(25.0, load).tphl
+        assert inv_table.tphl(25.0, load) == pytest.approx(expected, rel=1e-9)
+
+    def test_interpolation_between_points(self, inv_table):
+        load = float(inv_table.loads_f[0])
+        mid = inv_table.tphl(50.0, load)
+        low = inv_table.tphl(25.0, load)
+        high = inv_table.tphl(150.0, load)
+        assert low < mid < high
+
+    def test_out_of_range_queries_rejected(self, inv_table):
+        load = float(inv_table.loads_f[0])
+        with pytest.raises(CellError):
+            inv_table.tphl(200.0, load)
+        with pytest.raises(CellError):
+            inv_table.tphl(25.0, 1.0)
+
+    def test_pair_sum_and_sensitivity(self, inv_table):
+        load = float(inv_table.loads_f[0])
+        assert inv_table.pair_sum(25.0, load) == pytest.approx(
+            inv_table.tphl(25.0, load) + inv_table.tplh(25.0, load)
+        )
+        assert inv_table.temperature_sensitivity(load) > 0.0
+
+    def test_invalid_grids_rejected(self):
+        with pytest.raises(CellError):
+            TimingTable(
+                cell_name="bad",
+                temperatures_c=np.array([0.0, 1.0]),
+                loads_f=np.array([1e-15, 2e-15]),
+                tphl_s=np.zeros((2, 2)),
+                tplh_s=np.ones((2, 2)) * 1e-12,
+            )
+        with pytest.raises(CellError):
+            TimingTable(
+                cell_name="bad",
+                temperatures_c=np.array([1.0, 0.0]),
+                loads_f=np.array([1e-15, 2e-15]),
+                tphl_s=np.ones((2, 2)) * 1e-12,
+                tplh_s=np.ones((2, 2)) * 1e-12,
+            )
+
+
+class TestLibertyExport:
+    def test_cell_block_contains_function_and_pins(self):
+        text = format_cell(nand_gate(CMOS035, 2), temperatures_c=(-50.0, 150.0))
+        assert "cell (NAND2_X1)" in text
+        assert "!(A0 & A1)" in text
+        assert "cell_fall" in text and "cell_rise" in text
+
+    def test_library_header_and_all_cells(self):
+        library = default_library(CMOS035, drives=(1,), max_fan_in=2)
+        text = format_library(library, temperatures_c=(-50.0, 150.0))
+        assert text.startswith("library (")
+        for name in library.names():
+            assert f"cell ({name})" in text
+
+    def test_write_library_to_disk(self, tmp_path):
+        library = default_library(CMOS035, drives=(1,), max_fan_in=2)
+        path = tmp_path / "stdcells.lib"
+        write_library(library, str(path), temperatures_c=(-50.0, 150.0))
+        content = path.read_text()
+        assert "nom_voltage : 3.30;" in content

@@ -1,0 +1,113 @@
+"""Unit tests for the sensor multiplexer and the thermal monitor."""
+
+import pytest
+
+from repro.core import ReadoutConfig, SensorMultiplexer, SmartTemperatureSensor, ThermalMonitor
+from repro.oscillator import RingConfiguration
+from repro.tech import CMOS035, TechnologyError
+from repro.thermal import Floorplan
+
+
+def make_sensor(tech, name):
+    return SmartTemperatureSensor.from_configuration(
+        tech, RingConfiguration.parse("2INV+3NAND2"), name=name
+    )
+
+
+@pytest.fixture()
+def mux(tech):
+    return SensorMultiplexer([make_sensor(tech, f"ch{i}") for i in range(3)])
+
+
+class TestMultiplexer:
+    def test_requires_at_least_one_sensor(self):
+        with pytest.raises(TechnologyError):
+            SensorMultiplexer([])
+
+    def test_requires_unique_names(self, tech):
+        with pytest.raises(TechnologyError):
+            SensorMultiplexer([make_sensor(tech, "dup"), make_sensor(tech, "dup")])
+
+    def test_select_and_measure(self, mux):
+        mux.select("ch1")
+        assert mux.selected == "ch1"
+        reading = mux.measure_selected(60.0)
+        assert reading.code > 0
+
+    def test_select_unknown_channel_rejected(self, mux):
+        with pytest.raises(TechnologyError):
+            mux.select("ch9")
+
+    def test_scan_covers_all_channels(self, mux):
+        mux.calibrate_all_two_point(-50.0, 150.0)
+        result = mux.scan({"ch0": 50.0, "ch1": 80.0, "ch2": 65.0})
+        assert set(result.readings) == {"ch0", "ch1", "ch2"}
+        assert result.total_time_s > 0.0
+
+    def test_scan_requires_all_temperatures(self, mux):
+        with pytest.raises(TechnologyError):
+            mux.scan({"ch0": 50.0})
+
+    def test_hottest_channel_identified(self, mux):
+        mux.calibrate_all_two_point(-50.0, 150.0)
+        result = mux.scan({"ch0": 50.0, "ch1": 95.0, "ch2": 65.0})
+        assert result.hottest_channel() == "ch1"
+
+    def test_scan_estimates_track_truth(self, mux):
+        mux.calibrate_all_two_point(-50.0, 150.0)
+        result = mux.scan({"ch0": 50.0, "ch1": 80.0, "ch2": 65.0})
+        for name, truth in {"ch0": 50.0, "ch1": 80.0, "ch2": 65.0}.items():
+            assert result.readings[name].temperature_estimate_c == pytest.approx(truth, abs=1.0)
+
+
+@pytest.fixture(scope="module")
+def monitor_report(tech):
+    floorplan = Floorplan.example_processor()
+    floorplan.add_sensor_grid(2, 2)
+    monitor = ThermalMonitor(
+        tech,
+        floorplan,
+        RingConfiguration.parse("2INV+3NAND2"),
+        grid_resolution=16,
+    )
+    monitor.calibrate(-50.0, 150.0)
+    return monitor, monitor.scan()
+
+
+class TestThermalMonitor:
+    def test_requires_sensor_sites(self, tech):
+        with pytest.raises(TechnologyError):
+            ThermalMonitor(tech, Floorplan.example_processor(), RingConfiguration.uniform("INV", 5))
+
+    def test_scan_requires_calibration(self, tech):
+        floorplan = Floorplan.example_processor()
+        floorplan.add_sensor_grid(2, 2)
+        monitor = ThermalMonitor(
+            tech, floorplan, RingConfiguration.uniform("INV", 5), grid_resolution=16
+        )
+        with pytest.raises(TechnologyError):
+            monitor.scan()
+
+    def test_site_errors_small(self, monitor_report):
+        _, report = monitor_report
+        assert report.worst_site_error_c() < 1.0
+
+    def test_true_map_has_gradient(self, monitor_report):
+        _, report = monitor_report
+        assert report.true_map.gradient_c() > 2.0
+
+    def test_reconstruction_error_bounded(self, monitor_report):
+        _, report = monitor_report
+        assert report.map_rms_error_c() < report.true_map.gradient_c()
+
+    def test_overheating_detection_threshold(self, monitor_report):
+        monitor, report = monitor_report
+        none_hot = monitor.detect_overheating(report, threshold_c=500.0)
+        all_hot = monitor.detect_overheating(report, threshold_c=-100.0)
+        assert none_hot == []
+        assert len(all_hot) == 4
+
+    def test_reconstructed_map_within_true_range(self, monitor_report):
+        _, report = monitor_report
+        assert report.reconstructed_map.max_c() <= report.true_map.max_c() + 1.0
+        assert report.reconstructed_map.min_c() >= report.true_map.min_c() - 1.0

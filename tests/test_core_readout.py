@@ -1,0 +1,91 @@
+"""Unit tests for the counter-based period-to-digital readout."""
+
+import pytest
+
+from repro.core import PeriodCounter, ReadoutConfig, ReferenceCounter
+from repro.tech import TechnologyError
+
+
+class TestReadoutConfig:
+    def test_window_and_conversion_time(self):
+        config = ReadoutConfig(reference_clock_hz=50e6, window_cycles=256)
+        assert config.window_s == pytest.approx(256 / 50e6)
+        assert config.conversion_time_s > config.window_s
+
+    def test_max_code(self):
+        assert ReadoutConfig(counter_bits=8).max_code == 255
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(TechnologyError):
+            ReadoutConfig(reference_clock_hz=0.0)
+        with pytest.raises(TechnologyError):
+            ReadoutConfig(window_cycles=0)
+        with pytest.raises(TechnologyError):
+            ReadoutConfig(counter_bits=2)
+
+
+class TestPeriodCounter:
+    def test_code_is_floor_of_cycles_in_window(self):
+        counter = PeriodCounter(ReadoutConfig(reference_clock_hz=1e6, window_cycles=10))
+        # window = 10 us; a 3 us period fits 3 times.
+        reading = counter.convert(3e-6)
+        assert reading.code == 3
+        assert not reading.saturated
+
+    def test_code_decreases_with_period(self):
+        counter = PeriodCounter()
+        assert counter.convert(400e-12).code < counter.convert(200e-12).code
+
+    def test_saturation_flag(self):
+        counter = PeriodCounter(ReadoutConfig(counter_bits=8, window_cycles=1024))
+        reading = counter.convert(1e-12)
+        assert reading.saturated
+        assert reading.code == 255
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(TechnologyError):
+            PeriodCounter().convert(0.0)
+
+    def test_code_to_period_round_trip(self):
+        counter = PeriodCounter()
+        period = 300e-12
+        code = counter.convert(period).code
+        recovered = counter.code_to_period(code)
+        # Within one quantisation step.
+        assert recovered == pytest.approx(period, rel=1.0 / code)
+
+    def test_code_to_period_rejects_zero_code(self):
+        with pytest.raises(TechnologyError):
+            PeriodCounter().code_to_period(0)
+
+    def test_quantisation_step_positive_and_small(self):
+        counter = PeriodCounter()
+        step = counter.quantisation_step_s(300e-12)
+        assert 0.0 < step < 1e-12
+
+
+class TestReferenceCounter:
+    def test_code_increases_with_period(self):
+        counter = ReferenceCounter(ReadoutConfig(reference_clock_hz=100e6), ring_cycles=1000)
+        slow = counter.convert(400e-12).code
+        fast = counter.convert(200e-12).code
+        assert slow > fast
+
+    def test_code_value(self):
+        counter = ReferenceCounter(ReadoutConfig(reference_clock_hz=100e6), ring_cycles=1000)
+        # 1000 cycles of 10 ns = 10 us window -> 1000 reference cycles.
+        assert counter.convert(10e-9).code == 1000
+
+    def test_round_trip(self):
+        counter = ReferenceCounter(ReadoutConfig(reference_clock_hz=100e6), ring_cycles=10000)
+        period = 300e-12
+        code = counter.convert(period).code
+        assert counter.code_to_period(code) == pytest.approx(period, rel=0.01)
+
+    def test_invalid_ring_cycles_rejected(self):
+        with pytest.raises(TechnologyError):
+            ReferenceCounter(ring_cycles=0)
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(TechnologyError):
+            ReferenceCounter().convert(-1e-12)

@@ -1,0 +1,111 @@
+"""Unit tests for the register-map front end of the smart unit."""
+
+import pytest
+
+from repro.core import SensorMultiplexer, SmartTemperatureSensor
+from repro.core.registers import (
+    CONFIG_ADDR,
+    CTRL_ADDR,
+    CTRL_CHANNEL_SHIFT,
+    CTRL_ENABLE_BIT,
+    CTRL_START_BIT,
+    DATA_ADDR,
+    STATUS_ADDR,
+    STATUS_DATA_VALID_BIT,
+    TEMP_ADDR,
+    SmartSensorRegisters,
+    _from_fixed_point_8_4,
+    _to_fixed_point_8_4,
+)
+from repro.oscillator import RingConfiguration
+from repro.tech import CMOS035, TechnologyError
+
+
+@pytest.fixture()
+def registers(tech):
+    sensors = []
+    for index in range(3):
+        sensor = SmartTemperatureSensor.from_configuration(
+            tech, RingConfiguration.parse("2INV+3NAND2"), name=f"ch{index}"
+        )
+        sensor.calibrate_two_point(-40.0, 125.0)
+        sensors.append(sensor)
+    return SmartSensorRegisters(SensorMultiplexer(sensors))
+
+
+class TestFixedPointEncoding:
+    def test_round_trip_positive(self):
+        assert _from_fixed_point_8_4(_to_fixed_point_8_4(85.25)) == pytest.approx(85.25)
+
+    def test_round_trip_negative(self):
+        assert _from_fixed_point_8_4(_to_fixed_point_8_4(-40.5)) == pytest.approx(-40.5)
+
+    def test_quantisation_step_is_sixteenth(self):
+        assert _from_fixed_point_8_4(_to_fixed_point_8_4(25.03)) == pytest.approx(25.03, abs=1 / 16)
+
+    def test_saturates_at_range_edges(self):
+        assert _from_fixed_point_8_4(_to_fixed_point_8_4(500.0)) == pytest.approx(2047 / 16)
+
+
+class TestBusAccess:
+    def test_unknown_address_rejected(self, registers):
+        with pytest.raises(TechnologyError):
+            registers.read(0x40)
+        with pytest.raises(TechnologyError):
+            registers.write(0x40, 1)
+
+    def test_read_only_registers_reject_writes(self, registers):
+        for address in (STATUS_ADDR, DATA_ADDR, TEMP_ADDR, CONFIG_ADDR):
+            with pytest.raises(TechnologyError):
+                registers.write(address, 1)
+
+    def test_config_reports_window_cycles(self, registers):
+        assert registers.read(CONFIG_ADDR) == 256
+
+    def test_ctrl_readback_reflects_enable_and_channel(self, registers):
+        registers.write(CTRL_ADDR, (1 << CTRL_ENABLE_BIT) | (2 << CTRL_CHANNEL_SHIFT))
+        value = registers.read(CTRL_ADDR)
+        assert (value >> CTRL_ENABLE_BIT) & 1 == 1
+        assert (value >> CTRL_CHANNEL_SHIFT) & 0xF == 2
+        # START is self-clearing and must read back as 0.
+        assert (value >> CTRL_START_BIT) & 1 == 0
+
+    def test_channel_out_of_range_rejected(self, registers):
+        with pytest.raises(TechnologyError):
+            registers.write(CTRL_ADDR, (1 << CTRL_ENABLE_BIT) | (9 << CTRL_CHANNEL_SHIFT))
+
+
+class TestConversionFlow:
+    def test_start_without_enable_rejected(self, registers):
+        registers.set_junction_temperatures({"ch0": 60.0})
+        with pytest.raises(TechnologyError):
+            registers.write(CTRL_ADDR, 1 << CTRL_START_BIT)
+
+    def test_start_without_temperature_rejected(self, registers):
+        with pytest.raises(TechnologyError):
+            registers.write(
+                CTRL_ADDR, (1 << CTRL_ENABLE_BIT) | (1 << CTRL_START_BIT)
+            )
+
+    def test_full_conversion_sequence(self, registers):
+        registers.set_junction_temperatures({"ch0": 72.0})
+        registers.write(
+            CTRL_ADDR, (1 << CTRL_ENABLE_BIT) | (1 << CTRL_START_BIT)
+        )
+        status = registers.read(STATUS_ADDR)
+        assert (status >> STATUS_DATA_VALID_BIT) & 1 == 1
+        temperature = _from_fixed_point_8_4(registers.read(TEMP_ADDR))
+        assert temperature == pytest.approx(72.0, abs=1.0)
+        code = registers.read(DATA_ADDR)
+        assert code > 0
+        # Reading DATA clears DATA_VALID.
+        assert (registers.read(STATUS_ADDR) >> STATUS_DATA_VALID_BIT) & 1 == 0
+
+    def test_driver_helper_reads_each_channel(self, registers):
+        for channel, temperature in enumerate((25.0, 85.0, 110.0)):
+            estimate = registers.convert_channel(channel, temperature)
+            assert estimate == pytest.approx(temperature, abs=1.0)
+
+    def test_unknown_channel_temperature_rejected(self, registers):
+        with pytest.raises(TechnologyError):
+            registers.set_junction_temperatures({"ch9": 50.0})

@@ -1,0 +1,124 @@
+"""Unit tests for the dynamic-thermal-management closed loop."""
+
+import pytest
+
+from repro.core import (
+    DynamicThermalManager,
+    PerformanceState,
+    ReadoutConfig,
+    ThrottlingPolicy,
+)
+from repro.oscillator import RingConfiguration
+from repro.tech import CMOS035, TechnologyError
+from repro.thermal import Floorplan
+
+
+def make_manager(policy=None, grid_resolution=12, sensor_grid=2):
+    floorplan = Floorplan.example_processor()
+    floorplan.add_sensor_grid(sensor_grid, sensor_grid)
+    return DynamicThermalManager(
+        CMOS035,
+        floorplan,
+        RingConfiguration.parse("2INV+3NAND2"),
+        policy=policy or ThrottlingPolicy(),
+        readout=ReadoutConfig(),
+        grid_resolution=grid_resolution,
+    )
+
+
+class TestPolicyValidation:
+    def test_valid_default_policy(self):
+        policy = ThrottlingPolicy()
+        assert len(policy.states) == 3
+
+    def test_hysteresis_required(self):
+        with pytest.raises(TechnologyError):
+            ThrottlingPolicy(throttle_threshold_c=100.0, release_threshold_c=100.0)
+
+    def test_emergency_above_throttle(self):
+        with pytest.raises(TechnologyError):
+            ThrottlingPolicy(throttle_threshold_c=110.0, emergency_threshold_c=105.0)
+
+    def test_states_must_be_ordered(self):
+        with pytest.raises(TechnologyError):
+            ThrottlingPolicy(
+                states=(
+                    PerformanceState("slow", 0.5, 0.5),
+                    PerformanceState("fast", 1.0, 1.0),
+                )
+            )
+
+    def test_invalid_performance_state(self):
+        with pytest.raises(TechnologyError):
+            PerformanceState("bad", power_scale=2.0, performance=1.0)
+
+
+class TestPolicyStepLogic:
+    def test_hot_reading_steps_down(self):
+        policy = ThrottlingPolicy()
+        assert policy.next_state_index(0, 112.0) == 1
+        assert policy.next_state_index(1, 112.0) == 2
+
+    def test_emergency_jumps_to_last_state(self):
+        policy = ThrottlingPolicy()
+        assert policy.next_state_index(0, 130.0) == len(policy.states) - 1
+
+    def test_cool_reading_steps_back_up(self):
+        policy = ThrottlingPolicy()
+        assert policy.next_state_index(2, 80.0) == 1
+        assert policy.next_state_index(0, 80.0) == 0
+
+    def test_hysteresis_band_holds_state(self):
+        policy = ThrottlingPolicy()
+        assert policy.next_state_index(1, 100.0) == 1
+
+
+class TestClosedLoop:
+    @pytest.fixture(scope="class")
+    def managed_run(self):
+        manager = make_manager()
+        return manager.run(
+            duration_s=0.6, control_interval_s=0.03, limit_c=115.0, workload_scale=1.6
+        )
+
+    def test_trace_covers_duration(self, managed_run):
+        assert managed_run.trace[-1].time_s == pytest.approx(0.6, abs=0.03)
+        assert len(managed_run.trace) == 20
+
+    def test_throttling_engages_under_overload(self, managed_run):
+        states = {point.state_name for point in managed_run.trace}
+        assert "throttled" in states or "emergency" in states
+        assert managed_run.throttle_events() >= 1
+
+    def test_managed_die_cooler_than_unmanaged(self, managed_run):
+        unmanaged_policy = ThrottlingPolicy(
+            throttle_threshold_c=1000.0,
+            release_threshold_c=900.0,
+            emergency_threshold_c=1100.0,
+        )
+        unmanaged = make_manager(policy=unmanaged_policy).run(
+            duration_s=0.6, control_interval_s=0.03, limit_c=115.0, workload_scale=1.6
+        )
+        assert managed_run.peak_temperature_c() < unmanaged.peak_temperature_c()
+
+    def test_performance_metrics_consistent(self, managed_run):
+        assert 0.0 < managed_run.average_performance() <= 1.0
+        occupancy = managed_run.state_occupancy()
+        assert sum(occupancy.values()) == pytest.approx(1.0)
+
+    def test_invalid_run_arguments_rejected(self):
+        manager = make_manager()
+        with pytest.raises(TechnologyError):
+            manager.run(duration_s=0.0)
+        with pytest.raises(TechnologyError):
+            manager.run(duration_s=0.1, control_interval_s=0.2)
+        with pytest.raises(TechnologyError):
+            manager.run(duration_s=0.1, control_interval_s=0.01, workload_scale=-1.0)
+
+    def test_requires_floorplan_with_sensor_sites(self):
+        with pytest.raises(TechnologyError):
+            DynamicThermalManager(
+                CMOS035,
+                Floorplan.example_processor(),
+                RingConfiguration.uniform("INV", 5),
+            )

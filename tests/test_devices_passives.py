@@ -1,0 +1,48 @@
+"""Unit tests for the passive component specifications."""
+
+import pytest
+
+from repro.devices import CapacitorSpec, ResistorSpec
+from repro.tech import TechnologyError
+
+
+class TestResistorSpec:
+    def test_nominal_value_at_reference(self):
+        spec = ResistorSpec(nominal_ohm=1000.0, tc1_per_k=0.002)
+        assert spec.value_at(spec.reference_temperature_k) == pytest.approx(1000.0)
+
+    def test_positive_tempco_increases_resistance(self):
+        spec = ResistorSpec(nominal_ohm=1000.0, tc1_per_k=0.002)
+        assert spec.value_at(spec.reference_temperature_k + 50.0) == pytest.approx(1100.0)
+
+    def test_conductance_is_reciprocal(self):
+        spec = ResistorSpec(nominal_ohm=500.0)
+        assert spec.conductance_at(300.0) == pytest.approx(1.0 / 500.0)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(TechnologyError):
+            ResistorSpec(nominal_ohm=0.0)
+
+    def test_rejects_tempco_driving_negative(self):
+        spec = ResistorSpec(nominal_ohm=100.0, tc1_per_k=-0.01)
+        with pytest.raises(TechnologyError):
+            spec.value_at(spec.reference_temperature_k + 200.0)
+
+
+class TestCapacitorSpec:
+    def test_nominal_value_at_reference(self):
+        spec = CapacitorSpec(nominal_f=1e-12)
+        assert spec.value_at(spec.reference_temperature_k) == pytest.approx(1e-12)
+
+    def test_tempco_applied_linearly(self):
+        spec = CapacitorSpec(nominal_f=1e-12, tc1_per_k=1e-4)
+        assert spec.value_at(spec.reference_temperature_k + 100.0) == pytest.approx(1.01e-12)
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(TechnologyError):
+            CapacitorSpec(nominal_f=-1e-15)
+
+    def test_rejects_tempco_driving_negative(self):
+        spec = CapacitorSpec(nominal_f=1e-12, tc1_per_k=-0.02)
+        with pytest.raises(TechnologyError):
+            spec.value_at(spec.reference_temperature_k + 100.0)

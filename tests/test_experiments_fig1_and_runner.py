@@ -1,0 +1,72 @@
+"""Tests for the FIG1 experiment and the command-line runner."""
+
+import os
+
+import pytest
+
+from repro.experiments import run_all, run_fig1
+from repro.experiments.runner import main
+from repro.tech import CMOS035
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    # Small settings keep the transient affordable inside the unit suite.
+    return run_fig1(CMOS035, cycles=3.0, points_per_period=100)
+
+
+class TestFig1Experiment:
+    def test_ring_oscillates_rail_to_rail(self, fig1_result):
+        assert fig1_result.oscillates
+        assert fig1_result.waveform.amplitude() > 0.9 * CMOS035.vdd
+
+    def test_periods_in_expected_range(self, fig1_result):
+        assert 50e-12 < fig1_result.analytical_period_s < 1e-9
+        assert 50e-12 < fig1_result.simulated_period_s < 2e-9
+
+    def test_simulated_tracks_analytical(self, fig1_result):
+        assert fig1_result.period_mismatch_rel < 0.6
+
+    def test_summary_mentions_periods(self, fig1_result):
+        text = fig1_result.format_summary()
+        assert "analytical period" in text
+        assert "simulated period" in text
+
+    def test_stage_count_recorded(self, fig1_result):
+        assert fig1_result.stage_count == 5
+
+
+class TestRunnerCli:
+    def test_main_writes_report_file(self, tmp_path):
+        output = tmp_path / "report.txt"
+        exit_code = main(
+            [
+                "--technology",
+                "cmos035",
+                "--experiment",
+                "STAGES",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        content = output.read_text()
+        assert "STAGES" in content
+        assert "cmos035" in content
+
+    def test_main_prints_to_stdout(self, capsys):
+        exit_code = main(["--experiment", "STAGES"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "STAGES - linearity vs number of stages" in captured.out
+
+    def test_main_rejects_unknown_technology(self):
+        from repro.tech import TechnologyError
+
+        with pytest.raises(TechnologyError):
+            main(["--technology", "cmos007", "--experiment", "STAGES"])
+
+    def test_run_all_report_header(self):
+        report = run_all(CMOS035, only=["STAGES", "EXT-SUPPLY"])
+        assert report.startswith("Reproduction report")
+        assert "EXT-SUPPLY" in report

@@ -1,0 +1,62 @@
+"""Unit tests for repro.tech.scaling."""
+
+import pytest
+
+from repro.tech import CMOS035, ScalingRules, TechnologyError, power_density_scaling_factor, scale_technology
+
+
+class TestScalingRules:
+    def test_valid_rules(self):
+        rules = ScalingRules(dimension_factor=2.0, voltage_factor=1.5)
+        assert rules.dimension_factor == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_factors(self):
+        with pytest.raises(TechnologyError):
+            ScalingRules(dimension_factor=0.0, voltage_factor=1.0)
+        with pytest.raises(TechnologyError):
+            ScalingRules(dimension_factor=1.0, voltage_factor=-1.0)
+        with pytest.raises(TechnologyError):
+            ScalingRules(dimension_factor=1.0, voltage_factor=1.0, threshold_factor=0.0)
+
+
+class TestScaleTechnology:
+    def test_dimensions_and_supply_scale(self):
+        rules = ScalingRules(dimension_factor=2.0, voltage_factor=1.5, threshold_factor=1.2)
+        scaled = scale_technology(CMOS035, rules, name="scaled_test")
+        assert scaled.feature_size_um == pytest.approx(CMOS035.feature_size_um / 2.0)
+        assert scaled.vdd == pytest.approx(CMOS035.vdd / 1.5)
+        assert scaled.nmos.channel_length_um == pytest.approx(
+            CMOS035.nmos.channel_length_um / 2.0
+        )
+
+    def test_oxide_capacitance_increases(self):
+        rules = ScalingRules(dimension_factor=2.0, voltage_factor=1.5, threshold_factor=1.2)
+        scaled = scale_technology(CMOS035, rules, name="scaled_cox")
+        assert scaled.nmos.cox_f_per_um2 > CMOS035.nmos.cox_f_per_um2
+
+    def test_rejects_scaling_below_threshold(self):
+        rules = ScalingRules(dimension_factor=2.0, voltage_factor=8.0, threshold_factor=1.0)
+        with pytest.raises(TechnologyError):
+            scale_technology(CMOS035, rules, name="broken")
+
+    def test_scaled_name_applied(self):
+        rules = ScalingRules(dimension_factor=1.4, voltage_factor=1.3, threshold_factor=1.1)
+        scaled = scale_technology(CMOS035, rules, name="cmos025_derived")
+        assert scaled.name == "cmos025_derived"
+
+
+class TestPowerDensity:
+    def test_constant_field_scaling_is_neutral(self):
+        rules = ScalingRules(dimension_factor=2.0, voltage_factor=2.0)
+        assert power_density_scaling_factor(rules) == pytest.approx(1.0)
+
+    def test_constant_voltage_scaling_heats_up(self):
+        # The paper's motivation: real scaling keeps the supply high, so
+        # power density (and junction temperature) rises with scaling.
+        rules = ScalingRules(dimension_factor=2.0, voltage_factor=1.0)
+        assert power_density_scaling_factor(rules) == pytest.approx(4.0)
+
+    def test_partial_voltage_scaling_in_between(self):
+        rules = ScalingRules(dimension_factor=2.0, voltage_factor=1.5)
+        factor = power_density_scaling_factor(rules)
+        assert 1.0 < factor < 4.0

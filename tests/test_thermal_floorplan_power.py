@@ -1,0 +1,115 @@
+"""Unit tests for floorplans and power maps."""
+
+import numpy as np
+import pytest
+
+from repro.tech import TechnologyError
+from repro.thermal import Floorplan, FunctionalBlock, PowerMap, SensorSite
+
+
+class TestFunctionalBlock:
+    def test_area_and_density(self):
+        block = FunctionalBlock("core", 0.0, 0.0, 2.0, 3.0, 6.0)
+        assert block.area_mm2 == pytest.approx(6.0)
+        assert block.power_density_w_per_mm2 == pytest.approx(1.0)
+
+    def test_contains_points(self):
+        block = FunctionalBlock("core", 1.0, 1.0, 2.0, 2.0, 1.0)
+        assert block.contains(2.0, 2.0)
+        assert not block.contains(0.5, 0.5)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(TechnologyError):
+            FunctionalBlock("bad", 0.0, 0.0, 0.0, 1.0, 1.0)
+        with pytest.raises(TechnologyError):
+            FunctionalBlock("bad", 0.0, 0.0, 1.0, 1.0, -1.0)
+
+
+class TestFloorplan:
+    def test_add_block_inside_die(self):
+        plan = Floorplan(5.0, 5.0)
+        plan.add_block(FunctionalBlock("a", 0.0, 0.0, 2.0, 2.0, 1.0))
+        assert plan.total_power_w() == pytest.approx(1.0)
+
+    def test_block_outside_die_rejected(self):
+        plan = Floorplan(5.0, 5.0)
+        with pytest.raises(TechnologyError):
+            plan.add_block(FunctionalBlock("a", 4.0, 4.0, 2.0, 2.0, 1.0))
+
+    def test_duplicate_block_rejected(self):
+        plan = Floorplan(5.0, 5.0)
+        plan.add_block(FunctionalBlock("a", 0.0, 0.0, 1.0, 1.0, 1.0))
+        with pytest.raises(TechnologyError):
+            plan.add_block(FunctionalBlock("a", 1.0, 1.0, 1.0, 1.0, 1.0))
+
+    def test_block_lookup(self):
+        plan = Floorplan.example_processor()
+        assert plan.block("core0").power_w > 0.0
+        with pytest.raises(TechnologyError):
+            plan.block("gpu")
+
+    def test_sensor_sites_validated(self):
+        plan = Floorplan(5.0, 5.0)
+        plan.add_sensor_site(SensorSite("s0", 1.0, 1.0))
+        with pytest.raises(TechnologyError):
+            plan.add_sensor_site(SensorSite("s1", 6.0, 1.0))
+        with pytest.raises(TechnologyError):
+            plan.add_sensor_site(SensorSite("s0", 2.0, 2.0))
+
+    def test_sensor_grid_placement(self):
+        plan = Floorplan(8.0, 8.0)
+        sites = plan.add_sensor_grid(3, 2)
+        assert len(sites) == 6
+        assert len(plan.sensor_sites()) == 6
+        xs = sorted({site.x_mm for site in sites})
+        assert xs == pytest.approx([8.0 / 6, 8.0 / 2, 8.0 * 5 / 6])
+
+    def test_example_processor_is_consistent(self):
+        plan = Floorplan.example_processor()
+        assert plan.total_power_w() == pytest.approx(14.5)
+        assert len(plan.blocks()) == 5
+
+
+class TestPowerMap:
+    def test_zeros_constructor(self):
+        power = PowerMap.zeros(8.0, 8.0, 16, 16)
+        assert power.total_power_w() == 0.0
+        assert power.nx == 16 and power.ny == 16
+
+    def test_from_floorplan_conserves_power(self, example_power_map):
+        assert example_power_map.total_power_w() == pytest.approx(14.5, rel=1e-6)
+
+    def test_power_concentrated_in_blocks(self, example_power_map):
+        density = example_power_map.power_density_w_per_mm2()
+        # The hot core has a much higher density than the die average.
+        assert density.max() > 3.0 * example_power_map.total_power_w() / 64.0
+
+    def test_cell_geometry_helpers(self):
+        power = PowerMap.zeros(8.0, 4.0, 8, 4)
+        assert power.cell_width_mm == pytest.approx(1.0)
+        assert power.cell_height_mm == pytest.approx(1.0)
+        assert power.cell_center(0, 0) == pytest.approx((0.5, 0.5))
+        assert power.cell_index(7.9, 3.9) == (7, 3)
+
+    def test_cell_index_outside_die_rejected(self):
+        power = PowerMap.zeros(8.0, 8.0, 8, 8)
+        with pytest.raises(TechnologyError):
+            power.cell_index(9.0, 1.0)
+
+    def test_point_source_addition(self):
+        power = PowerMap.zeros(8.0, 8.0, 8, 8)
+        power.add_point_source(4.0, 4.0, 0.5)
+        assert power.total_power_w() == pytest.approx(0.5)
+
+    def test_scaled_copy(self, example_power_map):
+        scaled = example_power_map.scaled(2.0)
+        assert scaled.total_power_w() == pytest.approx(29.0, rel=1e-6)
+        assert example_power_map.total_power_w() == pytest.approx(14.5, rel=1e-6)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(TechnologyError):
+            PowerMap(8.0, 8.0, np.full((4, 4), -1.0))
+
+    def test_small_grid_rejected(self):
+        with pytest.raises(TechnologyError):
+            PowerMap.zeros(8.0, 8.0, 1, 4)
