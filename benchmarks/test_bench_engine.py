@@ -1,0 +1,100 @@
+"""Benchmark ENGINE: scalar loops versus the vectorized batch engine.
+
+Times the two evaluation modes of :class:`repro.engine.BatchEvaluator`
+on the workloads the paper's artefacts are built from — Monte-Carlo
+populations (25 / 200 / 1000 samples x 41 temperatures) and the Fig. 2
+sizing sweep — so the recorded BENCH_*.json tracks the speedup over
+time.  Asserted shape: at the realistic 200-sample point the vectorized
+engine is at least 3x faster than the scalar reference loop and agrees
+with it to 1e-9 relative on every period.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchEvaluator
+from repro.oscillator import RingConfiguration
+from repro.tech import CMOS035
+
+CONFIGURATION = RingConfiguration.parse("2INV+3NAND2")
+DENSE_GRID = np.linspace(-50.0, 150.0, 41)
+
+
+def _run_monte_carlo(vectorized, sample_count):
+    return BatchEvaluator(vectorized=vectorized).run_monte_carlo(
+        CMOS035,
+        CONFIGURATION,
+        sample_count=sample_count,
+        temperatures_c=DENSE_GRID,
+        seed=1234,
+    )
+
+
+@pytest.mark.benchmark(group="engine-mc-25")
+@pytest.mark.parametrize("vectorized", [True, False], ids=["vectorized", "scalar"])
+def test_monte_carlo_25_samples(benchmark, vectorized):
+    study = benchmark.pedantic(
+        _run_monte_carlo, args=(vectorized, 25), rounds=3, iterations=1
+    )
+    assert study.sample_count == 25
+
+
+@pytest.mark.benchmark(group="engine-mc-200")
+@pytest.mark.parametrize("vectorized", [True, False], ids=["vectorized", "scalar"])
+def test_monte_carlo_200_samples(benchmark, vectorized):
+    study = benchmark.pedantic(
+        _run_monte_carlo, args=(vectorized, 200), rounds=2, iterations=1
+    )
+    assert study.sample_count == 200
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="engine-mc-1000")
+@pytest.mark.parametrize("vectorized", [True, False], ids=["vectorized", "scalar"])
+def test_monte_carlo_1000_samples(benchmark, vectorized):
+    study = benchmark.pedantic(
+        _run_monte_carlo, args=(vectorized, 1000), rounds=1, iterations=1
+    )
+    assert study.sample_count == 1000
+
+
+def test_monte_carlo_speedup_at_200x41():
+    """The ISSUE acceptance criterion: >= 3x at 200 samples x 41 temps,
+    with vectorized-vs-scalar relative period error bounded by 1e-9."""
+    start = time.perf_counter()
+    vectorized = _run_monte_carlo(True, 200)
+    vectorized_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar = _run_monte_carlo(False, 200)
+    scalar_s = time.perf_counter() - start
+
+    speedup = scalar_s / vectorized_s
+    print(f"\nengine speedup at 200x41: {speedup:.1f}x "
+          f"(scalar {scalar_s * 1e3:.0f} ms, vectorized {vectorized_s * 1e3:.0f} ms)")
+    assert speedup >= 3.0
+
+    worst = max(
+        float(np.max(np.abs(v.periods_s - s.periods_s) / s.periods_s))
+        for v, s in zip(vectorized.responses, scalar.responses)
+    )
+    assert worst <= 1e-9
+    assert vectorized.period_spread_percent == pytest.approx(
+        scalar.period_spread_percent, rel=1e-9
+    )
+
+
+@pytest.mark.benchmark(group="engine-fig2-sweep")
+@pytest.mark.parametrize("vectorized", [True, False], ids=["vectorized", "scalar"])
+def test_sizing_sweep_dense_grid(benchmark, vectorized, tech):
+    engine = BatchEvaluator(vectorized=vectorized)
+    result = benchmark.pedantic(
+        engine.sweep_width_ratio,
+        args=(tech,),
+        kwargs=dict(temperatures_c=DENSE_GRID),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.best().max_abs_error_percent < 0.25

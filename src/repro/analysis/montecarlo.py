@@ -71,6 +71,7 @@ def run_monte_carlo(
     variation: Optional[VariationModel] = None,
     seed: Optional[int] = 1234,
     ring_builder: Optional[Callable[[Technology, RingConfiguration], RingOscillator]] = None,
+    scalar: bool = False,
 ) -> MonteCarloStudy:
     """Run a Monte-Carlo linearity/spread study for one configuration.
 
@@ -94,6 +95,11 @@ def run_monte_carlo(
     ring_builder:
         Hook to customise how the ring is built per technology sample
         (defaults to the default library with standard sizing).
+    scalar:
+        When true, sweep every sample one temperature at a time through
+        the scalar reference path instead of the vectorized batch
+        engine.  Kept as the oracle for the engine equivalence tests;
+        several-fold slower at realistic sample counts.
     """
     if sample_count < 2:
         raise TechnologyError("sample_count must be at least 2")
@@ -105,6 +111,12 @@ def run_monte_carlo(
     if not temps[0] <= reference_temperature_c <= temps[-1]:
         raise TechnologyError("reference temperature must lie inside the sweep range")
 
+    # With the default ring builder the vectorized path evaluates the
+    # whole population as one (sample x temperature) period matrix —
+    # the ring is built once and re-bound per sample, instead of
+    # rebuilding a full default library for every sample.  A custom
+    # ring_builder (or scalar mode) falls back to the per-sample sweep.
+    use_period_matrix = ring_builder is None and not scalar
     if ring_builder is None:
         def ring_builder(tech: Technology, config: RingConfiguration) -> RingOscillator:
             return RingOscillator(default_library(tech), config)
@@ -113,14 +125,21 @@ def run_monte_carlo(
         base_technology, sample_count, model=variation, seed=seed
     )
     responses: List[TemperatureResponse] = []
+    if use_period_matrix:
+        base_ring = ring_builder(base_technology, configuration)
+        matrix = base_ring.period_matrix(samples, temps)
+        label = base_ring.label()
+        responses = [TemperatureResponse(label, temps, row) for row in matrix]
+    else:
+        responses = [
+            analytical_response(ring_builder(sample, configuration), temps, scalar=scalar)
+            for sample in samples
+        ]
+
     reference_periods: List[float] = []
     worst_nonlinearities: List[float] = []
     sensitivities: List[float] = []
-
-    for sample in samples:
-        ring = ring_builder(sample, configuration)
-        response = analytical_response(ring, temps)
-        responses.append(response)
+    for response in responses:
         reference_periods.append(response.period_at(reference_temperature_c))
         worst_nonlinearities.append(nonlinearity(response).max_abs_error_percent)
         sensitivities.append(response.mean_sensitivity())

@@ -22,7 +22,9 @@ it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..delay.alpha_power import DelayModelOptions, DriveNetwork, gate_delay
@@ -119,10 +121,15 @@ class CellTopology:
 
 @dataclass(frozen=True)
 class GateDelays:
-    """Propagation delays of one gate at one operating point."""
+    """Propagation delays of one gate at one operating point.
 
-    tphl: float
-    tplh: float
+    When produced by a vectorized evaluation (ndarray of temperatures)
+    ``tphl``/``tplh`` hold matching ndarrays and every derived property
+    broadcasts elementwise.
+    """
+
+    tphl: Union[float, np.ndarray]
+    tplh: Union[float, np.ndarray]
 
     @property
     def average(self) -> float:
@@ -222,11 +229,16 @@ class StandardCell:
     # analytical delays
     # ------------------------------------------------------------------ #
 
-    def delays(self, temperature_c: float, load_f: float) -> GateDelays:
+    def delays(
+        self, temperature_c: Union[float, np.ndarray], load_f: float
+    ) -> GateDelays:
         """Propagation delays at a junction temperature and external load.
 
         The external load is increased by the cell's own output parasitic
         capacitance before the alpha-power delay model is applied.
+        ``temperature_c`` may be an ndarray, in which case the returned
+        :class:`GateDelays` holds delay arrays evaluated over the whole
+        grid in one vectorized call.
         """
         if load_f < 0.0:
             raise CellError("load capacitance must be non-negative")
@@ -264,7 +276,9 @@ class StandardCell:
             tphl, tplh = first_lh + tphl, first_hl + tplh
         return GateDelays(tphl=tphl, tplh=tplh)
 
-    def stage_delay_sum(self, temperature_c: float, load_f: float) -> float:
+    def stage_delay_sum(
+        self, temperature_c: Union[float, np.ndarray], load_f: float
+    ) -> Union[float, np.ndarray]:
         """tpHL + tpLH, the quantity a ring-oscillator stage contributes."""
         return self.delays(temperature_c, load_f).pair_sum
 

@@ -11,7 +11,7 @@ ring configuration, and the Liberty exporter serialises them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -65,48 +65,76 @@ class TimingTable:
         object.__setattr__(self, "tphl_s", tphl)
         object.__setattr__(self, "tplh_s", tplh)
 
-    def _interpolate(self, grid: np.ndarray, temperature_c: float, load_f: float) -> float:
+    def _interpolate(
+        self,
+        grid: np.ndarray,
+        temperature_c: Union[float, np.ndarray],
+        load_f: float,
+    ) -> Union[float, np.ndarray]:
         temps = self.temperatures_c
         loads = self.loads_f
-        if not temps[0] <= temperature_c <= temps[-1]:
-            raise CellError(
-                f"temperature {temperature_c} C outside the characterised range "
-                f"[{temps[0]}, {temps[-1]}]"
-            )
         if not loads[0] <= load_f <= loads[-1]:
             raise CellError(
                 f"load {load_f} F outside the characterised range "
                 f"[{loads[0]:.3e}, {loads[-1]:.3e}]"
             )
-        ti = int(np.searchsorted(temps, temperature_c, side="right") - 1)
         li = int(np.searchsorted(loads, load_f, side="right") - 1)
-        ti = min(ti, temps.size - 2)
         li = min(li, loads.size - 2)
-        t0, t1 = temps[ti], temps[ti + 1]
         l0, l1 = loads[li], loads[li + 1]
-        ft = (temperature_c - t0) / (t1 - t0)
         fl = (load_f - l0) / (l1 - l0)
-        v00 = grid[ti, li]
-        v01 = grid[ti, li + 1]
-        v10 = grid[ti + 1, li]
-        v11 = grid[ti + 1, li + 1]
-        return float(
-            v00 * (1 - ft) * (1 - fl)
-            + v01 * (1 - ft) * fl
-            + v10 * ft * (1 - fl)
-            + v11 * ft * fl
-        )
 
-    def tphl(self, temperature_c: float, load_f: float) -> float:
-        """Interpolated high-to-low propagation delay (s)."""
+        if isinstance(temperature_c, np.ndarray):
+            # Vectorized bilinear interpolation over a temperature grid.
+            query = temperature_c.astype(float)
+            if np.any(query < temps[0]) or np.any(query > temps[-1]):
+                raise CellError(
+                    f"temperatures outside the characterised range "
+                    f"[{temps[0]}, {temps[-1]}]"
+                )
+            ti = np.searchsorted(temps, query, side="right") - 1
+            ti = np.minimum(ti, temps.size - 2)
+            t0 = temps[ti]
+            t1 = temps[ti + 1]
+            ft = (query - t0) / (t1 - t0)
+            v00 = grid[ti, li]
+            v01 = grid[ti, li + 1]
+            v10 = grid[ti + 1, li]
+            v11 = grid[ti + 1, li + 1]
+            return (
+                v00 * (1 - ft) * (1 - fl)
+                + v01 * (1 - ft) * fl
+                + v10 * ft * (1 - fl)
+                + v11 * ft * fl
+            )
+
+        temperature_c = float(temperature_c)
+        if not temps[0] <= temperature_c <= temps[-1]:
+            raise CellError(
+                f"temperature {temperature_c} C outside the characterised range "
+                f"[{temps[0]}, {temps[-1]}]"
+            )
+        return float(self._interpolate(grid, np.asarray([temperature_c]), load_f)[0])
+
+    def tphl(
+        self, temperature_c: Union[float, np.ndarray], load_f: float
+    ) -> Union[float, np.ndarray]:
+        """Interpolated high-to-low propagation delay (s).
+
+        ``temperature_c`` may be an ndarray; the query is then evaluated
+        for the whole grid in one vectorized call.
+        """
         return self._interpolate(self.tphl_s, temperature_c, load_f)
 
-    def tplh(self, temperature_c: float, load_f: float) -> float:
+    def tplh(
+        self, temperature_c: Union[float, np.ndarray], load_f: float
+    ) -> Union[float, np.ndarray]:
         """Interpolated low-to-high propagation delay (s)."""
         return self._interpolate(self.tplh_s, temperature_c, load_f)
 
-    def pair_sum(self, temperature_c: float, load_f: float) -> float:
-        """tpHL + tpLH at the query point."""
+    def pair_sum(
+        self, temperature_c: Union[float, np.ndarray], load_f: float
+    ) -> Union[float, np.ndarray]:
+        """tpHL + tpLH at the query point(s)."""
         return self.tphl(temperature_c, load_f) + self.tplh(temperature_c, load_f)
 
     def temperature_sensitivity(self, load_f: float) -> float:
@@ -147,11 +175,12 @@ def characterize_cell(
 
     tphl = np.zeros((temps.size, loads.size))
     tplh = np.zeros((temps.size, loads.size))
-    for i, temp in enumerate(temps):
-        for j, load in enumerate(loads):
-            delays = cell.delays(float(temp), float(load))
-            tphl[i, j] = delays.tphl
-            tplh[i, j] = delays.tplh
+    # One vectorized evaluation per load column instead of a scalar call
+    # per (temperature, load) grid point.
+    for j, load in enumerate(loads):
+        delays = cell.delays(temps, float(load))
+        tphl[:, j] = delays.tphl
+        tplh[:, j] = delays.tplh
     return TimingTable(
         cell_name=cell.name,
         temperatures_c=temps,

@@ -27,7 +27,7 @@ from ..thermal.power import PowerMap
 from ..thermal.solver import solve_steady_state
 from .multiplexer import ScanResult, SensorMultiplexer
 from .readout import ReadoutConfig
-from .sensor import SmartTemperatureSensor
+from .sensor import SensorTransferFunction, SmartTemperatureSensor
 
 __all__ = ["ThermalMonitorReport", "ThermalMonitor"]
 
@@ -145,6 +145,25 @@ class ThermalMonitor:
     def sensor_sites(self) -> List[SensorSite]:
         return list(self._sites.values())
 
+    def characterize(
+        self, temperatures_c: Optional[Sequence[float]] = None, evaluator=None
+    ) -> Dict[str, "SensorTransferFunction"]:
+        """Transfer function of every sensor in the bank, keyed by site.
+
+        Runs through the vectorized batch engine by default — one
+        vectorized sweep per sensor instead of a scalar loop per
+        temperature — which is what makes characterising large sensor
+        grids cheap.
+        """
+        # Imported lazily: repro.engine imports the sensor layer, so a
+        # module-level import here would be circular.
+        from ..engine.batch import BatchEvaluator
+
+        engine = evaluator if evaluator is not None else BatchEvaluator()
+        return engine.transfer_functions(
+            list(self.multiplexer.sensors()), temperatures_c
+        )
+
     # ------------------------------------------------------------------ #
     # thermal field
     # ------------------------------------------------------------------ #
@@ -203,36 +222,39 @@ class ThermalMonitor:
     def _reconstruct(
         self, site_estimates: Dict[str, float], reference: TemperatureMap
     ) -> TemperatureMap:
-        """Inverse-distance-weighted interpolation of the sensor readings."""
-        values = np.zeros_like(reference.values_c)
+        """Inverse-distance-weighted interpolation of the sensor readings.
+
+        Evaluated as one broadcast over the whole
+        ``(ny, nx, n_sites)`` distance tensor instead of a Python loop
+        per grid cell — the batch-engine treatment of the
+        reconstruction hot path.
+        """
         cell_w = reference.width_mm / reference.nx
         cell_h = reference.height_mm / reference.ny
-        positions = [
-            (self._sites[name].x_mm, self._sites[name].y_mm, estimate)
-            for name, estimate in site_estimates.items()
-        ]
-        for row in range(reference.ny):
-            for column in range(reference.nx):
-                x = (column + 0.5) * cell_w
-                y = (row + 0.5) * cell_h
-                weights = []
-                temps = []
-                exact = None
-                for sx, sy, estimate in positions:
-                    distance = float(np.hypot(x - sx, y - sy))
-                    if distance < 1e-9:
-                        exact = estimate
-                        break
-                    weights.append(1.0 / distance ** 2)
-                    temps.append(estimate)
-                if exact is not None:
-                    values[row, column] = exact
-                else:
-                    weights_arr = np.asarray(weights)
-                    temps_arr = np.asarray(temps)
-                    values[row, column] = float(
-                        np.sum(weights_arr * temps_arr) / np.sum(weights_arr)
-                    )
+        xs = (np.arange(reference.nx) + 0.5) * cell_w
+        ys = (np.arange(reference.ny) + 0.5) * cell_h
+        grid_x, grid_y = np.meshgrid(xs, ys)
+
+        names = list(site_estimates)
+        site_x = np.asarray([self._sites[name].x_mm for name in names])
+        site_y = np.asarray([self._sites[name].y_mm for name in names])
+        estimates = np.asarray([site_estimates[name] for name in names])
+
+        distance = np.hypot(
+            grid_x[..., np.newaxis] - site_x, grid_y[..., np.newaxis] - site_y
+        )
+        exact = distance < 1e-9
+        with np.errstate(divide="ignore", invalid="ignore"):
+            weights = 1.0 / distance ** 2
+            weights[exact] = 0.0
+            values = np.sum(weights * estimates, axis=-1) / np.sum(weights, axis=-1)
+
+        # A grid cell sitting exactly on a sensor site takes that site's
+        # estimate directly (first matching site, as the scalar loop did).
+        on_site = exact.any(axis=-1)
+        if np.any(on_site):
+            first_site = np.argmax(exact, axis=-1)
+            values[on_site] = estimates[first_site[on_site]]
         return TemperatureMap(reference.width_mm, reference.height_mm, values)
 
     def detect_overheating(

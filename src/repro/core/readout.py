@@ -22,6 +22,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
 
 from ..tech.parameters import TechnologyError
 
@@ -108,11 +111,40 @@ class PeriodCounter:
             code = self.config.max_code
         return CountReading(code=code, saturated=saturated, window_s=self.config.window_s)
 
+    def convert_batch(
+        self, oscillation_periods_s: Sequence[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`convert` over an array of periods.
+
+        Returns ``(codes, saturated)`` — an integer code array and a
+        boolean saturation mask.  Produces exactly the codes the scalar
+        path produces, one ``floor``/clip per element instead of one
+        Python call per period; this is the conversion the batch engine
+        uses for whole transfer-function sweeps.
+        """
+        periods = np.asarray(oscillation_periods_s, dtype=float)
+        if np.any(periods <= 0.0):
+            raise TechnologyError("oscillation periods must be positive")
+        ideal = self.config.window_s / periods
+        # floor(ideal) > max_code iff ideal >= max_code + 1; clamp before
+        # the integer cast so a huge ratio saturates instead of wrapping
+        # through int64 overflow.
+        saturated = ideal >= self.config.max_code + 1.0
+        codes = np.floor(np.minimum(ideal, float(self.config.max_code))).astype(np.int64)
+        return codes, saturated
+
     def code_to_period(self, code: int) -> float:
         """Best-estimate period implied by a code (mid-quantisation-step)."""
         if code <= 0:
             raise TechnologyError("code must be positive to invert the conversion")
         return self.config.window_s / (code + 0.5)
+
+    def codes_to_periods(self, codes: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`code_to_period` over an array of codes."""
+        code_arr = np.asarray(codes)
+        if np.any(code_arr <= 0):
+            raise TechnologyError("codes must be positive to invert the conversion")
+        return self.config.window_s / (code_arr + 0.5)
 
     def quantisation_step_s(self, oscillation_period_s: float) -> float:
         """Change of period corresponding to one LSB around an operating point."""

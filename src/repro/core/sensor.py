@@ -228,24 +228,42 @@ class SmartTemperatureSensor:
     # ------------------------------------------------------------------ #
 
     def transfer_function(
-        self, temperatures_c: Optional[Sequence[float]] = None
+        self,
+        temperatures_c: Optional[Sequence[float]] = None,
+        scalar: bool = False,
     ) -> SensorTransferFunction:
-        """Digital code over a temperature sweep (quantisation included)."""
+        """Digital code over a temperature sweep (quantisation included).
+
+        The sweep runs through the vectorized batch path by default: one
+        vectorized period evaluation of the ring plus one batch counter
+        conversion.  ``scalar=True`` keeps the original
+        one-temperature-at-a-time loop as the reference oracle for the
+        engine equivalence tests.
+        """
         temps = (
             np.asarray(temperatures_c, dtype=float)
             if temperatures_c is not None
             else default_temperature_grid(points=21)
         )
-        codes = []
-        measured_periods = []
-        for temp in temps:
-            reading = self.counter.convert(self.ring.period(float(temp)))
-            codes.append(float(reading.code))
-            measured_periods.append(self.counter.code_to_period(reading.code))
+        if scalar:
+            codes = []
+            measured_periods = []
+            for temp in temps:
+                reading = self.counter.convert(self.ring.period(float(temp)))
+                codes.append(float(reading.code))
+                measured_periods.append(self.counter.code_to_period(reading.code))
+            return SensorTransferFunction(
+                temperatures_c=temps,
+                codes=np.asarray(codes),
+                measured_periods_s=np.asarray(measured_periods),
+            )
+        periods = self.ring.period_series(temps)
+        codes, _saturated = self.counter.convert_batch(periods)
+        measured_periods = self.counter.codes_to_periods(codes)
         return SensorTransferFunction(
             temperatures_c=temps,
-            codes=np.asarray(codes),
-            measured_periods_s=np.asarray(measured_periods),
+            codes=codes.astype(float),
+            measured_periods_s=measured_periods,
         )
 
     def temperature_response(

@@ -37,6 +37,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
 
 from ..tech.parameters import Technology, TechnologyError, celsius_to_kelvin
 from ..tech.temperature import device_at
@@ -131,14 +134,16 @@ class DriveNetwork:
 def effective_saturation_current(
     tech: Technology,
     network: DriveNetwork,
-    temperature_c: float,
+    temperature_c: Union[float, np.ndarray],
     options: DelayModelOptions = DelayModelOptions(),
-) -> float:
+) -> Union[float, np.ndarray]:
     """Effective saturation current (A) of a drive network at ``temperature_c``.
 
     Applies the stack corrections described in the module docstring to
     the alpha-power saturation current of a single device of the
-    network's width.
+    network's width.  ``temperature_c`` may be an ndarray, in which case
+    the current is evaluated elementwise over the whole grid in one call
+    (the vectorized batch-evaluation path).
     """
     params = tech.transistor(network.polarity)
     temp_k = celsius_to_kelvin(temperature_c)
@@ -147,13 +152,17 @@ def effective_saturation_current(
     depth = network.stack_depth
     stack = options.stack
 
-    alpha_eff = min(2.0, device.alpha + stack.alpha_increment_per_level * (depth - 1))
+    alpha_raised = device.alpha + stack.alpha_increment_per_level * (depth - 1)
+    if isinstance(alpha_raised, np.ndarray):
+        alpha_eff = np.minimum(2.0, alpha_raised)
+    else:
+        alpha_eff = min(2.0, alpha_raised)
     vth_eff = device.vth * (1.0 + stack.threshold_body_factor * (depth - 1))
     overdrive = tech.vdd - vth_eff
-    if overdrive <= 0.0:
+    if np.any(np.asarray(overdrive) <= 0.0):
         raise TechnologyError(
             f"supply {tech.vdd} V does not exceed the effective threshold "
-            f"{vth_eff:.3f} V of a depth-{depth} {network.polarity} stack"
+            f"{np.max(vth_eff):.3f} V of a depth-{depth} {network.polarity} stack"
         )
 
     # Drive coefficient per micron: 0.5 * mu(T) * Cox / L, normalised to
@@ -171,17 +180,19 @@ def gate_delay(
     tech: Technology,
     network: DriveNetwork,
     load_capacitance_f: float,
-    temperature_c: float,
+    temperature_c: Union[float, np.ndarray],
     options: DelayModelOptions = DelayModelOptions(),
-) -> float:
+) -> Union[float, np.ndarray]:
     """Propagation delay (seconds) of one transition.
 
     ``network.polarity == "nmos"`` gives tpHL (output discharged through
-    the pull-down network); ``"pmos"`` gives tpLH.
+    the pull-down network); ``"pmos"`` gives tpLH.  Passing an ndarray of
+    temperatures returns the matching ndarray of delays in one
+    vectorized evaluation.
     """
     if load_capacitance_f <= 0.0:
         raise TechnologyError("load capacitance must be positive")
     current = effective_saturation_current(tech, network, temperature_c, options)
-    if current <= 0.0:
+    if np.any(np.asarray(current) <= 0.0):
         raise TechnologyError("effective drive current must be positive")
     return options.fit_factor * load_capacitance_f * tech.vdd / current

@@ -1,0 +1,9 @@
+"""Vectorized batch evaluation of rings, sensors and populations.
+
+See :mod:`repro.engine.batch` for the design; the public entry point is
+:class:`BatchEvaluator`.
+"""
+
+from .batch import BatchEvaluator
+
+__all__ = ["BatchEvaluator"]

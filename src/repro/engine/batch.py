@@ -1,0 +1,258 @@
+"""The vectorized batch-evaluation engine.
+
+Every paper-facing artefact — the Fig. 2 sizing sweep, the Fig. 3
+cell-mix sweep, the Monte-Carlo calibration argument, the smart unit's
+transfer function — is built from thousands of repeated ring-period
+evaluations.  The scalar paths evaluate one ``(ring, temperature)``
+point per Python call; this module provides the batch alternative:
+
+* the delay stack (:mod:`repro.tech.temperature`,
+  :mod:`repro.delay.alpha_power`, :mod:`repro.cells.cell`) broadcasts
+  over ndarray temperature grids,
+* :meth:`repro.oscillator.ring.RingOscillator.period_series` sums the
+  per-stage delay vectors in one pass, and
+  :meth:`~repro.oscillator.ring.RingOscillator.period_matrix` extends
+  that to (technology sample x temperature) grids,
+* :class:`BatchEvaluator` (this module) is the façade that runs whole
+  workloads — Monte-Carlo populations, transfer functions, sizing and
+  cell-mix sweeps — through either the vectorized path or the original
+  scalar loops.
+
+The scalar loops are deliberately kept alive: they are the *reference
+oracle*.  ``BatchEvaluator(vectorized=False)`` reproduces the
+pre-engine behaviour step for step, and
+``tests/test_engine_equivalence.py`` pins the two paths together to a
+relative tolerance of 1e-9 on periods (in practice they agree to a few
+ULP; the only operation whose libm/numpy implementations may differ in
+the last bit is ``pow``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.montecarlo import MonteCarloStudy, run_monte_carlo
+from ..cells.library import CellLibrary
+from ..core.sensor import SensorTransferFunction, SmartTemperatureSensor
+from ..optimize.cellmix import (
+    CellMixCandidate,
+    CellMixSearchResult,
+    DEFAULT_MIX_CELLS,
+    evaluate_configuration,
+    search_cell_mix,
+)
+from ..optimize.sizing import (
+    PAPER_FIG2_RATIOS,
+    SizingPoint,
+    SizingSweepResult,
+    optimize_width_ratio,
+    sweep_width_ratio,
+)
+from ..oscillator.config import RingConfiguration
+from ..oscillator.period import TemperatureResponse, analytical_response
+from ..oscillator.ring import RingOscillator
+from ..tech.corners import VariationModel
+from ..tech.parameters import Technology
+
+__all__ = ["BatchEvaluator"]
+
+
+class BatchEvaluator:
+    """Runs ring, sensor and Monte-Carlo workloads in batch.
+
+    Parameters
+    ----------
+    vectorized:
+        ``True`` (default) evaluates through the ndarray broadcast path;
+        ``False`` routes every workload through the original scalar
+        loops, which serve as the reference oracle for the equivalence
+        tests.  Both modes produce the same result objects, so callers
+        can switch freely.
+    """
+
+    def __init__(self, vectorized: bool = True) -> None:
+        self.vectorized = bool(vectorized)
+
+    @property
+    def _scalar(self) -> bool:
+        return not self.vectorized
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "vectorized" if self.vectorized else "scalar"
+        return f"BatchEvaluator({mode})"
+
+    # ------------------------------------------------------------------ #
+    # ring-level primitives
+    # ------------------------------------------------------------------ #
+
+    def period_series(
+        self, ring: RingOscillator, temperatures_c: Sequence[float]
+    ) -> np.ndarray:
+        """Periods (s) of one ring over a temperature grid."""
+        if self.vectorized:
+            return ring.period_series(temperatures_c)
+        return ring.period_series_scalar(temperatures_c)
+
+    def period_matrix(
+        self,
+        ring: RingOscillator,
+        technologies: Sequence[Technology],
+        temperatures_c: Sequence[float],
+    ) -> np.ndarray:
+        """Periods (s) on a (technology sample x temperature) grid.
+
+        In scalar mode every grid point is still evaluated through one
+        scalar call, preserving the oracle property.
+        """
+        if self.vectorized:
+            return ring.period_matrix(technologies, temperatures_c)
+        temps = np.asarray(temperatures_c, dtype=float)
+        matrix = np.zeros((len(technologies), temps.size))
+        for row, tech in enumerate(technologies):
+            rebound = ring.rebind(tech)
+            matrix[row] = rebound.period_series_scalar(temps)
+        return matrix
+
+    def response(
+        self,
+        ring: RingOscillator,
+        temperatures_c: Optional[Sequence[float]] = None,
+    ) -> TemperatureResponse:
+        """Temperature response of one ring (label + periods)."""
+        return analytical_response(ring, temperatures_c, scalar=self._scalar)
+
+    # ------------------------------------------------------------------ #
+    # sensor-level workloads
+    # ------------------------------------------------------------------ #
+
+    def transfer_function(
+        self,
+        sensor: SmartTemperatureSensor,
+        temperatures_c: Optional[Sequence[float]] = None,
+    ) -> SensorTransferFunction:
+        """Quantised code-versus-temperature curve of a smart sensor."""
+        return sensor.transfer_function(temperatures_c, scalar=self._scalar)
+
+    def transfer_functions(
+        self,
+        sensors: Sequence[SmartTemperatureSensor],
+        temperatures_c: Optional[Sequence[float]] = None,
+    ) -> Dict[str, SensorTransferFunction]:
+        """Transfer functions of a whole sensor bank, keyed by name."""
+        return {
+            sensor.name: self.transfer_function(sensor, temperatures_c)
+            for sensor in sensors
+        }
+
+    # ------------------------------------------------------------------ #
+    # population-level workloads
+    # ------------------------------------------------------------------ #
+
+    def run_monte_carlo(
+        self,
+        base_technology: Technology,
+        configuration: RingConfiguration,
+        sample_count: int = 25,
+        temperatures_c: Optional[Sequence[float]] = None,
+        reference_temperature_c: float = 25.0,
+        variation: Optional[VariationModel] = None,
+        seed: Optional[int] = 1234,
+        ring_builder: Optional[
+            Callable[[Technology, RingConfiguration], RingOscillator]
+        ] = None,
+    ) -> MonteCarloStudy:
+        """Monte-Carlo linearity/spread study of one configuration.
+
+        Same contract as :func:`repro.analysis.montecarlo.run_monte_carlo`
+        with the evaluation mode supplied by this evaluator.
+        """
+        return run_monte_carlo(
+            base_technology,
+            configuration,
+            sample_count=sample_count,
+            temperatures_c=temperatures_c,
+            reference_temperature_c=reference_temperature_c,
+            variation=variation,
+            seed=seed,
+            ring_builder=ring_builder,
+            scalar=self._scalar,
+        )
+
+    def sweep_width_ratio(
+        self,
+        technology: Technology,
+        ratios: Sequence[float] = PAPER_FIG2_RATIOS,
+        nmos_width_um: float = 1.05,
+        stage_count: int = 5,
+        temperatures_c: Optional[Sequence[float]] = None,
+        fit_method: str = "endpoint",
+    ) -> SizingSweepResult:
+        """Fig. 2 Wp/Wn sizing sweep through this evaluator's mode."""
+        return sweep_width_ratio(
+            technology,
+            ratios=ratios,
+            nmos_width_um=nmos_width_um,
+            stage_count=stage_count,
+            temperatures_c=temperatures_c,
+            fit_method=fit_method,
+            scalar=self._scalar,
+        )
+
+    def optimize_width_ratio(
+        self,
+        technology: Technology,
+        ratio_bounds: Sequence[float] = (1.0, 6.0),
+        nmos_width_um: float = 1.05,
+        stage_count: int = 5,
+        temperatures_c: Optional[Sequence[float]] = None,
+        fit_method: str = "endpoint",
+    ) -> SizingPoint:
+        """Continuous Fig. 2 optimum through this evaluator's mode."""
+        return optimize_width_ratio(
+            technology,
+            ratio_bounds=ratio_bounds,
+            nmos_width_um=nmos_width_um,
+            stage_count=stage_count,
+            temperatures_c=temperatures_c,
+            fit_method=fit_method,
+            scalar=self._scalar,
+        )
+
+    def evaluate_configuration(
+        self,
+        library: CellLibrary,
+        configuration: RingConfiguration,
+        temperatures_c: Optional[Sequence[float]] = None,
+        fit_method: str = "endpoint",
+    ) -> CellMixCandidate:
+        """Linearity/area evaluation of one cell mix."""
+        return evaluate_configuration(
+            library,
+            configuration,
+            temperatures_c,
+            fit_method,
+            scalar=self._scalar,
+        )
+
+    def search_cell_mix(
+        self,
+        library: CellLibrary,
+        cell_names: Sequence[str] = DEFAULT_MIX_CELLS,
+        stage_count: int = 5,
+        temperatures_c: Optional[Sequence[float]] = None,
+        fit_method: str = "endpoint",
+        top_k: int = 10,
+    ) -> CellMixSearchResult:
+        """Fig. 3 exhaustive cell-mix ranking through this evaluator's mode."""
+        return search_cell_mix(
+            library,
+            cell_names=cell_names,
+            stage_count=stage_count,
+            temperatures_c=temperatures_c,
+            fit_method=fit_method,
+            top_k=top_k,
+            scalar=self._scalar,
+        )

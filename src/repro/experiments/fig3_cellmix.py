@@ -20,11 +20,10 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..cells.library import CellLibrary, default_library
+from ..engine.batch import BatchEvaluator
 from ..optimize.cellmix import (
     CellMixCandidate,
     CellMixSearchResult,
-    evaluate_configuration,
-    search_cell_mix,
 )
 from ..oscillator.config import PAPER_FIG3_CONFIGURATIONS, RingConfiguration
 from ..oscillator.period import paper_temperature_grid
@@ -92,6 +91,7 @@ def run_fig3(
     temperatures_c: Optional[Sequence[float]] = None,
     library: Optional[CellLibrary] = None,
     run_search: bool = True,
+    evaluator: Optional[BatchEvaluator] = None,
 ) -> Fig3Result:
     """Run the Fig. 3 experiment.
 
@@ -110,9 +110,13 @@ def run_fig3(
     run_search:
         Also run the exhaustive mix search to locate the global optimum
         over INV/NAND/NOR mixes.
+    evaluator:
+        Batch engine to run the evaluations through; the vectorized
+        engine by default.
     """
     tech = technology if technology is not None else CMOS035
     lib = library if library is not None else default_library(tech)
+    engine = evaluator if evaluator is not None else BatchEvaluator()
     configs = configurations if configurations is not None else dict(PAPER_FIG3_CONFIGURATIONS)
     temps = (
         np.asarray(temperatures_c, dtype=float)
@@ -120,11 +124,11 @@ def run_fig3(
         else paper_temperature_grid()
     )
     candidates = {
-        label: evaluate_configuration(lib, configuration, temps)
+        label: engine.evaluate_configuration(lib, configuration, temps)
         for label, configuration in configs.items()
     }
     if run_search:
-        search = search_cell_mix(lib, stage_count=5, temperatures_c=temps, top_k=10)
+        search = engine.search_cell_mix(lib, stage_count=5, temperatures_c=temps, top_k=10)
     else:
         ranked = sorted(candidates.values(), key=lambda c: c.max_abs_error_percent)
         search = CellMixSearchResult(candidates=ranked, evaluated_count=len(ranked))

@@ -101,15 +101,20 @@ def evaluate_configuration(
     configuration: RingConfiguration,
     temperatures_c: Optional[Sequence[float]] = None,
     fit_method: str = "endpoint",
+    scalar: bool = False,
 ) -> CellMixCandidate:
-    """Evaluate the linearity (and area) of one configuration."""
+    """Evaluate the linearity (and area) of one configuration.
+
+    Runs through the vectorized batch path unless ``scalar`` is set
+    (the equivalence-test oracle).
+    """
     temps = (
         np.asarray(temperatures_c, dtype=float)
         if temperatures_c is not None
         else default_temperature_grid()
     )
     ring = RingOscillator(library, configuration)
-    response = analytical_response(ring, temps)
+    response = analytical_response(ring, temps, scalar=scalar)
     return CellMixCandidate(
         configuration=configuration,
         response=response,
@@ -125,6 +130,7 @@ def search_cell_mix(
     temperatures_c: Optional[Sequence[float]] = None,
     fit_method: str = "endpoint",
     top_k: int = 10,
+    scalar: bool = False,
 ) -> CellMixSearchResult:
     """Exhaustively rank all cell mixes of the given stage count.
 
@@ -143,10 +149,13 @@ def search_cell_mix(
     top_k:
         How many ranked candidates to retain in the result (all are
         evaluated regardless).
+    scalar:
+        Evaluate every candidate through the scalar reference path
+        instead of the vectorized batch engine.
     """
     configurations = enumerate_configurations(cell_names, stage_count)
     candidates = [
-        evaluate_configuration(library, configuration, temperatures_c, fit_method)
+        evaluate_configuration(library, configuration, temperatures_c, fit_method, scalar=scalar)
         for configuration in configurations
     ]
     candidates.sort(key=lambda candidate: candidate.max_abs_error_percent)
@@ -161,6 +170,7 @@ def greedy_cell_mix(
     temperatures_c: Optional[Sequence[float]] = None,
     fit_method: str = "endpoint",
     max_iterations: int = 50,
+    scalar: bool = False,
 ) -> CellMixCandidate:
     """Greedy local search over the mix space.
 
@@ -173,7 +183,9 @@ def greedy_cell_mix(
     if stage_count < 3 or stage_count % 2 == 0:
         raise ConfigurationError("stage_count must be an odd number >= 3")
     current = RingConfiguration.uniform(cell_names[0], stage_count)
-    current_candidate = evaluate_configuration(library, current, temperatures_c, fit_method)
+    current_candidate = evaluate_configuration(
+        library, current, temperatures_c, fit_method, scalar=scalar
+    )
 
     for _ in range(max_iterations):
         best_neighbour: Optional[CellMixCandidate] = None
@@ -189,6 +201,7 @@ def greedy_cell_mix(
                     RingConfiguration(tuple(neighbour_stages)),
                     temperatures_c,
                     fit_method,
+                    scalar=scalar,
                 )
                 if (
                     best_neighbour is None

@@ -110,6 +110,7 @@ def sweep_width_ratio(
     stage_count: int = 5,
     temperatures_c: Optional[Sequence[float]] = None,
     fit_method: str = "endpoint",
+    scalar: bool = False,
 ) -> SizingSweepResult:
     """Evaluate the ring non-linearity at each candidate Wp/Wn ratio.
 
@@ -127,6 +128,9 @@ def sweep_width_ratio(
         Sweep grid; the paper's -50..150 range by default.
     fit_method:
         Line-fit convention for the non-linearity metric.
+    scalar:
+        Evaluate through the scalar reference path instead of the
+        vectorized batch engine (equivalence-test oracle).
     """
     if not ratios:
         raise TechnologyError("at least one ratio is required")
@@ -138,7 +142,7 @@ def sweep_width_ratio(
     points: List[SizingPoint] = []
     for ratio in ratios:
         ring = build_sized_ring(technology, float(ratio), nmos_width_um, stage_count)
-        response = analytical_response(ring, temps)
+        response = analytical_response(ring, temps, scalar=scalar)
         points.append(
             SizingPoint(
                 width_ratio=float(ratio),
@@ -156,11 +160,14 @@ def optimize_width_ratio(
     stage_count: int = 5,
     temperatures_c: Optional[Sequence[float]] = None,
     fit_method: str = "endpoint",
+    scalar: bool = False,
 ) -> SizingPoint:
     """Find the Wp/Wn ratio minimising the worst-case non-linearity.
 
     Uses bounded scalar minimisation; the objective is smooth in the
-    ratio so this converges in a handful of evaluations.
+    ratio so this converges in a handful of evaluations.  Each objective
+    evaluation runs through the vectorized batch path unless ``scalar``
+    is set.
     """
     if len(ratio_bounds) != 2 or ratio_bounds[0] >= ratio_bounds[1]:
         raise TechnologyError("ratio_bounds must be an increasing (low, high) pair")
@@ -172,7 +179,7 @@ def optimize_width_ratio(
 
     def objective(ratio: float) -> float:
         ring = build_sized_ring(technology, float(ratio), nmos_width_um, stage_count)
-        response = analytical_response(ring, temps)
+        response = analytical_response(ring, temps, scalar=scalar)
         return nonlinearity(response, fit_method).max_abs_error_percent
 
     result = scipy_optimize.minimize_scalar(
@@ -181,7 +188,7 @@ def optimize_width_ratio(
     )
     best_ratio = float(result.x)
     ring = build_sized_ring(technology, best_ratio, nmos_width_um, stage_count)
-    response = analytical_response(ring, temps)
+    response = analytical_response(ring, temps, scalar=scalar)
     return SizingPoint(
         width_ratio=best_ratio,
         response=response,

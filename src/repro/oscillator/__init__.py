@@ -13,6 +13,7 @@ from .period import (
     default_temperature_grid,
     paper_temperature_grid,
     simulated_response,
+    validate_temperature_grid,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "default_temperature_grid",
     "paper_temperature_grid",
     "simulated_response",
+    "validate_temperature_grid",
 ]

@@ -23,7 +23,44 @@ __all__ = [
     "paper_temperature_grid",
     "analytical_response",
     "simulated_response",
+    "validate_temperature_grid",
 ]
+
+
+def validate_temperature_grid(
+    temperatures_c: Sequence[float], context: str = "temperature sweep"
+) -> np.ndarray:
+    """Validate and sort a user-supplied temperature grid up front.
+
+    Returns the sorted grid; raises :class:`TechnologyError` with a
+    clear message for the failure modes that used to surface late (or
+    be silently papered over) in the sweep paths: fewer than three
+    points, NaNs, and duplicate temperatures.  Duplicates are rejected
+    rather than deduplicated so a caller's typo cannot silently shrink
+    the grid below what they asked for.
+    """
+    temps = np.asarray(list(temperatures_c), dtype=float)
+    if temps.ndim != 1:
+        raise TechnologyError(
+            f"{context}: temperatures must form a one-dimensional grid, "
+            f"got shape {temps.shape}"
+        )
+    if temps.size < 3:
+        raise TechnologyError(
+            f"{context}: at least three temperatures are required, got {temps.size}"
+        )
+    if np.any(~np.isfinite(temps)):
+        raise TechnologyError(
+            f"{context}: temperatures must be finite (no NaN or infinity)"
+        )
+    temps = np.sort(temps)
+    if np.any(np.diff(temps) == 0.0):
+        duplicates = sorted(set(temps[1:][np.diff(temps) == 0.0].tolist()))
+        raise TechnologyError(
+            f"{context}: duplicate temperatures {duplicates}; each sweep "
+            "point must be unique"
+        )
+    return temps
 
 
 def default_temperature_grid(
@@ -114,23 +151,47 @@ class TemperatureResponse:
         return float(np.interp(temperature_c, temps, self.periods_s))
 
     def subsampled(self, temperatures_c: Sequence[float]) -> "TemperatureResponse":
-        """Response restricted (by interpolation) to a coarser grid."""
-        temps = np.asarray(sorted(float(t) for t in temperatures_c))
-        periods = np.asarray([self.period_at(t) for t in temps])
+        """Response restricted (by interpolation) to a coarser grid.
+
+        The grid is validated up front: at least three unique
+        temperatures, all inside the response's characterised range.
+        """
+        temps = validate_temperature_grid(temperatures_c, context="subsampled grid")
+        full = self.temperatures_c
+        if temps[0] < full[0] or temps[-1] > full[-1]:
+            raise TechnologyError(
+                f"subsampled grid [{temps[0]}, {temps[-1]}] C extends outside "
+                f"the response range [{full[0]}, {full[-1]}] C"
+            )
+        periods = np.interp(temps, full, self.periods_s)
         return TemperatureResponse(self.label, temps, periods)
 
 
 def analytical_response(
     ring: RingOscillator,
     temperatures_c: Optional[Sequence[float]] = None,
+    scalar: bool = False,
 ) -> TemperatureResponse:
-    """Temperature response computed with the analytical delay model."""
+    """Temperature response computed with the analytical delay model.
+
+    Parameters
+    ----------
+    ring:
+        The ring oscillator to sweep.
+    temperatures_c:
+        Sweep grid (the paper's -50..150 range by default).
+    scalar:
+        When true, evaluate one temperature at a time through the
+        scalar reference path instead of the vectorized stage-sum —
+        the oracle the batch engine's equivalence tests compare
+        against.
+    """
     temps = (
         np.asarray(temperatures_c, dtype=float)
         if temperatures_c is not None
         else default_temperature_grid()
     )
-    periods = ring.period_series(temps)
+    periods = ring.period_series_scalar(temps) if scalar else ring.period_series(temps)
     return TemperatureResponse(ring.label(), temps, periods)
 
 
@@ -143,9 +204,11 @@ def simulated_response(
     """Temperature response measured with the transistor-level simulator.
 
     Considerably slower than :func:`analytical_response`; intended for
-    validation at a handful of temperatures.
+    validation at a handful of temperatures.  The grid is validated up
+    front (three or more unique temperatures) so a bad grid fails with a
+    clear message *before* minutes of transient simulation are spent.
     """
-    temps = np.asarray(sorted(float(t) for t in temperatures_c))
+    temps = validate_temperature_grid(temperatures_c, context="simulated_response grid")
     periods = np.asarray(
         [
             ring.simulated_period(float(t), cycles=cycles, points_per_period=points_per_period)

@@ -55,12 +55,12 @@ class RingOscillator:
         Local wire length between consecutive stages (adds a small fixed
         capacitance per stage).
     external_load_f:
-        Additional capacitance on every stage output, e.g. the tap that
-        feeds the readout counter (applied to the tapped stage only if
-        ``tap_stage`` is given).
+        Additional capacitance of the tap that feeds the readout
+        counter, applied to exactly one stage output (the tapped stage).
     tap_stage:
-        Stage index whose output drives the readout logic; ``None``
-        spreads ``external_load_f`` over no stage.
+        Stage index whose output drives the readout logic.  ``None``
+        (the default) taps the last stage whenever ``external_load_f``
+        is non-zero, so the tap load is never silently dropped.
     """
 
     def __init__(
@@ -110,15 +110,30 @@ class RingOscillator:
         """The resolved stage cells in ring order."""
         return list(self._cells)
 
+    def effective_tap_stage(self) -> Optional[int]:
+        """The stage whose output carries ``external_load_f``.
+
+        An explicit ``tap_stage`` wins; otherwise the last stage is
+        tapped whenever an external load was given (a non-zero
+        ``external_load_f`` must load *some* stage — silently ignoring
+        it would make the parameter dead).
+        """
+        if self.tap_stage is not None:
+            return self.tap_stage
+        if self.external_load_f > 0.0:
+            return self.stage_count - 1
+        return None
+
     def stages(self) -> List[RingStage]:
         """Stages with their resolved output loads."""
         tech = self.technology
         wire_f = wire_capacitance(tech, self.wire_length_um)
+        tap = self.effective_tap_stage()
         result: List[RingStage] = []
         for index, cell in enumerate(self._cells):
             next_cell = self._cells[(index + 1) % self.stage_count]
             load = next_cell.input_capacitance() + wire_f
-            if self.tap_stage is not None and index == self.tap_stage:
+            if tap is not None and index == tap:
                 load += self.external_load_f
             result.append(RingStage(index=index, cell=cell, load_f=load))
         return result
@@ -155,8 +170,81 @@ class RingOscillator:
         return 1.0 / self.period(temperature_c)
 
     def period_series(self, temperatures_c: Sequence[float]) -> np.ndarray:
-        """Periods (s) over a temperature sweep."""
+        """Periods (s) over a temperature sweep (vectorized).
+
+        Each stage's delay contribution is evaluated once for the whole
+        temperature grid and accumulated — a single vectorized stage-sum
+        instead of a Python loop over temperatures.  Matches
+        :meth:`period_series_scalar` (and therefore :meth:`period`) to
+        floating-point rounding.
+        """
+        temps = np.asarray(temperatures_c, dtype=float)
+        total = np.zeros(temps.shape)
+        for stage in self.stages():
+            total = total + stage.cell.stage_delay_sum(temps, stage.load_f)
+        return total
+
+    def period_series_scalar(self, temperatures_c: Sequence[float]) -> np.ndarray:
+        """Periods (s) over a temperature sweep, one scalar call per point.
+
+        The pre-vectorization reference path, kept as the oracle the
+        equivalence tests (and :class:`repro.engine.BatchEvaluator` in
+        scalar mode) compare the batch engine against.
+        """
         return np.asarray([self.period(float(t)) for t in temperatures_c])
+
+    def rebind(self, technology) -> "RingOscillator":
+        """A copy of this ring implemented in another technology.
+
+        The stage cells keep their names, topologies, sizings and delay
+        options; only the technology (and therefore every
+        temperature-dependent parameter and parasitic) changes.  This is
+        how the batch engine sweeps one ring design across Monte-Carlo
+        or corner technology samples without rebuilding a full default
+        library per sample.
+        """
+        library = CellLibrary(f"{self.library.name}@{technology.name}", technology)
+        seen = set()
+        for cell in self._cells:
+            if cell.name in seen:
+                continue
+            seen.add(cell.name)
+            library.add(
+                StandardCell(
+                    name=cell.name,
+                    technology=technology,
+                    topology=cell.topology,
+                    nmos_width_um=cell.nmos_width_um,
+                    pmos_width_um=cell.pmos_width_um,
+                    delay_options=cell.delay_options,
+                )
+            )
+        return RingOscillator(
+            library,
+            self.configuration,
+            wire_length_um=self.wire_length_um,
+            external_load_f=self.external_load_f,
+            tap_stage=self.tap_stage,
+        )
+
+    def period_matrix(
+        self,
+        technologies: Sequence,
+        temperatures_c: Sequence[float],
+    ) -> np.ndarray:
+        """Periods (s) on a (technology sample x temperature) grid.
+
+        Re-binds the ring to each technology in turn (see
+        :meth:`rebind`) and evaluates the vectorized temperature axis
+        once per sample, producing the
+        ``(len(technologies), len(temperatures_c))`` matrix that backs
+        the Monte-Carlo and corner batch paths.
+        """
+        temps = np.asarray(temperatures_c, dtype=float)
+        matrix = np.zeros((len(technologies), temps.size))
+        for row, tech in enumerate(technologies):
+            matrix[row] = self.rebind(tech).period_series(temps)
+        return matrix
 
     def sensitivity(self, temperature_c: float, delta_c: float = 1.0) -> float:
         """Local d(period)/dT (s/K) by central difference."""

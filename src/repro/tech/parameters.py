@@ -23,7 +23,9 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
+
+import numpy as np
 
 #: Reference temperature (kelvin) at which nominal parameters are quoted.
 T_NOMINAL_K = 300.15
@@ -38,13 +40,23 @@ CELSIUS_OFFSET = 273.15
 K_B_OVER_Q = 8.617333262e-5
 
 
-def celsius_to_kelvin(temp_c: float) -> float:
-    """Convert a temperature from degrees Celsius to kelvin."""
+def celsius_to_kelvin(temp_c: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+    """Convert a temperature from degrees Celsius to kelvin.
+
+    Accepts a scalar or an ndarray (converted elementwise).
+    """
+    if isinstance(temp_c, np.ndarray):
+        return temp_c.astype(float) + CELSIUS_OFFSET
     return float(temp_c) + CELSIUS_OFFSET
 
 
-def kelvin_to_celsius(temp_k: float) -> float:
-    """Convert a temperature from kelvin to degrees Celsius."""
+def kelvin_to_celsius(temp_k: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+    """Convert a temperature from kelvin to degrees Celsius.
+
+    Accepts a scalar or an ndarray (converted elementwise).
+    """
+    if isinstance(temp_k, np.ndarray):
+        return temp_k.astype(float) - CELSIUS_OFFSET
     return float(temp_k) - CELSIUS_OFFSET
 
 

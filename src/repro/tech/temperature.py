@@ -25,12 +25,20 @@ physical mechanisms drive that variation and are modelled here:
 All functions take the temperature in kelvin; helpers working in
 Celsius live next to the experiment code, because the paper quotes its
 sweep in Celsius.
+
+Every function accepts either a scalar temperature or an ndarray of
+temperatures and evaluates elementwise — this is the lowest layer of the
+vectorized batch-evaluation path (:mod:`repro.engine`): one call with a
+41-point temperature grid replaces 41 scalar calls.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
 
 from .parameters import (
     T_NOMINAL_K,
@@ -50,7 +58,18 @@ __all__ = [
 ]
 
 
-def _check_temperature(temp_k: float) -> float:
+#: A junction temperature: either a scalar or an ndarray of temperatures.
+TemperatureLike = Union[float, np.ndarray]
+
+
+def _check_temperature(temp_k: TemperatureLike) -> TemperatureLike:
+    if isinstance(temp_k, np.ndarray):
+        temps = temp_k.astype(float)
+        if np.any(~(temps > 0.0)) or np.any(np.isnan(temps)):
+            raise TechnologyError(
+                f"temperatures must be positive kelvin, got {temps}"
+            )
+        return temps
     temp_k = float(temp_k)
     if not temp_k > 0.0 or math.isnan(temp_k):
         raise TechnologyError(f"temperature must be positive kelvin, got {temp_k}")
@@ -77,6 +96,8 @@ def threshold_voltage_at(params: TransistorParameters, temp_k: float) -> float:
     """
     temp_k = _check_temperature(temp_k)
     vth = params.vth0 - params.vth_temp_coeff * (temp_k - T_NOMINAL_K)
+    if isinstance(vth, np.ndarray):
+        return np.maximum(vth, 0.05)
     return max(vth, 0.05)
 
 
@@ -84,6 +105,8 @@ def saturation_velocity_at(params: TransistorParameters, temp_k: float) -> float
     """Saturation velocity (cm/s) at temperature ``temp_k``."""
     temp_k = _check_temperature(temp_k)
     factor = 1.0 - params.vsat_temp_coeff * (temp_k - T_NOMINAL_K)
+    if isinstance(factor, np.ndarray):
+        return params.vsat_cm_per_s * np.maximum(factor, 0.1)
     return params.vsat_cm_per_s * max(factor, 0.1)
 
 
@@ -95,6 +118,8 @@ def alpha_at(params: TransistorParameters, temp_k: float) -> float:
     """
     temp_k = _check_temperature(temp_k)
     alpha = params.alpha + params.alpha_temp_coeff * (temp_k - T_NOMINAL_K)
+    if isinstance(alpha, np.ndarray):
+        return np.clip(alpha, 1.0, 2.0)
     return min(2.0, max(1.0, alpha))
 
 
@@ -111,6 +136,11 @@ class DeviceAtTemperature:
     Produced by :func:`device_at` and consumed by the device models and
     the analytical delay model, so that the temperature dependence is
     computed in exactly one place.
+
+    When :func:`device_at` is called with an ndarray of temperatures the
+    temperature-dependent fields (``temperature_k``, ``vth``,
+    ``mobility``, ``alpha``, ``vsat_cm_per_s``,
+    ``process_transconductance``) hold matching ndarrays.
     """
 
     polarity: str
@@ -131,7 +161,7 @@ class DeviceAtTemperature:
         return self.temperature_k - 273.15
 
 
-def device_at(params: TransistorParameters, temp_k: float) -> DeviceAtTemperature:
+def device_at(params: TransistorParameters, temp_k: TemperatureLike) -> DeviceAtTemperature:
     """Evaluate all temperature-dependent parameters of a device type.
 
     Parameters
@@ -139,7 +169,8 @@ def device_at(params: TransistorParameters, temp_k: float) -> DeviceAtTemperatur
     params:
         Nominal transistor parameters.
     temp_k:
-        Junction temperature in kelvin.
+        Junction temperature in kelvin — a scalar, or an ndarray to
+        evaluate a whole temperature grid in one call.
     """
     temp_k = _check_temperature(temp_k)
     mobility = mobility_at(params, temp_k)

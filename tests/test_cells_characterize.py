@@ -10,6 +10,8 @@ import pytest
 from repro.cells import CellError, buffer_cell, inverter, measure_cell_delays, model_accuracy, nand_gate
 from repro.tech import CMOS035
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def inverter_measurement():

@@ -8,6 +8,7 @@ from repro.oscillator import (
     analytical_response,
     default_temperature_grid,
     paper_temperature_grid,
+    validate_temperature_grid,
 )
 from repro.tech import TechnologyError
 
@@ -88,12 +89,61 @@ class TestTemperatureResponse:
         response = self.make()
         assert response.frequencies_hz[0] == pytest.approx(1.0 / response.periods_s[0])
 
+    def test_subsampled_rejects_bad_grids_up_front(self):
+        response = self.make()
+        with pytest.raises(TechnologyError, match="at least three"):
+            response.subsampled([-50.0, 150.0])
+        with pytest.raises(TechnologyError, match="duplicate temperatures"):
+            response.subsampled([-50.0, 50.0, 50.0, 150.0])
+        with pytest.raises(TechnologyError, match="outside"):
+            response.subsampled([-50.0, 50.0, 200.0])
+        with pytest.raises(TechnologyError, match="NaN"):
+            response.subsampled([-50.0, float("nan"), 150.0])
+        with pytest.raises(TechnologyError, match="finite"):
+            response.subsampled([-50.0, float("inf"), 150.0])
+
+
+class TestValidateTemperatureGrid:
+    def test_sorts_unordered_grids(self):
+        grid = validate_temperature_grid([50.0, -50.0, 150.0])
+        assert np.array_equal(grid, [-50.0, 50.0, 150.0])
+
+    def test_error_messages_name_the_context(self):
+        with pytest.raises(TechnologyError, match="simulated sweep"):
+            validate_temperature_grid([0.0, 1.0], context="simulated sweep")
+
+    def test_duplicates_are_rejected_not_deduplicated(self):
+        """A duplicated point used to be silently collapsed (shrinking
+        the grid below what the caller asked for) or to surface as a
+        late 'strictly increasing' failure; it must fail fast instead."""
+        with pytest.raises(TechnologyError, match=r"duplicate temperatures \[25\.0\]"):
+            validate_temperature_grid([0.0, 25.0, 25.0, 100.0])
+
+    def test_rejects_multidimensional_input(self):
+        with pytest.raises(TechnologyError, match="one-dimensional"):
+            validate_temperature_grid(np.zeros((2, 3)))
+
+
+class TestSimulatedResponseValidation:
+    def test_bad_grids_fail_before_any_simulation(self, inverter_ring):
+        from repro.oscillator import simulated_response
+
+        with pytest.raises(TechnologyError, match="at least three"):
+            simulated_response(inverter_ring, [0.0, 100.0])
+        with pytest.raises(TechnologyError, match="duplicate temperatures"):
+            simulated_response(inverter_ring, [0.0, 50.0, 50.0])
+
 
 class TestAnalyticalResponse:
     def test_uses_default_grid(self, inverter_ring):
         response = analytical_response(inverter_ring)
         assert response.temperatures_c.size == 41
         assert response.label == "5INV"
+
+    def test_scalar_flag_uses_reference_path(self, inverter_ring, paper_temperatures):
+        scalar = analytical_response(inverter_ring, paper_temperatures, scalar=True)
+        vectorized = analytical_response(inverter_ring, paper_temperatures)
+        assert np.allclose(scalar.periods_s, vectorized.periods_s, rtol=1e-9)
 
     def test_matches_ring_period(self, inverter_ring, paper_temperatures):
         response = analytical_response(inverter_ring, paper_temperatures)

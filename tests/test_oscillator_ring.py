@@ -58,6 +58,32 @@ class TestStageLoads:
         )
         assert tapped.period(25.0) > plain.period(25.0)
 
+    def test_external_load_without_tap_stage_is_not_dropped(self, library):
+        """A non-zero external load must slow the ring even when no
+        explicit tap stage is given (it defaults to the last stage)."""
+        plain = RingOscillator(library, RingConfiguration.uniform("INV", 5))
+        tapped = RingOscillator(
+            library, RingConfiguration.uniform("INV", 5), external_load_f=10e-15
+        )
+        assert tapped.effective_tap_stage() == 4
+        assert tapped.stages()[4].load_f == pytest.approx(
+            plain.stages()[4].load_f + 10e-15
+        )
+        assert tapped.period(25.0) > plain.period(25.0)
+        # The default is only engaged when there is a load to carry.
+        assert plain.effective_tap_stage() is None
+
+    def test_explicit_tap_stage_wins_over_default(self, library):
+        tapped = RingOscillator(
+            library,
+            RingConfiguration.uniform("INV", 5),
+            external_load_f=10e-15,
+            tap_stage=1,
+        )
+        assert tapped.effective_tap_stage() == 1
+        loads = [stage.load_f for stage in tapped.stages()]
+        assert loads[1] == pytest.approx(max(loads))
+
 
 class TestPeriod:
     def test_period_positive_and_subnanosecond(self, inverter_ring):

@@ -10,6 +10,8 @@ import pytest
 from repro.oscillator import RingConfiguration, RingOscillator, simulated_response
 from repro.tech import CMOS035
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def simulated_waveform(inverter_ring_module):
