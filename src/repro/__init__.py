@@ -55,13 +55,17 @@ True
 Performance & batch evaluation
 ------------------------------
 
-The whole analytical stack broadcasts over ndarray temperature grids:
-the device models (:mod:`repro.tech.temperature`), the alpha-power
-delay model (:mod:`repro.delay.alpha_power`), cell delays
+The whole analytical stack broadcasts over ndarray temperature grids
+*and* over a leading technology-sample axis: a Monte-Carlo or corner
+population stored as a struct-of-arrays
+:class:`repro.tech.TechnologyArray` flows through the device models
+(:mod:`repro.tech.temperature`), the alpha-power delay model
+(:mod:`repro.delay.alpha_power`), cell delays
 (:meth:`repro.cells.StandardCell.delays`) and the ring period
 (:meth:`repro.oscillator.RingOscillator.period_series`,
 :meth:`~repro.oscillator.RingOscillator.period_matrix` for
-(sample x temperature) grids).  :class:`repro.engine.BatchEvaluator`
+(sample x temperature) grids) as one broadcast — no Python loop per
+sample.  :class:`repro.engine.BatchEvaluator`
 is the façade over that path — it runs Monte-Carlo populations,
 sensor transfer functions and the Fig. 2 / Fig. 3 sweeps as batch
 NumPy operations, several-fold faster than the per-temperature scalar
@@ -86,9 +90,12 @@ from .tech import (
     CMOS025,
     CMOS035,
     Technology,
+    TechnologyArray,
     TechnologyError,
     TransistorParameters,
     get_technology,
+    sample_technology_array,
+    stack_technologies,
 )
 from .cells import CellLibrary, StandardCell, default_library
 from .oscillator import (
@@ -117,9 +124,12 @@ __all__ = [
     "CMOS025",
     "CMOS035",
     "Technology",
+    "TechnologyArray",
     "TechnologyError",
     "TransistorParameters",
     "get_technology",
+    "sample_technology_array",
+    "stack_technologies",
     "CellLibrary",
     "StandardCell",
     "default_library",

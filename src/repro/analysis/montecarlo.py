@@ -16,9 +16,14 @@ import numpy as np
 
 from ..cells.library import default_library
 from ..oscillator.config import RingConfiguration
-from ..oscillator.period import TemperatureResponse, analytical_response, default_temperature_grid
+from ..oscillator.period import (
+    TemperatureResponse,
+    analytical_response,
+    default_temperature_grid,
+    validate_temperature_grid,
+)
 from ..oscillator.ring import RingOscillator
-from ..tech.corners import VariationModel, sample_technologies
+from ..tech.corners import VariationModel, sample_technologies, sample_technology_array
 from ..tech.parameters import Technology, TechnologyError
 from .linearity import nonlinearity
 from .statistics import SummaryStatistics, summarize
@@ -84,7 +89,11 @@ def run_monte_carlo(
     sample_count:
         Number of Monte-Carlo samples.
     temperatures_c:
-        Sweep grid (defaults to the paper's -50..150 range).
+        Sweep grid (defaults to the paper's -50..150 range).  Validated
+        up front via
+        :func:`~repro.oscillator.period.validate_temperature_grid`:
+        unsorted grids are sorted, and duplicate or non-finite
+        temperatures raise :class:`TechnologyError` immediately.
     reference_temperature_c:
         Temperature at which the absolute-period spread is reported.
     variation:
@@ -103,34 +112,40 @@ def run_monte_carlo(
     """
     if sample_count < 2:
         raise TechnologyError("sample_count must be at least 2")
+    # Validate user grids up front: unsorted, duplicate or non-finite
+    # temperatures used to slip through and silently break the
+    # temps[0] <= reference <= temps[-1] range check below.
     temps = (
-        np.asarray(temperatures_c, dtype=float)
+        validate_temperature_grid(temperatures_c, context="run_monte_carlo sweep")
         if temperatures_c is not None
         else default_temperature_grid(points=21)
     )
     if not temps[0] <= reference_temperature_c <= temps[-1]:
         raise TechnologyError("reference temperature must lie inside the sweep range")
 
-    # With the default ring builder the vectorized path evaluates the
-    # whole population as one (sample x temperature) period matrix —
-    # the ring is built once and re-bound per sample, instead of
-    # rebuilding a full default library for every sample.  A custom
-    # ring_builder (or scalar mode) falls back to the per-sample sweep.
+    # With the default ring builder the vectorized path draws the
+    # population directly in struct-of-arrays form and evaluates the
+    # whole (sample x temperature) period matrix as one broadcast — no
+    # per-sample library, rebind or Python loop.  A custom ring_builder
+    # (or scalar mode) falls back to the per-sample sweep.
     use_period_matrix = ring_builder is None and not scalar
     if ring_builder is None:
         def ring_builder(tech: Technology, config: RingConfiguration) -> RingOscillator:
             return RingOscillator(default_library(tech), config)
 
-    samples = sample_technologies(
-        base_technology, sample_count, model=variation, seed=seed
-    )
     responses: List[TemperatureResponse] = []
     if use_period_matrix:
+        population = sample_technology_array(
+            base_technology, sample_count, model=variation, seed=seed
+        )
         base_ring = ring_builder(base_technology, configuration)
-        matrix = base_ring.period_matrix(samples, temps)
+        matrix = base_ring.period_matrix(population, temps)
         label = base_ring.label()
         responses = [TemperatureResponse(label, temps, row) for row in matrix]
     else:
+        samples = sample_technologies(
+            base_technology, sample_count, model=variation, seed=seed
+        )
         responses = [
             analytical_response(ring_builder(sample, configuration), temps, scalar=scalar)
             for sample in samples

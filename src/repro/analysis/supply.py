@@ -20,6 +20,7 @@ from ..cells.library import CellLibrary, default_library
 from ..oscillator.config import RingConfiguration
 from ..oscillator.ring import RingOscillator
 from ..tech.parameters import Technology, TechnologyError
+from ..tech.stacked import stack_technologies
 
 __all__ = ["SupplySensitivityReport", "supply_sensitivity"]
 
@@ -68,32 +69,65 @@ def supply_sensitivity(
     supply_delta_v: float = 0.05,
     temperature_delta_c: float = 5.0,
     library_builder: Optional[Callable[[Technology], CellLibrary]] = None,
+    scalar: bool = False,
 ) -> SupplySensitivityReport:
     """Evaluate the temperature and supply sensitivities of a ring.
 
     Both derivatives are taken by central differences: the supply
-    derivative by rebuilding the ring's library at ``Vdd +/- delta``
-    (input capacitances do not change, only the drive), the temperature
-    derivative directly from the period model.
+    derivative at ``Vdd +/- delta`` (input capacitances do not change,
+    only the drive), the temperature derivative directly from the period
+    model.
+
+    On the default path the ring is built once and the two supply
+    points are evaluated as one stacked two-sample technology
+    population, and the temperature difference as one vectorized
+    two-point sweep — one library build instead of four.  Passing a
+    custom ``library_builder`` (whose cells may legitimately depend on
+    the supply) or ``scalar=True`` falls back to the original
+    rebuild-per-operating-point loop, which is kept as the equivalence
+    oracle.
     """
     if supply_delta_v <= 0.0 or temperature_delta_c <= 0.0:
         raise TechnologyError("finite-difference deltas must be positive")
     builder = library_builder or default_library
-
-    def period_at(vdd: float, temp_c: float) -> float:
-        tech = technology.with_supply(vdd)
-        ring = RingOscillator(builder(tech), configuration)
-        return ring.period(temp_c)
-
     nominal_vdd = technology.vdd
-    period_per_volt = (
-        period_at(nominal_vdd + supply_delta_v, temperature_c)
-        - period_at(nominal_vdd - supply_delta_v, temperature_c)
-    ) / (2.0 * supply_delta_v)
-    period_per_kelvin = (
-        period_at(nominal_vdd, temperature_c + temperature_delta_c)
-        - period_at(nominal_vdd, temperature_c - temperature_delta_c)
-    ) / (2.0 * temperature_delta_c)
+
+    if scalar or library_builder is not None:
+        def period_at(vdd: float, temp_c: float) -> float:
+            tech = technology.with_supply(vdd)
+            ring = RingOscillator(builder(tech), configuration)
+            return ring.period(temp_c)
+
+        period_per_volt = (
+            period_at(nominal_vdd + supply_delta_v, temperature_c)
+            - period_at(nominal_vdd - supply_delta_v, temperature_c)
+        ) / (2.0 * supply_delta_v)
+        period_per_kelvin = (
+            period_at(nominal_vdd, temperature_c + temperature_delta_c)
+            - period_at(nominal_vdd, temperature_c - temperature_delta_c)
+        ) / (2.0 * temperature_delta_c)
+    else:
+        ring = RingOscillator(builder(technology), configuration)
+        supplies = stack_technologies(
+            [
+                technology.with_supply(nominal_vdd + supply_delta_v),
+                technology.with_supply(nominal_vdd - supply_delta_v),
+            ]
+        )
+        supply_periods = ring.period_matrix(
+            supplies, np.asarray([temperature_c])
+        )
+        period_per_volt = float(
+            supply_periods[0, 0] - supply_periods[1, 0]
+        ) / (2.0 * supply_delta_v)
+        temp_periods = ring.period_series(
+            np.asarray(
+                [temperature_c + temperature_delta_c, temperature_c - temperature_delta_c]
+            )
+        )
+        period_per_kelvin = float(temp_periods[0] - temp_periods[1]) / (
+            2.0 * temperature_delta_c
+        )
     if period_per_kelvin == 0.0:
         raise TechnologyError("the ring has no temperature sensitivity at this point")
 

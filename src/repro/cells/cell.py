@@ -31,6 +31,7 @@ from ..delay.alpha_power import DelayModelOptions, DriveNetwork, gate_delay
 from ..delay.load import input_capacitance, output_parasitic_capacitance
 from ..devices.mosfet import DeviceSizing, MosfetModel
 from ..tech.parameters import Technology, TechnologyError, celsius_to_kelvin
+from ..tech.stacked import TechnologyArray
 
 __all__ = ["CellTopology", "GateDelays", "StandardCell", "CellError"]
 
@@ -230,7 +231,7 @@ class StandardCell:
     # ------------------------------------------------------------------ #
 
     def delays(
-        self, temperature_c: Union[float, np.ndarray], load_f: float
+        self, temperature_c: Union[float, np.ndarray], load_f: Union[float, np.ndarray]
     ) -> GateDelays:
         """Propagation delays at a junction temperature and external load.
 
@@ -238,9 +239,14 @@ class StandardCell:
         capacitance before the alpha-power delay model is applied.
         ``temperature_c`` may be an ndarray, in which case the returned
         :class:`GateDelays` holds delay arrays evaluated over the whole
-        grid in one vectorized call.
+        grid in one vectorized call.  ``load_f`` may also be an ndarray
+        (e.g. a load grid, or the per-sample loads of a stacked
+        technology) as long as it broadcasts against the temperature
+        argument; a cell bound to a
+        :class:`~repro.tech.stacked.TechnologyArray` evaluates the whole
+        ``(sample x temperature)`` population in this one call.
         """
-        if load_f < 0.0:
+        if np.any(np.asarray(load_f) < 0.0):
             raise CellError("load capacitance must be non-negative")
         if not self.topology.inverting and self.topology.kind != "BUF":
             raise CellError(f"cell {self.name} has an unsupported topology")
@@ -277,7 +283,7 @@ class StandardCell:
         return GateDelays(tphl=tphl, tplh=tplh)
 
     def stage_delay_sum(
-        self, temperature_c: Union[float, np.ndarray], load_f: float
+        self, temperature_c: Union[float, np.ndarray], load_f: Union[float, np.ndarray]
     ) -> Union[float, np.ndarray]:
         """tpHL + tpLH, the quantity a ring-oscillator stage contributes."""
         return self.delays(temperature_c, load_f).pair_sum
@@ -308,6 +314,12 @@ class StandardCell:
             raise CellError(
                 "transistor-level netlists are only generated for single-stage "
                 "inverting cells (INV/NAND/NOR)"
+            )
+        if isinstance(self.technology, TechnologyArray):
+            raise CellError(
+                f"cell {self.name} is bound to a stacked technology population; "
+                "netlists need one concrete sample — unstack it with "
+                "TechnologyArray.technology_at(index) first"
             )
         prefix = instance or f"{self.name}_{len(circuit.elements)}"
         tech = self.technology

@@ -15,6 +15,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..tech.stacked import TechnologyArray
 from .cell import CellError, StandardCell
 
 __all__ = ["TimingTable", "characterize_cell"]
@@ -162,6 +163,12 @@ def characterize_cell(
         Load-capacitance grid; defaults to 1x..8x the cell's own input
         capacitance, which covers typical fan-outs.
     """
+    if isinstance(cell.technology, TechnologyArray):
+        raise CellError(
+            f"cell {cell.name} is bound to a stacked technology population; "
+            "timing tables describe one sample — unstack with "
+            "TechnologyArray.technology_at(index) and re-bind the cell first"
+        )
     temps = np.asarray(sorted(set(float(t) for t in temperatures_c)))
     if temps.size < 2:
         raise CellError("at least two characterisation temperatures are required")
@@ -173,18 +180,14 @@ def characterize_cell(
         if loads.size < 2:
             raise CellError("at least two characterisation loads are required")
 
-    tphl = np.zeros((temps.size, loads.size))
-    tplh = np.zeros((temps.size, loads.size))
-    # One vectorized evaluation per load column instead of a scalar call
-    # per (temperature, load) grid point.
-    for j, load in enumerate(loads):
-        delays = cell.delays(temps, float(load))
-        tphl[:, j] = delays.tphl
-        tplh[:, j] = delays.tplh
+    # One broadcast evaluation of the whole (temperature x load) grid:
+    # the (T, 1) temperature column against the (L,) load row produces
+    # both delay surfaces in a single pass through the delay model.
+    delays = cell.delays(temps[:, None], loads)
     return TimingTable(
         cell_name=cell.name,
         temperatures_c=temps,
         loads_f=loads,
-        tphl_s=tphl,
-        tplh_s=tplh,
+        tphl_s=delays.tphl,
+        tplh_s=delays.tplh,
     )

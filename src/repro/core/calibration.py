@@ -29,7 +29,7 @@ Three calibration schemes are modelled, in increasing per-die cost:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
@@ -68,15 +68,38 @@ class LinearCalibration:
         if self.slope_c_per_second == 0.0:
             raise CalibrationError("calibration slope must be non-zero")
 
-    def temperature(self, period_s: float) -> float:
-        """Convert a measured period (seconds) to a temperature estimate."""
-        if period_s <= 0.0:
-            raise CalibrationError("measured period must be positive")
-        return self.slope_c_per_second * float(period_s) + self.offset_c
+    def temperature(
+        self, period_s: Union[float, np.ndarray]
+    ) -> Union[float, np.ndarray]:
+        """Convert a measured period (seconds) to a temperature estimate.
 
-    def period(self, temperature_c: float) -> float:
-        """Inverse map: the period expected at a temperature."""
-        return (temperature_c - self.offset_c) / self.slope_c_per_second
+        Accepts a scalar (returning a float, as the per-reading path
+        always has) or an ndarray of periods of any shape, converted
+        elementwise in one vectorized call — the form the batched
+        calibration sweeps use on whole ``(sample x temperature)``
+        measured-period matrices.
+        """
+        periods = np.asarray(period_s, dtype=float)
+        if np.any(periods <= 0.0):
+            raise CalibrationError("measured period must be positive")
+        estimates = self.slope_c_per_second * periods + self.offset_c
+        if np.ndim(period_s) == 0:
+            return float(estimates)
+        return estimates
+
+    def period(
+        self, temperature_c: Union[float, np.ndarray]
+    ) -> Union[float, np.ndarray]:
+        """Inverse map: the period expected at a temperature.
+
+        Like :meth:`temperature`, broadcasts elementwise over ndarray
+        inputs and returns a plain float for scalar inputs.
+        """
+        temps = np.asarray(temperature_c, dtype=float)
+        periods = (temps - self.offset_c) / self.slope_c_per_second
+        if np.ndim(temperature_c) == 0:
+            return float(periods)
+        return periods
 
     def with_offset_shift(self, delta_c: float) -> "LinearCalibration":
         """Return a copy with the offset shifted by ``delta_c`` kelvin."""
@@ -113,12 +136,22 @@ class PolynomialCalibration:
         if self.period_scale_s <= 0.0:
             raise CalibrationError("period_scale_s must be positive")
 
-    def temperature(self, period_s: float) -> float:
-        """Convert a measured period (seconds) to a temperature estimate."""
-        if period_s <= 0.0:
+    def temperature(
+        self, period_s: Union[float, np.ndarray]
+    ) -> Union[float, np.ndarray]:
+        """Convert a measured period (seconds) to a temperature estimate.
+
+        Accepts a scalar (returning a float) or an ndarray of periods,
+        evaluated elementwise through the normalised polynomial.
+        """
+        periods = np.asarray(period_s, dtype=float)
+        if np.any(periods <= 0.0):
             raise CalibrationError("measured period must be positive")
-        x = (float(period_s) - self.period_offset_s) / self.period_scale_s
-        return float(np.polyval(self.coefficients, x))
+        x = (periods - self.period_offset_s) / self.period_scale_s
+        estimates = np.polyval(self.coefficients, x)
+        if np.ndim(period_s) == 0:
+            return float(estimates)
+        return estimates
 
     @property
     def degree(self) -> int:

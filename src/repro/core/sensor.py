@@ -281,6 +281,19 @@ class SmartTemperatureSensor:
         reading = self.counter.convert(self.ring.period(junction_temperature_c))
         return self.counter.code_to_period(reading.code)
 
+    def measured_periods(self, temperatures_c: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`measured_period` over a temperature grid.
+
+        One vectorized ring evaluation plus one batch counter
+        conversion replaces the one-temperature-at-a-time loop; the
+        quantised codes (and therefore the reconstructed periods) are
+        identical to the scalar path element for element.
+        """
+        temps = np.asarray(temperatures_c, dtype=float)
+        periods = self.ring.period_series(temps)
+        codes, _saturated = self.counter.convert_batch(periods)
+        return self.counter.codes_to_periods(codes)
+
     def calibrate_two_point(
         self, low_temperature_c: float = -40.0, high_temperature_c: float = 125.0
     ) -> LinearCalibration:
@@ -327,9 +340,18 @@ class SmartTemperatureSensor:
         self.calibration = calibration
 
     def measurement_errors(
-        self, temperatures_c: Optional[Sequence[float]] = None
+        self,
+        temperatures_c: Optional[Sequence[float]] = None,
+        scalar: bool = False,
     ) -> np.ndarray:
-        """Calibrated measurement error (deg C) over a temperature sweep."""
+        """Calibrated measurement error (deg C) over a temperature sweep.
+
+        The sweep runs through the vectorized batch path by default
+        (one ring evaluation, one batch conversion, one elementwise
+        calibration map).  ``scalar=True`` keeps the original
+        one-temperature-at-a-time loop as the reference oracle for the
+        engine equivalence tests.
+        """
         if self.calibration is None:
             raise TechnologyError("calibrate the sensor before computing errors")
         temps = (
@@ -337,17 +359,24 @@ class SmartTemperatureSensor:
             if temperatures_c is not None
             else default_temperature_grid(points=21)
         )
-        errors = []
-        for temp in temps:
-            estimate = float(self.calibration.temperature(self.measured_period(float(temp))))
-            errors.append(estimate - float(temp))
-        return np.asarray(errors)
+        if scalar:
+            errors = []
+            for temp in temps:
+                estimate = float(self.calibration.temperature(self.measured_period(float(temp))))
+                errors.append(estimate - float(temp))
+            return np.asarray(errors)
+        estimates = np.asarray(
+            self.calibration.temperature(self.measured_periods(temps)), dtype=float
+        )
+        return estimates - temps
 
     def worst_case_error_c(
-        self, temperatures_c: Optional[Sequence[float]] = None
+        self,
+        temperatures_c: Optional[Sequence[float]] = None,
+        scalar: bool = False,
     ) -> float:
         """Worst-case |measurement error| over the sweep."""
-        return float(np.max(np.abs(self.measurement_errors(temperatures_c))))
+        return float(np.max(np.abs(self.measurement_errors(temperatures_c, scalar=scalar))))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

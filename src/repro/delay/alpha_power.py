@@ -144,6 +144,12 @@ def effective_saturation_current(
     network's width.  ``temperature_c`` may be an ndarray, in which case
     the current is evaluated elementwise over the whole grid in one call
     (the vectorized batch-evaluation path).
+
+    ``tech`` may also be a stacked population
+    (:class:`~repro.tech.stacked.TechnologyArray`), whose parameter
+    fields are ``(samples, 1)`` columns: the current then broadcasts
+    over the leading sample axis as well, giving a
+    ``(samples, temperatures)`` matrix in the same single call.
     """
     params = tech.transistor(network.polarity)
     temp_k = celsius_to_kelvin(temperature_c)
@@ -179,7 +185,7 @@ def effective_saturation_current(
 def gate_delay(
     tech: Technology,
     network: DriveNetwork,
-    load_capacitance_f: float,
+    load_capacitance_f: Union[float, np.ndarray],
     temperature_c: Union[float, np.ndarray],
     options: DelayModelOptions = DelayModelOptions(),
 ) -> Union[float, np.ndarray]:
@@ -188,9 +194,13 @@ def gate_delay(
     ``network.polarity == "nmos"`` gives tpHL (output discharged through
     the pull-down network); ``"pmos"`` gives tpLH.  Passing an ndarray of
     temperatures returns the matching ndarray of delays in one
-    vectorized evaluation.
+    vectorized evaluation.  With a stacked technology
+    (:class:`~repro.tech.stacked.TechnologyArray`) the load is a
+    ``(samples, 1)`` column (gate capacitance varies with the sampled
+    oxide capacitance) and the delay broadcasts to a
+    ``(samples, temperatures)`` matrix.
     """
-    if load_capacitance_f <= 0.0:
+    if np.any(np.asarray(load_capacitance_f) <= 0.0):
         raise TechnologyError("load capacitance must be positive")
     current = effective_saturation_current(tech, network, temperature_c, options)
     if np.any(np.asarray(current) <= 0.0):

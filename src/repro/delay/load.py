@@ -6,6 +6,12 @@ input, the driving cell's own drain (parasitic) capacitance, and a small
 amount of local wiring.  These helpers compute each contribution from
 the technology parameters so that both the analytical delay model and
 the transistor-level netlists use consistent numbers.
+
+All three helpers accept a stacked population
+(:class:`~repro.tech.stacked.TechnologyArray`) in place of a scalar
+technology, in which case the returned capacitance is a
+``(samples, 1)`` column (oxide and wire capacitance vary per sample)
+that broadcasts through the delay model's sample axis.
 """
 
 from __future__ import annotations

@@ -8,20 +8,29 @@ point per Python call; this module provides the batch alternative:
 
 * the delay stack (:mod:`repro.tech.temperature`,
   :mod:`repro.delay.alpha_power`, :mod:`repro.cells.cell`) broadcasts
-  over ndarray temperature grids,
+  over ndarray temperature grids *and*, through the struct-of-arrays
+  technology populations of :mod:`repro.tech.stacked`
+  (:class:`~repro.tech.stacked.TechnologyArray`), over a leading
+  technology-sample axis: a whole Monte-Carlo or corner population
+  evaluates as one ``(sample x temperature)`` broadcast,
 * :meth:`repro.oscillator.ring.RingOscillator.period_series` sums the
   per-stage delay vectors in one pass, and
-  :meth:`~repro.oscillator.ring.RingOscillator.period_matrix` extends
-  that to (technology sample x temperature) grids,
+  :meth:`~repro.oscillator.ring.RingOscillator.period_matrix` stacks the
+  technology samples and gets the whole (sample x temperature) period
+  matrix from that same single stage-sum — no per-sample rebind,
 * :class:`BatchEvaluator` (this module) is the façade that runs whole
   workloads — Monte-Carlo populations, transfer functions, sizing and
-  cell-mix sweeps — through either the vectorized path or the original
-  scalar loops.
+  cell-mix sweeps, the calibration ablation, the supply-sensitivity and
+  self-heating studies — through either the vectorized path or the
+  original scalar loops.
 
 The scalar loops are deliberately kept alive: they are the *reference
 oracle*.  ``BatchEvaluator(vectorized=False)`` reproduces the
-pre-engine behaviour step for step, and
-``tests/test_engine_equivalence.py`` pins the two paths together to a
+pre-engine behaviour step for step;
+``tests/test_engine_equivalence.py`` pins the temperature axis and
+``tests/test_stacked_equivalence.py`` pins the sample axis (stacked
+population versus the retained per-sample loop,
+:meth:`~repro.oscillator.ring.RingOscillator.period_matrix_loop`) to a
 relative tolerance of 1e-9 on periods (in practice they agree to a few
 ULP; the only operation whose libm/numpy implementations may differ in
 the last bit is ``pow``).
@@ -56,6 +65,7 @@ from ..oscillator.period import TemperatureResponse, analytical_response
 from ..oscillator.ring import RingOscillator
 from ..tech.corners import VariationModel
 from ..tech.parameters import Technology
+from ..tech.stacked import TechnologyArray
 
 __all__ = ["BatchEvaluator"]
 
@@ -104,11 +114,15 @@ class BatchEvaluator:
     ) -> np.ndarray:
         """Periods (s) on a (technology sample x temperature) grid.
 
-        In scalar mode every grid point is still evaluated through one
-        scalar call, preserving the oracle property.
+        Vectorized mode stacks the technologies into one
+        struct-of-arrays population and broadcasts both axes in a single
+        pass.  In scalar mode every grid point is still evaluated
+        through one scalar call, preserving the oracle property.
         """
         if self.vectorized:
             return ring.period_matrix(technologies, temperatures_c)
+        if isinstance(technologies, TechnologyArray):
+            technologies = technologies.technologies()
         temps = np.asarray(temperatures_c, dtype=float)
         matrix = np.zeros((len(technologies), temps.size))
         for row, tech in enumerate(technologies):
@@ -256,3 +270,48 @@ class BatchEvaluator:
             top_k=top_k,
             scalar=self._scalar,
         )
+
+    # ------------------------------------------------------------------ #
+    # study-level workloads
+    # ------------------------------------------------------------------ #
+    # The study functions live in repro.experiments / repro.analysis /
+    # repro.thermal, some of which import this module at load time, so
+    # they are imported lazily here to keep the import graph acyclic.
+
+    def run_calibration_study(self, *args, **kwargs):
+        """Calibration-scheme ablation (ABL-CAL) through this evaluator's mode.
+
+        Same contract as
+        :func:`repro.experiments.calibration_study.run_calibration_study`:
+        vectorized mode evaluates the whole corner + Monte-Carlo
+        population as one stacked ``(sample x temperature)`` batch,
+        scalar mode keeps the original one-sensor-per-sample loop.
+        """
+        from ..experiments.calibration_study import run_calibration_study
+
+        return run_calibration_study(*args, scalar=self._scalar, **kwargs)
+
+    def supply_sensitivity(self, *args, **kwargs):
+        """Supply cross-sensitivity through this evaluator's mode.
+
+        Same contract as :func:`repro.analysis.supply.supply_sensitivity`;
+        vectorized mode evaluates the supply finite difference as one
+        stacked two-supply population instead of rebuilding the cell
+        library at every supply point.
+        """
+        from ..analysis.supply import supply_sensitivity
+
+        return supply_sensitivity(*args, scalar=self._scalar, **kwargs)
+
+    def run_selfheating_study(self, *args, **kwargs):
+        """Self-heating ablation (ABL-SELFHEAT) through this evaluator's mode.
+
+        Same contract as
+        :func:`repro.experiments.selfheating_study.run_selfheating_study`;
+        vectorized mode exploits the linearity of the thermal network
+        (two steady-state solves for the whole duty-cycle sweep), scalar
+        mode keeps the one-solve-per-duty-cycle loop as the oracle.
+        """
+        from ..experiments.selfheating_study import run_selfheating_study
+
+        return run_selfheating_study(*args, scalar=self._scalar, **kwargs)

@@ -18,15 +18,20 @@ import numpy as np
 
 from ..analysis.statistics import SummaryStatistics, summarize
 from ..cells.library import default_library
-from ..core.calibration import design_calibration, one_point_calibration
-from ..core.readout import ReadoutConfig
+from ..core.calibration import (
+    CalibrationError,
+    design_calibration,
+    one_point_calibration,
+)
+from ..core.readout import PeriodCounter, ReadoutConfig
 from ..core.sensor import SmartTemperatureSensor
 from ..oscillator.config import RingConfiguration
-from ..oscillator.period import default_temperature_grid
+from ..oscillator.period import default_temperature_grid, validate_temperature_grid
 from ..oscillator.ring import RingOscillator
 from ..tech.corners import corner_technologies, sample_technologies
 from ..tech.libraries import CMOS035
 from ..tech.parameters import Technology
+from ..tech.stacked import stack_technologies
 
 __all__ = ["CalibrationStudyResult", "run_calibration_study"]
 
@@ -71,8 +76,18 @@ def run_calibration_study(
     temperatures_c: Optional[Sequence[float]] = None,
     reference_temperature_c: float = 25.0,
     seed: int = 20250617,
+    scalar: bool = False,
 ) -> CalibrationStudyResult:
     """Run the calibration-scheme ablation.
+
+    On the default (vectorized) path the whole corner + Monte-Carlo
+    population is stacked into one struct-of-arrays technology
+    (:func:`~repro.tech.stacked.stack_technologies`) and every scheme's
+    error grid — design, one-point, two-point, each over all samples
+    and all temperatures — is computed from a single
+    ``(sample x temperature)`` period matrix plus one batch counter
+    conversion.  ``scalar=True`` keeps the original
+    one-sensor-per-sample loop as the equivalence oracle.
 
     Parameters
     ----------
@@ -87,15 +102,18 @@ def run_calibration_study(
         Number of Monte-Carlo technology samples in addition to the five
         corners.
     temperatures_c:
-        Evaluation sweep.
+        Evaluation sweep (validated and sorted up front).
     reference_temperature_c:
         Insertion temperature of the one-point calibration.
     seed:
         RNG seed for the Monte-Carlo sampling.
+    scalar:
+        When true, sweep every sample through its own sensor object one
+        temperature at a time (the pre-engine reference path).
     """
     tech = technology if technology is not None else CMOS035
     temps = (
-        np.asarray(temperatures_c, dtype=float)
+        validate_temperature_grid(temperatures_c, context="calibration study sweep")
         if temperatures_c is not None
         else default_temperature_grid(points=17)
     )
@@ -104,7 +122,7 @@ def run_calibration_study(
     # Design-time (typical-process) transfer function: the shared slope
     # source for the design and one-point schemes.
     typical_sensor = _sensor_for(tech, configuration, readout)
-    design_transfer = typical_sensor.transfer_function(temps)
+    design_transfer = typical_sensor.transfer_function(temps, scalar=scalar)
     design_cal = design_calibration(
         design_transfer.measured_periods_s, design_transfer.temperatures_c
     )
@@ -112,23 +130,40 @@ def run_calibration_study(
     samples: List[Technology] = list(corner_technologies(tech).values())
     samples.extend(sample_technologies(tech, monte_carlo_samples, seed=seed))
 
-    worst_errors: Dict[str, List[float]] = {"design": [], "one-point": [], "two-point": []}
-    for sample in samples:
-        sensor = _sensor_for(sample, configuration, readout)
+    if scalar:
+        worst_errors: Dict[str, List[float]] = {
+            "design": [], "one-point": [], "two-point": []
+        }
+        for sample in samples:
+            sensor = _sensor_for(sample, configuration, readout)
 
-        sensor.install_calibration(design_cal)
-        worst_errors["design"].append(sensor.worst_case_error_c(temps))
+            sensor.install_calibration(design_cal)
+            worst_errors["design"].append(sensor.worst_case_error_c(temps, scalar=True))
 
-        one_point = one_point_calibration(
-            sensor.measured_period(reference_temperature_c),
+            one_point = one_point_calibration(
+                sensor.measured_period(reference_temperature_c),
+                reference_temperature_c,
+                design_cal.slope_c_per_second,
+            )
+            sensor.install_calibration(one_point)
+            worst_errors["one-point"].append(
+                sensor.worst_case_error_c(temps, scalar=True)
+            )
+
+            sensor.calibrate_two_point(float(temps[0]), float(temps[-1]))
+            worst_errors["two-point"].append(
+                sensor.worst_case_error_c(temps, scalar=True)
+            )
+    else:
+        worst_errors = _batched_worst_errors(
+            tech,
+            configuration,
+            readout,
+            samples,
+            temps,
             reference_temperature_c,
-            design_cal.slope_c_per_second,
+            design_cal,
         )
-        sensor.install_calibration(one_point)
-        worst_errors["one-point"].append(sensor.worst_case_error_c(temps))
-
-        sensor.calibrate_two_point(float(temps[0]), float(temps[-1]))
-        worst_errors["two-point"].append(sensor.worst_case_error_c(temps))
 
     return CalibrationStudyResult(
         technology_name=tech.name,
@@ -137,3 +172,70 @@ def run_calibration_study(
         errors_by_scheme={k: summarize(v) for k, v in worst_errors.items()},
         worst_by_scheme={k: float(np.max(v)) for k, v in worst_errors.items()},
     )
+
+
+def _batched_worst_errors(
+    tech: Technology,
+    configuration: RingConfiguration,
+    readout: ReadoutConfig,
+    samples: Sequence[Technology],
+    temps: np.ndarray,
+    reference_temperature_c: float,
+    design_cal,
+) -> Dict[str, List[float]]:
+    """All three calibration schemes over the whole population at once.
+
+    One stacked ``(sample x temperature)`` period matrix and one batch
+    counter conversion feed every scheme; the per-scheme calibrations
+    reduce to row-wise affine maps of the measured-period matrix, so the
+    worst-case errors come out of plain ndarray reductions.  Produces
+    the same numbers as the per-sample sensor loop (the conversions and
+    calibration formulas are identical elementwise), which the stacked
+    equivalence tests pin down.
+    """
+    population = stack_technologies(samples)
+    stacked_ring = RingOscillator(
+        default_library(tech), configuration
+    ).rebind(population)
+    counter = PeriodCounter(readout)
+
+    periods = np.asarray(stacked_ring.period_series(temps))
+    codes, _ = counter.convert_batch(periods)
+    measured = counter.codes_to_periods(codes)  # (samples, temperatures)
+
+    def worst(estimates: np.ndarray) -> List[float]:
+        return list(np.max(np.abs(estimates - temps[None, :]), axis=1))
+
+    # Design scheme: one shared typical-process line over every sample.
+    design_estimates = design_cal.temperature(measured)
+
+    # One-point: design slope anchored at each sample's own measured
+    # period at the insertion temperature.
+    ref_periods = np.asarray(stacked_ring.period_series(
+        np.asarray([reference_temperature_c])
+    ))
+    ref_codes, _ = counter.convert_batch(ref_periods)
+    ref_measured = counter.codes_to_periods(ref_codes)[:, 0]
+    slope = design_cal.slope_c_per_second
+    one_point_offsets = reference_temperature_c - slope * ref_measured
+    one_point_estimates = slope * measured + one_point_offsets[:, None]
+
+    # Two-point: each sample's own line through the sweep endpoints
+    # (exactly the periods already measured at temps[0] / temps[-1]).
+    low_measured = measured[:, 0]
+    high_measured = measured[:, -1]
+    if np.any(high_measured == low_measured):
+        # Same guard the per-sample oracle hits in two_point_calibration
+        # when both insertion periods quantise to one counter code.
+        raise CalibrationError("calibration periods must differ")
+    two_point_slopes = (temps[-1] - temps[0]) / (high_measured - low_measured)
+    two_point_offsets = temps[0] - two_point_slopes * low_measured
+    two_point_estimates = (
+        two_point_slopes[:, None] * measured + two_point_offsets[:, None]
+    )
+
+    return {
+        "design": worst(design_estimates),
+        "one-point": worst(one_point_estimates),
+        "two-point": worst(two_point_estimates),
+    }

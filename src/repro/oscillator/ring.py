@@ -27,7 +27,8 @@ from ..circuit.netlist import Circuit
 from ..circuit.transient import TransientOptions, TransientResult, simulate_transient
 from ..circuit.waveform import Waveform
 from ..delay.load import wire_capacitance
-from ..tech.parameters import celsius_to_kelvin
+from ..tech.parameters import TechnologyError, celsius_to_kelvin
+from ..tech.stacked import TechnologyArray, stack_technologies
 from .config import ConfigurationError, RingConfiguration
 
 __all__ = ["RingOscillator", "RingStage"]
@@ -177,6 +178,12 @@ class RingOscillator:
         instead of a Python loop over temperatures.  Matches
         :meth:`period_series_scalar` (and therefore :meth:`period`) to
         floating-point rounding.
+
+        For a ring bound to a stacked population
+        (:class:`~repro.tech.stacked.TechnologyArray`, see
+        :meth:`rebind`) the per-stage delays carry a leading sample axis
+        and the result is the full ``(samples, temperatures)`` period
+        matrix from the same single stage-sum.
         """
         temps = np.asarray(temperatures_c, dtype=float)
         total = np.zeros(temps.shape)
@@ -202,6 +209,12 @@ class RingOscillator:
         how the batch engine sweeps one ring design across Monte-Carlo
         or corner technology samples without rebuilding a full default
         library per sample.
+
+        ``technology`` may be a stacked population
+        (:class:`~repro.tech.stacked.TechnologyArray`): the rebound
+        ring then represents *every* sample at once, and its analytical
+        evaluations (:meth:`period_series`, :meth:`period`) broadcast
+        over the leading sample axis.
         """
         library = CellLibrary(f"{self.library.name}@{technology.name}", technology)
         seen = set()
@@ -234,13 +247,46 @@ class RingOscillator:
     ) -> np.ndarray:
         """Periods (s) on a (technology sample x temperature) grid.
 
-        Re-binds the ring to each technology in turn (see
-        :meth:`rebind`) and evaluates the vectorized temperature axis
-        once per sample, producing the
-        ``(len(technologies), len(temperatures_c))`` matrix that backs
-        the Monte-Carlo and corner batch paths.
+        Stacks the technologies into one struct-of-arrays population
+        (:func:`~repro.tech.stacked.stack_technologies`; an existing
+        :class:`~repro.tech.stacked.TechnologyArray` is used as is),
+        re-binds the ring once, and evaluates the whole
+        ``(len(technologies), len(temperatures_c))`` matrix in a single
+        broadcast stage-sum — no per-sample rebind, no Python loop over
+        samples.  Technology lists that cannot be stacked (samples
+        disagreeing on the geometry scalars, e.g. when comparing
+        technology nodes) fall back to the per-sample loop, so any list
+        the pre-stacking path accepted still evaluates.
+        :meth:`period_matrix_loop` keeps the per-sample path as the
+        equivalence oracle.
         """
         temps = np.asarray(temperatures_c, dtype=float)
+        if isinstance(technologies, TechnologyArray):
+            stacked = technologies
+        else:
+            try:
+                stacked = stack_technologies(technologies)
+            except TechnologyError:
+                return self.period_matrix_loop(technologies, temps)
+        matrix = self.rebind(stacked).period_series(temps)
+        return np.asarray(matrix, dtype=float).reshape(len(stacked), temps.size)
+
+    def period_matrix_loop(
+        self,
+        technologies: Sequence,
+        temperatures_c: Sequence[float],
+    ) -> np.ndarray:
+        """Per-sample reference path of :meth:`period_matrix`.
+
+        Re-binds the ring to each technology in turn and evaluates the
+        vectorized temperature axis once per sample.  This was the
+        default before the stacked sample axis existed; it is retained
+        as the oracle the stacked-equivalence tests (and the scalar
+        engine mode) compare against.
+        """
+        temps = np.asarray(temperatures_c, dtype=float)
+        if isinstance(technologies, TechnologyArray):
+            technologies = technologies.technologies()
         matrix = np.zeros((len(technologies), temps.size))
         for row, tech in enumerate(technologies):
             matrix[row] = self.rebind(tech).period_series(temps)

@@ -10,6 +10,9 @@ Public surface:
 * :mod:`~repro.tech.temperature` — temperature dependence of mobility,
   threshold voltage and saturation velocity.
 * :mod:`~repro.tech.corners` — process corners and Monte-Carlo sampling.
+* :mod:`~repro.tech.stacked` — struct-of-arrays populations
+  (:class:`~repro.tech.stacked.TechnologyArray`) that broadcast a whole
+  Monte-Carlo/corner sample set through the delay stack in one pass.
 * :mod:`~repro.tech.scaling` — constant-field scaling helpers.
 """
 
@@ -49,6 +52,13 @@ from .corners import (
     apply_corner,
     corner_technologies,
     sample_technologies,
+    sample_technology_array,
+)
+from .stacked import (
+    TechnologyArray,
+    TransistorParameterArray,
+    stack_technologies,
+    stack_transistor_parameters,
 )
 from .scaling import ScalingRules, power_density_scaling_factor, scale_technology
 
@@ -82,6 +92,11 @@ __all__ = [
     "apply_corner",
     "corner_technologies",
     "sample_technologies",
+    "sample_technology_array",
+    "TechnologyArray",
+    "TransistorParameterArray",
+    "stack_technologies",
+    "stack_transistor_parameters",
     "ScalingRules",
     "power_density_scaling_factor",
     "scale_technology",

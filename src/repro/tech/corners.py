@@ -26,6 +26,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 import numpy as np
 
 from .parameters import Technology, TechnologyError, TransistorParameters
+from .stacked import TechnologyArray, TransistorParameterArray
 
 __all__ = [
     "CornerSpec",
@@ -34,6 +35,7 @@ __all__ = [
     "corner_technologies",
     "VariationModel",
     "sample_technologies",
+    "sample_technology_array",
 ]
 
 
@@ -200,6 +202,73 @@ def sample_technologies(
             )
         )
     return samples
+
+
+def sample_technology_array(
+    tech: Technology,
+    count: int,
+    model: Optional[VariationModel] = None,
+    seed: Optional[int] = None,
+) -> TechnologyArray:
+    """Draw Monte-Carlo samples of a technology in struct-of-arrays form.
+
+    The stacked sibling of :func:`sample_technologies`: one
+    :class:`~repro.tech.stacked.TechnologyArray` holding the whole
+    population instead of a Python list of per-sample technologies.
+    The random draws consume the generator stream in exactly the order
+    the looped sampler does (per sample: 3 shared, 3 NMOS-local, 3
+    PMOS-local normals) and the perturbation arithmetic is the same
+    elementwise, so for a given seed the stacked population equals
+    ``stack_technologies(sample_technologies(tech, count, ...))`` value
+    for value.
+    """
+    if count <= 0:
+        raise TechnologyError("count must be positive")
+    model = model or VariationModel()
+    rng = np.random.default_rng(seed)
+    rho = model.correlated_fraction
+    # Row i holds sample i's nine draws in the looped sampler's order:
+    # shared[0:3], local_n[3:6], local_p[6:9].
+    draws = rng.standard_normal((count, 9))
+    shared = draws[:, 0:3]
+    local_n = draws[:, 3:6]
+    local_p = draws[:, 6:9]
+    mix_n = np.sqrt(rho) * shared + np.sqrt(1.0 - rho) * local_n
+    mix_p = np.sqrt(rho) * shared + np.sqrt(1.0 - rho) * local_p
+
+    def _vary(params: TransistorParameters, mix: np.ndarray) -> TransistorParameterArray:
+        vth = params.vth0 + model.vth_sigma * mix[:, 0]
+        mobility = params.mobility * (1.0 + model.mobility_sigma_rel * mix[:, 1])
+        cox = params.cox_f_per_um2 * (1.0 + model.cox_sigma_rel * mix[:, 2])
+        return TransistorParameterArray(
+            polarity=params.polarity,
+            vth0=np.maximum(vth, 0.05),
+            mobility=np.maximum(mobility, 1.0),
+            cox_f_per_um2=np.maximum(cox, 1e-16),
+            alpha=params.alpha,
+            channel_length_um=params.channel_length_um,
+            vsat_cm_per_s=params.vsat_cm_per_s,
+            vth_temp_coeff=params.vth_temp_coeff,
+            mobility_temp_exponent=params.mobility_temp_exponent,
+            vsat_temp_coeff=params.vsat_temp_coeff,
+            alpha_temp_coeff=params.alpha_temp_coeff,
+            body_effect_gamma=params.body_effect_gamma,
+            subthreshold_slope_mv_per_dec=params.subthreshold_slope_mv_per_dec,
+            junction_cap_f_per_um=params.junction_cap_f_per_um,
+            overlap_cap_f_per_um=params.overlap_cap_f_per_um,
+        )
+
+    return TechnologyArray(
+        name=f"{tech.name}_mcx{count}",
+        feature_size_um=tech.feature_size_um,
+        vdd=np.full(count, tech.vdd),
+        nmos=_vary(tech.nmos, mix_n),
+        pmos=_vary(tech.pmos, mix_p),
+        wire_cap_f_per_um=np.full(count, tech.wire_cap_f_per_um),
+        min_width_um=tech.min_width_um,
+        metal_layers=tech.metal_layers,
+        extras=tuple(dict(tech.extra) for _ in range(count)),
+    )
 
 
 def iter_corner_and_samples(

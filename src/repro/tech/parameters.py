@@ -16,6 +16,15 @@ device models (:mod:`repro.devices`), the analytical delay models
 Only plain dataclasses live here; the physics that turns these numbers
 into temperature-dependent device behaviour is in
 :mod:`repro.tech.temperature` and :mod:`repro.devices.mosfet`.
+
+These scalar containers describe *one* technology sample.  Whole
+Monte-Carlo or corner populations have struct-of-arrays siblings in
+:mod:`repro.tech.stacked` (:class:`~repro.tech.stacked.TechnologyArray`,
+:class:`~repro.tech.stacked.TransistorParameterArray`) that mirror these
+classes field for field with ``(samples, 1)`` ndarray columns and
+broadcast through the delay stack in one pass; the scalar dataclasses
+here remain the single source of truth for field semantics and
+validation rules.
 """
 
 from __future__ import annotations

@@ -1,0 +1,388 @@
+"""Stacked (struct-of-arrays) technology parameters.
+
+A Monte-Carlo population or a corner set is a *collection* of
+technologies that differ only in a handful of scalar parameters
+(threshold voltage, mobility, oxide capacitance, supply...).  Evaluating
+such a population one :class:`~repro.tech.parameters.Technology` at a
+time costs one full pass through the delay stack per sample — the
+Python-loop bottleneck PR 1 left in
+:meth:`~repro.oscillator.ring.RingOscillator.period_matrix`.
+
+This module stores the population the other way around: one
+:class:`TechnologyArray` whose parameter fields are ndarrays holding the
+value of *every* sample at once.  The arrays are shaped ``(samples, 1)``
+— column vectors — so that any arithmetic against a ``(temperatures,)``
+grid broadcasts to a ``(samples, temperatures)`` matrix.  Because the
+whole delay stack (:mod:`repro.tech.temperature`,
+:mod:`repro.delay.alpha_power`, :mod:`repro.cells.cell`,
+:meth:`~repro.oscillator.ring.RingOscillator.period_series`) is written
+in elementwise NumPy operations, a :class:`TechnologyArray` can be
+dropped in anywhere a :class:`~repro.tech.parameters.Technology` is
+consumed analytically and the full ``(sample x temperature)`` result
+falls out of one broadcast pass — no per-sample rebind, no Python loop.
+
+The struct-of-arrays classes deliberately mirror the scalar dataclasses
+field for field (same names, same units, same validation rules applied
+elementwise), so the scalar objects remain the single source of truth
+for semantics and the equivalence tests can compare the two layouts
+sample by sample.
+
+Not every consumer understands the stacked layout: the transistor-level
+netlist builders (:meth:`repro.cells.cell.StandardCell.build_into`) and
+anything else that needs one concrete operating point must unstack a
+single sample first via :meth:`TechnologyArray.technology_at`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple, Union
+
+import numpy as np
+
+from .parameters import T_NOMINAL_K, Technology, TechnologyError, TransistorParameters
+
+__all__ = [
+    "TransistorParameterArray",
+    "TechnologyArray",
+    "stack_transistor_parameters",
+    "stack_technologies",
+]
+
+#: A stacked parameter field: scalar (uniform across samples) on input,
+#: always a ``(samples, 1)`` float column after normalisation.
+ParameterLike = Union[float, np.ndarray]
+
+#: Per-device fields that are stacked into ``(samples, 1)`` columns.
+_TRANSISTOR_FIELDS = (
+    "vth0",
+    "mobility",
+    "alpha",
+    "channel_length_um",
+    "cox_f_per_um2",
+    "vsat_cm_per_s",
+    "vth_temp_coeff",
+    "mobility_temp_exponent",
+    "vsat_temp_coeff",
+    "alpha_temp_coeff",
+    "body_effect_gamma",
+    "subthreshold_slope_mv_per_dec",
+    "junction_cap_f_per_um",
+    "overlap_cap_f_per_um",
+)
+
+
+def _as_column(value: ParameterLike, sample_count: int, field: str) -> np.ndarray:
+    """Normalise one stacked field to a ``(sample_count, 1)`` float column."""
+    column = np.asarray(value, dtype=float)
+    if column.ndim == 0:
+        column = np.full((sample_count, 1), float(column))
+    elif column.ndim == 1:
+        column = column.reshape(-1, 1)
+    elif column.ndim == 2 and column.shape[1] == 1:
+        pass
+    else:
+        raise TechnologyError(
+            f"stacked field {field!r} must be a scalar, a 1-D array or an "
+            f"(n, 1) column, got shape {column.shape}"
+        )
+    if column.shape[0] != sample_count:
+        raise TechnologyError(
+            f"stacked field {field!r} holds {column.shape[0]} samples, "
+            f"expected {sample_count}"
+        )
+    if np.any(~np.isfinite(column)):
+        raise TechnologyError(f"stacked field {field!r} contains non-finite values")
+    return column
+
+
+def _infer_sample_count(values) -> int:
+    counts = {np.asarray(v).reshape(-1).size for v in values if np.asarray(v).ndim > 0}
+    if len(counts) > 1:
+        raise TechnologyError(
+            f"stacked fields disagree on the sample count: {sorted(counts)}"
+        )
+    return counts.pop() if counts else 1
+
+
+@dataclass(frozen=True)
+class TransistorParameterArray:
+    """Struct-of-arrays view of one MOSFET type across a sample population.
+
+    Field names, units and sign conventions are identical to
+    :class:`~repro.tech.parameters.TransistorParameters`; every numeric
+    field holds a ``(samples, 1)`` float column (scalars passed to the
+    constructor are broadcast to the population).  The validation rules
+    of the scalar dataclass are applied elementwise, so an array that
+    would be rejected sample by sample is rejected here too.
+
+    The class duck-types the scalar parameter block everywhere the
+    *analytical* stack touches it (:func:`repro.tech.temperature.device_at`,
+    :func:`repro.delay.alpha_power.effective_saturation_current`,
+    :func:`repro.delay.load.input_capacitance`...), which is what lets a
+    whole population flow through the delay models in one broadcast.
+    """
+
+    polarity: str
+    vth0: ParameterLike
+    mobility: ParameterLike
+    alpha: ParameterLike
+    channel_length_um: ParameterLike
+    cox_f_per_um2: ParameterLike
+    vsat_cm_per_s: ParameterLike
+    vth_temp_coeff: ParameterLike
+    mobility_temp_exponent: ParameterLike
+    vsat_temp_coeff: ParameterLike = 1.0e-4
+    alpha_temp_coeff: ParameterLike = 0.0
+    body_effect_gamma: ParameterLike = 0.4
+    subthreshold_slope_mv_per_dec: ParameterLike = 85.0
+    junction_cap_f_per_um: ParameterLike = 1.0e-15
+    overlap_cap_f_per_um: ParameterLike = 0.35e-15
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise TechnologyError(
+                f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}"
+            )
+        count = _infer_sample_count(
+            getattr(self, field) for field in _TRANSISTOR_FIELDS
+        )
+        for field in _TRANSISTOR_FIELDS:
+            object.__setattr__(
+                self, field, _as_column(getattr(self, field), count, field)
+            )
+        if np.any(self.vth0 <= 0.0):
+            raise TechnologyError("vth0 must be a positive magnitude in every sample")
+        if np.any(self.mobility <= 0.0):
+            raise TechnologyError("mobility must be positive in every sample")
+        if np.any(self.alpha < 1.0) or np.any(self.alpha > 2.0):
+            raise TechnologyError(
+                "alpha must lie in [1, 2] (velocity saturated .. square law) "
+                "in every sample"
+            )
+        if np.any(self.channel_length_um <= 0.0):
+            raise TechnologyError("channel_length_um must be positive in every sample")
+        if np.any(self.cox_f_per_um2 <= 0.0):
+            raise TechnologyError("cox_f_per_um2 must be positive in every sample")
+        if np.any(self.vsat_cm_per_s <= 0.0):
+            raise TechnologyError("vsat_cm_per_s must be positive in every sample")
+        if np.any(self.mobility_temp_exponent < 0.0):
+            raise TechnologyError("mobility_temp_exponent must be >= 0 in every sample")
+        if np.any(self.vth_temp_coeff < 0.0):
+            raise TechnologyError(
+                "vth_temp_coeff is the magnitude of dVth/dT and must be >= 0 "
+                "in every sample"
+            )
+
+    @property
+    def sample_count(self) -> int:
+        return int(np.asarray(self.vth0).shape[0])
+
+    @property
+    def gate_cap_f_per_um(self) -> np.ndarray:
+        """Gate capacitance per micron of width (F / um), per sample."""
+        return (
+            self.cox_f_per_um2 * self.channel_length_um
+            + 2.0 * self.overlap_cap_f_per_um
+        )
+
+    @property
+    def process_transconductance(self) -> np.ndarray:
+        """``k' = mu * Cox`` in A / V^2 for a square device, per sample."""
+        mobility_um2 = self.mobility * 1.0e8  # cm^2 -> um^2
+        return mobility_um2 * self.cox_f_per_um2
+
+    def parameters_at(self, index: int) -> TransistorParameters:
+        """Unstack one sample into a scalar parameter block."""
+        if not 0 <= index < self.sample_count:
+            raise TechnologyError(
+                f"sample index {index} outside the population "
+                f"(0..{self.sample_count - 1})"
+            )
+        kwargs = {
+            field: float(np.asarray(getattr(self, field))[index, 0])
+            for field in _TRANSISTOR_FIELDS
+        }
+        return TransistorParameters(polarity=self.polarity, **kwargs)
+
+
+def stack_transistor_parameters(
+    parameters: Sequence[TransistorParameters],
+) -> TransistorParameterArray:
+    """Stack per-sample scalar parameter blocks into one struct of arrays."""
+    if not parameters:
+        raise TechnologyError("cannot stack an empty parameter sequence")
+    polarities = {p.polarity for p in parameters}
+    if len(polarities) > 1:
+        raise TechnologyError(
+            f"cannot stack mixed polarities {sorted(polarities)}"
+        )
+    columns = {
+        field: np.asarray([getattr(p, field) for p in parameters], dtype=float)
+        for field in _TRANSISTOR_FIELDS
+    }
+    return TransistorParameterArray(polarity=parameters[0].polarity, **columns)
+
+
+@dataclass(frozen=True)
+class TechnologyArray:
+    """A whole population of CMOS technologies in struct-of-arrays form.
+
+    Mirrors :class:`~repro.tech.parameters.Technology`: ``vdd`` and
+    ``wire_cap_f_per_um`` are stacked ``(samples, 1)`` columns (they may
+    legitimately differ per sample — e.g. stacked supply sweeps), while
+    ``feature_size_um``, ``min_width_um`` and ``metal_layers`` must be
+    uniform because they feed scalar geometry decisions (cell widths,
+    layout pitch) that define the *design*, not the sample.
+
+    Duck-types ``Technology`` for the analytical delay stack: passing a
+    ``TechnologyArray`` to :class:`~repro.cells.cell.StandardCell` /
+    :meth:`~repro.oscillator.ring.RingOscillator.rebind` makes every
+    delay, load and period evaluation broadcast over the leading sample
+    axis, so ``period_series`` on a stacked ring returns a
+    ``(samples, temperatures)`` matrix in one pass.
+    """
+
+    name: str
+    feature_size_um: float
+    vdd: ParameterLike
+    nmos: TransistorParameterArray
+    pmos: TransistorParameterArray
+    wire_cap_f_per_um: ParameterLike = 0.2e-15
+    min_width_um: float = 0.5
+    metal_layers: int = 4
+    #: Per-sample ``Technology.extra`` metadata dictionaries (e.g. the
+    #: thermal_design_range_c overrides), preserved verbatim through the
+    #: stack/unstack round trip; empty dicts when none were given.
+    extras: Tuple[Dict[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.feature_size_um <= 0.0:
+            raise TechnologyError("feature_size_um must be positive")
+        if self.nmos.polarity != "nmos":
+            raise TechnologyError("nmos parameters must have polarity 'nmos'")
+        if self.pmos.polarity != "pmos":
+            raise TechnologyError("pmos parameters must have polarity 'pmos'")
+        if self.nmos.sample_count != self.pmos.sample_count:
+            raise TechnologyError(
+                f"nmos ({self.nmos.sample_count}) and pmos "
+                f"({self.pmos.sample_count}) populations differ in size"
+            )
+        count = self.nmos.sample_count
+        object.__setattr__(self, "vdd", _as_column(self.vdd, count, "vdd"))
+        object.__setattr__(
+            self,
+            "wire_cap_f_per_um",
+            _as_column(self.wire_cap_f_per_um, count, "wire_cap_f_per_um"),
+        )
+        if np.any(self.vdd <= 0.0):
+            raise TechnologyError("vdd must be positive in every sample")
+        if np.any(self.vdd <= np.maximum(self.nmos.vth0, self.pmos.vth0)):
+            raise TechnologyError(
+                "vdd must exceed both threshold voltages for the gates to "
+                "switch in every sample"
+            )
+        if not self.extras:
+            object.__setattr__(self, "extras", tuple({} for _ in range(count)))
+        elif len(self.extras) != count:
+            raise TechnologyError(
+                f"extras holds {len(self.extras)} entries, expected {count}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # population structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sample_count(self) -> int:
+        return self.nmos.sample_count
+
+    def __len__(self) -> int:
+        return self.sample_count
+
+    def technology_at(self, index: int) -> Technology:
+        """Unstack one sample into a scalar :class:`Technology`."""
+        if not 0 <= index < self.sample_count:
+            raise TechnologyError(
+                f"sample index {index} outside the population "
+                f"(0..{self.sample_count - 1})"
+            )
+        return Technology(
+            name=f"{self.name}[{index}]",
+            feature_size_um=self.feature_size_um,
+            vdd=float(np.asarray(self.vdd)[index, 0]),
+            nmos=self.nmos.parameters_at(index),
+            pmos=self.pmos.parameters_at(index),
+            wire_cap_f_per_um=float(np.asarray(self.wire_cap_f_per_um)[index, 0]),
+            min_width_um=self.min_width_um,
+            metal_layers=self.metal_layers,
+            extra=dict(self.extras[index]),
+        )
+
+    def technologies(self) -> list:
+        """Unstack the whole population (one scalar Technology per sample)."""
+        return [self.technology_at(index) for index in range(self.sample_count)]
+
+    # ------------------------------------------------------------------ #
+    # Technology duck-typed surface
+    # ------------------------------------------------------------------ #
+
+    def transistor(self, polarity: str) -> TransistorParameterArray:
+        """Return the stacked parameter block for ``"nmos"`` or ``"pmos"``."""
+        if polarity == "nmos":
+            return self.nmos
+        if polarity == "pmos":
+            return self.pmos
+        raise TechnologyError(f"unknown polarity {polarity!r}")
+
+    @property
+    def nominal_temperature_k(self) -> float:
+        """Reference temperature at which the parameters are quoted."""
+        return T_NOMINAL_K
+
+    def with_supply(self, vdd: ParameterLike) -> "TechnologyArray":
+        """A copy operated at different supplies (scalar or per-sample)."""
+        return dataclasses.replace(self, vdd=vdd)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TechnologyArray({self.name!r}, samples={self.sample_count})"
+
+
+def stack_technologies(technologies: Sequence[Technology]) -> TechnologyArray:
+    """Stack per-sample scalar technologies into one :class:`TechnologyArray`.
+
+    Every sample must share the geometry-defining scalars
+    (``feature_size_um``, ``min_width_um``, ``metal_layers``); the
+    electrical parameters, the supply and the wire capacitance are
+    stacked into ``(samples, 1)`` columns.  The result evaluates
+    identically (elementwise) to looping over the input technologies,
+    which the stacked-equivalence tests pin down.
+    """
+    techs = list(technologies)
+    if not techs:
+        raise TechnologyError("cannot stack an empty technology sequence")
+    if isinstance(techs[0], TechnologyArray):
+        raise TechnologyError("technologies are already stacked")
+    feature_sizes = {t.feature_size_um for t in techs}
+    min_widths = {t.min_width_um for t in techs}
+    metal_layers = {t.metal_layers for t in techs}
+    if len(feature_sizes) > 1 or len(min_widths) > 1 or len(metal_layers) > 1:
+        raise TechnologyError(
+            "stacked technologies must share feature_size_um, min_width_um "
+            "and metal_layers (these define the design, not the sample)"
+        )
+    base = techs[0]
+    return TechnologyArray(
+        name=f"{base.name}_stack{len(techs)}",
+        feature_size_um=base.feature_size_um,
+        vdd=np.asarray([t.vdd for t in techs], dtype=float),
+        nmos=stack_transistor_parameters([t.nmos for t in techs]),
+        pmos=stack_transistor_parameters([t.pmos for t in techs]),
+        wire_cap_f_per_um=np.asarray(
+            [t.wire_cap_f_per_um for t in techs], dtype=float
+        ),
+        min_width_um=base.min_width_um,
+        metal_layers=base.metal_layers,
+        extras=tuple(dict(t.extra) for t in techs),
+    )

@@ -30,6 +30,14 @@ Every function accepts either a scalar temperature or an ndarray of
 temperatures and evaluates elementwise — this is the lowest layer of the
 vectorized batch-evaluation path (:mod:`repro.engine`): one call with a
 41-point temperature grid replaces 41 scalar calls.
+
+The parameter block may equally be a stacked population
+(:class:`~repro.tech.stacked.TransistorParameterArray`) whose fields are
+``(samples, 1)`` columns: every function then broadcasts the sample axis
+against the temperature axis, returning ``(samples, temperatures)``
+matrices — one call with a 1000-sample population and a 41-point grid
+replaces 41000 scalar calls.  All range clamps and validity checks are
+applied elementwise in both layouts.
 """
 
 from __future__ import annotations

@@ -76,6 +76,8 @@ def test_period_series_matches_scalar(configuration, temps, seed):
 @given(temps=temperature_grids, seed=technology_seeds)
 @settings(**DEFAULT_SETTINGS)
 def test_period_matrix_rows_match_per_sample_scalar(temps, seed):
+    # period_matrix now evaluates the stacked (struct-of-arrays) sample
+    # axis; every row must still match a per-sample scalar sweep.
     ring = RingOscillator(
         default_library(CMOS035), RingConfiguration.parse("2INV+3NAND2")
     )
@@ -85,6 +87,22 @@ def test_period_matrix_rows_match_per_sample_scalar(temps, seed):
     for row, tech in enumerate(technologies):
         scalar = ring.rebind(tech).period_series_scalar(temps)
         assert relative_error(matrix[row], scalar) <= RTOL
+
+
+@given(temps=temperature_grids, seed=technology_seeds)
+@settings(**DEFAULT_SETTINGS)
+def test_period_matrix_stacked_matches_retained_loop(temps, seed):
+    # The PR 1 per-sample rebind loop is retained as period_matrix_loop;
+    # the stacked default must reproduce it (see also
+    # tests/test_stacked_equivalence.py for the full sample-axis harness).
+    ring = RingOscillator(
+        default_library(CMOS035), RingConfiguration.parse("2INV+3NAND2")
+    )
+    technologies = sample_technologies(CMOS035, 3, seed=seed)
+    assert relative_error(
+        ring.period_matrix(technologies, temps),
+        ring.period_matrix_loop(technologies, temps),
+    ) <= RTOL
 
 
 def test_period_matrix_over_corners_matches_scalar_engine():

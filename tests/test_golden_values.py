@@ -116,3 +116,57 @@ class TestMonteCarloGolden:
         assert study.sensitivity_s_per_k.mean == pytest.approx(
             1.2446745834258144e-12, rel=RTOL
         )
+
+
+class TestCalibrationStudyGolden:
+    """Pins the batched (stacked sample axis) calibration-ablation numbers.
+
+    Default study parameters: 5 corners + 12 Monte-Carlo samples at
+    seed 20250617, the 17-point default sweep, one-point insertion at
+    25 C.  The batched path is pinned both against these absolute
+    values and (in test_stacked_equivalence.py) against the per-sample
+    scalar loop.
+    """
+
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.experiments.calibration_study import run_calibration_study
+
+        return run_calibration_study()
+
+    def test_population_size(self, study):
+        assert study.sample_count == 17
+
+    def test_design_scheme_errors(self, study):
+        assert study.errors_by_scheme["design"].mean == pytest.approx(
+            12.201502644026158, rel=RTOL_LOOSE
+        )
+        assert study.worst_by_scheme["design"] == pytest.approx(
+            44.09911357949986, rel=RTOL_LOOSE
+        )
+
+    def test_one_point_scheme_errors(self, study):
+        assert study.errors_by_scheme["one-point"].mean == pytest.approx(
+            4.305839797123523, rel=RTOL_LOOSE
+        )
+        assert study.worst_by_scheme["one-point"] == pytest.approx(
+            13.715326729787478, rel=RTOL_LOOSE
+        )
+
+    def test_two_point_scheme_errors(self, study):
+        assert study.errors_by_scheme["two-point"].mean == pytest.approx(
+            0.4568303249181072, rel=RTOL_LOOSE
+        )
+        assert study.worst_by_scheme["two-point"] == pytest.approx(
+            0.8932205266853543, rel=RTOL_LOOSE
+        )
+
+    def test_calibration_effort_ordering(self, study):
+        # The paper's argument: every added calibration point buys a
+        # large error reduction, and two points leave only the intrinsic
+        # non-linearity plus quantisation.
+        assert (
+            study.worst_by_scheme["two-point"]
+            < study.worst_by_scheme["one-point"]
+            < study.worst_by_scheme["design"]
+        )
