@@ -2,13 +2,19 @@
 
 Times the two evaluation modes of :class:`repro.engine.BatchEvaluator`
 on the workloads the paper's artefacts are built from — Monte-Carlo
-populations (25 / 200 / 1000 samples x 41 temperatures) and the Fig. 2
-sizing sweep — so the recorded BENCH_*.json tracks the speedup over
-time.  Asserted shape: at the realistic 200-sample point the vectorized
-engine is at least 3x faster than the scalar reference loop and agrees
-with it to 1e-9 relative on every period; at 1000 samples the stacked
-sample axis (struct-of-arrays technologies, PR 2) is at least 3x faster
-than PR 1's per-sample rebind loop with the same 1e-9 agreement.
+populations (25 / 200 / 1000 samples x 41 temperatures), the Fig. 2
+sizing sweep and the Fig. 3 x Monte-Carlo configuration-axis cross
+product — so the recorded BENCH_engine.json tracks the speedup over
+time (CI regenerates it at the repo root via
+``pytest benchmarks/test_bench_engine.py --benchmark-json=BENCH_engine.json``;
+see .github/workflows/ci.yml).  Asserted shape: at the realistic
+200-sample point the vectorized engine is at least 3x faster than the
+scalar reference loop and agrees with it to 1e-9 relative on every
+period; at 1000 samples the stacked sample axis (struct-of-arrays
+technologies, PR 2) is at least 3x faster than PR 1's per-sample rebind
+loop with the same 1e-9 agreement; and the (C, S, T) configuration-axis
+broadcast (ConfigurationBank, PR 3) is at least 3x faster than the
+retained per-configuration loop at Fig. 3 scale, again to 1e-9.
 """
 
 import time
@@ -17,8 +23,13 @@ import numpy as np
 import pytest
 
 from repro.cells import default_library
-from repro.engine import BatchEvaluator
-from repro.oscillator import RingConfiguration, RingOscillator
+from repro.engine import Axis, BatchEvaluator, Sweep
+from repro.oscillator import (
+    PAPER_FIG3_CONFIGURATIONS,
+    ConfigurationBank,
+    RingConfiguration,
+    RingOscillator,
+)
 from repro.tech import CMOS035, sample_technology_array
 
 CONFIGURATION = RingConfiguration.parse("2INV+3NAND2")
@@ -143,6 +154,87 @@ def test_period_matrix_1000_samples(benchmark, mode):
         evaluate, args=(population, DENSE_GRID), rounds=2, iterations=1
     )
     assert matrix.shape == (1000, DENSE_GRID.size)
+
+
+def test_configuration_axis_speedup_at_fig3_scale():
+    """The PR 3 acceptance criterion: the Fig. 3 x Monte-Carlo cross
+    product evaluated as one (C, S, T) broadcast through the
+    configuration bank is >= 3x faster than the retained
+    per-configuration loop at Fig. 3 scale (6 configurations x 1000
+    samples x 41 temperatures), agreeing to 1e-9 relative on every
+    period."""
+    bank = ConfigurationBank(default_library(CMOS035), PAPER_FIG3_CONFIGURATIONS)
+    population = sample_technology_array(CMOS035, 1000, seed=1234)
+
+    stacked_s, stacked = _best_time(
+        lambda: bank.period_tensor(DENSE_GRID, technologies=population)
+    )
+
+    start = time.perf_counter()
+    looped = bank.period_tensor_loop(DENSE_GRID, technologies=population)
+    looped_s = time.perf_counter() - start
+
+    speedup = looped_s / stacked_s
+    print(f"\nconfiguration-axis speedup at 6x1000x41: {speedup:.1f}x "
+          f"(looped {looped_s * 1e3:.0f} ms, broadcast {stacked_s * 1e3:.0f} ms)")
+    assert speedup >= 3.0
+
+    assert stacked.shape == looped.shape == (
+        len(PAPER_FIG3_CONFIGURATIONS), 1000, DENSE_GRID.size
+    )
+    worst = float(np.max(np.abs(stacked - looped) / np.abs(looped)))
+    assert worst <= 1e-9
+
+
+@pytest.mark.benchmark(group="engine-config-bank-6x1000x41")
+@pytest.mark.parametrize("mode", ["broadcast", "looped"])
+def test_configuration_bank_fig3_cross_product(benchmark, mode):
+    bank = ConfigurationBank(default_library(CMOS035), PAPER_FIG3_CONFIGURATIONS)
+    population = sample_technology_array(CMOS035, 1000, seed=1234)
+    evaluate = (
+        bank.period_tensor if mode == "broadcast" else bank.period_tensor_loop
+    )
+    tensor = benchmark.pedantic(
+        evaluate,
+        args=(DENSE_GRID,),
+        kwargs=dict(technologies=population),
+        rounds=2,
+        iterations=1,
+    )
+    assert tensor.shape == (len(PAPER_FIG3_CONFIGURATIONS), 1000, DENSE_GRID.size)
+
+
+@pytest.mark.benchmark(group="engine-fig3-sweep")
+@pytest.mark.parametrize("vectorized", [True, False], ids=["sweep", "scalar"])
+def test_fig3_named_configurations_through_sweep_api(benchmark, vectorized):
+    """The declarative form of the Fig. 3 sweep: configuration axis x
+    temperature axis, lowered onto the bank broadcast (or the scalar
+    oracle loop through the compat evaluator).  The library is built
+    outside both timed closures so the comparison measures evaluation,
+    not library construction."""
+    library = default_library(CMOS035)
+    if vectorized:
+        def evaluate():
+            return (
+                Sweep(library=library)
+                .over(Axis.configuration(PAPER_FIG3_CONFIGURATIONS))
+                .over(Axis.temperature(DENSE_GRID))
+                .run()
+                .values
+            )
+    else:
+        engine = BatchEvaluator(vectorized=False)
+
+        def evaluate():
+            return np.stack([
+                engine.evaluate_configuration(
+                    library, configuration, DENSE_GRID
+                ).response.periods_s
+                for configuration in PAPER_FIG3_CONFIGURATIONS.values()
+            ])
+
+    tensor = benchmark.pedantic(evaluate, rounds=2, iterations=1)
+    assert tensor.shape == (len(PAPER_FIG3_CONFIGURATIONS), DENSE_GRID.size)
 
 
 @pytest.mark.benchmark(group="engine-calibration-study")

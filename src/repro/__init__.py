@@ -56,22 +56,39 @@ Performance & batch evaluation
 ------------------------------
 
 The whole analytical stack broadcasts over ndarray temperature grids
-*and* over a leading technology-sample axis: a Monte-Carlo or corner
-population stored as a struct-of-arrays
-:class:`repro.tech.TechnologyArray` flows through the device models
-(:mod:`repro.tech.temperature`), the alpha-power delay model
-(:mod:`repro.delay.alpha_power`), cell delays
+*and* over stacked leading axes: a Monte-Carlo or corner population
+stored as a struct-of-arrays :class:`repro.tech.TechnologyArray` flows
+through the device models (:mod:`repro.tech.temperature`), the
+alpha-power delay model (:mod:`repro.delay.alpha_power`), cell delays
 (:meth:`repro.cells.StandardCell.delays`) and the ring period
-(:meth:`repro.oscillator.RingOscillator.period_series`,
-:meth:`~repro.oscillator.RingOscillator.period_matrix` for
-(sample x temperature) grids) as one broadcast — no Python loop per
-sample.  :class:`repro.engine.BatchEvaluator`
-is the façade over that path — it runs Monte-Carlo populations,
-sensor transfer functions and the Fig. 2 / Fig. 3 sweeps as batch
-NumPy operations, several-fold faster than the per-temperature scalar
-loops at realistic sample counts (200 samples x 41 temperatures):
+(:meth:`repro.oscillator.RingOscillator.period_series`) as one
+broadcast, and many ring configurations stack into a
+:class:`repro.oscillator.ConfigurationBank` so the Fig. 3 x
+Monte-Carlo cross product evaluates as a single
+``(config, sample, temperature)`` broadcast.
 
->>> from repro import BatchEvaluator, CMOS035, RingConfiguration
+Workloads are declared on named axes through the sweep API
+(:mod:`repro.engine.sweep`) — compose :class:`repro.engine.Axis`
+objects over a base context, pick an observable, and get a labeled
+:class:`repro.engine.SweepResult` back:
+
+>>> import numpy as np
+>>> from repro import Axis, CMOS035, PAPER_FIG3_CONFIGURATIONS, Sweep
+>>> result = (
+...     Sweep(technology=CMOS035)
+...     .over(Axis.configuration(PAPER_FIG3_CONFIGURATIONS))
+...     .over(Axis.temperature(np.linspace(-50.0, 150.0, 41)))
+...     .run()
+... )
+>>> result.dims
+('configuration', 'temperature')
+>>> result.select(configuration="5INV").values.shape
+(41,)
+
+:class:`repro.engine.BatchEvaluator` remains as a thin
+backward-compatible adapter over the sweep API:
+
+>>> from repro import BatchEvaluator, RingConfiguration
 >>> engine = BatchEvaluator()
 >>> study = engine.run_monte_carlo(
 ...     CMOS035, RingConfiguration.parse("2INV+3NAND2"), sample_count=25)
@@ -80,8 +97,10 @@ loops at realistic sample counts (200 samples x 41 temperatures):
 
 The scalar loops are retained as the reference oracle:
 ``BatchEvaluator(vectorized=False)`` reproduces them step for step,
-and ``tests/test_engine_equivalence.py`` pins both paths together to a
-relative tolerance of 1e-9 on periods.
+and ``tests/test_engine_equivalence.py`` /
+``tests/test_stacked_equivalence.py`` / ``tests/test_sweep_api.py``
+pin the broadcast paths to them at a relative tolerance of 1e-9 on
+periods.
 """
 
 from .tech import (
@@ -100,13 +119,14 @@ from .tech import (
 from .cells import CellLibrary, StandardCell, default_library
 from .oscillator import (
     PAPER_FIG3_CONFIGURATIONS,
+    ConfigurationBank,
     RingConfiguration,
     RingOscillator,
     TemperatureResponse,
     analytical_response,
 )
 from .analysis import nonlinearity, sensitivity_report
-from .engine import BatchEvaluator
+from .engine import Axis, BatchEvaluator, Sweep, SweepResult
 from .core import (
     LinearCalibration,
     ReadoutConfig,
@@ -134,13 +154,17 @@ __all__ = [
     "StandardCell",
     "default_library",
     "PAPER_FIG3_CONFIGURATIONS",
+    "ConfigurationBank",
     "RingConfiguration",
     "RingOscillator",
     "TemperatureResponse",
     "analytical_response",
     "nonlinearity",
     "sensitivity_report",
+    "Axis",
     "BatchEvaluator",
+    "Sweep",
+    "SweepResult",
     "LinearCalibration",
     "ReadoutConfig",
     "SensorMultiplexer",

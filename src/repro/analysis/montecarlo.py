@@ -125,9 +125,10 @@ def run_monte_carlo(
 
     # With the default ring builder the vectorized path draws the
     # population directly in struct-of-arrays form and evaluates the
-    # whole (sample x temperature) period matrix as one broadcast — no
-    # per-sample library, rebind or Python loop.  A custom ring_builder
-    # (or scalar mode) falls back to the per-sample sweep.
+    # whole (sample x temperature) period matrix as one declarative
+    # sweep (sample axis x temperature axis) — no per-sample library,
+    # rebind or Python loop.  A custom ring_builder (or scalar mode)
+    # falls back to the per-sample sweep.
     use_period_matrix = ring_builder is None and not scalar
     if ring_builder is None:
         def ring_builder(tech: Technology, config: RingConfiguration) -> RingOscillator:
@@ -135,11 +136,19 @@ def run_monte_carlo(
 
     responses: List[TemperatureResponse] = []
     if use_period_matrix:
+        from ..engine.sweep import Axis, Sweep
+
         population = sample_technology_array(
             base_technology, sample_count, model=variation, seed=seed
         )
         base_ring = ring_builder(base_technology, configuration)
-        matrix = base_ring.period_matrix(population, temps)
+        matrix = (
+            Sweep(ring=base_ring)
+            .over(Axis.sample(population))
+            .over(Axis.temperature(temps))
+            .run()
+            .values
+        )
         label = base_ring.label()
         responses = [TemperatureResponse(label, temps, row) for row in matrix]
     else:

@@ -20,7 +20,6 @@ from ..cells.library import CellLibrary, default_library
 from ..oscillator.config import RingConfiguration
 from ..oscillator.ring import RingOscillator
 from ..tech.parameters import Technology, TechnologyError
-from ..tech.stacked import stack_technologies
 
 __all__ = ["SupplySensitivityReport", "supply_sensitivity"]
 
@@ -78,12 +77,14 @@ def supply_sensitivity(
     only the drive), the temperature derivative directly from the period
     model.
 
-    On the default path the ring is built once and the two supply
-    points are evaluated as one stacked two-sample technology
-    population, and the temperature difference as one vectorized
-    two-point sweep — one library build instead of four.  Passing a
-    custom ``library_builder`` (whose cells may legitimately depend on
-    the supply) or ``scalar=True`` falls back to the original
+    On the default path the ring is built once and both finite
+    differences are declared as sweeps
+    (:class:`~repro.engine.sweep.Sweep`): the supply derivative as one
+    two-point ``supply`` axis (lowered onto a stacked two-sample
+    technology population) and the temperature derivative as one
+    two-point ``temperature`` axis — one library build instead of four.
+    Passing a custom ``library_builder`` (whose cells may legitimately
+    depend on the supply) or ``scalar=True`` falls back to the original
     rebuild-per-operating-point loop, which is kept as the equivalence
     oracle.
     """
@@ -91,6 +92,13 @@ def supply_sensitivity(
         raise TechnologyError("finite-difference deltas must be positive")
     builder = library_builder or default_library
     nominal_vdd = technology.vdd
+    if nominal_vdd - supply_delta_v <= 0.0:
+        # Checked up front so both evaluation modes fail with the same
+        # error type (the scalar oracle would hit it inside with_supply).
+        raise TechnologyError(
+            f"supply_delta_v {supply_delta_v} V drives the lower supply "
+            f"non-positive (nominal {nominal_vdd} V)"
+        )
 
     if scalar or library_builder is not None:
         def period_at(vdd: float, temp_c: float) -> float:
@@ -107,27 +115,30 @@ def supply_sensitivity(
             - period_at(nominal_vdd, temperature_c - temperature_delta_c)
         ) / (2.0 * temperature_delta_c)
     else:
+        from ..engine.sweep import Axis, Sweep
+
         ring = RingOscillator(builder(technology), configuration)
-        supplies = stack_technologies(
-            [
-                technology.with_supply(nominal_vdd + supply_delta_v),
-                technology.with_supply(nominal_vdd - supply_delta_v),
-            ]
+        high_v = nominal_vdd + supply_delta_v
+        low_v = nominal_vdd - supply_delta_v
+        supply_periods = (
+            Sweep(ring=ring)
+            .over(Axis.supply([high_v, low_v]))
+            .over(Axis.temperature([temperature_c]))
+            .run()
         )
-        supply_periods = ring.period_matrix(
-            supplies, np.asarray([temperature_c])
-        )
-        period_per_volt = float(
-            supply_periods[0, 0] - supply_periods[1, 0]
+        period_per_volt = (
+            supply_periods.select(supply=high_v).item()
+            - supply_periods.select(supply=low_v).item()
         ) / (2.0 * supply_delta_v)
-        temp_periods = ring.period_series(
-            np.asarray(
-                [temperature_c + temperature_delta_c, temperature_c - temperature_delta_c]
-            )
+        high_t = temperature_c + temperature_delta_c
+        low_t = temperature_c - temperature_delta_c
+        temp_periods = (
+            Sweep(ring=ring).over(Axis.temperature([high_t, low_t])).run()
         )
-        period_per_kelvin = float(temp_periods[0] - temp_periods[1]) / (
-            2.0 * temperature_delta_c
-        )
+        period_per_kelvin = (
+            temp_periods.select(temperature=high_t).item()
+            - temp_periods.select(temperature=low_t).item()
+        ) / (2.0 * temperature_delta_c)
     if period_per_kelvin == 0.0:
         raise TechnologyError("the ring has no temperature sensitivity at this point")
 

@@ -1,9 +1,31 @@
-"""Vectorized batch evaluation of rings, sensors and populations.
+"""Batch evaluation: the declarative sweep API and its compat façade.
 
-See :mod:`repro.engine.batch` for the design; the public entry point is
-:class:`BatchEvaluator`.
+:mod:`repro.engine.sweep` is the engine proper — named-axis workloads
+(:class:`Sweep` / :class:`Axis`) lowered onto numpy broadcast
+dimensions in canonical order, returning labeled
+:class:`SweepResult` tensors.  :class:`BatchEvaluator`
+(:mod:`repro.engine.batch`) remains as a thin backward-compatible
+adapter over it.
 """
 
 from .batch import BatchEvaluator
+from .sweep import (
+    Axis,
+    CANONICAL_AXIS_ORDER,
+    OBSERVABLES,
+    Sweep,
+    SweepError,
+    SweepPlan,
+    SweepResult,
+)
 
-__all__ = ["BatchEvaluator"]
+__all__ = [
+    "Axis",
+    "BatchEvaluator",
+    "CANONICAL_AXIS_ORDER",
+    "OBSERVABLES",
+    "Sweep",
+    "SweepError",
+    "SweepPlan",
+    "SweepResult",
+]

@@ -1,86 +1,90 @@
-"""The vectorized batch-evaluation engine.
+"""The batch-evaluation façade — a thin adapter over the declarative sweep API.
 
-Every paper-facing artefact — the Fig. 2 sizing sweep, the Fig. 3
-cell-mix sweep, the Monte-Carlo calibration argument, the smart unit's
-transfer function — is built from thousands of repeated ring-period
-evaluations.  The scalar paths evaluate one ``(ring, temperature)``
-point per Python call; this module provides the batch alternative:
+Through PR 1/2 this module *was* the batch engine: a dozen
+signature-mirroring pass-through methods, one per workload.  The engine
+proper now lives in :mod:`repro.engine.sweep` — named axes
+(``configuration`` / ``width_ratio`` / ``supply`` / ``sample`` /
+``temperature``) composed declaratively and lowered onto numpy
+broadcast dimensions in canonical order — and in the stacked data
+layouts that back it (:mod:`repro.tech.stacked` for the sample and
+supply axes, :mod:`repro.oscillator.bank` for the configuration axis).
 
-* the delay stack (:mod:`repro.tech.temperature`,
-  :mod:`repro.delay.alpha_power`, :mod:`repro.cells.cell`) broadcasts
-  over ndarray temperature grids *and*, through the struct-of-arrays
-  technology populations of :mod:`repro.tech.stacked`
-  (:class:`~repro.tech.stacked.TechnologyArray`), over a leading
-  technology-sample axis: a whole Monte-Carlo or corner population
-  evaluates as one ``(sample x temperature)`` broadcast,
-* :meth:`repro.oscillator.ring.RingOscillator.period_series` sums the
-  per-stage delay vectors in one pass, and
-  :meth:`~repro.oscillator.ring.RingOscillator.period_matrix` stacks the
-  technology samples and gets the whole (sample x temperature) period
-  matrix from that same single stage-sum — no per-sample rebind,
-* :class:`BatchEvaluator` (this module) is the façade that runs whole
-  workloads — Monte-Carlo populations, transfer functions, sizing and
-  cell-mix sweeps, the calibration ablation, the supply-sensitivity and
-  self-heating studies — through either the vectorized path or the
-  original scalar loops.
+:class:`BatchEvaluator` remains as the backward-compatible adapter:
 
-The scalar loops are deliberately kept alive: they are the *reference
-oracle*.  ``BatchEvaluator(vectorized=False)`` reproduces the
-pre-engine behaviour step for step;
-``tests/test_engine_equivalence.py`` pins the temperature axis and
-``tests/test_stacked_equivalence.py`` pins the sample axis (stacked
-population versus the retained per-sample loop,
-:meth:`~repro.oscillator.ring.RingOscillator.period_matrix_loop`) to a
-relative tolerance of 1e-9 on periods (in practice they agree to a few
-ULP; the only operation whose libm/numpy implementations may differ in
-the last bit is ``pow``).
+* the ring primitives (:meth:`~BatchEvaluator.period_series`,
+  :meth:`~BatchEvaluator.period_matrix`) build the equivalent one-axis
+  / two-axis :class:`~repro.engine.sweep.Sweep` and return its raw
+  values,
+* the workload methods (:meth:`~BatchEvaluator.run_monte_carlo`,
+  :meth:`~BatchEvaluator.sweep_width_ratio`, ... ) delegate to the free
+  functions in :mod:`repro.analysis` / :mod:`repro.optimize` /
+  :mod:`repro.experiments`, whose vectorized paths are themselves
+  written on the sweep API, and
+* ``BatchEvaluator(vectorized=False)`` still routes every workload
+  through the original scalar loops — the reference oracle pinned by
+  ``tests/test_engine_equivalence.py`` and
+  ``tests/test_stacked_equivalence.py`` to a relative tolerance of
+  1e-9 on periods.
+
+Deprecation story: direct ``BatchEvaluator`` method calls keep working
+(and keep their exact numerical behaviour — the adapter lowers onto the
+same broadcasts), but new workloads should be written as
+:class:`~repro.engine.sweep.Sweep` expressions; an axis added there is
+available to *every* workload at once instead of growing this façade by
+another mirrored method.  Two deliberate differences from the pre-sweep
+façade: vectorized ring primitives now validate the temperature grid up
+front (a non-finite grid raises
+:class:`~repro.engine.sweep.SweepError` instead of silently propagating
+NaN periods), and the delegating workload methods take ``*args`` /
+``**kwargs`` — each docstring links the free function that documents
+the full signature.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from importlib import import_module
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..analysis.montecarlo import MonteCarloStudy, run_monte_carlo
-from ..cells.library import CellLibrary
-from ..core.sensor import SensorTransferFunction, SmartTemperatureSensor
-from ..optimize.cellmix import (
-    CellMixCandidate,
-    CellMixSearchResult,
-    DEFAULT_MIX_CELLS,
-    evaluate_configuration,
-    search_cell_mix,
-)
-from ..optimize.sizing import (
-    PAPER_FIG2_RATIOS,
-    SizingPoint,
-    SizingSweepResult,
-    optimize_width_ratio,
-    sweep_width_ratio,
-)
-from ..oscillator.config import RingConfiguration
-from ..oscillator.period import TemperatureResponse, analytical_response
-from ..oscillator.ring import RingOscillator
-from ..tech.corners import VariationModel
-from ..tech.parameters import Technology
 from ..tech.stacked import TechnologyArray
+from .sweep import Axis, Sweep
 
 __all__ = ["BatchEvaluator"]
 
 
+def _delegated(module: str, name: str, doc: str):
+    """A workload method delegating to a mode-aware free function.
+
+    The target is imported lazily at call time: the study modules import
+    :mod:`repro.engine` themselves, so binding them at class-definition
+    time would make the import graph cyclic.
+    """
+
+    def method(self, *args, **kwargs):
+        function = getattr(import_module(module), name)
+        return function(*args, scalar=self._scalar, **kwargs)
+
+    method.__name__ = name
+    method.__qualname__ = f"BatchEvaluator.{name}"
+    method.__doc__ = (
+        f"{doc}\n\n        Same contract as :func:`{module}.{name}`, with the"
+        "\n        evaluation mode supplied by this evaluator.\n        "
+    )
+    return method
+
+
 class BatchEvaluator:
-    """Runs ring, sensor and Monte-Carlo workloads in batch.
+    """Runs ring, sensor and population workloads in batch.
 
     Parameters
     ----------
     vectorized:
-        ``True`` (default) evaluates through the ndarray broadcast path;
-        ``False`` routes every workload through the original scalar
-        loops, which serve as the reference oracle for the equivalence
-        tests.  Both modes produce the same result objects, so callers
-        can switch freely.
+        ``True`` (default) evaluates through the declarative sweep API's
+        broadcast lowering; ``False`` routes every workload through the
+        original scalar loops, which serve as the reference oracle for
+        the equivalence tests.  Both modes produce the same result
+        objects, so callers can switch freely.
     """
 
     def __init__(self, vectorized: bool = True) -> None:
@@ -95,66 +99,57 @@ class BatchEvaluator:
         return f"BatchEvaluator({mode})"
 
     # ------------------------------------------------------------------ #
-    # ring-level primitives
+    # ring-level primitives (lowered onto Sweep directly)
     # ------------------------------------------------------------------ #
 
-    def period_series(
-        self, ring: RingOscillator, temperatures_c: Sequence[float]
-    ) -> np.ndarray:
+    def period_series(self, ring, temperatures_c: Sequence[float]) -> np.ndarray:
         """Periods (s) of one ring over a temperature grid."""
-        if self.vectorized:
-            return ring.period_series(temperatures_c)
-        return ring.period_series_scalar(temperatures_c)
+        if self._scalar:
+            return ring.period_series_scalar(temperatures_c)
+        return Sweep(ring=ring).over(Axis.temperature(temperatures_c)).run().values
 
     def period_matrix(
-        self,
-        ring: RingOscillator,
-        technologies: Sequence[Technology],
-        temperatures_c: Sequence[float],
+        self, ring, technologies, temperatures_c: Sequence[float]
     ) -> np.ndarray:
         """Periods (s) on a (technology sample x temperature) grid.
 
-        Vectorized mode stacks the technologies into one
-        struct-of-arrays population and broadcasts both axes in a single
-        pass.  In scalar mode every grid point is still evaluated
-        through one scalar call, preserving the oracle property.
+        Vectorized mode lowers the two named axes onto one stacked
+        broadcast; scalar mode evaluates every grid point through one
+        scalar call, preserving the oracle property.
         """
         if self.vectorized:
-            return ring.period_matrix(technologies, temperatures_c)
+            return (
+                Sweep(ring=ring)
+                .over(Axis.sample(technologies))
+                .over(Axis.temperature(temperatures_c))
+                .run()
+                .values
+            )
         if isinstance(technologies, TechnologyArray):
             technologies = technologies.technologies()
         temps = np.asarray(temperatures_c, dtype=float)
         matrix = np.zeros((len(technologies), temps.size))
         for row, tech in enumerate(technologies):
-            rebound = ring.rebind(tech)
-            matrix[row] = rebound.period_series_scalar(temps)
+            matrix[row] = ring.rebind(tech).period_series_scalar(temps)
         return matrix
 
-    def response(
-        self,
-        ring: RingOscillator,
-        temperatures_c: Optional[Sequence[float]] = None,
-    ) -> TemperatureResponse:
+    def response(self, ring, temperatures_c: Optional[Sequence[float]] = None):
         """Temperature response of one ring (label + periods)."""
+        from ..oscillator.period import analytical_response
+
         return analytical_response(ring, temperatures_c, scalar=self._scalar)
 
     # ------------------------------------------------------------------ #
-    # sensor-level workloads
+    # sensor-level workloads (quantisation lives in the sensor model)
     # ------------------------------------------------------------------ #
 
-    def transfer_function(
-        self,
-        sensor: SmartTemperatureSensor,
-        temperatures_c: Optional[Sequence[float]] = None,
-    ) -> SensorTransferFunction:
+    def transfer_function(self, sensor, temperatures_c: Optional[Sequence[float]] = None):
         """Quantised code-versus-temperature curve of a smart sensor."""
         return sensor.transfer_function(temperatures_c, scalar=self._scalar)
 
     def transfer_functions(
-        self,
-        sensors: Sequence[SmartTemperatureSensor],
-        temperatures_c: Optional[Sequence[float]] = None,
-    ) -> Dict[str, SensorTransferFunction]:
+        self, sensors, temperatures_c: Optional[Sequence[float]] = None
+    ) -> Dict[str, object]:
         """Transfer functions of a whole sensor bank, keyed by name."""
         return {
             sensor.name: self.transfer_function(sensor, temperatures_c)
@@ -162,156 +157,46 @@ class BatchEvaluator:
         }
 
     # ------------------------------------------------------------------ #
-    # population-level workloads
+    # workload delegation (the free functions are sweep-backed)
     # ------------------------------------------------------------------ #
 
-    def run_monte_carlo(
-        self,
-        base_technology: Technology,
-        configuration: RingConfiguration,
-        sample_count: int = 25,
-        temperatures_c: Optional[Sequence[float]] = None,
-        reference_temperature_c: float = 25.0,
-        variation: Optional[VariationModel] = None,
-        seed: Optional[int] = 1234,
-        ring_builder: Optional[
-            Callable[[Technology, RingConfiguration], RingOscillator]
-        ] = None,
-    ) -> MonteCarloStudy:
-        """Monte-Carlo linearity/spread study of one configuration.
-
-        Same contract as :func:`repro.analysis.montecarlo.run_monte_carlo`
-        with the evaluation mode supplied by this evaluator.
-        """
-        return run_monte_carlo(
-            base_technology,
-            configuration,
-            sample_count=sample_count,
-            temperatures_c=temperatures_c,
-            reference_temperature_c=reference_temperature_c,
-            variation=variation,
-            seed=seed,
-            ring_builder=ring_builder,
-            scalar=self._scalar,
-        )
-
-    def sweep_width_ratio(
-        self,
-        technology: Technology,
-        ratios: Sequence[float] = PAPER_FIG2_RATIOS,
-        nmos_width_um: float = 1.05,
-        stage_count: int = 5,
-        temperatures_c: Optional[Sequence[float]] = None,
-        fit_method: str = "endpoint",
-    ) -> SizingSweepResult:
-        """Fig. 2 Wp/Wn sizing sweep through this evaluator's mode."""
-        return sweep_width_ratio(
-            technology,
-            ratios=ratios,
-            nmos_width_um=nmos_width_um,
-            stage_count=stage_count,
-            temperatures_c=temperatures_c,
-            fit_method=fit_method,
-            scalar=self._scalar,
-        )
-
-    def optimize_width_ratio(
-        self,
-        technology: Technology,
-        ratio_bounds: Sequence[float] = (1.0, 6.0),
-        nmos_width_um: float = 1.05,
-        stage_count: int = 5,
-        temperatures_c: Optional[Sequence[float]] = None,
-        fit_method: str = "endpoint",
-    ) -> SizingPoint:
-        """Continuous Fig. 2 optimum through this evaluator's mode."""
-        return optimize_width_ratio(
-            technology,
-            ratio_bounds=ratio_bounds,
-            nmos_width_um=nmos_width_um,
-            stage_count=stage_count,
-            temperatures_c=temperatures_c,
-            fit_method=fit_method,
-            scalar=self._scalar,
-        )
-
-    def evaluate_configuration(
-        self,
-        library: CellLibrary,
-        configuration: RingConfiguration,
-        temperatures_c: Optional[Sequence[float]] = None,
-        fit_method: str = "endpoint",
-    ) -> CellMixCandidate:
-        """Linearity/area evaluation of one cell mix."""
-        return evaluate_configuration(
-            library,
-            configuration,
-            temperatures_c,
-            fit_method,
-            scalar=self._scalar,
-        )
-
-    def search_cell_mix(
-        self,
-        library: CellLibrary,
-        cell_names: Sequence[str] = DEFAULT_MIX_CELLS,
-        stage_count: int = 5,
-        temperatures_c: Optional[Sequence[float]] = None,
-        fit_method: str = "endpoint",
-        top_k: int = 10,
-    ) -> CellMixSearchResult:
-        """Fig. 3 exhaustive cell-mix ranking through this evaluator's mode."""
-        return search_cell_mix(
-            library,
-            cell_names=cell_names,
-            stage_count=stage_count,
-            temperatures_c=temperatures_c,
-            fit_method=fit_method,
-            top_k=top_k,
-            scalar=self._scalar,
-        )
-
-    # ------------------------------------------------------------------ #
-    # study-level workloads
-    # ------------------------------------------------------------------ #
-    # The study functions live in repro.experiments / repro.analysis /
-    # repro.thermal, some of which import this module at load time, so
-    # they are imported lazily here to keep the import graph acyclic.
-
-    def run_calibration_study(self, *args, **kwargs):
-        """Calibration-scheme ablation (ABL-CAL) through this evaluator's mode.
-
-        Same contract as
-        :func:`repro.experiments.calibration_study.run_calibration_study`:
-        vectorized mode evaluates the whole corner + Monte-Carlo
-        population as one stacked ``(sample x temperature)`` batch,
-        scalar mode keeps the original one-sensor-per-sample loop.
-        """
-        from ..experiments.calibration_study import run_calibration_study
-
-        return run_calibration_study(*args, scalar=self._scalar, **kwargs)
-
-    def supply_sensitivity(self, *args, **kwargs):
-        """Supply cross-sensitivity through this evaluator's mode.
-
-        Same contract as :func:`repro.analysis.supply.supply_sensitivity`;
-        vectorized mode evaluates the supply finite difference as one
-        stacked two-supply population instead of rebuilding the cell
-        library at every supply point.
-        """
-        from ..analysis.supply import supply_sensitivity
-
-        return supply_sensitivity(*args, scalar=self._scalar, **kwargs)
-
-    def run_selfheating_study(self, *args, **kwargs):
-        """Self-heating ablation (ABL-SELFHEAT) through this evaluator's mode.
-
-        Same contract as
-        :func:`repro.experiments.selfheating_study.run_selfheating_study`;
-        vectorized mode exploits the linearity of the thermal network
-        (two steady-state solves for the whole duty-cycle sweep), scalar
-        mode keeps the one-solve-per-duty-cycle loop as the oracle.
-        """
-        from ..experiments.selfheating_study import run_selfheating_study
-
-        return run_selfheating_study(*args, scalar=self._scalar, **kwargs)
+    run_monte_carlo = _delegated(
+        "repro.analysis.montecarlo",
+        "run_monte_carlo",
+        "Monte-Carlo linearity/spread study of one configuration.",
+    )
+    sweep_width_ratio = _delegated(
+        "repro.optimize.sizing",
+        "sweep_width_ratio",
+        "Fig. 2 Wp/Wn sizing sweep (the width_ratio axis).",
+    )
+    optimize_width_ratio = _delegated(
+        "repro.optimize.sizing",
+        "optimize_width_ratio",
+        "Continuous Fig. 2 optimum by bounded scalar minimisation.",
+    )
+    evaluate_configuration = _delegated(
+        "repro.optimize.cellmix",
+        "evaluate_configuration",
+        "Linearity/area evaluation of one cell mix.",
+    )
+    search_cell_mix = _delegated(
+        "repro.optimize.cellmix",
+        "search_cell_mix",
+        "Fig. 3 exhaustive cell-mix ranking (the configuration axis).",
+    )
+    run_calibration_study = _delegated(
+        "repro.experiments.calibration_study",
+        "run_calibration_study",
+        "Calibration-scheme ablation (ABL-CAL) over the process spread.",
+    )
+    supply_sensitivity = _delegated(
+        "repro.analysis.supply",
+        "supply_sensitivity",
+        "Supply cross-sensitivity (the supply axis finite difference).",
+    )
+    run_selfheating_study = _delegated(
+        "repro.experiments.selfheating_study",
+        "run_selfheating_study",
+        "Self-heating ablation (ABL-SELFHEAT) via thermal linearity.",
+    )

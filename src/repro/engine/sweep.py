@@ -1,0 +1,784 @@
+"""Declarative sweep API: named-axis workloads over the batch engine.
+
+Every paper-facing artefact is a cross product of the same few axes —
+ring ``configuration`` (Fig. 3), transistor ``width_ratio`` (Fig. 2),
+process ``sample`` (the Monte-Carlo calibration argument), ``supply``
+and ``temperature`` — yet before this module each cross product was a
+bespoke entry point threading positional ndarray dimensions by hand.
+This module turns the workload itself into data:
+
+* :class:`Axis` — one named axis with coordinate labels.  The known
+  axes are ``configuration``, ``width_ratio``, ``supply``, ``sample``
+  and ``temperature`` (that tuple, :data:`CANONICAL_AXIS_ORDER`, is
+  also the canonical broadcast order of the result dimensions).
+* :class:`Sweep` — a builder that composes axes over a base context
+  (technology / library / configuration / ring) plus an observable
+  (period, frequency, the sensor transfer curve, calibration error,
+  non-linearity).
+* :class:`SweepPlan` — the planner: validates the axis combination and
+  lowers the named axes onto numpy broadcast dimensions.  The
+  ``sample`` and ``supply`` axes stack into one struct-of-arrays
+  technology population (:mod:`repro.tech.stacked`); the
+  ``configuration`` axis stacks into a
+  :class:`~repro.oscillator.bank.ConfigurationBank` so the whole
+  Fig. 3 x Monte-Carlo cross product evaluates as a single
+  ``(C, S, T)`` broadcast; ``width_ratio`` (a geometry axis that
+  rebuilds the cell) lowers to a thin outer loop over otherwise fully
+  broadcast sub-tensors.
+* :class:`SweepResult` — a labeled ndarray container (axis names +
+  coordinates with ``select`` / ``isel`` / ``squeeze`` / ``to_dict``
+  accessors), so callers stop tracking which raw dimension is which.
+
+Example — the Fig. 3 x Monte-Carlo cross product in one expression::
+
+    result = (
+        Sweep(technology=CMOS035)
+        .over(Axis.configuration(PAPER_FIG3_CONFIGURATIONS))
+        .over(Axis.sample(sample_technology_array(CMOS035, 1000, seed=1)))
+        .over(Axis.temperature(np.linspace(-50.0, 150.0, 41)))
+        .observe("period")
+        .run()
+    )
+    result.dims                       # ('configuration', 'sample', 'temperature')
+    result.select(configuration="5INV").values.shape   # (1000, 41)
+
+The rewritten experiments (:mod:`repro.experiments.fig2_sizing`,
+:mod:`repro.experiments.fig3_cellmix`,
+:mod:`repro.experiments.calibration_study`,
+:mod:`repro.analysis.supply`, :mod:`repro.analysis.montecarlo`) all
+build their period tensors through this API, and
+:class:`repro.engine.batch.BatchEvaluator` remains as a thin
+backward-compatible adapter over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..cells.library import CellLibrary, default_library
+from ..oscillator.bank import ConfigurationBank, normalise_configurations
+from ..oscillator.config import ConfigurationError, RingConfiguration
+from ..oscillator.period import default_temperature_grid
+from ..oscillator.ring import RingOscillator
+from ..tech.parameters import Technology, TechnologyError
+from ..tech.stacked import TechnologyArray, stack_technologies
+
+__all__ = [
+    "Axis",
+    "CANONICAL_AXIS_ORDER",
+    "OBSERVABLES",
+    "Sweep",
+    "SweepError",
+    "SweepPlan",
+    "SweepResult",
+]
+
+#: The canonical broadcast order of the named axes: every
+#: :class:`SweepResult` carries its dimensions in this order no matter
+#: the order the axes were declared in.
+CANONICAL_AXIS_ORDER = (
+    "configuration",
+    "width_ratio",
+    "supply",
+    "sample",
+    "temperature",
+)
+
+#: The observables a sweep can evaluate.  All preserve the axis shape:
+#: ``period`` (s) and ``frequency`` (Hz) are the raw tensor;
+#: ``transfer_c`` is the two-point-calibrated temperature estimate (the
+#: ideal sensor transfer curve, calibrated per row at the sweep's
+#: endpoint temperatures); ``calibration_error_c`` is that estimate
+#: minus the true temperature; ``nonlinearity_percent`` is the paper's
+#: endpoint-fit non-linearity error in percent of full scale.
+OBSERVABLES = (
+    "period",
+    "frequency",
+    "transfer_c",
+    "calibration_error_c",
+    "nonlinearity_percent",
+)
+
+
+class SweepError(ValueError):
+    """Raised for invalid sweep specifications or result queries."""
+
+
+# --------------------------------------------------------------------------- #
+# axes
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named sweep axis: coordinate labels plus the lowering payload.
+
+    Use the named constructors (:meth:`temperature`, :meth:`sample`,
+    :meth:`configuration`, :meth:`supply`, :meth:`width_ratio`) — they
+    validate the values and attach the payload the planner lowers from.
+    Coordinates keep the caller's order (the planner never reorders
+    *within* an axis, only the axes themselves into
+    :data:`CANONICAL_AXIS_ORDER`).
+    """
+
+    name: str
+    coordinates: Tuple[Any, ...]
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.name not in CANONICAL_AXIS_ORDER:
+            raise SweepError(
+                f"unknown axis {self.name!r}; named axes are "
+                f"{', '.join(CANONICAL_AXIS_ORDER)}"
+            )
+        if not self.coordinates:
+            raise SweepError(f"axis {self.name!r} needs at least one coordinate")
+
+    def __len__(self) -> int:
+        return len(self.coordinates)
+
+    # ------------------------------------------------------------------ #
+    # named constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def temperature(cls, temperatures_c: Sequence[float]) -> "Axis":
+        """The junction-temperature axis (deg C), evaluated pointwise.
+
+        The grid is kept in the caller's order (periods are evaluated
+        elementwise, so ordering is presentation only).
+        """
+        temps = np.asarray(list(temperatures_c), dtype=float)
+        if temps.ndim != 1 or temps.size < 1:
+            raise SweepError("temperature axis needs a 1-D grid of at least one point")
+        if np.any(~np.isfinite(temps)):
+            raise SweepError("temperature axis must be finite (no NaN or infinity)")
+        return cls("temperature", tuple(float(t) for t in temps))
+
+    @classmethod
+    def sample(cls, technologies) -> "Axis":
+        """The process-sample axis: a technology population.
+
+        Accepts a stacked :class:`~repro.tech.stacked.TechnologyArray`
+        (preferred — it broadcasts as-is) or a sequence of
+        :class:`~repro.tech.parameters.Technology` samples (stacked by
+        the planner when possible, per-sample loop otherwise).
+        Coordinates are the sample indices.
+        """
+        if isinstance(technologies, TechnologyArray):
+            count = len(technologies)
+        else:
+            technologies = list(technologies)
+            count = len(technologies)
+        if count < 1:
+            raise SweepError("sample axis needs at least one technology sample")
+        return cls("sample", tuple(range(count)), payload=technologies)
+
+    @classmethod
+    def configuration(
+        cls,
+        configurations: Union[
+            Mapping[str, RingConfiguration],
+            Sequence[Union[RingConfiguration, str]],
+        ],
+    ) -> "Axis":
+        """The ring-configuration axis (the paper's Fig. 3 knob).
+
+        Accepts a label-to-configuration mapping, or a sequence of
+        configurations / parseable strings (labelled by their canonical
+        ``cfg.label()``).  Lowered onto a
+        :class:`~repro.oscillator.bank.ConfigurationBank` — the whole
+        axis evaluates as one broadcast, not one pass per ring.
+        """
+        try:
+            labels, configs = normalise_configurations(configurations)
+        except ConfigurationError as error:
+            raise SweepError(str(error)) from error
+        return cls(
+            "configuration",
+            labels,
+            payload=dict(zip(labels, configs)),
+        )
+
+    @classmethod
+    def supply(cls, supplies_v: Sequence[float]) -> "Axis":
+        """The supply-voltage axis (V), applied via ``with_supply``.
+
+        When combined with a ``sample`` axis the supplies override each
+        sample's vdd, giving the full supply x sample cross product.
+        """
+        values = np.asarray(list(supplies_v), dtype=float)
+        if values.ndim != 1 or values.size < 1:
+            raise SweepError("supply axis needs a 1-D grid of at least one voltage")
+        if np.any(~np.isfinite(values)) or np.any(values <= 0.0):
+            raise SweepError("supply voltages must be finite and positive")
+        if len(set(values.tolist())) != values.size:
+            raise SweepError("supply voltages must be unique")
+        return cls("supply", tuple(float(v) for v in values))
+
+    @classmethod
+    def width_ratio(
+        cls,
+        ratios: Sequence[float],
+        nmos_width_um: float = 1.05,
+        stage_count: int = 5,
+    ) -> "Axis":
+        """The Wp/Wn sizing axis (the paper's Fig. 2 knob).
+
+        A geometry axis: every ratio rebuilds the inverter cell (via
+        :func:`repro.optimize.sizing.build_sized_ring`), so it lowers to
+        an outer loop over otherwise fully broadcast sub-tensors rather
+        than a broadcast dimension of its own.  Mutually exclusive with
+        the ``configuration`` axis.  Like the temperature axis, each
+        ratio is evaluated independently, so duplicates are allowed
+        (``select`` on a duplicated coordinate returns the first match).
+        """
+        values = np.asarray(list(ratios), dtype=float)
+        if values.ndim != 1 or values.size < 1:
+            raise SweepError("width_ratio axis needs at least one ratio")
+        if np.any(~np.isfinite(values)) or np.any(values <= 0.0):
+            raise SweepError("width ratios must be finite and positive")
+        return cls(
+            "width_ratio",
+            tuple(float(r) for r in values),
+            payload={"nmos_width_um": float(nmos_width_um), "stage_count": int(stage_count)},
+        )
+
+
+# --------------------------------------------------------------------------- #
+# results
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A labeled ndarray: sweep values plus named axes and coordinates.
+
+    ``dims`` names each dimension of ``values`` (a subset of
+    :data:`CANONICAL_AXIS_ORDER`, in that order) and ``coords`` maps
+    each name to its coordinate labels, so callers select by meaning
+    (``result.select(configuration="5INV", temperature=25.0)``) instead
+    of tracking raw dimension positions.
+    """
+
+    values: np.ndarray
+    dims: Tuple[str, ...]
+    coords: Dict[str, Tuple[Any, ...]]
+    observable: str = "period"
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "dims", tuple(self.dims))
+        object.__setattr__(self, "coords", dict(self.coords))
+        if len(set(self.dims)) != len(self.dims):
+            raise SweepError(f"duplicate axis names in {self.dims}")
+        if values.ndim != len(self.dims):
+            raise SweepError(
+                f"values have {values.ndim} dimensions but {len(self.dims)} "
+                f"axis names were given"
+            )
+        if set(self.coords) != set(self.dims):
+            raise SweepError("coords must carry exactly one entry per axis name")
+        for axis, name in enumerate(self.dims):
+            if len(self.coords[name]) != values.shape[axis]:
+                raise SweepError(
+                    f"axis {name!r} has {values.shape[axis]} entries but "
+                    f"{len(self.coords[name])} coordinates"
+                )
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.values.shape
+
+    def axis_index(self, name: str) -> int:
+        """Position of a named axis in the value array."""
+        try:
+            return self.dims.index(name)
+        except ValueError:
+            raise SweepError(
+                f"result has no axis {name!r}; axes are {self.dims}"
+            ) from None
+
+    def coordinates(self, name: str) -> Tuple[Any, ...]:
+        """Coordinate labels of a named axis."""
+        self.axis_index(name)
+        return tuple(self.coords[name])
+
+    def item(self) -> float:
+        """The single value of a fully selected (size-1) result."""
+        if self.values.size != 1:
+            raise SweepError(
+                f"item() needs a single-element result, got shape {self.shape}"
+            )
+        return float(self.values.reshape(()))
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    def _locate(self, name: str, label: Any) -> int:
+        labels = self.coords[name]
+        for index, candidate in enumerate(labels):
+            if candidate == label:
+                return index
+        if isinstance(label, (int, float)) and not isinstance(label, bool):
+            numeric = [
+                index
+                for index, candidate in enumerate(labels)
+                if isinstance(candidate, (int, float))
+                and np.isclose(float(candidate), float(label), rtol=1e-12, atol=0.0)
+            ]
+            if numeric:
+                return numeric[0]
+        raise SweepError(
+            f"axis {name!r} has no coordinate {label!r}; coordinates are {labels}"
+        )
+
+    def select(self, **selectors: Any) -> "SweepResult":
+        """Select by coordinate label.
+
+        A scalar label drops the axis; a list/tuple of labels keeps the
+        axis restricted to that subset (in the requested order).
+        """
+        result = self
+        for name, label in selectors.items():
+            result.axis_index(name)
+            if isinstance(label, (list, tuple)):
+                indices = [result._locate(name, entry) for entry in label]
+                result = result._take(name, indices, keep=True)
+            else:
+                result = result._take(name, [result._locate(name, label)], keep=False)
+        return result
+
+    def isel(self, **indexers: Union[int, Sequence[int]]) -> "SweepResult":
+        """Select by integer position (same drop/keep rules as :meth:`select`)."""
+        result = self
+        for name, index in indexers.items():
+            result.axis_index(name)
+            if isinstance(index, (list, tuple)):
+                result = result._take(name, [int(i) for i in index], keep=True)
+            else:
+                result = result._take(name, [int(index)], keep=False)
+        return result
+
+    def _take(self, name: str, indices: List[int], keep: bool) -> "SweepResult":
+        axis = self.axis_index(name)
+        labels = self.coords[name]
+        for index in indices:
+            if not -len(labels) <= index < len(labels):
+                raise SweepError(
+                    f"index {index} outside axis {name!r} (size {len(labels)})"
+                )
+        taken = np.take(self.values, indices, axis=axis)
+        coords = dict(self.coords)
+        if keep:
+            coords[name] = tuple(labels[index] for index in indices)
+            return replace(self, values=taken, coords=coords)
+        coords.pop(name)
+        dims = tuple(d for d in self.dims if d != name)
+        return replace(
+            self, values=np.squeeze(taken, axis=axis), dims=dims, coords=coords
+        )
+
+    def squeeze(self) -> "SweepResult":
+        """Drop every size-1 axis (labels included)."""
+        keep = [i for i, name in enumerate(self.dims) if self.values.shape[i] != 1]
+        dims = tuple(self.dims[i] for i in keep)
+        coords = {name: self.coords[name] for name in dims}
+        values = self.values.reshape([self.values.shape[i] for i in keep])
+        return replace(self, values=values, dims=dims, coords=coords)
+
+    def to_dict(self) -> Any:
+        """Nested plain-dict view keyed by coordinates (floats at the leaves)."""
+        if not self.dims:
+            return float(self.values.reshape(()))
+        name = self.dims[0]
+        return {
+            label: self.isel(**{name: index}).to_dict()
+            for index, label in enumerate(self.coords[name])
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extent = ", ".join(
+            f"{name}={len(self.coords[name])}" for name in self.dims
+        )
+        return f"SweepResult({self.observable}; {extent})"
+
+
+# --------------------------------------------------------------------------- #
+# the builder and the planner
+# --------------------------------------------------------------------------- #
+
+
+class Sweep:
+    """Builder for a declarative sweep over named axes.
+
+    Parameters
+    ----------
+    technology:
+        Base technology (defaults to the library's, or the paper's
+        0.35 um process when nothing else pins it down).
+    library:
+        Cell library the rings draw their stages from (the default X1
+        library of the technology when omitted).
+    configuration:
+        Single ring configuration (a
+        :class:`~repro.oscillator.config.RingConfiguration` or a
+        parseable string) for sweeps without a ``configuration`` axis.
+    ring:
+        A fully built :class:`~repro.oscillator.ring.RingOscillator` to
+        sweep as-is (wins over technology/library/configuration).
+    wire_length_um / external_load_f / tap_stage:
+        Ring construction parameters used when the sweep builds rings
+        itself.
+
+    Compose axes with :meth:`over`, pick an observable with
+    :meth:`observe` (``"period"`` by default) and evaluate with
+    :meth:`run`.  The builder mutates and returns itself, so the usual
+    form is one fluent chain.
+    """
+
+    def __init__(
+        self,
+        technology: Optional[Technology] = None,
+        library: Optional[CellLibrary] = None,
+        configuration: Optional[Union[RingConfiguration, str]] = None,
+        ring: Optional[RingOscillator] = None,
+        wire_length_um: float = 2.0,
+        external_load_f: float = 0.0,
+        tap_stage: Optional[int] = None,
+    ) -> None:
+        self._technology = technology
+        self._library = library
+        if isinstance(configuration, str):
+            configuration = RingConfiguration.parse(configuration)
+        self._configuration = configuration
+        self._ring = ring
+        self._wire_length_um = float(wire_length_um)
+        self._external_load_f = float(external_load_f)
+        self._tap_stage = tap_stage
+        self._axes: Dict[str, Axis] = {}
+        self._observable = "period"
+
+    def over(self, *axes: Axis) -> "Sweep":
+        """Add one or more named axes to the sweep."""
+        for axis in axes:
+            if not isinstance(axis, Axis):
+                raise SweepError(f"over() takes Axis objects, got {type(axis).__name__}")
+            if axis.name in self._axes:
+                raise SweepError(f"axis {axis.name!r} was already added to this sweep")
+            self._axes[axis.name] = axis
+        return self
+
+    def observe(self, observable: str) -> "Sweep":
+        """Choose the observable (one of :data:`OBSERVABLES`)."""
+        if observable not in OBSERVABLES:
+            raise SweepError(
+                f"unknown observable {observable!r}; choose one of {OBSERVABLES}"
+            )
+        self._observable = observable
+        return self
+
+    def plan(self) -> "SweepPlan":
+        """Validate the axis combination and freeze the lowering plan."""
+        axes = tuple(
+            self._axes[name] for name in CANONICAL_AXIS_ORDER if name in self._axes
+        )
+        if "temperature" not in self._axes:
+            axes = axes + (Axis.temperature(default_temperature_grid()),)
+        if "configuration" in self._axes and "width_ratio" in self._axes:
+            raise SweepError(
+                "the configuration and width_ratio axes both define the ring "
+                "and cannot be combined in one sweep"
+            )
+        if "width_ratio" in self._axes and self._ring is not None:
+            raise SweepError("a width_ratio axis rebuilds the ring; drop the ring= base")
+        if "configuration" in self._axes and self._ring is not None:
+            # Accepting the ring would silently drop its configuration,
+            # wire length and tap load in favour of the Sweep defaults.
+            raise SweepError(
+                "a configuration axis builds its own rings; pass library= "
+                "(plus wire_length_um/external_load_f/tap_stage) instead of ring="
+            )
+        if "configuration" in self._axes and self._configuration is not None:
+            raise SweepError(
+                "this sweep has both a base configuration= and a "
+                "configuration axis; the base would be silently ignored — "
+                "drop one of the two"
+            )
+        if (
+            self._technology is not None
+            and self._library is not None
+            and self._library.technology is not self._technology
+            and self._library.technology.name != self._technology.name
+        ):
+            raise SweepError(
+                f"library= is built in technology "
+                f"{self._library.technology.name!r} but technology= is "
+                f"{self._technology.name!r}; the sweep would mix the two — "
+                "pass one of them"
+            )
+        return SweepPlan(
+            axes=axes,
+            observable=self._observable,
+            technology=self._technology,
+            library=self._library,
+            configuration=self._configuration,
+            ring=self._ring,
+            wire_length_um=self._wire_length_um,
+            external_load_f=self._external_load_f,
+            tap_stage=self._tap_stage,
+        )
+
+    def run(self) -> SweepResult:
+        """Plan and evaluate the sweep."""
+        return self.plan().execute()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = [name for name in CANONICAL_AXIS_ORDER if name in self._axes]
+        return f"Sweep(axes={names}, observable={self._observable!r})"
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A validated sweep lowered onto concrete broadcast dimensions.
+
+    Produced by :meth:`Sweep.plan`.  ``axes`` holds the named axes in
+    canonical order (with the implicit default temperature axis
+    appended when none was declared); :meth:`execute` performs the
+    lowering:
+
+    * ``supply`` x ``sample`` stack into one struct-of-arrays
+      population (supply-major, so the flat sample axis un-reshapes to
+      ``(supply, sample)``),
+    * ``configuration`` lowers onto a
+      :class:`~repro.oscillator.bank.ConfigurationBank` single
+      broadcast,
+    * ``width_ratio`` loops ring builds around the inner broadcast,
+    * a plain ring sweep lowers straight onto
+      :meth:`~repro.oscillator.ring.RingOscillator.period_series` /
+      :meth:`~repro.oscillator.ring.RingOscillator.period_matrix`.
+    """
+
+    axes: Tuple[Axis, ...]
+    observable: str
+    technology: Optional[Technology]
+    library: Optional[CellLibrary]
+    configuration: Optional[RingConfiguration]
+    ring: Optional[RingOscillator]
+    wire_length_um: float
+    external_load_f: float
+    tap_stage: Optional[int]
+
+    def axis(self, name: str) -> Optional[Axis]:
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        return None
+
+    # ------------------------------------------------------------------ #
+    # base-context resolution
+    # ------------------------------------------------------------------ #
+
+    def _base_technology(self) -> Technology:
+        if self.ring is not None:
+            return self.ring.technology
+        if self.technology is not None:
+            return self.technology
+        if self.library is not None:
+            return self.library.technology
+        from ..tech.libraries import CMOS035
+
+        return CMOS035
+
+    def _base_library(self) -> CellLibrary:
+        if self.ring is not None:
+            return self.ring.library
+        if self.library is not None:
+            return self.library
+        return default_library(self._base_technology())
+
+    def _base_ring(self) -> RingOscillator:
+        if self.ring is not None:
+            return self.ring
+        if self.configuration is None:
+            raise SweepError(
+                "this sweep has no configuration axis and no base "
+                "configuration/ring to evaluate; pass configuration= or ring= "
+                "to Sweep, or add Axis.configuration(...)"
+            )
+        return RingOscillator(
+            self._base_library(),
+            self.configuration,
+            wire_length_um=self.wire_length_um,
+            external_load_f=self.external_load_f,
+            tap_stage=self.tap_stage,
+        )
+
+    # ------------------------------------------------------------------ #
+    # population lowering (supply x sample)
+    # ------------------------------------------------------------------ #
+
+    def _lower_population(self):
+        """The stacked technology population of the supply/sample axes.
+
+        Returns ``None`` when neither axis is present.  With both, the
+        cross product is supply-major: flat index ``v * S + s``.
+        """
+        supply_axis = self.axis("supply")
+        sample_axis = self.axis("sample")
+        if supply_axis is None and sample_axis is None:
+            return None
+        if supply_axis is None:
+            return sample_axis.payload
+        supplies = np.asarray(supply_axis.coordinates, dtype=float)
+        if sample_axis is None:
+            return stack_technologies(
+                [self._base_technology().with_supply(float(v)) for v in supplies]
+            )
+        samples = sample_axis.payload
+        if not isinstance(samples, TechnologyArray):
+            try:
+                samples = stack_technologies(list(samples))
+            except TechnologyError:
+                # Unstackable populations (samples disagreeing on the
+                # geometry scalars) keep the documented per-sample-loop
+                # fallback: hand the evaluators a plain supply-major
+                # technology list instead of a stacked cross product.
+                return [
+                    sample.with_supply(float(supply))
+                    for supply in supplies
+                    for sample in sample_axis.payload
+                ]
+        return samples.tiled(supplies.size).with_supply(
+            np.repeat(supplies, len(samples))
+        )
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def _single_ring_tensor(
+        self, ring: RingOscillator, population, temps: np.ndarray
+    ) -> np.ndarray:
+        if population is None:
+            return np.asarray(ring.period_series(temps))
+        return np.asarray(ring.period_matrix(population, temps))
+
+    def execute(self) -> SweepResult:
+        """Evaluate the plan and label the result."""
+        temps = np.asarray(self.axis("temperature").coordinates, dtype=float)
+        population = self._lower_population()
+        config_axis = self.axis("configuration")
+        ratio_axis = self.axis("width_ratio")
+
+        if config_axis is not None:
+            bank = ConfigurationBank(
+                self._base_library(),
+                config_axis.payload,
+                wire_length_um=self.wire_length_um,
+                external_load_f=self.external_load_f,
+                tap_stage=self.tap_stage,
+            )
+            tensor = bank.period_tensor(temps, technologies=population)
+        elif ratio_axis is not None:
+            from ..optimize.sizing import build_sized_ring
+
+            technology = self._base_technology()
+            tensor = np.stack(
+                [
+                    self._single_ring_tensor(
+                        build_sized_ring(
+                            technology,
+                            float(ratio),
+                            nmos_width_um=ratio_axis.payload["nmos_width_um"],
+                            stage_count=ratio_axis.payload["stage_count"],
+                        ),
+                        population,
+                        temps,
+                    )
+                    for ratio in ratio_axis.coordinates
+                ]
+            )
+        else:
+            tensor = self._single_ring_tensor(self._base_ring(), population, temps)
+
+        # Un-flatten the supply-major population axis into its named
+        # dimensions and collect the final canonical shape.
+        dims: List[str] = []
+        shape: List[int] = []
+        for axis in self.axes:
+            dims.append(axis.name)
+            shape.append(len(axis))
+        tensor = tensor.reshape(shape)
+
+        coords = {axis.name: tuple(axis.coordinates) for axis in self.axes}
+        values = _apply_observable(self.observable, tensor, temps)
+        return SweepResult(
+            values=values,
+            dims=tuple(dims),
+            coords=coords,
+            observable=self.observable,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# observables
+# --------------------------------------------------------------------------- #
+
+
+def _apply_observable(name: str, tensor: np.ndarray, temps: np.ndarray) -> np.ndarray:
+    """Map the raw period tensor (temperature last) to the observable."""
+    if name == "period":
+        return tensor
+    if name == "frequency":
+        return 1.0 / tensor
+    if temps.size < 2:
+        raise SweepError(
+            f"observable {name!r} fits the sweep's endpoint temperatures and "
+            "needs a temperature axis with at least two points"
+        )
+    # The endpoints are the extreme *temperatures*, not the grid's first
+    # and last positions — the temperature axis documents its ordering
+    # as presentation-only, so an unsorted grid must not change the
+    # metric.  (For the usual ascending grids these coincide, matching
+    # repro.analysis.linearity.nonlinearity row for row.)
+    index_low = int(np.argmin(temps))
+    index_high = int(np.argmax(temps))
+    t_low = temps[index_low]
+    t_high = temps[index_high]
+    if t_high == t_low:
+        raise SweepError(
+            f"observable {name!r} needs at least two distinct temperatures"
+        )
+    low = tensor[..., index_low : index_low + 1]
+    high = tensor[..., index_high : index_high + 1]
+    span = high - low
+    if np.any(span == 0.0):
+        raise SweepError(
+            "flat temperature response: the endpoint periods are equal, so "
+            f"observable {name!r} is undefined"
+        )
+    if name in ("transfer_c", "calibration_error_c"):
+        # The per-row two-point calibration through the endpoint
+        # temperatures — the line an actually calibrated sensor realises.
+        slope = (t_high - t_low) / span
+        estimate = t_low + slope * (tensor - low)
+        if name == "transfer_c":
+            return estimate
+        return estimate - temps
+    if name == "nonlinearity_percent":
+        # The paper's Fig. 2 / Fig. 3 y-axis: deviation from the
+        # endpoint line in percent of the full-scale period span.
+        slope = span / (t_high - t_low)
+        line = low + slope * (temps - t_low)
+        return (tensor - line) / np.abs(span) * 100.0
+    raise SweepError(f"unknown observable {name!r}")  # pragma: no cover

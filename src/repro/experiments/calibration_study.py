@@ -185,21 +185,35 @@ def _batched_worst_errors(
 ) -> Dict[str, List[float]]:
     """All three calibration schemes over the whole population at once.
 
-    One stacked ``(sample x temperature)`` period matrix and one batch
-    counter conversion feed every scheme; the per-scheme calibrations
-    reduce to row-wise affine maps of the measured-period matrix, so the
+    One stacked ``(sample x temperature)`` period matrix — declared as
+    one sweep over the named ``sample`` and ``temperature`` axes
+    (:class:`~repro.engine.sweep.Sweep`) — and one batch counter
+    conversion feed every scheme; the per-scheme calibrations reduce to
+    row-wise affine maps of the measured-period matrix, so the
     worst-case errors come out of plain ndarray reductions.  Produces
     the same numbers as the per-sample sensor loop (the conversions and
     calibration formulas are identical elementwise), which the stacked
     equivalence tests pin down.
     """
+    from ..engine.sweep import Axis, Sweep
+
     population = stack_technologies(samples)
-    stacked_ring = RingOscillator(
-        default_library(tech), configuration
-    ).rebind(population)
+    base_ring = RingOscillator(default_library(tech), configuration)
+
+    # One sweep over the full grid plus the insertion temperature: the
+    # evaluation is elementwise in temperature, so appending the
+    # reference point costs one extra column instead of a second
+    # stacked-population rebind.
+    all_periods = np.asarray(
+        Sweep(ring=base_ring)
+        .over(Axis.sample(population))
+        .over(Axis.temperature(np.append(temps, reference_temperature_c)))
+        .run()
+        .values
+    )
     counter = PeriodCounter(readout)
 
-    periods = np.asarray(stacked_ring.period_series(temps))
+    periods = all_periods[:, :-1]
     codes, _ = counter.convert_batch(periods)
     measured = counter.codes_to_periods(codes)  # (samples, temperatures)
 
@@ -211,9 +225,7 @@ def _batched_worst_errors(
 
     # One-point: design slope anchored at each sample's own measured
     # period at the insertion temperature.
-    ref_periods = np.asarray(stacked_ring.period_series(
-        np.asarray([reference_temperature_c])
-    ))
+    ref_periods = all_periods[:, -1:]
     ref_codes, _ = counter.convert_batch(ref_periods)
     ref_measured = counter.codes_to_periods(ref_codes)[:, 0]
     slope = design_cal.slope_c_per_second

@@ -87,7 +87,10 @@ def run_fig2(
     evaluator:
         Batch engine to run the sweeps through; the vectorized engine by
         default (``BatchEvaluator(vectorized=False)`` reproduces the
-        scalar reference path).
+        scalar reference path).  The vectorized sweep is declared on the
+        named ``width_ratio`` x ``temperature`` axes of the sweep API
+        (see :mod:`repro.engine.sweep`); this experiment keeps the
+        engine façade so both evaluation modes stay selectable.
     """
     tech = technology if technology is not None else CMOS035
     engine = evaluator if evaluator is not None else BatchEvaluator()

@@ -24,7 +24,9 @@ from ..engine.batch import BatchEvaluator
 from ..optimize.cellmix import (
     CellMixCandidate,
     CellMixSearchResult,
+    evaluate_configuration_bank,
 )
+from ..oscillator.bank import ConfigurationBank
 from ..oscillator.config import PAPER_FIG3_CONFIGURATIONS, RingConfiguration
 from ..oscillator.period import paper_temperature_grid
 from ..tech.libraries import CMOS035
@@ -112,7 +114,12 @@ def run_fig3(
         over INV/NAND/NOR mixes.
     evaluator:
         Batch engine to run the evaluations through; the vectorized
-        engine by default.
+        engine by default.  In vectorized mode the named configurations
+        stack into one
+        :class:`~repro.oscillator.bank.ConfigurationBank` — the
+        configuration axis of the sweep API — and evaluate as a single
+        ``(config x temperature)`` broadcast; scalar mode keeps the
+        per-configuration oracle loop.
     """
     tech = technology if technology is not None else CMOS035
     lib = library if library is not None else default_library(tech)
@@ -123,10 +130,21 @@ def run_fig3(
         if temperatures_c is not None
         else paper_temperature_grid()
     )
-    candidates = {
-        label: engine.evaluate_configuration(lib, configuration, temps)
-        for label, configuration in configs.items()
-    }
+    if engine.vectorized:
+        # The configuration axis of the sweep API: all named rings stack
+        # into one bank and evaluate as a single (config x temperature)
+        # broadcast — the declarative equivalent is
+        # Sweep(library=lib).over(Axis.configuration(configs))
+        #                   .over(Axis.temperature(temps)).run().
+        bank = ConfigurationBank(lib, configs)
+        candidates = dict(
+            zip(bank.labels, evaluate_configuration_bank(bank, temps))
+        )
+    else:
+        candidates = {
+            label: engine.evaluate_configuration(lib, configuration, temps)
+            for label, configuration in configs.items()
+        }
     if run_search:
         search = engine.search_cell_mix(lib, stage_count=5, temperatures_c=temps, top_k=10)
     else:

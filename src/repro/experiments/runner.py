@@ -144,7 +144,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--experiment",
         action="append",
         dest="experiments",
-        help="run only the named experiment (may be repeated)",
+        help="run only the named experiment (may be repeated); "
+        "see --list for the available ids",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="print the available experiment ids and exit",
     )
     parser.add_argument(
         "--output",
@@ -152,8 +159,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the report to this file instead of stdout",
     )
     args = parser.parse_args(argv)
+    registry = default_registry()
+    if args.list_experiments:
+        print("\n".join(registry.names()))
+        return 0
+    unknown = [
+        name for name in (args.experiments or []) if name not in registry.experiments
+    ]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(available: {', '.join(registry.names())})"
+        )
     technology = get_technology(args.technology)
-    report = run_all(technology, only=args.experiments)
+    report = run_all(technology, only=args.experiments, registry=registry)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")

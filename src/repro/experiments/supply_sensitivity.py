@@ -59,9 +59,11 @@ def run_supply_sensitivity(
 ) -> SupplySensitivityResult:
     """Run the supply-sensitivity study over the Fig. 3 configurations.
 
-    ``scalar=True`` routes every configuration through the original
-    rebuild-per-operating-point loop instead of the stacked-supply batch
-    path (see :func:`repro.analysis.supply.supply_sensitivity`).
+    The default path declares each finite difference as a named-axis
+    sweep (the ``supply`` axis of :mod:`repro.engine.sweep`, lowered
+    onto a stacked two-supply population); ``scalar=True`` routes every
+    configuration through the original rebuild-per-operating-point loop
+    instead (see :func:`repro.analysis.supply.supply_sensitivity`).
     """
     tech = technology if technology is not None else CMOS035
     configs = configurations if configurations is not None else dict(PAPER_FIG3_CONFIGURATIONS)

@@ -29,6 +29,7 @@ __all__ = [
     "CellMixSearchResult",
     "enumerate_configurations",
     "evaluate_configuration",
+    "evaluate_configuration_bank",
     "search_cell_mix",
     "greedy_cell_mix",
     "DEFAULT_MIX_CELLS",
@@ -123,6 +124,38 @@ def evaluate_configuration(
     )
 
 
+def evaluate_configuration_bank(
+    bank,
+    temperatures_c: Optional[Sequence[float]] = None,
+    fit_method: str = "endpoint",
+) -> List[CellMixCandidate]:
+    """Evaluate every configuration of a bank in one broadcast.
+
+    The configuration-axis counterpart of :func:`evaluate_configuration`:
+    one ``(config x temperature)`` period tensor through
+    :meth:`repro.oscillator.bank.ConfigurationBank.period_tensor`, then
+    per-row linearity metrics.  Candidates come back in bank order.
+    """
+    temps = (
+        np.asarray(temperatures_c, dtype=float)
+        if temperatures_c is not None
+        else default_temperature_grid()
+    )
+    tensor = bank.period_tensor(temps)
+    candidates: List[CellMixCandidate] = []
+    for row, (configuration, ring) in enumerate(zip(bank.configurations, bank.rings())):
+        response = TemperatureResponse(configuration.label(), temps, tensor[row])
+        candidates.append(
+            CellMixCandidate(
+                configuration=configuration,
+                response=response,
+                linearity=nonlinearity(response, fit_method),
+                area_um2=ring.area_um2(),
+            )
+        )
+    return candidates
+
+
 def search_cell_mix(
     library: CellLibrary,
     cell_names: Sequence[str] = DEFAULT_MIX_CELLS,
@@ -151,13 +184,26 @@ def search_cell_mix(
         evaluated regardless).
     scalar:
         Evaluate every candidate through the scalar reference path
-        instead of the vectorized batch engine.
+        instead of the stacked configuration axis.
     """
     configurations = enumerate_configurations(cell_names, stage_count)
-    candidates = [
-        evaluate_configuration(library, configuration, temperatures_c, fit_method, scalar=scalar)
-        for configuration in configurations
-    ]
+    if scalar:
+        candidates = [
+            evaluate_configuration(
+                library, configuration, temperatures_c, fit_method, scalar=True
+            )
+            for configuration in configurations
+        ]
+    else:
+        # The whole candidate space is one configuration axis: stack it
+        # into a ConfigurationBank and evaluate every mix in a single
+        # (config x temperature) broadcast instead of one delay-stack
+        # pass per candidate.
+        from ..oscillator.bank import ConfigurationBank
+
+        candidates = evaluate_configuration_bank(
+            ConfigurationBank(library, configurations), temperatures_c, fit_method
+        )
     candidates.sort(key=lambda candidate: candidate.max_abs_error_percent)
     kept = candidates[: top_k if top_k > 0 else len(candidates)]
     return CellMixSearchResult(candidates=kept, evaluated_count=len(candidates))

@@ -140,16 +140,47 @@ def sweep_width_ratio(
         else default_temperature_grid()
     )
     points: List[SizingPoint] = []
-    for ratio in ratios:
-        ring = build_sized_ring(technology, float(ratio), nmos_width_um, stage_count)
-        response = analytical_response(ring, temps, scalar=scalar)
-        points.append(
-            SizingPoint(
-                width_ratio=float(ratio),
-                response=response,
-                linearity=nonlinearity(response, fit_method),
+    if scalar:
+        for ratio in ratios:
+            ring = build_sized_ring(technology, float(ratio), nmos_width_um, stage_count)
+            response = analytical_response(ring, temps, scalar=True)
+            points.append(
+                SizingPoint(
+                    width_ratio=float(ratio),
+                    response=response,
+                    linearity=nonlinearity(response, fit_method),
+                )
             )
+    else:
+        # The declarative form of this sweep: one width_ratio axis over
+        # one temperature axis, lowered by the sweep planner onto the
+        # same build_sized_ring + vectorized period_series evaluation.
+        from ..engine.sweep import Axis, Sweep
+
+        result = (
+            Sweep(technology=technology)
+            .over(
+                Axis.width_ratio(
+                    [float(r) for r in ratios],
+                    nmos_width_um=nmos_width_um,
+                    stage_count=stage_count,
+                )
+            )
+            .over(Axis.temperature(temps))
+            .run()
         )
+        label = RingConfiguration.uniform("INV_SIZED", stage_count).label()
+        for ratio in result.coordinates("width_ratio"):
+            response = TemperatureResponse(
+                label, temps, result.select(width_ratio=ratio).values
+            )
+            points.append(
+                SizingPoint(
+                    width_ratio=float(ratio),
+                    response=response,
+                    linearity=nonlinearity(response, fit_method),
+                )
+            )
     return SizingSweepResult(points=points, stage_count=stage_count, nmos_width_um=nmos_width_um)
 
 

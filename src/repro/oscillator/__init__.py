@@ -1,5 +1,6 @@
-"""Ring-oscillator construction, period models and configurations."""
+"""Ring-oscillator construction, period models, configurations and banks."""
 
+from .bank import ConfigurationBank
 from .config import (
     PAPER_FIG3_CONFIGURATIONS,
     ConfigurationError,
@@ -17,6 +18,7 @@ from .period import (
 )
 
 __all__ = [
+    "ConfigurationBank",
     "PAPER_FIG3_CONFIGURATIONS",
     "ConfigurationError",
     "RingConfiguration",

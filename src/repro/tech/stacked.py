@@ -193,6 +193,21 @@ class TransistorParameterArray:
         mobility_um2 = self.mobility * 1.0e8  # cm^2 -> um^2
         return mobility_um2 * self.cox_f_per_um2
 
+    def tiled(self, repeats: int) -> "TransistorParameterArray":
+        """The population repeated ``repeats`` times along the sample axis.
+
+        Used to build cross products against other stacked axes (e.g.
+        supply x sample in the sweep planner): the result's flat sample
+        order is repeat-major (``r * len(self) + s``).
+        """
+        if repeats < 1:
+            raise TechnologyError("repeats must be at least 1")
+        columns = {
+            field: np.tile(np.asarray(getattr(self, field), dtype=float), (repeats, 1))
+            for field in _TRANSISTOR_FIELDS
+        }
+        return TransistorParameterArray(polarity=self.polarity, **columns)
+
     def parameters_at(self, index: int) -> TransistorParameters:
         """Unstack one sample into a scalar parameter block."""
         if not 0 <= index < self.sample_count:
@@ -344,6 +359,31 @@ class TechnologyArray:
     def with_supply(self, vdd: ParameterLike) -> "TechnologyArray":
         """A copy operated at different supplies (scalar or per-sample)."""
         return dataclasses.replace(self, vdd=vdd)
+
+    def tiled(self, repeats: int) -> "TechnologyArray":
+        """The whole population repeated ``repeats`` times (repeat-major).
+
+        The building block for stacked cross products: the sweep
+        planner's supply x sample lowering is
+        ``population.tiled(V).with_supply(np.repeat(supplies, S))``, so
+        flat sample ``v * S + s`` carries supply ``v`` over sample ``s``
+        and the result reshapes cleanly to ``(V, S)``.
+        """
+        if repeats < 1:
+            raise TechnologyError("repeats must be at least 1")
+        return TechnologyArray(
+            name=f"{self.name}_x{repeats}",
+            feature_size_um=self.feature_size_um,
+            vdd=np.tile(np.asarray(self.vdd, dtype=float), (repeats, 1)),
+            nmos=self.nmos.tiled(repeats),
+            pmos=self.pmos.tiled(repeats),
+            wire_cap_f_per_um=np.tile(
+                np.asarray(self.wire_cap_f_per_um, dtype=float), (repeats, 1)
+            ),
+            min_width_um=self.min_width_um,
+            metal_layers=self.metal_layers,
+            extras=tuple(dict(extra) for _ in range(repeats) for extra in self.extras),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TechnologyArray({self.name!r}, samples={self.sample_count})"

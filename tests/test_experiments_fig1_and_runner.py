@@ -70,3 +70,21 @@ class TestRunnerCli:
         report = run_all(CMOS035, only=["STAGES", "EXT-SUPPLY"])
         assert report.startswith("Reproduction report")
         assert "EXT-SUPPLY" in report
+
+    def test_main_list_prints_experiment_ids(self, capsys):
+        from repro.experiments.runner import default_registry
+
+        exit_code = main(["--list"])
+        assert exit_code == 0
+        listed = capsys.readouterr().out.split()
+        assert listed == default_registry().names()
+
+    def test_main_rejects_unknown_experiment_with_argparse_error(self, capsys):
+        # An unknown id must die as a friendly argparse error (exit code
+        # 2 with the available ids), not as a KeyError inside run_all.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--experiment", "FIG99"])
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        assert "FIG99" in message
+        assert "FIG2" in message  # the available ids are listed

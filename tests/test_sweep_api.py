@@ -1,0 +1,429 @@
+"""Tests for the declarative sweep API and the stacked configuration axis.
+
+Three concerns, matching the PR's acceptance criteria:
+
+* :class:`~repro.engine.sweep.SweepResult` is a faithful labeled
+  container — property-based round trips prove that axis names and
+  coordinates survive ``select`` / ``isel`` / ``squeeze``;
+* the configuration axis is *correct* — the single ``(C, S, T)``
+  broadcast of :class:`~repro.oscillator.bank.ConfigurationBank` is
+  pinned to the retained per-configuration loop (and through it to the
+  scalar oracle) at 1e-9 relative on all ``PAPER_FIG3_CONFIGURATIONS``;
+* the planner lowers every axis combination onto the same numbers the
+  pre-sweep entry points produced.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.linearity import nonlinearity
+from repro.cells import default_library
+from repro.engine import Axis, BatchEvaluator, Sweep, SweepError, SweepResult
+from repro.oscillator import (
+    PAPER_FIG3_CONFIGURATIONS,
+    ConfigurationBank,
+    RingConfiguration,
+    RingOscillator,
+)
+from repro.oscillator.period import TemperatureResponse
+from repro.tech import CMOS035, sample_technology_array
+
+#: The acceptance bound on broadcast-vs-loop relative period error.
+RTOL = 1e-9
+
+DEFAULT_SETTINGS = dict(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def relative_error(a, b):
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return float(np.max(np.abs(a - b) / np.abs(b)))
+
+
+# --------------------------------------------------------------------------- #
+# SweepResult: property-based label round trips
+# --------------------------------------------------------------------------- #
+
+_axis_names = st.permutations(
+    ["configuration", "width_ratio", "supply", "sample", "temperature"]
+).map(tuple)
+
+
+@st.composite
+def labeled_results(draw):
+    """A random SweepResult with unique labels on every axis."""
+    name_count = draw(st.integers(min_value=1, max_value=4))
+    names = draw(_axis_names)[:name_count]
+    # Canonical order is part of the contract the planner upholds, but
+    # the container itself accepts any order; exercise both.
+    coords = {}
+    shape = []
+    for name in names:
+        size = draw(st.integers(min_value=1, max_value=4))
+        labels = tuple(f"{name}-{i}" for i in range(size))
+        coords[name] = labels
+        shape.append(size)
+    values = np.arange(int(np.prod(shape)), dtype=float).reshape(shape)
+    return SweepResult(values=values, dims=tuple(names), coords=coords)
+
+
+@given(result=labeled_results(), data=st.data())
+@settings(**DEFAULT_SETTINGS)
+def test_select_round_trip_preserves_labels_and_values(result, data):
+    # Selecting one coordinate from one axis drops exactly that axis,
+    # keeps every other axis's labels intact, and slices the values.
+    name = data.draw(st.sampled_from(result.dims))
+    index = data.draw(
+        st.integers(min_value=0, max_value=len(result.coords[name]) - 1)
+    )
+    label = result.coords[name][index]
+    selected = result.select(**{name: label})
+    assert name not in selected.dims
+    for other in selected.dims:
+        assert selected.coords[other] == result.coords[other]
+    assert np.array_equal(
+        selected.values, np.take(result.values, index, axis=result.axis_index(name))
+    )
+    # Subset selection (list form) keeps the axis and its label order.
+    subset = result.select(**{name: [label]})
+    assert subset.coords[name] == (label,)
+    assert subset.dims == result.dims
+
+
+@given(result=labeled_results())
+@settings(**DEFAULT_SETTINGS)
+def test_squeeze_round_trip_preserves_labels(result):
+    squeezed = result.squeeze()
+    kept = [name for name in result.dims if len(result.coords[name]) != 1]
+    assert list(squeezed.dims) == kept
+    for name in squeezed.dims:
+        assert squeezed.coords[name] == result.coords[name]
+    assert squeezed.values.size == result.values.size
+    assert np.array_equal(squeezed.values.ravel(), result.values.ravel())
+
+
+@given(result=labeled_results())
+@settings(**DEFAULT_SETTINGS)
+def test_isel_and_select_agree(result):
+    name = result.dims[0]
+    by_index = result.isel(**{name: 0})
+    by_label = result.select(**{name: result.coords[name][0]})
+    assert by_index.dims == by_label.dims
+    assert by_index.coords == by_label.coords
+    assert np.array_equal(by_index.values, by_label.values)
+
+
+@given(result=labeled_results())
+@settings(**DEFAULT_SETTINGS)
+def test_to_dict_depth_matches_dims(result):
+    tree = result.to_dict()
+    node = tree
+    for name in result.dims:
+        assert set(node.keys()) == set(result.coords[name])
+        node = node[result.coords[name][0]]
+    assert isinstance(node, float)
+
+
+def test_select_unknown_label_raises():
+    result = SweepResult(
+        values=np.zeros((2,)), dims=("supply",), coords={"supply": (3.3, 3.0)}
+    )
+    with pytest.raises(SweepError):
+        result.select(supply=5.0)
+    with pytest.raises(SweepError):
+        result.select(temperature=25.0)
+    assert result.select(supply=3.3 + 1e-14).values.shape == ()
+
+
+def test_mismatched_coords_rejected():
+    with pytest.raises(SweepError):
+        SweepResult(
+            values=np.zeros((2, 3)),
+            dims=("supply", "temperature"),
+            coords={"supply": (3.3, 3.0), "temperature": (0.0, 1.0)},
+        )
+
+
+# --------------------------------------------------------------------------- #
+# the configuration axis: golden (C, S, T) equivalence pin
+# --------------------------------------------------------------------------- #
+
+
+class TestConfigurationAxisGolden:
+    """The acceptance pin: the single (C, S, T) broadcast matches the
+    retained per-configuration loop to <= 1e-9 relative on all of the
+    paper's Fig. 3 configurations."""
+
+    @pytest.fixture(scope="class")
+    def bank(self):
+        return ConfigurationBank(
+            default_library(CMOS035), PAPER_FIG3_CONFIGURATIONS
+        )
+
+    @pytest.fixture(scope="class")
+    def temps(self):
+        return np.linspace(-50.0, 150.0, 41)
+
+    @pytest.fixture(scope="class")
+    def population(self):
+        return sample_technology_array(CMOS035, 50, seed=20250727)
+
+    def test_scalar_technology_matrix(self, bank, temps):
+        assert relative_error(
+            bank.period_tensor(temps), bank.period_tensor_loop(temps)
+        ) <= RTOL
+
+    def test_full_cross_product_tensor(self, bank, temps, population):
+        tensor = bank.period_tensor(temps, technologies=population)
+        loop = bank.period_tensor_loop(temps, technologies=population)
+        assert tensor.shape == (len(PAPER_FIG3_CONFIGURATIONS), 50, temps.size)
+        assert relative_error(tensor, loop) <= RTOL
+
+    def test_loop_rows_match_scalar_oracle(self, bank, temps):
+        # Anchors the loop itself to the pre-engine scalar path, so the
+        # tensor pin above transitively reaches the original oracle.
+        tensor = bank.period_tensor(temps)
+        for row, ring in enumerate(bank.rings()):
+            assert relative_error(
+                tensor[row], ring.period_series_scalar(temps)
+            ) <= RTOL
+
+    def test_bank_structure(self, bank):
+        assert len(bank) == len(PAPER_FIG3_CONFIGURATIONS)
+        assert bank.labels == tuple(PAPER_FIG3_CONFIGURATIONS)
+        assert bank.validity_mask().all()  # all Fig. 3 rings are 5-stage
+        assert bank.cell_table().shape == (len(bank), 5)
+
+    def test_padded_mixed_stage_counts(self):
+        bank = ConfigurationBank(
+            default_library(CMOS035), ["3INV", "5NAND2", "2INV+3NOR2"]
+        )
+        mask = bank.validity_mask()
+        assert mask.shape == (3, 5)
+        assert mask[0].sum() == 3 and mask[1].sum() == 5
+        temps = np.linspace(-40.0, 120.0, 9)
+        assert relative_error(
+            bank.period_tensor(temps), bank.period_tensor_loop(temps)
+        ) <= RTOL
+
+    def test_duplicate_labels_rejected(self):
+        from repro.oscillator import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ConfigurationBank(default_library(CMOS035), ["5INV", "5INV"])
+
+
+# --------------------------------------------------------------------------- #
+# the planner: lowering equivalences
+# --------------------------------------------------------------------------- #
+
+
+ring_cells = st.sampled_from(["INV", "NAND2", "NAND3", "NOR2", "NOR3"])
+
+configurations = (
+    st.integers(min_value=1, max_value=2)
+    .map(lambda n: 2 * n + 1)
+    .flatmap(lambda count: st.lists(ring_cells, min_size=count, max_size=count))
+    .map(lambda stages: RingConfiguration(tuple(stages)))
+)
+
+
+@given(
+    configs=st.lists(configurations, min_size=1, max_size=4, unique_by=lambda c: c.label()),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_sweep_configuration_axis_matches_per_config_loop(configs, seed):
+    temps = np.linspace(-50.0, 150.0, 7)
+    population = sample_technology_array(CMOS035, 3, seed=seed)
+    library = default_library(CMOS035)
+    result = (
+        Sweep(library=library)
+        .over(Axis.configuration(configs))
+        .over(Axis.sample(population))
+        .over(Axis.temperature(temps))
+        .run()
+    )
+    assert result.dims == ("configuration", "sample", "temperature")
+    for config in configs:
+        ring = RingOscillator(library, config)
+        assert relative_error(
+            result.select(configuration=config.label()).values,
+            ring.period_matrix_loop(population, temps),
+        ) <= RTOL
+
+
+def test_sweep_single_ring_is_bitwise_period_series(mixed_ring):
+    temps = np.linspace(-50.0, 150.0, 21)
+    result = Sweep(ring=mixed_ring).over(Axis.temperature(temps)).run()
+    assert np.array_equal(result.values, mixed_ring.period_series(temps))
+    assert result.coordinates("temperature") == tuple(temps)
+
+
+def test_sweep_sample_axis_is_bitwise_period_matrix(mixed_ring):
+    temps = np.linspace(-20.0, 120.0, 8)
+    population = sample_technology_array(CMOS035, 5, seed=11)
+    result = (
+        Sweep(ring=mixed_ring)
+        .over(Axis.sample(population))
+        .over(Axis.temperature(temps))
+        .run()
+    )
+    assert np.array_equal(result.values, mixed_ring.period_matrix(population, temps))
+
+
+def test_supply_sample_cross_product_matches_manual_rebind(mixed_ring):
+    temps = np.asarray([-25.0, 25.0, 100.0])
+    population = sample_technology_array(CMOS035, 4, seed=2)
+    supplies = (3.3, 3.6)
+    result = (
+        Sweep(ring=mixed_ring)
+        .over(Axis.supply(supplies))
+        .over(Axis.sample(population))
+        .over(Axis.temperature(temps))
+        .run()
+    )
+    assert result.dims == ("supply", "sample", "temperature")
+    for supply in supplies:
+        for index in range(len(population)):
+            tech = population.technology_at(index).with_supply(supply)
+            reference = mixed_ring.rebind(tech).period_series(temps)
+            observed = result.select(supply=supply, sample=index).values
+            assert relative_error(observed, reference) <= RTOL
+
+
+def test_observables_match_analysis_layer(mixed_ring):
+    temps = np.linspace(-50.0, 150.0, 9)
+    periods = mixed_ring.period_series(temps)
+    response = TemperatureResponse(mixed_ring.label(), temps, periods)
+    base = Sweep(ring=mixed_ring).over(Axis.temperature(temps))
+    errors = base.observe("nonlinearity_percent").run()
+    assert np.allclose(
+        errors.values,
+        nonlinearity(response).error_percent,
+        rtol=1e-12,
+        atol=0.0,
+    )
+    transfer = base.observe("transfer_c").run()
+    cal_error = base.observe("calibration_error_c").run()
+    # The two-point-calibrated transfer curve passes exactly through the
+    # endpoint temperatures, and its error is transfer minus truth.
+    assert transfer.values[0] == pytest.approx(temps[0])
+    assert transfer.values[-1] == pytest.approx(temps[-1])
+    assert np.allclose(cal_error.values, transfer.values - temps, rtol=0, atol=1e-12)
+    frequency = base.observe("frequency").run()
+    assert np.allclose(frequency.values, 1.0 / periods, rtol=1e-15, atol=0.0)
+
+
+def test_default_temperature_axis_is_implicit(mixed_ring):
+    from repro.oscillator.period import default_temperature_grid
+
+    result = Sweep(ring=mixed_ring).run()
+    assert result.dims == ("temperature",)
+    assert result.coordinates("temperature") == tuple(default_temperature_grid())
+
+
+def test_observables_are_grid_order_invariant(mixed_ring):
+    # The temperature axis documents ordering as presentation-only, so
+    # the endpoint observables must anchor at the extreme temperatures,
+    # not the grid's first/last positions.
+    sorted_grid = np.asarray([-50.0, 25.0, 150.0])
+    shuffled = np.asarray([25.0, 150.0, -50.0])
+    base = Sweep(ring=mixed_ring)
+    reference = (
+        Sweep(ring=mixed_ring)
+        .over(Axis.temperature(sorted_grid))
+        .observe("nonlinearity_percent")
+        .run()
+    )
+    shuffled_result = (
+        base.over(Axis.temperature(shuffled)).observe("nonlinearity_percent").run()
+    )
+    for temp in sorted_grid:
+        assert shuffled_result.select(temperature=temp).item() == pytest.approx(
+            reference.select(temperature=temp).item(), rel=1e-12, abs=1e-15
+        )
+
+
+def test_supply_with_unstackable_samples_falls_back_to_loop():
+    # Mixed technology nodes cannot stack (different geometry scalars);
+    # the supply x sample cross product must fall back to the
+    # per-sample loop instead of crashing.
+    from repro.tech import CMOS025
+
+    result = (
+        Sweep(configuration="5INV")
+        .over(Axis.supply([3.3, 3.0]))
+        .over(Axis.sample([CMOS035, CMOS025]))
+        .over(Axis.temperature([0.0, 50.0, 100.0]))
+        .run()
+    )
+    assert result.shape == (2, 2, 3)
+    # The fallback keeps the sweep's base ring (built in the default
+    # technology) and rebinds it per sample, exactly like period_matrix.
+    base_ring = RingOscillator(
+        default_library(CMOS035), RingConfiguration.uniform("INV", 5)
+    )
+    reference = base_ring.rebind(CMOS025.with_supply(3.0)).period_series(
+        np.asarray([0.0, 50.0, 100.0])
+    )
+    assert relative_error(
+        result.select(supply=3.0, sample=1).values, reference
+    ) <= RTOL
+
+
+def test_invalid_axis_combinations_rejected(mixed_ring):
+    with pytest.raises(SweepError):
+        (
+            Sweep(technology=CMOS035)
+            .over(Axis.configuration(["5INV"]))
+            .over(Axis.width_ratio([2.0]))
+            .run()
+        )
+    with pytest.raises(SweepError):
+        Sweep(ring=mixed_ring).over(Axis.width_ratio([2.0])).run()
+    with pytest.raises(SweepError):
+        # Accepting ring= here would silently drop the ring's tap load
+        # and configuration in favour of the Sweep defaults.
+        Sweep(ring=mixed_ring).over(Axis.configuration(["5INV"])).run()
+    with pytest.raises(SweepError):
+        Axis.configuration(["5INV", "5INV"])  # duplicate labels
+    with pytest.raises(SweepError):
+        Sweep(technology=CMOS035).run()  # no configuration anywhere
+    sweep = Sweep(ring=mixed_ring).over(Axis.temperature([0.0, 50.0]))
+    with pytest.raises(SweepError):
+        sweep.over(Axis.temperature([25.0]))
+    with pytest.raises(SweepError):
+        sweep.observe("voltage")
+    with pytest.raises(SweepError):
+        Axis("process_corner", ("tt",))
+
+
+# --------------------------------------------------------------------------- #
+# the compat façade stays equivalent through the sweep lowering
+# --------------------------------------------------------------------------- #
+
+
+def test_batch_evaluator_period_series_adapts_to_sweep(mixed_ring):
+    temps = np.linspace(-50.0, 150.0, 13)
+    assert np.array_equal(
+        BatchEvaluator().period_series(mixed_ring, temps),
+        mixed_ring.period_series(temps),
+    )
+    assert np.array_equal(
+        BatchEvaluator(vectorized=False).period_series(mixed_ring, temps),
+        mixed_ring.period_series_scalar(temps),
+    )
+
+
+def test_batch_evaluator_period_matrix_adapts_to_sweep(mixed_ring):
+    temps = np.linspace(-50.0, 150.0, 5)
+    population = sample_technology_array(CMOS035, 3, seed=9)
+    assert np.array_equal(
+        BatchEvaluator().period_matrix(mixed_ring, population, temps),
+        mixed_ring.period_matrix(population, temps),
+    )
