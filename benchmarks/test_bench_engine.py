@@ -12,18 +12,26 @@ see .github/workflows/ci.yml).  Asserted shape: at the realistic
 scalar reference loop and agrees with it to 1e-9 relative on every
 period; at 1000 samples the stacked sample axis (struct-of-arrays
 technologies, PR 2) is at least 3x faster than PR 1's per-sample rebind
-loop with the same 1e-9 agreement; and the (C, S, T) configuration-axis
+loop with the same 1e-9 agreement; the (C, S, T) configuration-axis
 broadcast (ConfigurationBank, PR 3) is at least 3x faster than the
-retained per-configuration loop at Fig. 3 scale, again to 1e-9.
+retained per-configuration loop at Fig. 3 scale, again to 1e-9; the
+banked sensor-bank scan (SensorBank, PR 4) is at least 3x faster than
+the per-sensor oracle at 9 sites x 1000 Monte-Carlo samples with exact
+counter codes; and repeated steady-state thermal solves through the
+cached ThermalOperator factorization are at least 3x faster than the
+factorize-per-solve path they replaced.
 """
 
 import time
 
 import numpy as np
 import pytest
+from scipy.sparse.linalg import spsolve
 
 from repro.cells import default_library
+from repro.core import SensorBank
 from repro.engine import Axis, BatchEvaluator, Sweep
+from repro.experiments import run_dtm_study
 from repro.oscillator import (
     PAPER_FIG3_CONFIGURATIONS,
     ConfigurationBank,
@@ -31,9 +39,19 @@ from repro.oscillator import (
     RingOscillator,
 )
 from repro.tech import CMOS035, sample_technology_array
+from repro.thermal import Floorplan, PowerMap, ThermalGrid, ThermalOperator
 
 CONFIGURATION = RingConfiguration.parse("2INV+3NAND2")
 DENSE_GRID = np.linspace(-50.0, 150.0, 41)
+
+#: Junction temperatures of the 3x3 sensor-bank scan benchmarks.
+SCAN_TEMPS = np.linspace(50.0, 110.0, 9)
+
+
+def _make_bank():
+    floorplan = Floorplan.example_processor()
+    floorplan.add_sensor_grid(3, 3)
+    return SensorBank.from_floorplan(CMOS035, floorplan, CONFIGURATION)
 
 
 def _best_time(callable_, rounds=3):
@@ -235,6 +253,149 @@ def test_fig3_named_configurations_through_sweep_api(benchmark, vectorized):
 
     tensor = benchmark.pedantic(evaluate, rounds=2, iterations=1)
     assert tensor.shape == (len(PAPER_FIG3_CONFIGURATIONS), DENSE_GRID.size)
+
+
+def test_banked_scan_speedup_at_9_sites_x_1000_samples():
+    """The PR 4 acceptance criterion: a full sensor-bank scan (two-point
+    calibration + measurement of every site against the whole
+    Monte-Carlo population) through the banked broadcast path is >= 3x
+    faster than the retained per-sensor oracle (one scalar sensor per
+    site per sample, controller FSM included) at 9 sites x 1000
+    samples, with exact counter codes and estimates agreeing to 1e-9
+    relative."""
+    bank = _make_bank()
+    population = sample_technology_array(CMOS035, 1000, seed=1234)
+
+    def banked():
+        calibration = bank.two_point_calibration(
+            -50.0, 150.0, technologies=population
+        )
+        return bank.scan(SCAN_TEMPS, technologies=population, calibration=calibration)
+
+    banked_s, fast = _best_time(banked)
+
+    start = time.perf_counter()
+    oracle = bank.scan_loop(
+        SCAN_TEMPS, technologies=population, calibrate_at=(-50.0, 150.0)
+    )
+    oracle_s = time.perf_counter() - start
+
+    speedup = oracle_s / banked_s
+    print(f"\nbanked-scan speedup at 9x1000: {speedup:.0f}x "
+          f"(oracle {oracle_s * 1e3:.0f} ms, banked {banked_s * 1e3:.1f} ms)")
+    assert speedup >= 3.0
+
+    assert fast.codes.shape == oracle.codes.shape == (9, 1000)
+    assert np.array_equal(fast.codes, oracle.codes)
+    worst = float(
+        np.max(np.abs(fast.estimates_c - oracle.estimates_c) / np.abs(oracle.estimates_c))
+    )
+    assert worst <= 1e-9
+
+
+@pytest.mark.benchmark(group="engine-bank-scan-9x200")
+@pytest.mark.parametrize("mode", ["banked", "oracle"])
+def test_bank_scan_9_sites_200_samples(benchmark, mode):
+    bank = _make_bank()
+    population = sample_technology_array(CMOS035, 200, seed=1234)
+    if mode == "banked":
+        def evaluate():
+            calibration = bank.two_point_calibration(
+                -50.0, 150.0, technologies=population
+            )
+            return bank.scan(
+                SCAN_TEMPS, technologies=population, calibration=calibration
+            )
+    else:
+        def evaluate():
+            return bank.scan_loop(
+                SCAN_TEMPS, technologies=population, calibrate_at=(-50.0, 150.0)
+            )
+    scan = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    assert scan.codes.shape == (9, 200)
+
+
+@pytest.mark.benchmark(group="engine-bank-scan-9x1000")
+def test_bank_scan_9_sites_1000_samples_banked(benchmark):
+    bank = _make_bank()
+    population = sample_technology_array(CMOS035, 1000, seed=1234)
+
+    def evaluate():
+        calibration = bank.two_point_calibration(
+            -50.0, 150.0, technologies=population
+        )
+        return bank.scan(SCAN_TEMPS, technologies=population, calibration=calibration)
+
+    scan = benchmark.pedantic(evaluate, rounds=3, iterations=1)
+    assert scan.codes.shape == (9, 1000)
+
+
+def test_factorization_reuse_speedup():
+    """The PR 4 thermal acceptance criterion: repeated steady-state
+    solves through the cached ThermalOperator factorization are >= 3x
+    faster than the pre-operator path (one implicit factorization per
+    spsolve call), agreeing to solver rounding."""
+    power = PowerMap.from_floorplan(Floorplan.example_processor(), nx=48, ny=48)
+    grid = ThermalGrid.for_power_map(power)
+    rhs = power.values_w.reshape(-1)
+    solves = 10
+
+    def refactorize_every_solve():
+        matrix = grid.conductance_matrix.tocsc()
+        return [spsolve(matrix, rhs) for _ in range(solves)]
+
+    def cached_factorization():
+        operator = ThermalOperator(grid)
+        return [operator.steady_rise(rhs) for _ in range(solves)]
+
+    cached_s, cached = _best_time(cached_factorization)
+
+    start = time.perf_counter()
+    reference = refactorize_every_solve()
+    refactorized_s = time.perf_counter() - start
+
+    speedup = refactorized_s / cached_s
+    print(f"\nfactorization-reuse speedup over {solves} steady solves on 48x48: "
+          f"{speedup:.1f}x (refactorize {refactorized_s * 1e3:.0f} ms, "
+          f"cached {cached_s * 1e3:.0f} ms)")
+    assert speedup >= 3.0
+
+    worst = float(np.max(np.abs(cached[0] - reference[0]) / np.abs(reference[0])))
+    assert worst <= 1e-9
+
+
+@pytest.mark.benchmark(group="thermal-steady-48x48x10")
+@pytest.mark.parametrize("mode", ["cached", "refactorize"])
+def test_repeated_steady_solves(benchmark, mode):
+    power = PowerMap.from_floorplan(Floorplan.example_processor(), nx=48, ny=48)
+    grid = ThermalGrid.for_power_map(power)
+    rhs = power.values_w.reshape(-1)
+
+    if mode == "cached":
+        def evaluate():
+            operator = ThermalOperator(grid)
+            return [operator.steady_rise(rhs) for _ in range(10)]
+    else:
+        def evaluate():
+            matrix = grid.conductance_matrix.tocsc()
+            return [spsolve(matrix, rhs) for _ in range(10)]
+
+    result = benchmark.pedantic(evaluate, rounds=2, iterations=1)
+    assert len(result) == 10
+
+
+@pytest.mark.benchmark(group="thermal-dtm-study")
+def test_dtm_study_wall_clock(benchmark):
+    """Records the DTM study's wall clock (managed + unmanaged closed
+    loops on one manager) so BENCH_engine.json tracks the factorization
+    reuse and the banked per-step sensor scans over time."""
+    result = benchmark.pedantic(
+        run_dtm_study,
+        kwargs=dict(duration_s=0.6, control_interval_s=0.03, grid_resolution=16),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.managed.peak_temperature_c() <= result.unmanaged.peak_temperature_c()
 
 
 @pytest.mark.benchmark(group="engine-calibration-study")

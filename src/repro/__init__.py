@@ -130,11 +130,18 @@ from .engine import Axis, BatchEvaluator, Sweep, SweepResult
 from .core import (
     LinearCalibration,
     ReadoutConfig,
+    SensorBank,
     SensorMultiplexer,
     SmartTemperatureSensor,
     ThermalMonitor,
 )
-from .thermal import Floorplan, PowerMap, ThermalGrid, solve_steady_state
+from .thermal import (
+    Floorplan,
+    PowerMap,
+    ThermalGrid,
+    ThermalOperator,
+    solve_steady_state,
+)
 
 __version__ = "1.0.0"
 
@@ -167,12 +174,14 @@ __all__ = [
     "SweepResult",
     "LinearCalibration",
     "ReadoutConfig",
+    "SensorBank",
     "SensorMultiplexer",
     "SmartTemperatureSensor",
     "ThermalMonitor",
     "Floorplan",
     "PowerMap",
     "ThermalGrid",
+    "ThermalOperator",
     "solve_steady_state",
     "__version__",
 ]

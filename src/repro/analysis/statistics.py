@@ -41,9 +41,13 @@ def summarize(values: Sequence[float]) -> SummaryStatistics:
         raise TechnologyError("cannot summarise an empty sample")
     if np.any(np.isnan(array)):
         raise TechnologyError("sample contains NaN values")
+    # np.mean's pairwise summation can land one ULP outside the sample
+    # range (e.g. three identical subnormal values); clamp so the
+    # min <= mean <= max invariant holds exactly.
+    mean = float(np.clip(np.mean(array), np.min(array), np.max(array)))
     return SummaryStatistics(
         count=int(array.size),
-        mean=float(np.mean(array)),
+        mean=mean,
         std=float(np.std(array)),
         minimum=float(np.min(array)),
         maximum=float(np.max(array)),

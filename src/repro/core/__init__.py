@@ -26,6 +26,7 @@ from .calibration import (
 )
 from .sensor import SensorReading, SensorTransferFunction, SmartTemperatureSensor
 from .multiplexer import ScanResult, SensorMultiplexer
+from .sensor_bank import BankCalibration, BankScan, SensorBank
 from .mapping import ThermalMonitor, ThermalMonitorReport
 from .thermal_manager import (
     DtmResult,
@@ -57,6 +58,9 @@ __all__ = [
     "SmartTemperatureSensor",
     "ScanResult",
     "SensorMultiplexer",
+    "BankCalibration",
+    "BankScan",
+    "SensorBank",
     "ThermalMonitor",
     "ThermalMonitorReport",
     "DtmResult",

@@ -13,7 +13,7 @@ the design questions the smart unit's multiplexer exists to answer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,8 +28,58 @@ from ..thermal.solver import solve_steady_state
 from .multiplexer import ScanResult, SensorMultiplexer
 from .readout import ReadoutConfig
 from .sensor import SensorTransferFunction, SmartTemperatureSensor
+from .sensor_bank import BankScan, SensorBank
 
-__all__ = ["ThermalMonitorReport", "ThermalMonitor"]
+__all__ = ["ThermalMonitorReport", "ThermalMonitor", "reconstruct_maps"]
+
+
+def reconstruct_maps(
+    reference: TemperatureMap,
+    site_x_mm: np.ndarray,
+    site_y_mm: np.ndarray,
+    estimates_c: np.ndarray,
+) -> np.ndarray:
+    """Inverse-distance maps for one or many estimate columns at once.
+
+    The thermal monitor's reconstruction kernel, factored out so the
+    Monte-Carlo studies can rebuild *every sample's* full-die map in one
+    broadcast: ``estimates_c`` of shape ``(site,)`` returns one
+    ``(ny, nx)`` value array, ``(site, k)`` returns a ``(k, ny, nx)``
+    stack.  The inverse-square weights depend only on geometry, so they
+    are computed once for the whole stack; a grid cell sitting exactly
+    on a sensor site takes that site's estimate directly (first matching
+    site).
+    """
+    estimates = np.asarray(estimates_c, dtype=float)
+    single = estimates.ndim == 1
+    columns = estimates.reshape(len(site_x_mm), -1)
+
+    cell_w = reference.width_mm / reference.nx
+    cell_h = reference.height_mm / reference.ny
+    xs = (np.arange(reference.nx) + 0.5) * cell_w
+    ys = (np.arange(reference.ny) + 0.5) * cell_h
+    grid_x, grid_y = np.meshgrid(xs, ys)
+
+    distance = np.hypot(
+        grid_x[..., np.newaxis] - np.asarray(site_x_mm),
+        grid_y[..., np.newaxis] - np.asarray(site_y_mm),
+    )
+    exact = distance < 1e-9
+    with np.errstate(divide="ignore", invalid="ignore"):
+        weights = 1.0 / distance**2
+        weights[exact] = 0.0
+        values = np.einsum("yxs,sk->kyx", weights, columns)
+        # 0/0 where a cell's only weights were zeroed by the exact-match
+        # mask; those cells are overwritten by the on-site pass below.
+        values /= np.sum(weights, axis=-1)
+
+    on_site = exact.any(axis=-1)
+    if np.any(on_site):
+        first_site = np.argmax(exact, axis=-1)
+        values[:, on_site] = columns[first_site[on_site]].T
+    if single:
+        return values[0]
+    return values
 
 
 @dataclass(frozen=True)
@@ -39,7 +89,11 @@ class ThermalMonitorReport:
     Attributes
     ----------
     scan:
-        The raw multiplexer scan (codes, per-sensor estimates).
+        The raw scan: a :class:`~repro.core.sensor_bank.BankScan` from
+        the banked path (the default) or the multiplexer's
+        :class:`~repro.core.multiplexer.ScanResult` from the retained
+        per-sensor oracle path; both expose ``readings`` and
+        ``total_time_s``.
     true_map:
         The reference temperature field from the thermal model.
     site_true_temperatures_c:
@@ -50,7 +104,7 @@ class ThermalMonitorReport:
         Full-die map reconstructed from the sensor estimates.
     """
 
-    scan: ScanResult
+    scan: Union[BankScan, ScanResult]
     true_map: TemperatureMap
     site_true_temperatures_c: Dict[str, float]
     site_estimates_c: Dict[str, float]
@@ -132,15 +186,28 @@ class ThermalMonitor:
                 SmartTemperatureSensor(ring, readout=readout, name=site.name)
             )
         self.multiplexer = SensorMultiplexer(sensors)
+        self.bank = SensorBank(self.library, sites, configuration, readout=readout)
         self._sites: Dict[str, SensorSite] = {site.name: site for site in sites}
+        self._grid: Optional[ThermalGrid] = None
+        self._grid_key: Optional[Tuple[float, float, int, int]] = None
 
     # ------------------------------------------------------------------ #
     # setup
     # ------------------------------------------------------------------ #
 
     def calibrate(self, low_temperature_c: float = -40.0, high_temperature_c: float = 125.0) -> None:
-        """Two-point calibrate every sensor in the bank."""
-        self.multiplexer.calibrate_all_two_point(low_temperature_c, high_temperature_c)
+        """Two-point calibrate every sensor in the bank.
+
+        The calibration runs once through the banked path (the sites
+        share one ring design, so one vectorized two-point evaluation
+        covers the whole bank) and the resulting line is installed into
+        every multiplexer channel as well — the per-sensor scalar
+        pipeline produces exactly the same line, which
+        ``tests/test_sensor_bank.py`` pins.
+        """
+        calibration = self.bank.calibrate(low_temperature_c, high_temperature_c)
+        for sensor in self.multiplexer.sensors():
+            sensor.install_calibration(calibration.linear_calibration())
 
     def sensor_sites(self) -> List[SensorSite]:
         return list(self._sites.values())
@@ -168,10 +235,23 @@ class ThermalMonitor:
     # thermal field
     # ------------------------------------------------------------------ #
 
+    def _grid_for(self, power: PowerMap) -> ThermalGrid:
+        """The thermal grid of a power map (cached per geometry).
+
+        Repeated scans of same-resolution workloads reuse both the grid
+        matrices and — through the process-wide
+        :class:`~repro.thermal.operator.ThermalOperator` cache — their
+        sparse-direct factorization.
+        """
+        key = (power.width_mm, power.height_mm, power.nx, power.ny)
+        if self._grid is None or self._grid_key != key:
+            self._grid = ThermalGrid.for_power_map(power, self.thermal_parameters)
+            self._grid_key = key
+        return self._grid
+
     def temperature_field(self, power: PowerMap) -> TemperatureMap:
         """Reference temperature field for a workload power map."""
-        grid = ThermalGrid.for_power_map(power, self.thermal_parameters)
-        return solve_steady_state(grid, power, self.ambient_c)
+        return solve_steady_state(self._grid_for(power), power, self.ambient_c)
 
     def power_map_for_floorplan(self) -> PowerMap:
         """Rasterised power map of the monitor's floorplan."""
@@ -183,32 +263,56 @@ class ThermalMonitor:
     # monitoring
     # ------------------------------------------------------------------ #
 
-    def scan(self, power: Optional[PowerMap] = None) -> ThermalMonitorReport:
+    def scan(
+        self, power: Optional[PowerMap] = None, scalar: bool = False
+    ) -> ThermalMonitorReport:
         """Run one full thermal-mapping scan for a workload.
 
         The true temperature field is computed from the power map, each
         sensor is fed the local junction temperature at its site, the
-        multiplexer scans all channels, and a full-die map is rebuilt
-        from the sensor estimates by inverse-distance interpolation.
+        bank scans all channels, and a full-die map is rebuilt from the
+        sensor estimates by inverse-distance interpolation.
+
+        The default path is fully banked: one vectorized gather of the
+        site temperatures (:meth:`TemperatureMap.sample_points`), one
+        broadcast :meth:`~repro.core.sensor_bank.SensorBank.scan` for
+        the whole bank.  ``scalar=True`` keeps the original per-sensor
+        multiplexer loop as the reference oracle for the equivalence
+        tests.
         """
         if power is None:
             power = self.power_map_for_floorplan()
         true_map = self.temperature_field(power)
 
-        site_truth: Dict[str, float] = {}
-        for name, site in self._sites.items():
-            site_truth[name] = true_map.sample(site.x_mm, site.y_mm)
+        if scalar:
+            site_truth: Dict[str, float] = {}
+            for name, site in self._sites.items():
+                site_truth[name] = true_map.sample(site.x_mm, site.y_mm)
 
-        scan = self.multiplexer.scan(site_truth)
+            scan = self.multiplexer.scan(site_truth)
 
-        site_estimates: Dict[str, float] = {}
-        for name, reading in scan.readings.items():
-            if reading.temperature_estimate_c is None:
+            site_estimates: Dict[str, float] = {}
+            for name, reading in scan.readings.items():
+                if reading.temperature_estimate_c is None:
+                    raise TechnologyError(
+                        "sensors must be calibrated before a thermal-mapping "
+                        "scan; call calibrate() first"
+                    )
+                site_estimates[name] = reading.temperature_estimate_c
+        else:
+            if self.bank.calibration is None:
                 raise TechnologyError(
                     "sensors must be calibrated before a thermal-mapping scan; "
                     "call calibrate() first"
                 )
-            site_estimates[name] = reading.temperature_estimate_c
+            xs, ys = self.bank.positions()
+            truths = true_map.sample_points(xs, ys)
+            scan = self.bank.scan(truths)
+            site_truth = dict(zip(scan.names, (float(t) for t in truths)))
+            site_estimates = {
+                name: float(estimate)
+                for name, estimate in zip(scan.names, scan.estimates_c)
+            }
 
         reconstructed = self._reconstruct(site_estimates, true_map)
         return ThermalMonitorReport(
@@ -224,37 +328,16 @@ class ThermalMonitor:
     ) -> TemperatureMap:
         """Inverse-distance-weighted interpolation of the sensor readings.
 
-        Evaluated as one broadcast over the whole
+        One :func:`reconstruct_maps` broadcast over the whole
         ``(ny, nx, n_sites)`` distance tensor instead of a Python loop
         per grid cell — the batch-engine treatment of the
         reconstruction hot path.
         """
-        cell_w = reference.width_mm / reference.nx
-        cell_h = reference.height_mm / reference.ny
-        xs = (np.arange(reference.nx) + 0.5) * cell_w
-        ys = (np.arange(reference.ny) + 0.5) * cell_h
-        grid_x, grid_y = np.meshgrid(xs, ys)
-
         names = list(site_estimates)
         site_x = np.asarray([self._sites[name].x_mm for name in names])
         site_y = np.asarray([self._sites[name].y_mm for name in names])
         estimates = np.asarray([site_estimates[name] for name in names])
-
-        distance = np.hypot(
-            grid_x[..., np.newaxis] - site_x, grid_y[..., np.newaxis] - site_y
-        )
-        exact = distance < 1e-9
-        with np.errstate(divide="ignore", invalid="ignore"):
-            weights = 1.0 / distance ** 2
-            weights[exact] = 0.0
-            values = np.sum(weights * estimates, axis=-1) / np.sum(weights, axis=-1)
-
-        # A grid cell sitting exactly on a sensor site takes that site's
-        # estimate directly (first matching site, as the scalar loop did).
-        on_site = exact.any(axis=-1)
-        if np.any(on_site):
-            first_site = np.argmax(exact, axis=-1)
-            values[on_site] = estimates[first_site[on_site]]
+        values = reconstruct_maps(reference, site_x, site_y, estimates)
         return TemperatureMap(reference.width_mm, reference.height_mm, values)
 
     def detect_overheating(

@@ -20,13 +20,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.sparse import diags
-from scipy.sparse.linalg import factorized
 
 from ..oscillator.config import RingConfiguration
 from ..tech.parameters import Technology, TechnologyError
 from ..thermal.floorplan import Floorplan
 from ..thermal.grid import TemperatureMap, ThermalGrid, ThermalGridParameters
+from ..thermal.operator import ThermalOperator
 from ..thermal.power import PowerMap
 from .mapping import ThermalMonitor
 from .readout import ReadoutConfig
@@ -148,7 +147,6 @@ class DtmResult:
     def throttle_events(self) -> int:
         """Number of transitions into a slower performance state."""
         events = 0
-        order = {point.time_s: point.state_name for point in self.trace}
         names = [point.state_name for point in self.trace]
         ranks = {state: rank for rank, state in enumerate(dict.fromkeys(names))}
         previous_rank: Optional[int] = None
@@ -215,6 +213,7 @@ class DynamicThermalManager:
             floorplan, nx=grid_resolution, ny=grid_resolution
         )
         self._grid = ThermalGrid.for_power_map(self._base_power, thermal_parameters)
+        self._site_xs, self._site_ys = self.monitor.bank.positions()
 
     @property
     def base_power_map(self) -> PowerMap:
@@ -222,18 +221,21 @@ class DynamicThermalManager:
         return self._base_power
 
     def _sensor_readings(self, die_map: TemperatureMap) -> Dict[str, float]:
-        """Read every sensor at its local junction temperature."""
-        temperatures = {
-            site.name: die_map.sample(site.x_mm, site.y_mm)
-            for site in self.monitor.sensor_sites()
+        """Read every sensor at its local junction temperature.
+
+        One banked scan (vectorized site gather + one broadcast period
+        evaluation + one batch counter conversion) replaces the
+        per-sensor multiplexer loop that used to run every control
+        interval.
+        """
+        if self.monitor.bank.calibration is None:
+            raise TechnologyError("DTM requires calibrated sensors")
+        truths = die_map.sample_points(self._site_xs, self._site_ys)
+        scan = self.monitor.bank.scan(truths)
+        return {
+            name: float(estimate)
+            for name, estimate in zip(scan.names, scan.estimates_c)
         }
-        scan = self.monitor.multiplexer.scan(temperatures)
-        readings: Dict[str, float] = {}
-        for name, reading in scan.readings.items():
-            if reading.temperature_estimate_c is None:
-                raise TechnologyError("DTM requires calibrated sensors")
-            readings[name] = reading.temperature_estimate_c
-        return readings
 
     def run(
         self,
@@ -241,6 +243,7 @@ class DynamicThermalManager:
         control_interval_s: float = 0.02,
         limit_c: float = 115.0,
         workload_scale: float = 1.0,
+        policy: Optional[ThrottlingPolicy] = None,
     ) -> DtmResult:
         """Run the closed-loop simulation.
 
@@ -256,6 +259,12 @@ class DynamicThermalManager:
             (time-above-limit); the policy thresholds live in the policy.
         workload_scale:
             Scaling of the workload power (for what-if studies).
+        policy:
+            Per-run policy override (the manager's own policy when
+            omitted).  This is how a study runs the *same* die and
+            sensors under different policies — e.g. an unmanaged
+            reference whose thresholds are never reached — without
+            rebuilding the manager or the thermal model.
         """
         if duration_s <= 0.0 or control_interval_s <= 0.0:
             raise TechnologyError("duration and control interval must be positive")
@@ -264,11 +273,14 @@ class DynamicThermalManager:
         if workload_scale < 0.0:
             raise TechnologyError("workload_scale must be non-negative")
 
+        active_policy = policy if policy is not None else self.policy
         steps = int(np.ceil(duration_s / control_interval_s))
         grid = self._grid
-        capacitance = grid.capacitance_vector
-        system = (diags(capacitance / control_interval_s) + grid.conductance_matrix).tocsc()
-        solve = factorized(system)
+        # The backward-Euler factorization comes from the process-wide
+        # operator cache, so every run over the same grid and control
+        # interval — including the managed/unmanaged pair of a study —
+        # shares a single factorization.
+        stepper = ThermalOperator.for_grid(grid).stepper(control_interval_s)
 
         state_index = 0
         rise = np.zeros(grid.nx * grid.ny)
@@ -276,10 +288,9 @@ class DynamicThermalManager:
 
         for step in range(1, steps + 1):
             time = step * control_interval_s
-            state = self.policy.states[state_index]
+            state = active_policy.states[state_index]
             power = self._base_power.scaled(workload_scale * state.power_scale)
-            rhs = power.values_w.reshape(-1) + capacitance / control_interval_s * rise
-            rise = solve(rhs)
+            rise = stepper.step(rise, power.values_w.reshape(-1))
             die_map = TemperatureMap(
                 grid.width_mm,
                 grid.height_mm,
@@ -298,6 +309,6 @@ class DynamicThermalManager:
                     performance=state.performance,
                 )
             )
-            state_index = self.policy.next_state_index(state_index, hottest)
+            state_index = active_policy.next_state_index(state_index, hottest)
 
         return DtmResult(trace=tuple(trace), limit_c=limit_c, final_map=die_map)

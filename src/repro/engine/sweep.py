@@ -59,6 +59,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..cells.library import CellLibrary, default_library
+from ..core.readout import PeriodCounter, ReadoutConfig
+from ..core.sensor_bank import SensorBank
 from ..oscillator.bank import ConfigurationBank, normalise_configurations
 from ..oscillator.config import ConfigurationError, RingConfiguration
 from ..oscillator.period import default_temperature_grid
@@ -78,10 +80,14 @@ __all__ = [
 
 #: The canonical broadcast order of the named axes: every
 #: :class:`SweepResult` carries its dimensions in this order no matter
-#: the order the axes were declared in.
+#: the order the axes were declared in.  ``site`` (the sensor-bank
+#: location axis) sits outside the ``supply``/``sample`` pair because
+#: those two lower onto one flat supply-major population axis that must
+#: stay contiguous to un-reshape.
 CANONICAL_AXIS_ORDER = (
     "configuration",
     "width_ratio",
+    "site",
     "supply",
     "sample",
     "temperature",
@@ -89,6 +95,13 @@ CANONICAL_AXIS_ORDER = (
 
 #: The observables a sweep can evaluate.  All preserve the axis shape:
 #: ``period`` (s) and ``frequency`` (Hz) are the raw tensor;
+#: ``code`` is the counter-quantised digital output (the readout comes
+#: from the site axis's bank, or the sweep's ``readout=``; codes beyond
+#: the counter width are *clamped* to ``max_code`` exactly as the
+#: hardware saturates — use :meth:`repro.core.SensorBank.scan` when the
+#: saturation mask itself is needed);
+#: ``power`` (W) is the free-running dynamic power
+#: ``f * Vdd^2 * C_switched``;
 #: ``transfer_c`` is the two-point-calibrated temperature estimate (the
 #: ideal sensor transfer curve, calibrated per row at the sweep's
 #: endpoint temperatures); ``calibration_error_c`` is that estimate
@@ -97,10 +110,17 @@ CANONICAL_AXIS_ORDER = (
 OBSERVABLES = (
     "period",
     "frequency",
+    "code",
+    "power",
     "transfer_c",
     "calibration_error_c",
     "nonlinearity_percent",
 )
+
+#: Observables fit against the sweep's endpoint temperatures; they need
+#: an explicit (or defaulted) temperature axis, which a site axis with
+#: per-site junction temperatures does not have.
+_ENDPOINT_OBSERVABLES = ("transfer_c", "calibration_error_c", "nonlinearity_percent")
 
 
 class SweepError(ValueError):
@@ -201,6 +221,53 @@ class Axis:
             "configuration",
             labels,
             payload=dict(zip(labels, configs)),
+        )
+
+    @classmethod
+    def site(
+        cls,
+        bank: SensorBank,
+        junction_temperatures_c: Optional[Sequence[float]] = None,
+    ) -> "Axis":
+        """The sensor-site axis: a floorplan bank of identical sensors.
+
+        Backed by a :class:`~repro.core.sensor_bank.SensorBank`.  Two
+        modes:
+
+        * with ``junction_temperatures_c`` (one per site, in site
+          order) the sweep *scans* the bank — every site is evaluated
+          at its own local junction temperature (usually gathered from
+          a solved :class:`~repro.thermal.grid.TemperatureMap`), and
+          the result has a ``site`` dimension instead of a
+          ``temperature`` one;
+        * without, the sweep *characterises* the bank — every site is
+          evaluated over the shared temperature axis.  The sites share
+          one ring design (as the multiplexed hardware shares one
+          readout), so this mode is a broadcast along the site
+          dimension, not a recompute.
+
+        Coordinates are the site names.  Mutually exclusive with the
+        ``configuration`` and ``width_ratio`` axes (the bank already
+        fixes the ring design).
+        """
+        if not isinstance(bank, SensorBank):
+            raise SweepError(
+                f"the site axis takes a SensorBank, got {type(bank).__name__}"
+            )
+        temps = None
+        if junction_temperatures_c is not None:
+            temps = np.asarray(list(junction_temperatures_c), dtype=float)
+            if temps.shape != (bank.site_count,):
+                raise SweepError(
+                    f"expected one junction temperature per site "
+                    f"({bank.site_count}), got shape {temps.shape}"
+                )
+            if np.any(~np.isfinite(temps)):
+                raise SweepError("junction temperatures must be finite")
+        return cls(
+            "site",
+            bank.names(),
+            payload={"bank": bank, "junction_temperatures_c": temps},
         )
 
     @classmethod
@@ -439,6 +506,9 @@ class Sweep:
     wire_length_um / external_load_f / tap_stage:
         Ring construction parameters used when the sweep builds rings
         itself.
+    readout:
+        Counter readout used by the ``code`` observable for sweeps
+        without a site axis (a site axis brings its bank's readout).
 
     Compose axes with :meth:`over`, pick an observable with
     :meth:`observe` (``"period"`` by default) and evaluate with
@@ -455,6 +525,7 @@ class Sweep:
         wire_length_um: float = 2.0,
         external_load_f: float = 0.0,
         tap_stage: Optional[int] = None,
+        readout: ReadoutConfig = ReadoutConfig(),
     ) -> None:
         self._technology = technology
         self._library = library
@@ -465,6 +536,7 @@ class Sweep:
         self._wire_length_um = float(wire_length_um)
         self._external_load_f = float(external_load_f)
         self._tap_stage = tap_stage
+        self._readout = readout
         self._axes: Dict[str, Axis] = {}
         self._observable = "period"
 
@@ -492,7 +564,48 @@ class Sweep:
         axes = tuple(
             self._axes[name] for name in CANONICAL_AXIS_ORDER if name in self._axes
         )
-        if "temperature" not in self._axes:
+        site_axis = self._axes.get("site")
+        site_scan = (
+            site_axis is not None
+            and site_axis.payload["junction_temperatures_c"] is not None
+        )
+        if site_axis is not None:
+            for other in ("configuration", "width_ratio"):
+                if other in self._axes:
+                    raise SweepError(
+                        f"the site axis fixes the ring design through its "
+                        f"bank and cannot be combined with a {other} axis"
+                    )
+            if self._ring is not None or self._configuration is not None:
+                raise SweepError(
+                    "a site axis brings its bank's ring design; drop the "
+                    "ring=/configuration= base"
+                )
+            bank = site_axis.payload["bank"]
+            if (
+                self._technology is not None
+                and bank.technology is not self._technology
+                and bank.technology.name != self._technology.name
+            ):
+                raise SweepError(
+                    f"the site axis's bank is built in technology "
+                    f"{bank.technology.name!r} but technology= is "
+                    f"{self._technology.name!r}; the sweep would mix the two"
+                )
+        if site_scan:
+            if "temperature" in self._axes:
+                raise SweepError(
+                    "a site axis with junction temperatures evaluates every "
+                    "site at its own temperature and cannot be combined with "
+                    "a temperature axis; drop one of the two"
+                )
+            if self._observable in _ENDPOINT_OBSERVABLES:
+                raise SweepError(
+                    f"observable {self._observable!r} fits the sweep's "
+                    "endpoint temperatures and needs a temperature axis; a "
+                    "site axis with junction temperatures has none"
+                )
+        elif "temperature" not in self._axes:
             axes = axes + (Axis.temperature(default_temperature_grid()),)
         if "configuration" in self._axes and "width_ratio" in self._axes:
             raise SweepError(
@@ -536,6 +649,7 @@ class Sweep:
             wire_length_um=self._wire_length_um,
             external_load_f=self._external_load_f,
             tap_stage=self._tap_stage,
+            readout=self._readout,
         )
 
     def run(self) -> SweepResult:
@@ -577,6 +691,7 @@ class SweepPlan:
     wire_length_um: float
     external_load_f: float
     tap_stage: Optional[int]
+    readout: ReadoutConfig = ReadoutConfig()
 
     def axis(self, name: str) -> Optional[Axis]:
         for axis in self.axes:
@@ -595,6 +710,12 @@ class SweepPlan:
             return self.technology
         if self.library is not None:
             return self.library.technology
+        site_axis = self.axis("site")
+        if site_axis is not None:
+            # The documented Sweep() site-axis form pins nothing else
+            # down, so the bank's own technology is the base context
+            # (e.g. for a supply axis stacked on top of the bank).
+            return site_axis.payload["bank"].technology
         from ..tech.libraries import CMOS035
 
         return CMOS035
@@ -604,6 +725,9 @@ class SweepPlan:
             return self.ring.library
         if self.library is not None:
             return self.library
+        site_axis = self.axis("site")
+        if site_axis is not None:
+            return site_axis.payload["bank"].library
         return default_library(self._base_technology())
 
     def _base_ring(self) -> RingOscillator:
@@ -673,14 +797,62 @@ class SweepPlan:
             return np.asarray(ring.period_series(temps))
         return np.asarray(ring.period_matrix(population, temps))
 
+    def _vdd2_switched_cap(self, ring: RingOscillator, population) -> np.ndarray:
+        """``Vdd^2 * C_switched`` of a ring, per flat population sample.
+
+        The ``power`` observable's load-independent factor: the ring's
+        dynamic power is this divided by the period.  Shapes: a scalar
+        without a population, an ``(S, 1)`` column against a stacked
+        one, and a per-sample loop for the unstackable-list fallback.
+        """
+        def factor(bound: RingOscillator):
+            return (
+                np.asarray(bound.technology.vdd) ** 2 * bound.switched_capacitance()
+            )
+
+        if population is None:
+            return np.asarray(factor(ring))
+        if not isinstance(population, TechnologyArray):
+            return np.asarray(
+                [float(factor(ring.rebind(sample))) for sample in population]
+            ).reshape(-1, 1)
+        return np.asarray(factor(ring.rebind(population))).reshape(-1, 1)
+
     def execute(self) -> SweepResult:
         """Evaluate the plan and label the result."""
-        temps = np.asarray(self.axis("temperature").coordinates, dtype=float)
+        temp_axis = self.axis("temperature")
+        temps = (
+            np.asarray(temp_axis.coordinates, dtype=float)
+            if temp_axis is not None
+            else None
+        )
         population = self._lower_population()
         config_axis = self.axis("configuration")
         ratio_axis = self.axis("width_ratio")
+        site_axis = self.axis("site")
+        need_power = self.observable == "power"
+        vdd2cap: Optional[np.ndarray] = None
 
-        if config_axis is not None:
+        if site_axis is not None:
+            sensor_bank: SensorBank = site_axis.payload["bank"]
+            site_temps = site_axis.payload["junction_temperatures_c"]
+            if need_power:
+                vdd2cap = self._vdd2_switched_cap(sensor_bank.ring, population)
+            if site_temps is not None:
+                # Scan mode: every site at its own junction temperature;
+                # one broadcast, no temperature dimension in the result.
+                tensor = sensor_bank.period_tensor(site_temps, technologies=population)
+                if need_power and vdd2cap.ndim == 2:
+                    vdd2cap = vdd2cap.reshape(1, -1)
+            else:
+                # Characterisation mode: the sites share one ring
+                # design, so the shared-grid tensor broadcasts along the
+                # site dimension.
+                inner = self._single_ring_tensor(sensor_bank.ring, population, temps)
+                tensor = np.broadcast_to(
+                    inner, (sensor_bank.site_count,) + inner.shape
+                )
+        elif config_axis is not None:
             bank = ConfigurationBank(
                 self._base_library(),
                 config_axis.payload,
@@ -689,27 +861,53 @@ class SweepPlan:
                 tap_stage=self.tap_stage,
             )
             tensor = bank.period_tensor(temps, technologies=population)
+            if need_power:
+                per_config = [
+                    self._vdd2_switched_cap(ring, population) for ring in bank.rings()
+                ]
+                vdd2cap = np.stack(per_config)
+                if vdd2cap.ndim == 1:  # scalars per configuration
+                    vdd2cap = vdd2cap.reshape(-1, 1)
         elif ratio_axis is not None:
             from ..optimize.sizing import build_sized_ring
 
             technology = self._base_technology()
+            rings = [
+                build_sized_ring(
+                    technology,
+                    float(ratio),
+                    nmos_width_um=ratio_axis.payload["nmos_width_um"],
+                    stage_count=ratio_axis.payload["stage_count"],
+                )
+                for ratio in ratio_axis.coordinates
+            ]
             tensor = np.stack(
-                [
-                    self._single_ring_tensor(
-                        build_sized_ring(
-                            technology,
-                            float(ratio),
-                            nmos_width_um=ratio_axis.payload["nmos_width_um"],
-                            stage_count=ratio_axis.payload["stage_count"],
-                        ),
-                        population,
-                        temps,
-                    )
-                    for ratio in ratio_axis.coordinates
-                ]
+                [self._single_ring_tensor(ring, population, temps) for ring in rings]
             )
+            if need_power:
+                vdd2cap = np.stack(
+                    [self._vdd2_switched_cap(ring, population) for ring in rings]
+                )
+                if vdd2cap.ndim == 1:
+                    vdd2cap = vdd2cap.reshape(-1, 1)
         else:
-            tensor = self._single_ring_tensor(self._base_ring(), population, temps)
+            ring = self._base_ring()
+            tensor = self._single_ring_tensor(ring, population, temps)
+            if need_power:
+                vdd2cap = self._vdd2_switched_cap(ring, population)
+
+        # Context-bearing observables apply on the flat tensor (the
+        # supply-major population axis is still one dimension here, so
+        # the (S, 1) power columns line up without reshaping).
+        if self.observable == "code":
+            counter = (
+                site_axis.payload["bank"].counter
+                if site_axis is not None
+                else PeriodCounter(self.readout)
+            )
+            tensor, _saturated = counter.convert_batch(tensor)
+        elif need_power:
+            tensor = vdd2cap / tensor
 
         # Un-flatten the supply-major population axis into its named
         # dimensions and collect the final canonical shape.
@@ -718,7 +916,7 @@ class SweepPlan:
         for axis in self.axes:
             dims.append(axis.name)
             shape.append(len(axis))
-        tensor = tensor.reshape(shape)
+        tensor = np.asarray(tensor).reshape(shape)
 
         coords = {axis.name: tuple(axis.coordinates) for axis in self.axes}
         values = _apply_observable(self.observable, tensor, temps)
@@ -735,13 +933,20 @@ class SweepPlan:
 # --------------------------------------------------------------------------- #
 
 
-def _apply_observable(name: str, tensor: np.ndarray, temps: np.ndarray) -> np.ndarray:
-    """Map the raw period tensor (temperature last) to the observable."""
-    if name == "period":
+def _apply_observable(
+    name: str, tensor: np.ndarray, temps: Optional[np.ndarray]
+) -> np.ndarray:
+    """Map the raw period tensor (temperature last) to the observable.
+
+    ``code`` and ``power`` carry context (a counter, the switched
+    capacitance) and are applied inside :meth:`SweepPlan.execute`; they
+    arrive here already evaluated, as does the raw ``period``.
+    """
+    if name in ("period", "code", "power"):
         return tensor
     if name == "frequency":
         return 1.0 / tensor
-    if temps.size < 2:
+    if temps is None or temps.size < 2:
         raise SweepError(
             f"observable {name!r} fits the sweep's endpoint temperatures and "
             "needs a temperature axis with at least two points"

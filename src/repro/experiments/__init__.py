@@ -11,6 +11,11 @@ from .calibration_study import CalibrationStudyResult, run_calibration_study
 from .supply_sensitivity import SupplySensitivityResult, run_supply_sensitivity
 from .scaling_study import ScalingStudyResult, run_scaling_study
 from .dtm_study import DtmStudyResult, run_dtm_study
+from .thermal_map_study import (
+    ThermalMapDensityPoint,
+    ThermalMapStudyResult,
+    run_thermal_map_study,
+)
 from .runner import ExperimentRegistry, default_registry, run_all
 
 __all__ = [
@@ -36,6 +41,9 @@ __all__ = [
     "run_scaling_study",
     "DtmStudyResult",
     "run_dtm_study",
+    "ThermalMapDensityPoint",
+    "ThermalMapStudyResult",
+    "run_thermal_map_study",
     "ExperimentRegistry",
     "default_registry",
     "run_all",

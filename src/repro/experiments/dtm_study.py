@@ -104,26 +104,15 @@ def run_dtm_study(
         grid_resolution=grid_resolution,
     )
 
-    # Unmanaged reference: same loop with a policy that never throttles.
-    class _NeverThrottle(ThrottlingPolicy):
-        def next_state_index(self, current_index: int, hottest_reading_c: float) -> int:
-            return 0
-
-    # The unmanaged reference die carries the same sensors (they only
-    # observe; the policy never throttles).
-    unmanaged_floorplan = Floorplan.example_processor()
-    unmanaged_floorplan.add_sensor_grid(sensor_grid, sensor_grid)
-    unmanaged_manager = DynamicThermalManager(
-        tech,
-        unmanaged_floorplan,
-        configuration,
-        policy=_NeverThrottle(
-            throttle_threshold_c=limit_c - 10.0,
-            release_threshold_c=limit_c - 25.0,
-            emergency_threshold_c=limit_c + 5.0,
-        ),
-        readout=ReadoutConfig(),
-        grid_resolution=grid_resolution,
+    # Unmanaged reference: the *same* die, sensors and thermal model run
+    # under a policy whose thresholds sit far above any reachable
+    # junction temperature, so it observes but never throttles.  Run as
+    # a per-run policy override on the one manager, the two simulations
+    # also share the cached backward-Euler factorization.
+    never_throttle = ThrottlingPolicy(
+        throttle_threshold_c=10_000.0,
+        release_threshold_c=9_000.0,
+        emergency_threshold_c=11_000.0,
     )
 
     managed = manager.run(
@@ -132,11 +121,12 @@ def run_dtm_study(
         limit_c=limit_c,
         workload_scale=workload_scale,
     )
-    unmanaged = unmanaged_manager.run(
+    unmanaged = manager.run(
         duration_s=duration_s,
         control_interval_s=control_interval_s,
         limit_c=limit_c,
         workload_scale=workload_scale,
+        policy=never_throttle,
     )
     return DtmStudyResult(
         technology_name=tech.name,

@@ -27,6 +27,7 @@ from .selfheating_study import run_selfheating_study
 from .smart_unit import run_smart_unit
 from .stage_count import run_stage_count
 from .supply_sensitivity import run_supply_sensitivity
+from .thermal_map_study import run_thermal_map_study
 
 __all__ = ["ExperimentRegistry", "run_all", "main"]
 
@@ -92,6 +93,12 @@ def _dtm_report(technology: Technology) -> str:
     return run_dtm_study(technology, duration_s=1.0, grid_resolution=16).format_summary()
 
 
+def _thermal_map_report(technology: Technology) -> str:
+    return run_thermal_map_study(
+        technology, sample_count=25, grid_resolution=16
+    ).format_table()
+
+
 def default_registry() -> ExperimentRegistry:
     """The standard experiment set (ids match DESIGN.md)."""
     return ExperimentRegistry(
@@ -107,6 +114,7 @@ def default_registry() -> ExperimentRegistry:
             "EXT-SUPPLY": _supply_report,
             "EXT-SCALING": _scaling_report,
             "EXT-DTM": _dtm_report,
+            "EXT-THERMALMAP": _thermal_map_report,
         }
     )
 

@@ -19,9 +19,9 @@ import numpy as np
 from ..analysis.linearity import nonlinearity
 from ..analysis.sensitivity import sensitivity_report
 from ..cells.library import default_library
+from ..engine.sweep import Axis, Sweep
 from ..oscillator.config import RingConfiguration
-from ..oscillator.period import analytical_response, default_temperature_grid
-from ..oscillator.ring import RingOscillator
+from ..oscillator.period import TemperatureResponse, default_temperature_grid
 from ..tech.libraries import CMOS013, CMOS018, CMOS025, CMOS035
 from ..tech.parameters import Technology
 from ..tech.scaling import ScalingRules, power_density_scaling_factor
@@ -43,6 +43,10 @@ class NodePoint:
     max_nonlinearity_percent: float
     reoptimized_label: Optional[str] = None
     reoptimized_nonlinearity_percent: Optional[float] = None
+    #: Free-running sensor dynamic power at 25 C (the ``power``
+    #: observable) — the node-over-node trend of the sensor's own
+    #: self-heating budget.
+    sensor_power_at_25c_w: float = 0.0
 
     @property
     def frequency_at_25c_hz(self) -> float:
@@ -75,7 +79,7 @@ class ScalingStudyResult:
         lines = [
             f"EXT-SCALING - sensor ({self.configuration_label}) across technology nodes",
             f"{'node':10s} {'feature':>8s} {'VDD':>6s} {'period@25C':>12s} "
-            f"{'rel. sens.':>12s} {'max|NL|':>9s}   re-optimised mix",
+            f"{'rel. sens.':>12s} {'max|NL|':>9s} {'power@25C':>11s}   re-optimised mix",
         ]
         for point in self.points:
             reopt = ""
@@ -88,7 +92,8 @@ class ScalingStudyResult:
                 f"{point.technology_name:10s} {point.feature_size_um:7.2f}u "
                 f"{point.vdd:6.2f} {point.period_at_25c_s * 1e12:10.1f}ps "
                 f"{point.relative_sensitivity_per_k * 100:10.3f}%/K "
-                f"{point.max_nonlinearity_percent:8.3f}%" + reopt
+                f"{point.max_nonlinearity_percent:8.3f}% "
+                f"{point.sensor_power_at_25c_w * 1e6:8.1f}uW" + reopt
             )
         lines.append(
             "power density trend of the constant-voltage-leaning scaling that "
@@ -108,6 +113,12 @@ def run_scaling_study(
     With ``reoptimize=True`` the cell-mix search is rerun on every node,
     showing that the paper's *method* ports across nodes even when the
     particular mix chosen for 0.35 um does not stay optimal.
+
+    The nodes differ in geometry (so they cannot stack into one
+    population), but each node's characterisation runs through the
+    declarative sweep engine: one ``period`` sweep over the temperature
+    grid plus one point evaluation of the ``period``/``power``
+    observables at 25 C.
     """
     configuration = RingConfiguration.parse(configuration_text)
     temps = (
@@ -118,8 +129,18 @@ def run_scaling_study(
     points: List[NodePoint] = []
     for tech in nodes:
         library = default_library(tech)
-        ring = RingOscillator(library, configuration)
-        response = analytical_response(ring, temps)
+        periods = (
+            Sweep(library=library, configuration=configuration)
+            .over(Axis.temperature(temps))
+            .run()
+            .values
+        )
+        response = TemperatureResponse(configuration.label(), temps, periods)
+        spot = Sweep(library=library, configuration=configuration).over(
+            Axis.temperature([25.0])
+        )
+        period_25c = spot.run().item()
+        power_25c = spot.observe("power").run().item()
         reopt_label = None
         reopt_nl = None
         if reoptimize:
@@ -136,11 +157,12 @@ def run_scaling_study(
                 technology_name=tech.name,
                 feature_size_um=tech.feature_size_um,
                 vdd=tech.vdd,
-                period_at_25c_s=ring.period(25.0),
+                period_at_25c_s=period_25c,
                 relative_sensitivity_per_k=sensitivity_report(response).relative_sensitivity_per_k,
                 max_nonlinearity_percent=nonlinearity(response).max_abs_error_percent,
                 reoptimized_label=reopt_label,
                 reoptimized_nonlinearity_percent=reopt_nl,
+                sensor_power_at_25c_w=power_25c,
             )
         )
     # The generalised-scaling power-density factor for a 2x shrink with the

@@ -15,10 +15,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..cells.library import default_library
 from ..core.readout import ReadoutConfig
+from ..engine.sweep import Axis, Sweep
 from ..oscillator.config import RingConfiguration
-from ..oscillator.ring import RingOscillator
 from ..tech.libraries import CMOS035
 from ..tech.parameters import Technology
 from ..thermal.floorplan import Floorplan
@@ -92,20 +91,28 @@ def run_selfheating_study(
 
     ``scalar=True`` runs one steady-state thermal solve per duty cycle
     (the reference path); the default exploits the thermal network's
-    linearity and covers the whole duty-cycle sweep with two solves
-    (see :func:`repro.thermal.selfheating.duty_cycle_study`).
+    linearity and covers the whole duty-cycle sweep with one multi-RHS
+    solve against the shared :class:`~repro.thermal.operator.ThermalOperator`
+    factorization (see :func:`repro.thermal.selfheating.duty_cycle_study`).
     """
     tech = technology if technology is not None else CMOS035
     configuration = RingConfiguration.parse(configuration_text)
-    library = default_library(tech)
-    ring = RingOscillator(library, configuration)
 
     floorplan = Floorplan.example_processor()
     power_map = PowerMap.from_floorplan(floorplan, nx=grid_resolution, ny=grid_resolution)
     # A single ring is tiny; the study models the whole sensor macro
     # (ring + readout counters + clock buffering) as ten rings' worth of
     # switching, a representative figure for a 3.3 V implementation.
-    oscillator_power = ring.dynamic_power(100.0) * 10.0
+    # The ring's free-running dissipation comes from the sweep engine's
+    # ``power`` observable evaluated at the hot operating point.
+    ring_power = (
+        Sweep(technology=tech, configuration=configuration)
+        .over(Axis.temperature([100.0]))
+        .observe("power")
+        .run()
+        .item()
+    )
+    oscillator_power = ring_power * 10.0
 
     reports = duty_cycle_study(
         power_map,

@@ -298,18 +298,33 @@ class RingOscillator:
         lower = self.period(temperature_c - delta_c)
         return (upper - lower) / (2.0 * delta_c)
 
+    def switched_capacitance(self):
+        """Total capacitance switched per oscillation cycle (F).
+
+        Sum of every stage's output load plus its own drain parasitics —
+        the ``C`` of the ``P = f * Vdd^2 * C`` dynamic-power model.  For
+        a ring bound to a stacked population the per-stage terms carry
+        the sample axis and the result is an ``(samples, 1)`` column.
+        """
+        return sum(
+            stage.load_f + stage.cell.output_parasitic_capacitance()
+            for stage in self.stages()
+        )
+
     def dynamic_power(self, temperature_c: float, activity: float = 1.0) -> float:
         """Dynamic power (W) dissipated by the free-running ring.
 
         Every stage output swings rail to rail once per period, so
-        ``P = f * Vdd^2 * sum(C_stage)``; used by the self-heating study.
+        ``P = f * Vdd^2 * sum(C_stage)``; used by the self-heating study
+        and the sweep engine's ``power`` observable.
         """
         tech = self.technology
-        total_cap = sum(
-            stage.load_f + stage.cell.output_parasitic_capacitance()
-            for stage in self.stages()
+        return (
+            activity
+            * self.frequency(temperature_c)
+            * tech.vdd ** 2
+            * self.switched_capacitance()
         )
-        return activity * self.frequency(temperature_c) * tech.vdd ** 2 * total_cap
 
     # ------------------------------------------------------------------ #
     # transistor-level simulation

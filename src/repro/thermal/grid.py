@@ -105,20 +105,38 @@ class TemperatureMap:
         """Bilinearly interpolated temperature at a point on the die."""
         if not (0.0 <= x_mm <= self.width_mm and 0.0 <= y_mm <= self.height_mm):
             raise TechnologyError(f"point ({x_mm}, {y_mm}) mm lies outside the die")
+        return float(self.sample_points(x_mm, y_mm))
+
+    def sample_points(self, xs_mm, ys_mm) -> np.ndarray:
+        """Vectorized bilinear interpolation over arrays of die coordinates.
+
+        One gather for the whole point set — the form the sensor-bank
+        scan uses to read every site's junction temperature from a
+        solved field at once.  The scalar :meth:`sample` is this with a
+        zero-dimensional point.
+        """
+        xs = np.asarray(xs_mm, dtype=float)
+        ys = np.asarray(ys_mm, dtype=float)
+        if xs.shape != ys.shape:
+            raise TechnologyError("x and y coordinate arrays must match in shape")
+        if np.any(xs < 0.0) or np.any(xs > self.width_mm) or np.any(
+            ys < 0.0
+        ) or np.any(ys > self.height_mm):
+            raise TechnologyError("a sample point lies outside the die")
+        # Continuous cell-centre coordinates.
         cell_w = self.width_mm / self.nx
         cell_h = self.height_mm / self.ny
-        # Continuous cell-centre coordinates.
-        fx = x_mm / cell_w - 0.5
-        fy = y_mm / cell_h - 0.5
-        x0 = int(np.clip(np.floor(fx), 0, self.nx - 2))
-        y0 = int(np.clip(np.floor(fy), 0, self.ny - 2))
-        tx = float(np.clip(fx - x0, 0.0, 1.0))
-        ty = float(np.clip(fy - y0, 0.0, 1.0))
+        fx = xs / cell_w - 0.5
+        fy = ys / cell_h - 0.5
+        x0 = np.clip(np.floor(fx), 0, self.nx - 2).astype(int)
+        y0 = np.clip(np.floor(fy), 0, self.ny - 2).astype(int)
+        tx = np.clip(fx - x0, 0.0, 1.0)
+        ty = np.clip(fy - y0, 0.0, 1.0)
         v00 = self.values_c[y0, x0]
         v01 = self.values_c[y0, x0 + 1]
         v10 = self.values_c[y0 + 1, x0]
         v11 = self.values_c[y0 + 1, x0 + 1]
-        return float(
+        return (
             v00 * (1 - tx) * (1 - ty)
             + v01 * tx * (1 - ty)
             + v10 * (1 - tx) * ty

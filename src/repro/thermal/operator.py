@@ -1,0 +1,243 @@
+"""Cached sparse-direct thermal solves: one factorization, many uses.
+
+Before this module the repository factorized the thermal system in three
+independent places — the steady-state solver called
+:func:`scipy.sparse.linalg.spsolve` (an implicit factorization) on every
+call, and :func:`repro.thermal.solver.solve_transient` and
+:meth:`repro.core.thermal_manager.DynamicThermalManager.run` each built
+their own ``factorized(C/dt + G)`` backward-Euler system per run.  Every
+repeated workload (a thermal-mapping scan per control step, the
+self-heating duty-cycle sweep, the managed-versus-unmanaged DTM pair)
+therefore paid the symbolic + numeric factorization again for a matrix
+that had not changed.
+
+:class:`ThermalOperator` owns those factorizations instead:
+
+* the steady-state factorization of the conductance matrix ``G`` is
+  computed once per grid and solves any number of right-hand sides,
+  including an ``(n, k)`` *stack* of power maps in one multi-RHS
+  triangular solve (``G \\ P``),
+* the backward-Euler system ``(C/dt + G)`` is factorized once per
+  (grid, timestep) pair and handed out as a :class:`ThermalStepper`,
+  so every transient integration with the same step reuses it, and
+* operators are cached process-wide, keyed by the grid's *defining*
+  geometry and physical parameters (two :class:`ThermalGrid` instances
+  built from the same floorplan resolution produce identical matrices,
+  so they share one operator) — which is what lets the managed and
+  unmanaged DTM runs, and every thermal-map scan of a monitor, share a
+  single factorization.
+
+The solvers in :mod:`repro.thermal.solver`, the self-heating study and
+the DTM manager are all thin layers over this class; ``factorized`` is
+called nowhere else in the repository.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import diags
+from scipy.sparse.linalg import factorized
+
+from ..tech.parameters import TechnologyError
+from .grid import TemperatureMap, ThermalGrid, ThermalGridParameters
+from .power import PowerMap
+
+__all__ = ["ThermalOperator", "ThermalStepper"]
+
+#: Process-wide operator cache.  Bounded so a long-running sweep over
+#: many distinct grid geometries cannot grow it without limit; the
+#: eviction order is insertion order (oldest grid first), which matches
+#: the workloads here (a study works one grid at a time).
+_CACHE_LIMIT = 8
+#: Backward-Euler factorizations kept per operator; a what-if sweep over
+#: many control intervals on one grid evicts the oldest timestep's
+#: factorization instead of accumulating one per interval forever.
+_TIMESTEP_CACHE_LIMIT = 4
+_OPERATORS: "OrderedDict[Tuple, ThermalOperator]" = OrderedDict()
+
+
+class ThermalStepper:
+    """One backward-Euler integrator bound to a factorized system.
+
+    Produced by :meth:`ThermalOperator.stepper`; advances the
+    temperature *rise* vector by one timestep per :meth:`step` call.
+    The implicit system ``(C/dt + G) x_{n+1} = P + C/dt x_n`` was
+    factorized once when the stepper was created, so each step is a
+    pair of triangular solves.
+    """
+
+    def __init__(
+        self,
+        grid: ThermalGrid,
+        timestep_s: float,
+        solve: Callable[[np.ndarray], np.ndarray],
+    ) -> None:
+        self.grid = grid
+        self.timestep_s = float(timestep_s)
+        self._solve = solve
+        self._capacitance_over_dt = grid.capacitance_vector / self.timestep_s
+
+    def step(self, rise: np.ndarray, power_w: np.ndarray) -> np.ndarray:
+        """Advance the flattened temperature-rise vector one timestep.
+
+        Parameters
+        ----------
+        rise:
+            Current temperature rise above ambient, flattened to
+            ``(nx * ny,)``.
+        power_w:
+            Power injected during the step, flattened to the same shape.
+        """
+        rhs = power_w + self._capacitance_over_dt * rise
+        return self._solve(rhs)
+
+
+class ThermalOperator:
+    """Factorization cache and multi-RHS solver for one thermal grid."""
+
+    def __init__(self, grid: ThermalGrid) -> None:
+        self.grid = grid
+        self._steady_solve: Optional[Callable[[np.ndarray], np.ndarray]] = None
+        self._transient_solves: "OrderedDict[float, Callable[[np.ndarray], np.ndarray]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------ #
+    # the process-wide cache
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _cache_key(grid: ThermalGrid) -> Tuple:
+        """The matrix-defining fingerprint of a grid.
+
+        Two grids with equal geometry and physical parameters build
+        bit-identical conductance/capacitance matrices, so they may
+        share one operator (and therefore one factorization).
+        """
+        return (
+            grid.width_mm,
+            grid.height_mm,
+            grid.nx,
+            grid.ny,
+            grid.parameters,
+        )
+
+    @classmethod
+    def for_grid(cls, grid: ThermalGrid) -> "ThermalOperator":
+        """The shared operator of a grid (cached process-wide)."""
+        key = cls._cache_key(grid)
+        operator = _OPERATORS.get(key)
+        if operator is None:
+            operator = cls(grid)
+            _OPERATORS[key] = operator
+            while len(_OPERATORS) > _CACHE_LIMIT:
+                _OPERATORS.popitem(last=False)
+        return operator
+
+    @classmethod
+    def clear_cache(cls) -> None:
+        """Drop every cached operator (test isolation / memory pressure)."""
+        _OPERATORS.clear()
+
+    @classmethod
+    def cache_size(cls) -> int:
+        return len(_OPERATORS)
+
+    # ------------------------------------------------------------------ #
+    # steady state
+    # ------------------------------------------------------------------ #
+
+    def steady_solve(self) -> Callable[[np.ndarray], np.ndarray]:
+        """The factorized steady-state solve ``x = G \\ rhs`` (cached)."""
+        if self._steady_solve is None:
+            self._steady_solve = factorized(self.grid.conductance_matrix.tocsc())
+        return self._steady_solve
+
+    def steady_rise(self, power_w: np.ndarray) -> np.ndarray:
+        """Temperature rise for one or many flattened power vectors.
+
+        ``power_w`` may be a single ``(n,)`` vector or an ``(n, k)``
+        stack of right-hand sides; the factorization is applied to the
+        whole stack in one multi-RHS solve.
+        """
+        rhs = np.asarray(power_w, dtype=float)
+        size = self.grid.nx * self.grid.ny
+        if rhs.shape[0] != size:
+            raise TechnologyError(
+                f"right-hand side has {rhs.shape[0]} rows, expected {size} "
+                f"for the {self.grid.ny}x{self.grid.nx} grid"
+            )
+        return self.steady_solve()(rhs)
+
+    def solve_steady_state(
+        self, power: PowerMap, ambient_c: float = 45.0
+    ) -> TemperatureMap:
+        """Steady-state temperature map of one power map (``G \\ P``)."""
+        self.grid.check_power_map(power)
+        rise = self.steady_rise(power.values_w.reshape(-1))
+        values = rise.reshape((self.grid.ny, self.grid.nx)) + ambient_c
+        return TemperatureMap(self.grid.width_mm, self.grid.height_mm, values)
+
+    def solve_steady_state_multi(
+        self, powers: Sequence[PowerMap], ambient_c: float = 45.0
+    ) -> List[TemperatureMap]:
+        """Steady-state maps of several power maps in one multi-RHS solve.
+
+        All power maps must match the grid; the stacked ``(n, k)``
+        right-hand side goes through the factorization once, replacing
+        ``k`` independent ``spsolve`` calls (each of which used to
+        re-factorize the same matrix).
+        """
+        maps = list(powers)
+        if not maps:
+            raise TechnologyError("solve_steady_state_multi needs at least one power map")
+        for power in maps:
+            self.grid.check_power_map(power)
+        stack = np.stack([power.values_w.reshape(-1) for power in maps], axis=1)
+        rises = self.steady_rise(stack)
+        return [
+            TemperatureMap(
+                self.grid.width_mm,
+                self.grid.height_mm,
+                rises[:, k].reshape((self.grid.ny, self.grid.nx)) + ambient_c,
+            )
+            for k in range(len(maps))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # transient stepping
+    # ------------------------------------------------------------------ #
+
+    def stepper(self, timestep_s: float) -> ThermalStepper:
+        """A backward-Euler stepper for this grid at a timestep (cached).
+
+        The ``(C/dt + G)`` factorization is keyed by the timestep, so
+        every transient run with the same step — every control interval
+        of a DTM simulation, every repeat of a study — shares it.
+        """
+        if timestep_s <= 0.0:
+            raise TechnologyError("timestep must be positive")
+        dt = float(timestep_s)
+        solve = self._transient_solves.get(dt)
+        if solve is None:
+            system = (
+                diags(self.grid.capacitance_vector / dt)
+                + self.grid.conductance_matrix
+            ).tocsc()
+            solve = factorized(system)
+            self._transient_solves[dt] = solve
+            while len(self._transient_solves) > _TIMESTEP_CACHE_LIMIT:
+                self._transient_solves.popitem(last=False)
+        else:
+            self._transient_solves.move_to_end(dt)
+        return ThermalStepper(self.grid, dt, solve)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ThermalOperator({self.grid.ny}x{self.grid.nx}, "
+            f"steady={'cached' if self._steady_solve is not None else 'cold'}, "
+            f"timesteps={sorted(self._transient_solves)})"
+        )

@@ -18,8 +18,8 @@ import numpy as np
 
 from ..tech.parameters import TechnologyError
 from .grid import TemperatureMap, ThermalGrid, ThermalGridParameters
+from .operator import ThermalOperator
 from .power import PowerMap
-from .solver import solve_steady_state, solve_transient
 
 __all__ = ["SelfHeatingReport", "self_heating_error", "duty_cycle_study"]
 
@@ -66,7 +66,9 @@ def self_heating_error(
     The time-averaged heating of a duty-cycled oscillator equals the
     steady-state heating of an oscillator drawing ``duty * power`` (the
     thermal time constants are far longer than the measurement window),
-    so the duty cycle enters as a simple power scaling.
+    so the duty cycle enters as a simple power scaling.  The baseline
+    and with-sensor fields come out of one multi-RHS solve against the
+    shared :class:`ThermalOperator` factorization.
     """
     if not 0.0 <= duty_cycle <= 1.0:
         raise TechnologyError("duty cycle must lie in [0, 1]")
@@ -74,12 +76,12 @@ def self_heating_error(
         raise TechnologyError("oscillator power must be non-negative")
 
     grid = ThermalGrid.for_power_map(background_power, parameters)
-    baseline = solve_steady_state(grid, background_power, ambient_c)
-    background_temp = baseline.sample(sensor_x_mm, sensor_y_mm)
-
     heated = background_power.copy()
     heated.add_point_source(sensor_x_mm, sensor_y_mm, oscillator_power_w * duty_cycle)
-    with_sensor = solve_steady_state(grid, heated, ambient_c)
+    baseline, with_sensor = ThermalOperator.for_grid(grid).solve_steady_state_multi(
+        [background_power, heated], ambient_c
+    )
+    background_temp = baseline.sample(sensor_x_mm, sensor_y_mm)
     sensor_temp = with_sensor.sample(sensor_x_mm, sensor_y_mm)
 
     return SelfHeatingReport(
@@ -108,11 +110,13 @@ def duty_cycle_study(
 
     The thermal network is linear, so the rise caused by ``duty *
     power`` is ``duty`` times the rise caused by the full power: the
-    default path therefore runs *two* steady-state solves (baseline and
-    full-power) and scales, instead of one solve per duty cycle.
-    ``scalar=True`` keeps the solve-per-duty-cycle loop as the
-    reference oracle (the two paths agree to solver rounding, far below
-    any physically meaningful difference).
+    default path therefore runs one *multi-RHS* steady-state solve
+    (baseline and full-power stacked against the cached
+    :class:`ThermalOperator` factorization) and scales, instead of one
+    factorize-and-solve per duty cycle.  ``scalar=True`` keeps the
+    solve-per-duty-cycle loop as the reference oracle (the two paths
+    agree to solver rounding, far below any physically meaningful
+    difference).
     """
     if scalar:
         return [
@@ -135,12 +139,12 @@ def duty_cycle_study(
             raise TechnologyError("duty cycle must lie in [0, 1]")
 
     grid = ThermalGrid.for_power_map(background_power, parameters)
-    baseline = solve_steady_state(grid, background_power, ambient_c)
-    background_temp = baseline.sample(sensor_x_mm, sensor_y_mm)
-
     heated = background_power.copy()
     heated.add_point_source(sensor_x_mm, sensor_y_mm, oscillator_power_w)
-    with_sensor = solve_steady_state(grid, heated, ambient_c)
+    baseline, with_sensor = ThermalOperator.for_grid(grid).solve_steady_state_multi(
+        [background_power, heated], ambient_c
+    )
+    background_temp = baseline.sample(sensor_x_mm, sensor_y_mm)
     full_rise = with_sensor.sample(sensor_x_mm, sensor_y_mm) - background_temp
 
     return [

@@ -1,4 +1,13 @@
-"""Steady-state and transient solvers for the thermal grid."""
+"""Steady-state and transient solvers for the thermal grid.
+
+Both solvers are thin layers over
+:class:`repro.thermal.operator.ThermalOperator`, which owns (and caches,
+process-wide) the sparse-direct factorizations: repeated steady-state
+solves on the same grid geometry — a thermal-mapping scan per workload,
+the self-heating duty-cycle pair — reuse one factorization of ``G``, and
+repeated transient runs with the same timestep reuse one factorization
+of the backward-Euler system ``(C/dt + G)``.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +15,10 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
-from scipy.sparse import identity, diags
-from scipy.sparse.linalg import factorized, spsolve
 
 from ..tech.parameters import TechnologyError
 from .grid import TemperatureMap, ThermalGrid
+from .operator import ThermalOperator
 from .power import PowerMap
 
 __all__ = ["solve_steady_state", "TransientThermalResult", "solve_transient"]
@@ -23,13 +31,11 @@ def solve_steady_state(
 
     Solves ``G * dT = P`` for the temperature rise above ambient and adds
     the ambient temperature.  ``ambient_c`` represents the local ambient
-    (board/package) temperature, not the room.
+    (board/package) temperature, not the room.  The factorization of
+    ``G`` comes from the shared :class:`ThermalOperator` cache, so
+    repeated solves on equal grids cost one factorization total.
     """
-    grid.check_power_map(power)
-    rhs = power.values_w.reshape(-1)
-    rise = spsolve(grid.conductance_matrix.tocsc(), rhs)
-    values = rise.reshape((grid.ny, grid.nx)) + ambient_c
-    return TemperatureMap(grid.width_mm, grid.height_mm, values)
+    return ThermalOperator.for_grid(grid).solve_steady_state(power, ambient_c)
 
 
 @dataclass(frozen=True)
@@ -97,9 +103,7 @@ def solve_transient(
         raise TechnologyError("duration must span at least one timestep")
 
     size = grid.nx * grid.ny
-    capacitance = diags(grid.capacitance_vector)
-    system = (capacitance / timestep_s + grid.conductance_matrix).tocsc()
-    solve = factorized(system)
+    stepper = ThermalOperator.for_grid(grid).stepper(timestep_s)
 
     if initial is None:
         state = np.zeros(size)
@@ -117,8 +121,7 @@ def solve_transient(
         time = step * timestep_s
         power = power_of_time(time)
         grid.check_power_map(power)
-        rhs = power.values_w.reshape(-1) + grid.capacitance_vector / timestep_s * state
-        state = solve(rhs)
+        state = stepper.step(state, power.values_w.reshape(-1))
         if step % store_every == 0 or step == steps:
             times.append(time)
             maps.append(

@@ -1,8 +1,11 @@
 """Unit tests for the dynamic-thermal-management closed loop."""
 
+import numpy as np
 import pytest
 
 from repro.core import (
+    DtmResult,
+    DtmTracePoint,
     DynamicThermalManager,
     PerformanceState,
     ReadoutConfig,
@@ -10,7 +13,7 @@ from repro.core import (
 )
 from repro.oscillator import RingConfiguration
 from repro.tech import CMOS035, TechnologyError
-from repro.thermal import Floorplan
+from repro.thermal import Floorplan, TemperatureMap
 
 
 def make_manager(policy=None, grid_resolution=12, sensor_grid=2):
@@ -73,6 +76,66 @@ class TestPolicyStepLogic:
         assert policy.next_state_index(1, 100.0) == 1
 
 
+def make_result(state_names, limit_c=115.0, interval_s=0.02):
+    """A synthetic DtmResult visiting the named states in order."""
+    states = {
+        "full-speed": (12.0, 1.0),
+        "throttled": (7.2, 0.6),
+        "emergency": (3.0, 0.2),
+    }
+    trace = tuple(
+        DtmTracePoint(
+            time_s=(index + 1) * interval_s,
+            state_name=name,
+            power_w=states[name][0],
+            true_peak_c=100.0 + 5.0 * index,
+            hottest_reading_c=100.0 + 5.0 * index,
+            performance=states[name][1],
+        )
+        for index, name in enumerate(state_names)
+    )
+    final = TemperatureMap(8.0, 8.0, np.full((4, 4), 100.0))
+    return DtmResult(trace=trace, limit_c=limit_c, final_map=final)
+
+
+class TestDtmResultMetrics:
+    def test_throttle_events_counts_only_downward_transitions(self):
+        result = make_result(
+            [
+                "full-speed",
+                "throttled",      # 1st downward transition
+                "full-speed",
+                "throttled",      # 2nd
+                "emergency",      # 3rd
+                "emergency",
+                "full-speed",
+            ]
+        )
+        assert result.throttle_events() == 3
+
+    def test_no_events_when_never_throttled(self):
+        assert make_result(["full-speed"] * 4).throttle_events() == 0
+
+    def test_emergency_jump_is_one_event(self):
+        assert make_result(["full-speed", "emergency"]).throttle_events() == 1
+
+    def test_state_occupancy_fractions(self):
+        result = make_result(
+            ["full-speed", "throttled", "throttled", "full-speed"]
+        )
+        occupancy = result.state_occupancy()
+        assert occupancy == {"full-speed": 0.5, "throttled": 0.5}
+        assert sum(occupancy.values()) == pytest.approx(1.0)
+
+    def test_state_occupancy_preserves_first_seen_order(self):
+        result = make_result(["throttled", "full-speed", "throttled"])
+        assert list(result.state_occupancy()) == ["throttled", "full-speed"]
+
+    def test_average_performance(self):
+        result = make_result(["full-speed", "throttled", "emergency"])
+        assert result.average_performance() == pytest.approx((1.0 + 0.6 + 0.2) / 3.0)
+
+
 class TestClosedLoop:
     @pytest.fixture(scope="class")
     def managed_run(self):
@@ -105,6 +168,21 @@ class TestClosedLoop:
         assert 0.0 < managed_run.average_performance() <= 1.0
         occupancy = managed_run.state_occupancy()
         assert sum(occupancy.values()) == pytest.approx(1.0)
+
+    def test_policy_override_runs_same_manager_unmanaged(self, managed_run):
+        unmanaged = make_manager().run(
+            duration_s=0.6,
+            control_interval_s=0.03,
+            limit_c=115.0,
+            workload_scale=1.6,
+            policy=ThrottlingPolicy(
+                throttle_threshold_c=10_000.0,
+                release_threshold_c=9_000.0,
+                emergency_threshold_c=11_000.0,
+            ),
+        )
+        assert {point.state_name for point in unmanaged.trace} == {"full-speed"}
+        assert unmanaged.peak_temperature_c() > managed_run.peak_temperature_c()
 
     def test_invalid_run_arguments_rejected(self):
         manager = make_manager()

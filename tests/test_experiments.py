@@ -153,6 +153,7 @@ class TestRunner:
             "EXT-SUPPLY",
             "EXT-SCALING",
             "EXT-DTM",
+            "EXT-THERMALMAP",
         }
 
     def test_unknown_experiment_rejected(self):

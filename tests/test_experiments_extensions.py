@@ -8,6 +8,7 @@ from repro.experiments import (
     run_dtm_study,
     run_scaling_study,
     run_supply_sensitivity,
+    run_thermal_map_study,
 )
 from repro.tech import CMOS013, CMOS035
 
@@ -103,7 +104,50 @@ class TestDtmExperiment:
         assert "average performance" in text
 
 
+class TestThermalMapExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_thermal_map_study(
+            CMOS035,
+            sensor_grids=(1, 2, 3),
+            sample_count=20,
+            grid_resolution=16,
+            seed=2005,
+        )
+
+    def test_every_density_evaluated(self, result):
+        assert [p.site_count for p in result.points] == [1, 4, 9]
+        assert result.sample_count == 20
+
+    def test_denser_grids_reconstruct_better(self, result):
+        rms = [p.mean_map_rms_error_c for p in result.points]
+        assert rms == sorted(rms, reverse=True)
+        assert result.points[-1].mean_abs_hotspot_error_c < result.points[0].mean_abs_hotspot_error_c
+
+    def test_site_errors_stay_small_across_population(self, result):
+        # The per-site error is calibration + quantisation, independent
+        # of the grid density; the map error is dominated by sparsity.
+        for point in result.points:
+            assert point.worst_site_error_c < 2.0
+            assert point.worst_site_error_c < point.max_map_rms_error_c + 2.0
+
+    def test_scan_time_scales_with_site_count(self, result):
+        times = {p.site_count: p.scan_time_s for p in result.points}
+        assert times[4] == pytest.approx(4 * times[1])
+        assert times[9] == pytest.approx(9 * times[1])
+
+    def test_best_density_selector(self, result):
+        generous = result.best_density_under(1000.0)
+        assert generous is not None and generous.site_count == 1
+        assert result.best_density_under(0.0) is None
+
+    def test_table_renders(self, result):
+        text = result.format_table()
+        assert "EXT-THERMALMAP" in text
+        assert "Monte-Carlo" in text
+
+
 class TestRegistryIncludesExtensions:
     def test_extension_ids_registered(self):
         names = set(default_registry().names())
-        assert {"EXT-SUPPLY", "EXT-SCALING", "EXT-DTM"} <= names
+        assert {"EXT-SUPPLY", "EXT-SCALING", "EXT-DTM", "EXT-THERMALMAP"} <= names

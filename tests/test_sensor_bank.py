@@ -1,0 +1,281 @@
+"""Equivalence and golden tests for the banked sensor-scan path.
+
+The :class:`repro.core.SensorBank` contract is that one broadcast scan
+computes exactly what the retained per-sensor pipeline (one
+:class:`SmartTemperatureSensor` per site, scalar measure each) computes:
+counter codes *exactly*, calibrated estimates to 1e-9 relative.  The
+thermal-map metrics on the example processor are pinned as golden
+values so a refactor of either path cannot silently drift them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SensorBank, SmartTemperatureSensor, ThermalMonitor
+from repro.core.sensor_bank import BankCalibration
+from repro.cells import default_library
+from repro.engine import Axis, Sweep, SweepError
+from repro.oscillator import RingConfiguration
+from repro.tech import CMOS035, TechnologyError, sample_technology_array
+from repro.thermal import Floorplan
+
+RTOL = 1e-9
+
+DEFAULT_SETTINGS = dict(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+CONFIGURATION = RingConfiguration.parse("2INV+3NAND2")
+
+site_temperatures = st.lists(
+    st.floats(min_value=-50.0, max_value=150.0, allow_nan=False),
+    min_size=4,
+    max_size=4,
+)
+technology_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def make_bank(grid=2, library=None):
+    floorplan = Floorplan.example_processor()
+    floorplan.add_sensor_grid(grid, grid)
+    lib = library if library is not None else default_library(CMOS035)
+    return SensorBank(lib, floorplan.sensor_sites(), CONFIGURATION)
+
+
+@pytest.fixture(scope="module")
+def bank(library):
+    return make_bank(2, library)
+
+
+class TestBankedScanEquivalence:
+    @given(temps=site_temperatures)
+    @settings(**DEFAULT_SETTINGS)
+    def test_scan_matches_per_sensor_oracle(self, temps):
+        bank = make_bank(2)
+        temps = np.asarray(temps)
+        banked = bank.scan(temps, calibration=bank.calibrate(-50.0, 150.0))
+        oracle = bank.scan_loop(temps, calibrate_at=(-50.0, 150.0))
+        assert np.array_equal(banked.codes, oracle.codes)
+        assert np.array_equal(banked.saturated, oracle.saturated)
+        worst = np.max(
+            np.abs(banked.estimates_c - oracle.estimates_c)
+            / np.abs(oracle.estimates_c)
+        )
+        assert worst <= RTOL
+        assert banked.conversion_time_s == oracle.conversion_time_s
+
+    @given(temps=site_temperatures, seed=technology_seeds)
+    @settings(max_examples=5, deadline=None)
+    def test_population_scan_matches_per_sample_oracle(self, temps, seed):
+        bank = make_bank(2)
+        temps = np.asarray(temps)
+        population = sample_technology_array(CMOS035, 3, seed=seed)
+        calibration = bank.two_point_calibration(-50.0, 150.0, technologies=population)
+        banked = bank.scan(temps, technologies=population, calibration=calibration)
+        oracle = bank.scan_loop(
+            temps, technologies=population, calibrate_at=(-50.0, 150.0)
+        )
+        assert banked.codes.shape == (bank.site_count, 3)
+        assert np.array_equal(banked.codes, oracle.codes)
+        worst = np.max(
+            np.abs(banked.estimates_c - oracle.estimates_c)
+            / np.abs(oracle.estimates_c)
+        )
+        assert worst <= RTOL
+
+    def test_period_tensor_matches_loop(self, bank):
+        temps = np.linspace(40.0, 120.0, bank.site_count)
+        population = sample_technology_array(CMOS035, 4, seed=11)
+        stacked = bank.period_tensor(temps, technologies=population)
+        looped = bank.period_tensor_loop(temps, technologies=population)
+        assert stacked.shape == looped.shape == (bank.site_count, 4)
+        assert np.max(np.abs(stacked - looped) / looped) <= RTOL
+
+    def test_calibration_matches_scalar_sensor(self, bank, library):
+        sensor = SmartTemperatureSensor.from_configuration(
+            CMOS035, CONFIGURATION, library=library
+        )
+        scalar = sensor.calibrate_two_point(-50.0, 150.0)
+        banked = bank.two_point_calibration(-50.0, 150.0)
+        assert float(banked.slope_c_per_second) == scalar.slope_c_per_second
+        assert float(banked.offset_c) == scalar.offset_c
+        linear = banked.linear_calibration()
+        assert linear.slope_c_per_second == scalar.slope_c_per_second
+
+
+class TestBankStructure:
+    def test_uncalibrated_scan_has_no_estimates(self, bank):
+        scan = bank.scan(np.full(bank.site_count, 60.0))
+        assert scan.estimates_c is None
+        assert scan.temperatures() == {name: None for name in scan.names}
+
+    def test_readings_view_matches_arrays(self, bank):
+        temps = np.linspace(50.0, 90.0, bank.site_count)
+        scan = bank.scan(temps, calibration=bank.calibrate(-50.0, 150.0))
+        readings = scan.readings
+        assert set(readings) == set(scan.names)
+        for index, name in enumerate(scan.names):
+            assert readings[name].code == int(scan.codes[index])
+            assert readings[name].true_temperature_c == temps[index]
+        assert scan.hottest_channel() == scan.names[-1]
+        assert scan.total_time_s == pytest.approx(
+            bank.site_count * bank.conversion_time_s
+        )
+
+    def test_population_scan_rejects_scalar_dict_views(self, bank):
+        population = sample_technology_array(CMOS035, 2, seed=3)
+        scan = bank.scan(
+            np.full(bank.site_count, 60.0), technologies=population
+        )
+        with pytest.raises(TechnologyError):
+            scan.codes_by_site()
+
+    def test_requires_one_temperature_per_site(self, bank):
+        with pytest.raises(TechnologyError):
+            bank.scan(np.asarray([25.0]))
+
+    def test_requires_unique_site_names(self, library):
+        floorplan = Floorplan.example_processor()
+        floorplan.add_sensor_grid(2, 2)
+        sites = floorplan.sensor_sites() + [floorplan.sensor_sites()[0]]
+        with pytest.raises(TechnologyError):
+            SensorBank(library, sites, CONFIGURATION)
+
+    def test_zero_slope_calibration_rejected(self):
+        with pytest.raises(TechnologyError):
+            BankCalibration(
+                slope_c_per_second=np.asarray(0.0),
+                offset_c=np.asarray(1.0),
+                low_temperature_c=-50.0,
+                high_temperature_c=150.0,
+            )
+
+
+@pytest.fixture(scope="module")
+def monitor(tech):
+    floorplan = Floorplan.example_processor()
+    floorplan.add_sensor_grid(3, 3)
+    built = ThermalMonitor(
+        tech, floorplan, CONFIGURATION, grid_resolution=16
+    )
+    built.calibrate(-50.0, 150.0)
+    return built
+
+
+class TestMonitorBankedScan:
+    def test_banked_scan_matches_multiplexer_oracle(self, monitor):
+        banked = monitor.scan()
+        scalar = monitor.scan(scalar=True)
+        assert banked.site_estimates_c.keys() == scalar.site_estimates_c.keys()
+        for name, estimate in banked.site_estimates_c.items():
+            assert estimate == pytest.approx(scalar.site_estimates_c[name], rel=RTOL)
+        banked_codes = {n: r.code for n, r in banked.scan.readings.items()}
+        scalar_codes = {n: r.code for n, r in scalar.scan.readings.items()}
+        assert banked_codes == scalar_codes
+        assert banked.scan.total_time_s == pytest.approx(scalar.scan.total_time_s)
+        assert banked.map_rms_error_c() == pytest.approx(
+            scalar.map_rms_error_c(), rel=RTOL
+        )
+
+    def test_golden_map_metrics_on_example_processor(self, monitor):
+        # Golden pin (3x3 bank, grid_resolution=16, two-point -50/150):
+        # a refactor of the banked or oracle path must not drift these.
+        report = monitor.scan()
+        assert report.worst_site_error_c() == pytest.approx(
+            0.438631731258198, rel=1e-6
+        )
+        assert report.map_rms_error_c() == pytest.approx(
+            3.0666681976820036, rel=1e-6
+        )
+
+    def test_uncalibrated_monitor_scan_rejected(self, tech):
+        floorplan = Floorplan.example_processor()
+        floorplan.add_sensor_grid(2, 2)
+        fresh = ThermalMonitor(tech, floorplan, CONFIGURATION, grid_resolution=16)
+        with pytest.raises(TechnologyError):
+            fresh.scan()
+
+
+class TestSiteAxisThroughSweep:
+    def test_scan_mode_matches_bank_scan(self, bank):
+        temps = np.linspace(55.0, 95.0, bank.site_count)
+        population = sample_technology_array(CMOS035, 5, seed=21)
+        result = (
+            Sweep()
+            .over(Axis.site(bank, junction_temperatures_c=temps))
+            .over(Axis.sample(population))
+            .observe("code")
+            .run()
+        )
+        assert result.dims == ("site", "sample")
+        reference = bank.scan(temps, technologies=population)
+        assert np.array_equal(result.values, reference.codes)
+
+    def test_characterisation_mode_broadcasts_shared_design(self, bank):
+        grid = np.linspace(-50.0, 150.0, 7)
+        result = (
+            Sweep()
+            .over(Axis.site(bank))
+            .over(Axis.temperature(grid))
+            .run()
+        )
+        assert result.dims == ("site", "temperature")
+        expected = bank.ring.period_series(grid)
+        for index in range(bank.site_count):
+            assert np.array_equal(result.isel(site=index).values, expected)
+
+    def test_power_observable_matches_dynamic_power(self, bank):
+        result = (
+            Sweep()
+            .over(Axis.site(bank))
+            .over(Axis.temperature([25.0]))
+            .observe("power")
+            .run()
+        )
+        expected = bank.ring.dynamic_power(25.0)
+        assert result.isel(site=0).item() == pytest.approx(expected, rel=1e-12)
+
+    def test_code_observable_matches_transfer_function(self, tech):
+        grid = np.linspace(-50.0, 150.0, 9)
+        sensor = SmartTemperatureSensor.from_configuration(tech, CONFIGURATION)
+        result = (
+            Sweep(technology=tech, configuration=CONFIGURATION)
+            .over(Axis.temperature(grid))
+            .observe("code")
+            .run()
+        )
+        transfer = sensor.transfer_function(grid, scalar=True)
+        assert np.array_equal(result.values, transfer.codes.astype(np.int64))
+
+    def test_site_axis_validation(self, bank):
+        with pytest.raises(SweepError):
+            Axis.site(bank, junction_temperatures_c=[25.0])  # wrong length
+        with pytest.raises(SweepError):
+            (
+                Sweep(configuration=CONFIGURATION)
+                .over(Axis.site(bank))
+                .plan()
+            )
+        with pytest.raises(SweepError):
+            (
+                Sweep()
+                .over(Axis.site(bank, junction_temperatures_c=np.full(len(bank), 25.0)))
+                .over(Axis.temperature([25.0, 50.0]))
+                .plan()
+            )
+        with pytest.raises(SweepError):
+            (
+                Sweep()
+                .over(Axis.site(bank, junction_temperatures_c=np.full(len(bank), 25.0)))
+                .observe("nonlinearity_percent")
+                .plan()
+            )
+        with pytest.raises(SweepError):
+            (
+                Sweep()
+                .over(Axis.site(bank))
+                .over(Axis.configuration({"5INV": RingConfiguration.uniform("INV", 5)}))
+                .plan()
+            )

@@ -1,0 +1,126 @@
+"""Unit tests for the shared thermal-solve operator and its caches."""
+
+import numpy as np
+import pytest
+from scipy.sparse.linalg import spsolve
+
+from repro.tech import TechnologyError
+from repro.thermal import (
+    Floorplan,
+    PowerMap,
+    ThermalGrid,
+    ThermalOperator,
+    solve_steady_state,
+    solve_transient,
+)
+
+
+@pytest.fixture()
+def grid(example_power_map):
+    return ThermalGrid.for_power_map(example_power_map)
+
+
+class TestSteadySolves:
+    def test_matches_direct_sparse_solve(self, grid, example_power_map):
+        operator = ThermalOperator(grid)
+        result = operator.solve_steady_state(example_power_map, ambient_c=45.0)
+        reference = spsolve(
+            grid.conductance_matrix.tocsc(), example_power_map.values_w.reshape(-1)
+        ).reshape((grid.ny, grid.nx)) + 45.0
+        assert np.allclose(result.values_c, reference, rtol=1e-9, atol=1e-12)
+
+    def test_multi_rhs_matches_per_rhs(self, grid, example_power_map):
+        operator = ThermalOperator(grid)
+        scaled = example_power_map.scaled(0.5)
+        combined = operator.solve_steady_state_multi(
+            [example_power_map, scaled], ambient_c=45.0
+        )
+        singles = [
+            operator.solve_steady_state(example_power_map, 45.0),
+            operator.solve_steady_state(scaled, 45.0),
+        ]
+        for multi, single in zip(combined, singles):
+            assert np.array_equal(multi.values_c, single.values_c)
+
+    def test_solver_entry_point_routes_through_operator(self, grid, example_power_map):
+        via_operator = ThermalOperator.for_grid(grid).solve_steady_state(
+            example_power_map, 45.0
+        )
+        via_function = solve_steady_state(grid, example_power_map, 45.0)
+        assert np.array_equal(via_operator.values_c, via_function.values_c)
+
+    def test_mismatched_rhs_rejected(self, grid):
+        operator = ThermalOperator(grid)
+        with pytest.raises(TechnologyError):
+            operator.steady_rise(np.zeros(3))
+        with pytest.raises(TechnologyError):
+            operator.solve_steady_state_multi([], 45.0)
+
+
+class TestStepper:
+    def test_matches_manual_backward_euler(self, grid, example_power_map):
+        operator = ThermalOperator(grid)
+        stepper = operator.stepper(1e-3)
+        power = example_power_map.values_w.reshape(-1)
+        rise = np.zeros(grid.nx * grid.ny)
+        for _ in range(3):
+            rise = stepper.step(rise, power)
+        # Manual backward Euler with a fresh factorization.
+        from scipy.sparse import diags
+        from scipy.sparse.linalg import factorized
+
+        solve = factorized(
+            (diags(grid.capacitance_vector / 1e-3) + grid.conductance_matrix).tocsc()
+        )
+        manual = np.zeros(grid.nx * grid.ny)
+        for _ in range(3):
+            manual = solve(power + grid.capacitance_vector / 1e-3 * manual)
+        assert np.array_equal(rise, manual)
+
+    def test_stepper_cached_per_timestep(self, grid):
+        operator = ThermalOperator(grid)
+        first = operator.stepper(1e-3)
+        second = operator.stepper(1e-3)
+        third = operator.stepper(2e-3)
+        assert first._solve is second._solve
+        assert first._solve is not third._solve
+
+    def test_invalid_timestep_rejected(self, grid):
+        with pytest.raises(TechnologyError):
+            ThermalOperator(grid).stepper(0.0)
+
+    def test_transient_solver_unchanged_by_operator(self, grid, example_power_map):
+        result = solve_transient(
+            grid,
+            lambda t: example_power_map,
+            duration_s=5e-3,
+            timestep_s=1e-3,
+        )
+        assert len(result.maps) == 6
+        assert result.final.max_c() > 45.0
+
+
+class TestProcessWideCache:
+    def test_equal_geometry_grids_share_an_operator(self, example_power_map):
+        ThermalOperator.clear_cache()
+        first = ThermalOperator.for_grid(ThermalGrid.for_power_map(example_power_map))
+        second = ThermalOperator.for_grid(ThermalGrid.for_power_map(example_power_map))
+        assert first is second
+        assert ThermalOperator.cache_size() == 1
+
+    def test_different_geometry_gets_its_own_operator(self, example_power_map):
+        ThermalOperator.clear_cache()
+        base = ThermalOperator.for_grid(ThermalGrid.for_power_map(example_power_map))
+        other_power = PowerMap.from_floorplan(Floorplan.example_processor(), nx=8, ny=8)
+        other = ThermalOperator.for_grid(ThermalGrid.for_power_map(other_power))
+        assert base is not other
+        assert ThermalOperator.cache_size() == 2
+
+    def test_cache_is_bounded(self, example_power_map):
+        ThermalOperator.clear_cache()
+        for resolution in range(4, 14):
+            power = PowerMap.from_floorplan(
+                Floorplan.example_processor(), nx=resolution, ny=resolution
+            )
+            ThermalOperator.for_grid(ThermalGrid.for_power_map(power))
+        assert ThermalOperator.cache_size() <= 8
