@@ -17,9 +17,14 @@ broadcast (ConfigurationBank, PR 3) is at least 3x faster than the
 retained per-configuration loop at Fig. 3 scale, again to 1e-9; the
 banked sensor-bank scan (SensorBank, PR 4) is at least 3x faster than
 the per-sensor oracle at 9 sites x 1000 Monte-Carlo samples with exact
-counter codes; and repeated steady-state thermal solves through the
+counter codes; repeated steady-state thermal solves through the
 cached ThermalOperator factorization are at least 3x faster than the
-factorize-per-solve path they replaced.
+factorize-per-solve path they replaced; the banked DTM policy sweep
+(PolicyBank, PR 5) is at least 3x faster than looping the scalar
+closed loop over 8 policies with bit-identical throttle decisions; and
+the iterative CG fallback agrees with sparse-direct to 1e-8 while
+running a 96x96 grid — 4x the unknowns of the largest factorized
+benchmark grid (48x48).
 """
 
 import time
@@ -29,7 +34,7 @@ import pytest
 from scipy.sparse.linalg import spsolve
 
 from repro.cells import default_library
-from repro.core import SensorBank
+from repro.core import DynamicThermalManager, ReadoutConfig, SensorBank, ThrottlingPolicy
 from repro.engine import Axis, BatchEvaluator, Sweep
 from repro.experiments import run_dtm_study
 from repro.oscillator import (
@@ -382,6 +387,141 @@ def test_repeated_steady_solves(benchmark, mode):
 
     result = benchmark.pedantic(evaluate, rounds=2, iterations=1)
     assert len(result) == 10
+
+
+#: The 8-policy comparison set of the policy-bank benchmarks: throttle
+#: thresholds spread across the reachable band, fixed hysteresis.
+POLICY_SET = {
+    f"throttle-{threshold:.0f}": ThrottlingPolicy(
+        throttle_threshold_c=float(threshold),
+        release_threshold_c=float(threshold) - 15.0,
+        emergency_threshold_c=float(threshold) + 10.0,
+    )
+    for threshold in np.linspace(95.0, 116.0, 8)
+}
+
+DTM_KW = dict(
+    duration_s=0.6, control_interval_s=0.03, limit_c=115.0, workload_scale=1.6
+)
+
+
+def _make_manager():
+    floorplan = Floorplan.example_processor()
+    floorplan.add_sensor_grid(3, 3)
+    return DynamicThermalManager(
+        CMOS035,
+        floorplan,
+        RingConfiguration.parse("2INV+3NAND2"),
+        readout=ReadoutConfig(),
+        grid_resolution=16,
+    )
+
+
+def test_policy_bank_speedup_at_8_policies():
+    """The PR 5 acceptance criterion: the banked DTM policy sweep (all
+    policies through one shared ThermalStepper, one multi-RHS solve +
+    one broadcast sensor scan + one vectorized FSM step per timestep)
+    is >= 3x faster than looping the scalar closed loop over 8 policies
+    on one grid, with bit-identical throttle decisions and temperatures
+    agreeing to 1e-9 relative."""
+    manager = _make_manager()
+    # Warm the shared backward-Euler factorization so both paths time
+    # pure evaluation (the scalar loop reuses it too).
+    manager.run_bank(POLICY_SET, **DTM_KW)
+
+    banked_s, banked = _best_time(lambda: manager.run_bank(POLICY_SET, **DTM_KW))
+
+    start = time.perf_counter()
+    scalar = {
+        label: manager.run(policy=policy, **DTM_KW)
+        for label, policy in POLICY_SET.items()
+    }
+    scalar_s = time.perf_counter() - start
+
+    speedup = scalar_s / banked_s
+    print(f"\npolicy-bank speedup at 8 policies x 16x16: {speedup:.1f}x "
+          f"(looped {scalar_s * 1e3:.0f} ms, banked {banked_s * 1e3:.1f} ms)")
+    assert speedup >= 3.0
+
+    for label, policy in POLICY_SET.items():
+        row = banked.to_result(label)
+        oracle = scalar[label]
+        assert [p.state_name for p in row.trace] == [
+            p.state_name for p in oracle.trace
+        ]
+        ours = np.asarray([p.true_peak_c for p in row.trace])
+        theirs = np.asarray([p.true_peak_c for p in oracle.trace])
+        assert np.max(np.abs(ours - theirs) / np.abs(theirs)) <= 1e-9
+        assert row.throttle_events() == oracle.throttle_events()
+
+
+@pytest.mark.benchmark(group="thermal-policy-bank-8x16")
+@pytest.mark.parametrize("mode", ["banked", "looped"])
+def test_policy_bank_8_policies(benchmark, mode):
+    """Records the banked-vs-looped policy sweep into BENCH_engine.json
+    (the CI bench job asserts this group is present)."""
+    manager = _make_manager()
+    if mode == "banked":
+        def evaluate():
+            return manager.run_bank(POLICY_SET, **DTM_KW)
+    else:
+        def evaluate():
+            return [
+                manager.run(policy=policy, **DTM_KW)
+                for policy in POLICY_SET.values()
+            ]
+    result = benchmark.pedantic(evaluate, rounds=2, iterations=1)
+    assert result is not None
+
+
+def test_iterative_fallback_agreement_and_large_grid():
+    """The PR 5 iterative acceptance criterion: preconditioned CG agrees
+    with the sparse-direct factorization to 1e-8 relative (steady and
+    transient) on the largest factorized benchmark grid (48x48), and
+    runs a 96x96 grid — 4x the unknowns — that auto-routes to the
+    fallback, with a physically sane field."""
+    power = PowerMap.from_floorplan(Floorplan.example_processor(), nx=48, ny=48)
+    grid = ThermalGrid.for_power_map(power)
+    rhs = power.values_w.reshape(-1)
+    direct = ThermalOperator(grid, method="direct")
+    iterative = ThermalOperator(grid, method="iterative")
+    assert np.max(
+        np.abs(iterative.steady_rise(rhs) - direct.steady_rise(rhs))
+        / np.abs(direct.steady_rise(rhs))
+    ) <= 1e-8
+    stepper_d = direct.stepper(0.01)
+    stepper_i = iterative.stepper(0.01)
+    rise_d = np.zeros(rhs.size)
+    rise_i = np.zeros(rhs.size)
+    for _ in range(10):
+        rise_d = stepper_d.step(rise_d, rhs)
+        rise_i = stepper_i.step(rise_i, rhs)
+    assert np.max(np.abs(rise_i - rise_d) / np.abs(rise_d)) <= 1e-8
+
+    big_power = PowerMap.from_floorplan(Floorplan.example_processor(), nx=96, ny=96)
+    big_grid = ThermalGrid.for_power_map(big_power)
+    assert big_grid.nx * big_grid.ny >= 4 * grid.nx * grid.ny
+    operator = ThermalOperator.for_grid(big_grid)
+    assert operator.method == "iterative"
+    field = operator.solve_steady_state(big_power, 45.0)
+    assert np.all(np.isfinite(field.values_c))
+    # The mean rise matches theta_ja x total power regardless of grid.
+    theta = big_grid.junction_to_ambient_resistance_k_per_w()
+    expected = big_power.total_power_w() * theta
+    assert field.mean_c() - 45.0 == pytest.approx(expected, rel=0.05)
+
+
+@pytest.mark.benchmark(group="thermal-iterative-96x96")
+def test_iterative_large_grid_steady_solve(benchmark):
+    """Records the warm iterative steady solve on the 4x-unknowns grid."""
+    power = PowerMap.from_floorplan(Floorplan.example_processor(), nx=96, ny=96)
+    operator = ThermalOperator(ThermalGrid.for_power_map(power), method="iterative")
+    rhs = power.values_w.reshape(-1)
+    operator.steady_rise(rhs)  # build the preconditioner outside the timing
+    result = benchmark.pedantic(
+        lambda: operator.steady_rise(rhs), rounds=3, iterations=1
+    )
+    assert result.shape == rhs.shape
 
 
 @pytest.mark.benchmark(group="thermal-dtm-study")

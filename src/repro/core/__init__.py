@@ -29,10 +29,12 @@ from .multiplexer import ScanResult, SensorMultiplexer
 from .sensor_bank import BankCalibration, BankScan, SensorBank
 from .mapping import ThermalMonitor, ThermalMonitorReport
 from .thermal_manager import (
+    DtmBankResult,
     DtmResult,
     DtmTracePoint,
     DynamicThermalManager,
     PerformanceState,
+    PolicyBank,
     ThrottlingPolicy,
 )
 from .registers import RegisterMap, SmartSensorRegisters
@@ -63,10 +65,12 @@ __all__ = [
     "SensorBank",
     "ThermalMonitor",
     "ThermalMonitorReport",
+    "DtmBankResult",
     "DtmResult",
     "DtmTracePoint",
     "DynamicThermalManager",
     "PerformanceState",
+    "PolicyBank",
     "ThrottlingPolicy",
     "RegisterMap",
     "SmartSensorRegisters",

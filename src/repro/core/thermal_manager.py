@@ -16,15 +16,16 @@ throttling, PowerPC thermal assist unit) implemented.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..oscillator.config import RingConfiguration
 from ..tech.parameters import Technology, TechnologyError
+from ..tech.stacked import TechnologyArray, stack_technologies
 from ..thermal.floorplan import Floorplan
-from ..thermal.grid import TemperatureMap, ThermalGrid, ThermalGridParameters
+from ..thermal.grid import TemperatureMap, ThermalGrid, ThermalGridParameters, bilinear_sample
 from ..thermal.operator import ThermalOperator
 from ..thermal.power import PowerMap
 from .mapping import ThermalMonitor
@@ -33,8 +34,10 @@ from .readout import ReadoutConfig
 __all__ = [
     "PerformanceState",
     "ThrottlingPolicy",
+    "PolicyBank",
     "DtmTracePoint",
     "DtmResult",
+    "DtmBankResult",
     "DynamicThermalManager",
 ]
 
@@ -161,6 +164,314 @@ class DtmResult:
         """Fraction of control intervals spent in each performance state."""
         names = [point.state_name for point in self.trace]
         return {name: names.count(name) / len(names) for name in dict.fromkeys(names)}
+
+
+class PolicyBank:
+    """A stack of throttling policies, struct-of-arrays style.
+
+    The DTM policy *comparison* — the paper's actual story — evaluates
+    many thresholds/hysteresis/performance-state sets against the same
+    die.  Run one at a time through :meth:`DynamicThermalManager.run`,
+    every policy pays its own transient integration and per-step sensor
+    scan.  A :class:`PolicyBank` stores the policies as threshold
+    vectors plus padded ``(policy, state)`` performance-state tables, so
+    :meth:`DynamicThermalManager.run_bank` can carry every policy's FSM
+    state as one index vector and advance all of them through a single
+    shared :class:`~repro.thermal.operator.ThermalStepper` multi-RHS
+    solve per timestep.
+
+    Accepts a label-to-policy mapping (preferred — labels name the
+    sweep axis), a plain policy sequence (labelled ``policy-0``, ...),
+    or another bank.
+    """
+
+    def __init__(
+        self,
+        policies: Union[
+            Mapping[str, ThrottlingPolicy], Sequence[ThrottlingPolicy]
+        ],
+    ) -> None:
+        if isinstance(policies, Mapping):
+            labels = [str(label) for label in policies]
+            stack = list(policies.values())
+        else:
+            stack = list(policies)
+            labels = [f"policy-{index}" for index in range(len(stack))]
+        if not stack:
+            raise TechnologyError("a policy bank needs at least one policy")
+        for policy in stack:
+            if not isinstance(policy, ThrottlingPolicy):
+                raise TechnologyError(
+                    f"policy banks stack ThrottlingPolicy objects, got "
+                    f"{type(policy).__name__}"
+                )
+        if len(set(labels)) != len(labels):
+            raise TechnologyError("policy labels must be unique within a bank")
+        self._labels = tuple(labels)
+        self._policies = tuple(stack)
+        self.throttle_c = np.asarray([p.throttle_threshold_c for p in stack])
+        self.release_c = np.asarray([p.release_threshold_c for p in stack])
+        self.emergency_c = np.asarray([p.emergency_threshold_c for p in stack])
+        self.state_counts = np.asarray([len(p.states) for p in stack], dtype=int)
+        width = int(self.state_counts.max())
+        # Rows are padded with the slowest state's values; the FSM index
+        # is clamped to the policy's own last state, so padding is never
+        # selected.
+        self.power_scales = np.asarray(
+            [
+                [p.states[min(s, len(p.states) - 1)].power_scale for s in range(width)]
+                for p in stack
+            ]
+        )
+        self.performances = np.asarray(
+            [
+                [p.states[min(s, len(p.states) - 1)].performance for s in range(width)]
+                for p in stack
+            ]
+        )
+
+    @classmethod
+    def of(
+        cls,
+        policies: Union[
+            "PolicyBank", Mapping[str, ThrottlingPolicy], Sequence[ThrottlingPolicy]
+        ],
+    ) -> "PolicyBank":
+        """Coerce a mapping/sequence/bank into a :class:`PolicyBank`."""
+        if isinstance(policies, cls):
+            return policies
+        return cls(policies)
+
+    @property
+    def policy_count(self) -> int:
+        return len(self._policies)
+
+    def __len__(self) -> int:
+        return self.policy_count
+
+    def labels(self) -> Tuple[str, ...]:
+        return self._labels
+
+    def policies(self) -> Tuple[ThrottlingPolicy, ...]:
+        return self._policies
+
+    def policy(self, label: str) -> ThrottlingPolicy:
+        """The scalar policy behind a label (the oracle for that row)."""
+        try:
+            return self._policies[self._labels.index(label)]
+        except ValueError:
+            raise TechnologyError(
+                f"no policy labelled {label!r}; labels are {self._labels}"
+            ) from None
+
+    def _per_policy(self, values: np.ndarray, like: np.ndarray) -> np.ndarray:
+        """Reshape a ``(policy,)`` vector to broadcast against ``like``."""
+        return values.reshape((self.policy_count,) + (1,) * (like.ndim - 1))
+
+    def next_state_indices(
+        self, indices: np.ndarray, hottest_readings_c: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized policy step over the whole bank.
+
+        ``indices`` and ``hottest_readings_c`` share a leading
+        ``policy`` axis (plus any trailing sample axes); the comparisons
+        are elementwise :meth:`ThrottlingPolicy.next_state_index`, so a
+        banked run takes exactly the decisions the scalar FSM takes.
+        """
+        indices = np.asarray(indices, dtype=int)
+        readings = np.asarray(hottest_readings_c, dtype=float)
+        last = self._per_policy(self.state_counts - 1, readings)
+        stepped_down = np.minimum(indices + 1, last)
+        stepped_up = np.maximum(indices - 1, 0)
+        return np.where(
+            readings >= self._per_policy(self.emergency_c, readings),
+            last,
+            np.where(
+                readings >= self._per_policy(self.throttle_c, readings),
+                stepped_down,
+                np.where(
+                    readings <= self._per_policy(self.release_c, readings),
+                    stepped_up,
+                    indices,
+                ),
+            ),
+        )
+
+    def _gather(self, table: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        flat = np.take_along_axis(
+            table, indices.reshape(self.policy_count, -1), axis=1
+        )
+        return flat.reshape(indices.shape)
+
+    def power_scales_at(self, indices: np.ndarray) -> np.ndarray:
+        """Per-policy power scale of the current FSM state indices."""
+        return self._gather(self.power_scales, np.asarray(indices, dtype=int))
+
+    def performances_at(self, indices: np.ndarray) -> np.ndarray:
+        """Per-policy delivered performance of the current state indices."""
+        return self._gather(self.performances, np.asarray(indices, dtype=int))
+
+    def state_name(self, policy_index: int, state_index: int) -> str:
+        return self._policies[policy_index].states[int(state_index)].name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PolicyBank({', '.join(self._labels)})"
+
+
+@dataclass(frozen=True)
+class DtmBankResult:
+    """Outcome of a banked multi-policy DTM simulation.
+
+    Every value array carries a leading ``policy`` axis, an optional
+    ``sample`` axis (when the run scanned a Monte-Carlo technology
+    population) and a trailing ``step`` axis; the metric accessors
+    reduce over steps, returning one value per policy (per sample).
+    :meth:`to_result` unstacks one policy's trace back into the scalar
+    :class:`DtmResult`, which is how the equivalence tests compare the
+    banked run against the retained scalar oracle point for point.
+    """
+
+    bank: PolicyBank
+    times_s: np.ndarray
+    state_indices: np.ndarray
+    power_w: np.ndarray
+    true_peak_c: np.ndarray
+    hottest_reading_c: np.ndarray
+    performance: np.ndarray
+    limit_c: float
+    final_values_c: np.ndarray
+    die_width_mm: float
+    die_height_mm: float
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return self.bank.labels()
+
+    @property
+    def policy_count(self) -> int:
+        return self.bank.policy_count
+
+    @property
+    def sample_count(self) -> Optional[int]:
+        """Population size, or ``None`` for a single-technology run."""
+        if self.state_indices.ndim == 3:
+            return int(self.state_indices.shape[1])
+        return None
+
+    @property
+    def step_count(self) -> int:
+        return int(self.times_s.size)
+
+    def _policy_axis_index(self, label: str) -> int:
+        try:
+            return self.labels.index(label)
+        except ValueError:
+            raise TechnologyError(
+                f"no policy labelled {label!r}; labels are {self.labels}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # vectorized metrics (one value per policy [per sample])
+    # ------------------------------------------------------------------ #
+
+    def peak_temperature_c(self) -> np.ndarray:
+        return self.true_peak_c.max(axis=-1)
+
+    def time_above_limit_s(self) -> np.ndarray:
+        """Total time each policy's true peak exceeded the limit.
+
+        Matches :meth:`DtmResult.time_above_limit_s`: intervals are
+        counted from the second trace point on (the first has no
+        predecessor to span from).
+        """
+        interval = float(self.times_s[1] - self.times_s[0]) if self.step_count > 1 else 0.0
+        above = self.true_peak_c[..., 1:] > self.limit_c
+        return above.sum(axis=-1) * interval
+
+    def average_performance(self) -> np.ndarray:
+        return self.performance.mean(axis=-1)
+
+    def throttle_events(self) -> np.ndarray:
+        """Downward state transitions per policy (scalar-rank semantics).
+
+        Counts with :meth:`DtmResult.throttle_events`'s first-seen-rank
+        rule (which differs from a plain index comparison when an
+        emergency jump reorders the first appearance of states) applied
+        directly to the integer state traces, so the banked metric
+        cannot drift from the oracle without materialising a throwaway
+        trace per (policy, sample) row.
+        """
+        flat_indices = self.state_indices.reshape(self.policy_count, -1, self.step_count)
+        counts = np.zeros(flat_indices.shape[:2], dtype=int)
+        for p in range(flat_indices.shape[0]):
+            names = [
+                self.bank.state_name(p, state)
+                for state in range(int(self.bank.state_counts[p]))
+            ]
+            for s in range(flat_indices.shape[1]):
+                ranks: Dict[str, int] = {}
+                events = 0
+                previous: Optional[int] = None
+                for index in flat_indices[p, s]:
+                    rank = ranks.setdefault(names[index], len(ranks))
+                    if previous is not None and rank > previous:
+                        events += 1
+                    previous = rank
+                counts[p, s] = events
+        return counts.reshape(self.state_indices.shape[:-1])
+
+    def state_occupancy(self) -> Dict[str, Dict[str, float]]:
+        """Per-policy state-occupancy fractions (single-technology runs)."""
+        if self.sample_count is not None:
+            raise TechnologyError(
+                "state occupancy dictionaries are only defined for single-"
+                "technology runs; index the (policy, sample, step) arrays instead"
+            )
+        return {
+            label: self.to_result(label).state_occupancy() for label in self.labels
+        }
+
+    # ------------------------------------------------------------------ #
+    # unstacking
+    # ------------------------------------------------------------------ #
+
+    def to_result(self, label: str) -> DtmResult:
+        """Unstack one policy's full trace into a scalar :class:`DtmResult`.
+
+        Only defined for single-technology runs (the scalar trace has no
+        sample axis).  The result is point-for-point comparable with a
+        :meth:`DynamicThermalManager.run` of the same policy.
+        """
+        if self.sample_count is not None:
+            raise TechnologyError(
+                "to_result() unstacks single-technology runs; population "
+                "runs carry (policy, sample, step) arrays instead"
+            )
+        p = self._policy_axis_index(label)
+        trace = tuple(
+            DtmTracePoint(
+                time_s=float(self.times_s[k]),
+                state_name=self.bank.state_name(p, self.state_indices[p, k]),
+                power_w=float(self.power_w[p, k]),
+                true_peak_c=float(self.true_peak_c[p, k]),
+                hottest_reading_c=float(self.hottest_reading_c[p, k]),
+                performance=float(self.performance[p, k]),
+            )
+            for k in range(self.step_count)
+        )
+        final = TemperatureMap(
+            self.die_width_mm, self.die_height_mm, self.final_values_c[p]
+        )
+        return DtmResult(trace=trace, limit_c=self.limit_c, final_map=final)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extent = f"{self.policy_count} policies x {self.step_count} steps"
+        if self.sample_count is not None:
+            extent = (
+                f"{self.policy_count} policies x {self.sample_count} samples "
+                f"x {self.step_count} steps"
+            )
+        return f"DtmBankResult({extent})"
 
 
 class DynamicThermalManager:
@@ -312,3 +623,144 @@ class DynamicThermalManager:
             state_index = active_policy.next_state_index(state_index, hottest)
 
         return DtmResult(trace=tuple(trace), limit_c=limit_c, final_map=die_map)
+
+    def run_bank(
+        self,
+        policies: Union[
+            PolicyBank, Mapping[str, ThrottlingPolicy], Sequence[ThrottlingPolicy]
+        ],
+        duration_s: float = 2.0,
+        control_interval_s: float = 0.02,
+        limit_c: float = 115.0,
+        workload_scale: float = 1.0,
+        technologies=None,
+    ) -> DtmBankResult:
+        """Run every policy of a bank through one shared closed loop.
+
+        The banked counterpart of :meth:`run` (which is retained as the
+        per-policy oracle): all policies advance in lockstep, so each
+        timestep costs **one** multi-RHS backward-Euler solve for the
+        whole ``(cell, policy)`` temperature-rise stack, one bilinear
+        gather of every policy's sensor sites from its own field, one
+        broadcast ring-period evaluation and one vectorized FSM step —
+        instead of one full transient integration per policy.  The
+        arithmetic per policy is exactly the scalar loop's, so throttle
+        decisions bit-match and temperatures agree to solver rounding.
+
+        Parameters
+        ----------
+        policies:
+            A :class:`PolicyBank`, a label-to-policy mapping or a policy
+            sequence.
+        duration_s / control_interval_s / limit_c / workload_scale:
+            As in :meth:`run` (shared by every policy — the comparison
+            holds the workload fixed and varies only the policy).
+        technologies:
+            Optional Monte-Carlo technology population (a stacked
+            :class:`~repro.tech.stacked.TechnologyArray` or a stackable
+            technology sequence).  The sensors of every sample read the
+            same die through their own process corner and per-sample
+            two-point calibration, so the run becomes the full policy x
+            sample cross product — result arrays gain a ``sample`` axis
+            and each (policy, sample) pair carries its own FSM/thermal
+            trajectory.
+        """
+        if duration_s <= 0.0 or control_interval_s <= 0.0:
+            raise TechnologyError("duration and control interval must be positive")
+        if control_interval_s >= duration_s:
+            raise TechnologyError("control interval must be shorter than the duration")
+        if workload_scale < 0.0:
+            raise TechnologyError("workload_scale must be non-negative")
+        bank = PolicyBank.of(policies)
+        sensors = self.monitor.bank
+        if sensors.calibration is None:
+            raise TechnologyError("DTM requires calibrated sensors")
+        if technologies is None:
+            calibration = sensors.calibration
+            population = None
+            sample_count = None
+        else:
+            if not isinstance(technologies, TechnologyArray):
+                technologies = stack_technologies(list(technologies))
+            population = technologies
+            sample_count = len(population)
+            # Every sample's sensors get their own two-point calibration
+            # at the manager's insertion temperatures.
+            calibration = sensors.two_point_calibration(
+                sensors.calibration.low_temperature_c,
+                sensors.calibration.high_temperature_c,
+                technologies=population,
+            )
+
+        steps = int(np.ceil(duration_s / control_interval_s))
+        grid = self._grid
+        stepper = ThermalOperator.for_grid(grid).stepper(control_interval_s)
+        policy_count = bank.policy_count
+        column_shape = (
+            (policy_count,) if sample_count is None else (policy_count, sample_count)
+        )
+        columns = int(np.prod(column_shape))
+
+        base_flat = self._base_power.values_w.reshape(-1)
+        rise = np.zeros((grid.nx * grid.ny, columns))
+        indices = np.zeros(column_shape, dtype=int)
+        trace_shape = column_shape + (steps,)
+        state_trace = np.zeros(trace_shape, dtype=int)
+        power_trace = np.zeros(trace_shape)
+        peak_trace = np.zeros(trace_shape)
+        hottest_trace = np.zeros(trace_shape)
+        performance_trace = np.zeros(trace_shape)
+        times = (np.arange(steps) + 1) * control_interval_s
+        ring = sensors.ring if population is None else sensors.ring.rebind(population)
+
+        for step in range(steps):
+            scales = bank.power_scales_at(indices)
+            # Same multiplication order as the scalar loop's
+            # ``base.scaled(workload_scale * state.power_scale)``.
+            factors = workload_scale * scales
+            power = base_flat[:, np.newaxis] * factors.reshape(1, columns)
+            rise = stepper.step(rise, power)
+            fields = rise.T.reshape(column_shape + (grid.ny, grid.nx)) + self.ambient_c
+
+            truths = bilinear_sample(
+                fields, grid.width_mm, grid.height_mm, self._site_xs, self._site_ys
+            )
+            if population is None:
+                periods = np.asarray(ring.period_series(truths), dtype=float)
+            else:
+                # (policy, site, sample, 1) temperatures against the
+                # stacked population's (sample, 1) parameter columns;
+                # the sample axis stays last so the per-sample
+                # calibration rows broadcast without a transpose.
+                site_major = np.moveaxis(truths, -1, 1)
+                periods = np.asarray(
+                    ring.period_series(site_major[..., np.newaxis]), dtype=float
+                ).reshape(site_major.shape)
+            codes, _saturated = sensors.counter.convert_batch(periods)
+            measured = sensors.counter.codes_to_periods(codes)
+            estimates = calibration.estimate(measured)
+            if population is None:
+                hottest = estimates.max(axis=-1)
+            else:
+                hottest = estimates.max(axis=1)
+
+            state_trace[..., step] = indices
+            power_trace[..., step] = power.sum(axis=0).reshape(column_shape)
+            peak_trace[..., step] = fields.max(axis=(-2, -1))
+            hottest_trace[..., step] = hottest
+            performance_trace[..., step] = bank.performances_at(indices)
+            indices = bank.next_state_indices(indices, hottest)
+
+        return DtmBankResult(
+            bank=bank,
+            times_s=times,
+            state_indices=state_trace,
+            power_w=power_trace,
+            true_peak_c=peak_trace,
+            hottest_reading_c=hottest_trace,
+            performance=performance_trace,
+            limit_c=limit_c,
+            final_values_c=fields,
+            die_width_mm=grid.width_mm,
+            die_height_mm=grid.height_mm,
+        )

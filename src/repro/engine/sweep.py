@@ -8,9 +8,10 @@ bespoke entry point threading positional ndarray dimensions by hand.
 This module turns the workload itself into data:
 
 * :class:`Axis` — one named axis with coordinate labels.  The known
-  axes are ``configuration``, ``width_ratio``, ``supply``, ``sample``
-  and ``temperature`` (that tuple, :data:`CANONICAL_AXIS_ORDER`, is
-  also the canonical broadcast order of the result dimensions).
+  axes are ``configuration``, ``width_ratio``, ``resolution`` (the
+  thermal grid's density), ``site``, ``supply``, ``sample`` and
+  ``temperature`` (that tuple, :data:`CANONICAL_AXIS_ORDER`, is also
+  the canonical broadcast order of the result dimensions).
 * :class:`Sweep` — a builder that composes axes over a base context
   (technology / library / configuration / ring) plus an observable
   (period, frequency, the sensor transfer curve, calibration error,
@@ -67,6 +68,10 @@ from ..oscillator.period import default_temperature_grid
 from ..oscillator.ring import RingOscillator
 from ..tech.parameters import Technology, TechnologyError
 from ..tech.stacked import TechnologyArray, stack_technologies
+from ..thermal.floorplan import Floorplan
+from ..thermal.grid import ThermalGrid, ThermalGridParameters
+from ..thermal.operator import SOLVE_METHODS, ThermalOperator
+from ..thermal.power import PowerMap
 
 __all__ = [
     "Axis",
@@ -83,10 +88,16 @@ __all__ = [
 #: the order the axes were declared in.  ``site`` (the sensor-bank
 #: location axis) sits outside the ``supply``/``sample`` pair because
 #: those two lower onto one flat supply-major population axis that must
-#: stay contiguous to un-reshape.
+#: stay contiguous to un-reshape; ``resolution`` (the thermal grid's
+#: density — a grid-refinement axis that re-solves the die's thermal
+#: field per coordinate, one cached
+#: :class:`~repro.thermal.operator.ThermalOperator` entry each) sits
+#: just outside ``site`` because each refinement produces one junction
+#: temperature per site.
 CANONICAL_AXIS_ORDER = (
     "configuration",
     "width_ratio",
+    "resolution",
     "site",
     "supply",
     "sample",
@@ -268,6 +279,63 @@ class Axis:
             "site",
             bank.names(),
             payload={"bank": bank, "junction_temperatures_c": temps},
+        )
+
+    @classmethod
+    def resolution(
+        cls,
+        resolutions: Sequence[int],
+        floorplan: Floorplan,
+        ambient_c: float = 45.0,
+        parameters: ThermalGridParameters = ThermalGridParameters(),
+        method: str = "auto",
+    ) -> "Axis":
+        """The thermal-grid density axis (a grid-refinement study).
+
+        For each coordinate ``r`` the planner rasterises the floorplan's
+        power map onto an ``r x r`` grid, solves the steady-state die
+        temperature field through the process-wide
+        :class:`~repro.thermal.operator.ThermalOperator` cache (one
+        entry — one factorization or preconditioner — per resolution;
+        ``method`` routes large grids through the iterative fallback)
+        and reads every sensor site of the sweep's ``site`` axis at its
+        local junction temperature.  The result gains a ``resolution``
+        dimension just outside ``site``.
+
+        Requires a ``site`` axis *without* explicit junction
+        temperatures (the solved fields supply them); like a site scan,
+        it carries no ``temperature`` axis.  Coordinates are the grid
+        resolutions, in the caller's order (each refinement is solved
+        independently).
+        """
+        if not isinstance(floorplan, Floorplan):
+            raise SweepError(
+                f"the resolution axis takes a Floorplan, got "
+                f"{type(floorplan).__name__}"
+            )
+        if method not in SOLVE_METHODS:
+            raise SweepError(
+                f"unknown solve method {method!r}; choose one of {SOLVE_METHODS}"
+            )
+        values = list(resolutions)
+        if not values:
+            raise SweepError("resolution axis needs at least one grid resolution")
+        coords = []
+        for value in values:
+            if int(value) != value or int(value) < 2:
+                raise SweepError(
+                    f"grid resolutions must be integers >= 2, got {value!r}"
+                )
+            coords.append(int(value))
+        return cls(
+            "resolution",
+            tuple(coords),
+            payload={
+                "floorplan": floorplan,
+                "ambient_c": float(ambient_c),
+                "parameters": parameters,
+                "method": method,
+            },
         )
 
     @classmethod
@@ -565,9 +633,23 @@ class Sweep:
             self._axes[name] for name in CANONICAL_AXIS_ORDER if name in self._axes
         )
         site_axis = self._axes.get("site")
-        site_scan = (
-            site_axis is not None
-            and site_axis.payload["junction_temperatures_c"] is not None
+        resolution_axis = self._axes.get("resolution")
+        if resolution_axis is not None:
+            if site_axis is None:
+                raise SweepError(
+                    "the resolution axis solves the die's thermal field and "
+                    "needs a site axis (a sensor bank) to read it; add "
+                    "Axis.site(bank)"
+                )
+            if site_axis.payload["junction_temperatures_c"] is not None:
+                raise SweepError(
+                    "a resolution axis solves each refinement's junction "
+                    "temperatures itself; drop the site axis's explicit "
+                    "junction_temperatures_c"
+                )
+        site_scan = site_axis is not None and (
+            site_axis.payload["junction_temperatures_c"] is not None
+            or resolution_axis is not None
         )
         if site_axis is not None:
             for other in ("configuration", "width_ratio"):
@@ -595,15 +677,17 @@ class Sweep:
         if site_scan:
             if "temperature" in self._axes:
                 raise SweepError(
-                    "a site axis with junction temperatures evaluates every "
-                    "site at its own temperature and cannot be combined with "
-                    "a temperature axis; drop one of the two"
+                    "a site axis with junction temperatures (explicit, or "
+                    "solved per refinement by a resolution axis) evaluates "
+                    "every site at its own temperature and cannot be "
+                    "combined with a temperature axis; drop one of the two"
                 )
             if self._observable in _ENDPOINT_OBSERVABLES:
                 raise SweepError(
                     f"observable {self._observable!r} fits the sweep's "
                     "endpoint temperatures and needs a temperature axis; a "
-                    "site axis with junction temperatures has none"
+                    "site scan (junction temperatures or a resolution axis) "
+                    "has none"
                 )
         elif "temperature" not in self._axes:
             axes = axes + (Axis.temperature(default_temperature_grid()),)
@@ -677,6 +761,9 @@ class SweepPlan:
       :class:`~repro.oscillator.bank.ConfigurationBank` single
       broadcast,
     * ``width_ratio`` loops ring builds around the inner broadcast,
+    * ``resolution`` loops steady thermal solves (one cached
+      :class:`~repro.thermal.operator.ThermalOperator` entry per grid
+      density) around the site axis's banked scan,
     * a plain ring sweep lowers straight onto
       :meth:`~repro.oscillator.ring.RingOscillator.period_series` /
       :meth:`~repro.oscillator.ring.RingOscillator.period_matrix`.
@@ -836,9 +923,35 @@ class SweepPlan:
         if site_axis is not None:
             sensor_bank: SensorBank = site_axis.payload["bank"]
             site_temps = site_axis.payload["junction_temperatures_c"]
+            resolution_axis = self.axis("resolution")
             if need_power:
                 vdd2cap = self._vdd2_switched_cap(sensor_bank.ring, population)
-            if site_temps is not None:
+            if resolution_axis is not None:
+                # Grid-refinement scan: one steady thermal solve per
+                # resolution (each through its own cached ThermalOperator
+                # entry), every site read at its solved local junction
+                # temperature.
+                spec = resolution_axis.payload
+                xs, ys = sensor_bank.positions()
+                slices = []
+                for r in resolution_axis.coordinates:
+                    power_map = PowerMap.from_floorplan(
+                        spec["floorplan"], nx=int(r), ny=int(r)
+                    )
+                    grid = ThermalGrid.for_power_map(power_map, spec["parameters"])
+                    field = ThermalOperator.for_grid(
+                        grid, spec["method"]
+                    ).solve_steady_state(power_map, spec["ambient_c"])
+                    truths = field.sample_points(xs, ys)
+                    slices.append(
+                        sensor_bank.period_tensor(truths, technologies=population)
+                    )
+                tensor = np.stack(slices)
+                if need_power and vdd2cap.ndim == 2:
+                    # (S, 1) population columns broadcast over the flat
+                    # trailing sample axis of the (R, site, S) stack.
+                    vdd2cap = vdd2cap.reshape(-1)
+            elif site_temps is not None:
                 # Scan mode: every site at its own junction temperature;
                 # one broadcast, no temperature dimension in the result.
                 tensor = sensor_bank.period_tensor(site_temps, technologies=population)

@@ -10,11 +10,21 @@ from .selfheating_study import SelfHeatingStudyResult, run_selfheating_study
 from .calibration_study import CalibrationStudyResult, run_calibration_study
 from .supply_sensitivity import SupplySensitivityResult, run_supply_sensitivity
 from .scaling_study import ScalingStudyResult, run_scaling_study
-from .dtm_study import DtmStudyResult, run_dtm_study
+from .dtm_study import (
+    DtmPolicySweepResult,
+    DtmStudyResult,
+    example_policy_set,
+    never_throttle_policy,
+    run_dtm_policy_sweep,
+    run_dtm_study,
+)
 from .thermal_map_study import (
     ThermalMapDensityPoint,
     ThermalMapStudyResult,
+    ThermalResolutionPoint,
+    ThermalResolutionStudyResult,
     run_thermal_map_study,
+    run_thermal_resolution_study,
 )
 from .runner import ExperimentRegistry, default_registry, run_all
 
@@ -39,11 +49,18 @@ __all__ = [
     "run_supply_sensitivity",
     "ScalingStudyResult",
     "run_scaling_study",
+    "DtmPolicySweepResult",
     "DtmStudyResult",
+    "example_policy_set",
+    "never_throttle_policy",
+    "run_dtm_policy_sweep",
     "run_dtm_study",
     "ThermalMapDensityPoint",
     "ThermalMapStudyResult",
+    "ThermalResolutionPoint",
+    "ThermalResolutionStudyResult",
     "run_thermal_map_study",
+    "run_thermal_resolution_study",
     "ExperimentRegistry",
     "default_registry",
     "run_all",

@@ -18,7 +18,7 @@ from ..tech.libraries import CMOS035, get_technology
 from ..tech.parameters import Technology
 from .baseline_comparison import run_baseline_comparison
 from .calibration_study import run_calibration_study
-from .dtm_study import run_dtm_study
+from .dtm_study import run_dtm_policy_sweep, run_dtm_study
 from .fig1_waveform import run_fig1
 from .fig2_sizing import run_fig2
 from .fig3_cellmix import run_fig3
@@ -27,7 +27,7 @@ from .selfheating_study import run_selfheating_study
 from .smart_unit import run_smart_unit
 from .stage_count import run_stage_count
 from .supply_sensitivity import run_supply_sensitivity
-from .thermal_map_study import run_thermal_map_study
+from .thermal_map_study import run_thermal_map_study, run_thermal_resolution_study
 
 __all__ = ["ExperimentRegistry", "run_all", "main"]
 
@@ -99,6 +99,18 @@ def _thermal_map_report(technology: Technology) -> str:
     ).format_table()
 
 
+def _dtm_sweep_report(technology: Technology) -> str:
+    return run_dtm_policy_sweep(
+        technology, duration_s=1.0, grid_resolutions=16
+    ).format_table()
+
+
+def _thermal_resolution_report(technology: Technology) -> str:
+    return run_thermal_resolution_study(
+        technology, sample_count=25, grid_resolutions=(8, 12, 16, 24)
+    ).format_table()
+
+
 def default_registry() -> ExperimentRegistry:
     """The standard experiment set (ids match DESIGN.md)."""
     return ExperimentRegistry(
@@ -114,7 +126,9 @@ def default_registry() -> ExperimentRegistry:
             "EXT-SUPPLY": _supply_report,
             "EXT-SCALING": _scaling_report,
             "EXT-DTM": _dtm_report,
+            "EXT-DTMSWEEP": _dtm_sweep_report,
             "EXT-THERMALMAP": _thermal_map_report,
+            "EXT-THERMALRES": _thermal_resolution_report,
         }
     )
 

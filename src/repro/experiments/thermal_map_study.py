@@ -47,7 +47,10 @@ from ..thermal.power import PowerMap
 __all__ = [
     "ThermalMapDensityPoint",
     "ThermalMapStudyResult",
+    "ThermalResolutionPoint",
+    "ThermalResolutionStudyResult",
     "run_thermal_map_study",
+    "run_thermal_resolution_study",
 ]
 
 
@@ -149,12 +152,21 @@ def run_thermal_map_study(
         calibration = bank.two_point_calibration(
             *calibration_temperatures_c, technologies=population
         )
+        # The scan declares the thermal grid itself as a (one-point)
+        # resolution axis: the sweep engine re-solves the die field
+        # through the same cached ThermalOperator entry the true map
+        # above came from and reads every site at its local junction
+        # temperature — no hand-rolled solve-then-gather loop.
         codes = (
             Sweep()
-            .over(Axis.site(bank, junction_temperatures_c=truths))
+            .over(
+                Axis.resolution([grid_resolution], base_plan, ambient_c=ambient_c)
+            )
+            .over(Axis.site(bank))
             .over(Axis.sample(population))
             .observe("code")
             .run()
+            .select(resolution=grid_resolution)
             .values
         )
         measured = bank.counter.codes_to_periods(codes)
@@ -187,5 +199,149 @@ def run_thermal_map_study(
         sample_count=sample_count,
         true_peak_c=true_peak,
         true_gradient_c=true_map.gradient_c(),
+        points=points,
+    )
+
+
+@dataclass(frozen=True)
+class ThermalResolutionPoint:
+    """Reconstruction quality of one thermal-grid resolution."""
+
+    grid_resolution: int
+    unknown_count: int
+    solve_method: str
+    true_peak_c: float
+    true_gradient_c: float
+    peak_shift_from_finest_c: float
+    worst_site_error_c: float
+    mean_map_rms_error_c: float
+    max_map_rms_error_c: float
+
+
+@dataclass(frozen=True)
+class ThermalResolutionStudyResult:
+    """Outcome of the thermal grid-refinement (resolution) experiment."""
+
+    technology_name: str
+    configuration_label: str
+    sample_count: int
+    site_count: int
+    points: List[ThermalResolutionPoint]
+
+    def converged_resolution(self, peak_tolerance_c: float) -> Optional[int]:
+        """Coarsest grid whose die peak sits within tolerance of the finest."""
+        for point in self.points:
+            if abs(point.peak_shift_from_finest_c) <= peak_tolerance_c:
+                return point.grid_resolution
+        return None
+
+    def format_table(self) -> str:
+        lines = [
+            "EXT-THERMALRES - thermal-grid refinement vs map quality "
+            f"({self.sample_count} Monte-Carlo samples, "
+            f"{self.site_count} sensor sites)",
+            f"ring: {self.configuration_label}",
+            f"{'grid':>7s} {'unknowns':>9s} {'solve':>10s} {'die peak':>9s} "
+            f"{'vs finest':>10s} {'worst site':>11s} {'rms mean/max':>14s}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"{point.grid_resolution:>4d}^2 "
+                f"{point.unknown_count:>9d} "
+                f"{point.solve_method:>10s} "
+                f"{point.true_peak_c:>7.1f} C "
+                f"{point.peak_shift_from_finest_c:>+8.2f} C "
+                f"{point.worst_site_error_c:>9.2f} C "
+                f"{point.mean_map_rms_error_c:>6.2f}/{point.max_map_rms_error_c:<5.2f} C"
+            )
+        return "\n".join(lines)
+
+
+def run_thermal_resolution_study(
+    technology: Optional[Technology] = None,
+    configuration_text: str = "2INV+3NAND2",
+    sensor_grid: int = 3,
+    grid_resolutions: Sequence[int] = (8, 12, 16, 24, 32),
+    sample_count: int = 50,
+    seed: int = 2005,
+    ambient_c: float = 45.0,
+    calibration_temperatures_c: Tuple[float, float] = (-50.0, 150.0),
+) -> ThermalResolutionStudyResult:
+    """Run the thermal grid-refinement experiment through the sweep engine.
+
+    The die field is re-solved at every grid resolution — the whole
+    refinement declared as one ``resolution x site x sample`` sweep, so
+    each resolution costs exactly one cached
+    :class:`~repro.thermal.operator.ThermalOperator` entry (grids above
+    the operator's unknown-count threshold route through the iterative
+    CG fallback automatically) — and a fixed sensor bank is scanned
+    against the Monte-Carlo population on each refinement.  The report
+    answers the modelling question the density study leaves open: how
+    fine must the thermal grid be before the die peak and the sensor-map
+    reconstruction stop moving?
+    """
+    tech = technology if technology is not None else CMOS035
+    configuration = RingConfiguration.parse(configuration_text)
+    library = default_library(tech)
+    population = sample_technology_array(tech, sample_count, seed=seed)
+    resolutions = tuple(int(r) for r in grid_resolutions)
+
+    base_plan = Floorplan.example_processor()
+    floorplan = Floorplan.example_processor()
+    floorplan.add_sensor_grid(int(sensor_grid), int(sensor_grid))
+    bank = SensorBank.from_floorplan(tech, floorplan, configuration, library=library)
+    xs, ys = bank.positions()
+    calibration = bank.two_point_calibration(
+        *calibration_temperatures_c, technologies=population
+    )
+
+    codes = (
+        Sweep()
+        .over(Axis.resolution(resolutions, base_plan, ambient_c=ambient_c))
+        .over(Axis.site(bank))
+        .over(Axis.sample(population))
+        .observe("code")
+        .run()
+    )
+
+    finest = max(resolutions)
+    finest_peak: Optional[float] = None
+    points: List[ThermalResolutionPoint] = []
+    for resolution in sorted(resolutions, reverse=True):
+        power = PowerMap.from_floorplan(base_plan, nx=resolution, ny=resolution)
+        grid = ThermalGrid.for_power_map(power)
+        operator = ThermalOperator.for_grid(grid)
+        true_map = operator.solve_steady_state(power, ambient_c)
+        if resolution == finest:
+            finest_peak = true_map.max_c()
+        truths = true_map.sample_points(xs, ys)
+
+        resolution_codes = codes.select(resolution=resolution).values
+        measured = bank.counter.codes_to_periods(resolution_codes)
+        estimates = calibration.estimate(measured)  # (site, sample)
+        worst_site = float(np.max(np.abs(estimates - truths[:, np.newaxis])))
+        maps = reconstruct_maps(true_map, xs, ys, estimates)
+        rms = np.sqrt(np.mean((maps - true_map.values_c) ** 2, axis=(1, 2)))
+
+        points.append(
+            ThermalResolutionPoint(
+                grid_resolution=resolution,
+                unknown_count=resolution * resolution,
+                solve_method=operator.method,
+                true_peak_c=true_map.max_c(),
+                true_gradient_c=true_map.gradient_c(),
+                peak_shift_from_finest_c=true_map.max_c() - finest_peak,
+                worst_site_error_c=worst_site,
+                mean_map_rms_error_c=float(np.mean(rms)),
+                max_map_rms_error_c=float(np.max(rms)),
+            )
+        )
+
+    points.sort(key=lambda point: point.grid_resolution)
+    return ThermalResolutionStudyResult(
+        technology_name=tech.name,
+        configuration_label=configuration.label(),
+        sample_count=sample_count,
+        site_count=bank.site_count,
         points=points,
     )

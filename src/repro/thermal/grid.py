@@ -28,7 +28,51 @@ from scipy import sparse
 from ..tech.parameters import TechnologyError
 from .power import PowerMap
 
-__all__ = ["ThermalGridParameters", "ThermalGrid", "TemperatureMap"]
+__all__ = ["ThermalGridParameters", "ThermalGrid", "TemperatureMap", "bilinear_sample"]
+
+
+def bilinear_sample(values, width_mm: float, height_mm: float, xs_mm, ys_mm) -> np.ndarray:
+    """Bilinear gather of die points from one or many temperature fields.
+
+    ``values`` is an ``(..., ny, nx)`` stack of fields on the same die;
+    ``xs_mm`` / ``ys_mm`` are point coordinate arrays of a common shape
+    ``pts``.  Returns an ``(..., *pts)`` array of interpolated values —
+    the arithmetic is exactly :meth:`TemperatureMap.sample_points`
+    applied per field, which lets the banked DTM loop read every
+    policy's sensor sites from its own field in one gather while
+    bit-matching the scalar path.
+    """
+    values = np.asarray(values, dtype=float)
+    xs = np.asarray(xs_mm, dtype=float)
+    ys = np.asarray(ys_mm, dtype=float)
+    if values.ndim < 2:
+        raise TechnologyError("field stack must carry trailing (ny, nx) dimensions")
+    if xs.shape != ys.shape:
+        raise TechnologyError("x and y coordinate arrays must match in shape")
+    if np.any(xs < 0.0) or np.any(xs > width_mm) or np.any(
+        ys < 0.0
+    ) or np.any(ys > height_mm):
+        raise TechnologyError("a sample point lies outside the die")
+    ny, nx = values.shape[-2], values.shape[-1]
+    # Continuous cell-centre coordinates.
+    cell_w = width_mm / nx
+    cell_h = height_mm / ny
+    fx = xs / cell_w - 0.5
+    fy = ys / cell_h - 0.5
+    x0 = np.clip(np.floor(fx), 0, nx - 2).astype(int)
+    y0 = np.clip(np.floor(fy), 0, ny - 2).astype(int)
+    tx = np.clip(fx - x0, 0.0, 1.0)
+    ty = np.clip(fy - y0, 0.0, 1.0)
+    v00 = values[..., y0, x0]
+    v01 = values[..., y0, x0 + 1]
+    v10 = values[..., y0 + 1, x0]
+    v11 = values[..., y0 + 1, x0 + 1]
+    return (
+        v00 * (1 - tx) * (1 - ty)
+        + v01 * tx * (1 - ty)
+        + v10 * (1 - tx) * ty
+        + v11 * tx * ty
+    )
 
 
 @dataclass(frozen=True)
@@ -115,33 +159,7 @@ class TemperatureMap:
         solved field at once.  The scalar :meth:`sample` is this with a
         zero-dimensional point.
         """
-        xs = np.asarray(xs_mm, dtype=float)
-        ys = np.asarray(ys_mm, dtype=float)
-        if xs.shape != ys.shape:
-            raise TechnologyError("x and y coordinate arrays must match in shape")
-        if np.any(xs < 0.0) or np.any(xs > self.width_mm) or np.any(
-            ys < 0.0
-        ) or np.any(ys > self.height_mm):
-            raise TechnologyError("a sample point lies outside the die")
-        # Continuous cell-centre coordinates.
-        cell_w = self.width_mm / self.nx
-        cell_h = self.height_mm / self.ny
-        fx = xs / cell_w - 0.5
-        fy = ys / cell_h - 0.5
-        x0 = np.clip(np.floor(fx), 0, self.nx - 2).astype(int)
-        y0 = np.clip(np.floor(fy), 0, self.ny - 2).astype(int)
-        tx = np.clip(fx - x0, 0.0, 1.0)
-        ty = np.clip(fy - y0, 0.0, 1.0)
-        v00 = self.values_c[y0, x0]
-        v01 = self.values_c[y0, x0 + 1]
-        v10 = self.values_c[y0 + 1, x0]
-        v11 = self.values_c[y0 + 1, x0 + 1]
-        return (
-            v00 * (1 - tx) * (1 - ty)
-            + v01 * tx * (1 - ty)
-            + v10 * (1 - tx) * ty
-            + v11 * tx * ty
-        )
+        return bilinear_sample(self.values_c, self.width_mm, self.height_mm, xs_mm, ys_mm)
 
     def hotspot_location(self) -> Tuple[float, float]:
         """(x, y) millimetre coordinates of the hottest cell centre."""

@@ -1,4 +1,4 @@
-"""Cached sparse-direct thermal solves: one factorization, many uses.
+"""Cached thermal solves: one factorization (or preconditioner), many uses.
 
 Before this module the repository factorized the thermal system in three
 independent places — the steady-state solver called
@@ -11,7 +11,7 @@ self-heating duty-cycle sweep, the managed-versus-unmanaged DTM pair)
 therefore paid the symbolic + numeric factorization again for a matrix
 that had not changed.
 
-:class:`ThermalOperator` owns those factorizations instead:
+:class:`ThermalOperator` owns those solves instead:
 
 * the steady-state factorization of the conductance matrix ``G`` is
   computed once per grid and solves any number of right-hand sides,
@@ -27,6 +27,16 @@ that had not changed.
   unmanaged DTM runs, and every thermal-map scan of a monitor, share a
   single factorization.
 
+Grids too large to factorize get an **iterative fallback**: above the
+configurable :attr:`ThermalOperator.iterative_threshold` unknown count
+(or on explicit ``method="iterative"`` request) the steady and
+backward-Euler solves route through preconditioned conjugate gradients
+(:func:`scipy.sparse.linalg.cg` — both systems are symmetric positive
+definite) with an ILU preconditioner (diagonal/Jacobi when the
+incomplete factorization is unavailable) and warm-started initial
+guesses from the previous solve, keeping memory bounded by the sparse
+matrix itself where a sparse-direct factorization's fill-in won't fit.
+
 The solvers in :mod:`repro.thermal.solver`, the self-heating study and
 the DTM manager are all thin layers over this class; ``factorized`` is
 called nowhere else in the repository.
@@ -35,38 +45,129 @@ called nowhere else in the repository.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import diags
-from scipy.sparse.linalg import factorized
+from scipy.sparse.linalg import LinearOperator, cg, factorized, spilu
 
 from ..tech.parameters import TechnologyError
-from .grid import TemperatureMap, ThermalGrid, ThermalGridParameters
+from .grid import TemperatureMap, ThermalGrid
 from .power import PowerMap
 
-__all__ = ["ThermalOperator", "ThermalStepper"]
+__all__ = ["ThermalOperator", "ThermalStepper", "SOLVE_METHODS"]
+
+#: The solve methods an operator can be asked for.  ``auto`` resolves to
+#: ``direct`` (sparse-direct factorization) at or below
+#: :attr:`ThermalOperator.iterative_threshold` unknowns and to
+#: ``iterative`` (preconditioned CG) above it.
+SOLVE_METHODS = ("auto", "direct", "iterative")
 
 #: Process-wide operator cache.  Bounded so a long-running sweep over
 #: many distinct grid geometries cannot grow it without limit; the
 #: eviction order is insertion order (oldest grid first), which matches
 #: the workloads here (a study works one grid at a time).
 _CACHE_LIMIT = 8
-#: Backward-Euler factorizations kept per operator; a what-if sweep over
-#: many control intervals on one grid evicts the oldest timestep's
-#: factorization instead of accumulating one per interval forever.
+#: Backward-Euler solves kept per operator; a what-if sweep over many
+#: control intervals on one grid evicts the oldest timestep's
+#: factorization (or preconditioner) instead of accumulating one per
+#: interval forever.
 _TIMESTEP_CACHE_LIMIT = 4
 _OPERATORS: "OrderedDict[Tuple, ThermalOperator]" = OrderedDict()
 
+#: Relative residual tolerance of the CG fallback.  Tight enough that
+#: the iterative path agrees with the sparse-direct factorization to
+#: better than 1e-8 relative on the thermal systems here (the
+#: equivalence bound the tests and benchmarks pin).
+_CG_RTOL = 1e-12
+
+
+class _IterativeSolve:
+    """Preconditioned-CG drop-in for a ``factorized`` solve callable.
+
+    Built once per system matrix (like a factorization, minus the
+    fill-in): the ILU preconditioner is computed at construction and
+    every :meth:`__call__` runs warm-started CG from the previous
+    solution — for a transient integration that is the previous step's
+    state, exactly the guess that makes each step a handful of
+    iterations.  Accepts the same ``(n,)`` vector or ``(n, k)`` stack a
+    direct factorization does (the stack solves column by column, so
+    memory stays bounded).
+    """
+
+    def __init__(self, matrix) -> None:
+        self._matrix = matrix.tocsr()
+        self._size = int(self._matrix.shape[0])
+        self._preconditioner = self._build_ilu()
+        # Jacobi fallback: the diagonal is strictly positive (every cell
+        # carries a vertical conductance) and the operator is exactly
+        # symmetric, so CG is guaranteed to converge with it even when
+        # the (unsymmetric) ILU stalls or cannot be built.
+        inverse_diagonal = 1.0 / self._matrix.diagonal()
+        self._jacobi = LinearOperator(
+            (self._size, self._size), lambda x: inverse_diagonal * x
+        )
+        self._last_solution: Optional[np.ndarray] = None
+
+    def _build_ilu(self) -> Optional[LinearOperator]:
+        # A tight drop tolerance keeps the ILU close to symmetric (CG's
+        # theory wants an SPD preconditioner); memory stays linear in
+        # the unknown count — fill_factor bounds it by a multiple of
+        # the five-point stencil's nonzeros, nothing like direct fill-in.
+        try:
+            ilu = spilu(self._matrix.tocsc(), drop_tol=1e-6, fill_factor=20.0)
+            return LinearOperator((self._size, self._size), ilu.solve)
+        except (RuntimeError, ValueError, MemoryError):
+            return None
+
+    def _solve_vector(self, rhs: np.ndarray) -> np.ndarray:
+        solution = None
+        if self._preconditioner is not None:
+            solution, info = cg(
+                self._matrix,
+                rhs,
+                x0=self._last_solution,
+                rtol=_CG_RTOL,
+                atol=0.0,
+                maxiter=min(self._size, 1000),
+                M=self._preconditioner,
+            )
+            if info != 0:
+                solution = None
+        if solution is None:
+            solution, info = cg(
+                self._matrix,
+                rhs,
+                x0=self._last_solution,
+                rtol=_CG_RTOL,
+                atol=0.0,
+                M=self._jacobi,
+            )
+            if info != 0:
+                raise TechnologyError(
+                    f"iterative thermal solve did not converge (CG info={info}) "
+                    f"on the {self._size}-unknown system"
+                )
+        self._last_solution = solution
+        return solution
+
+    def __call__(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.ndim == 1:
+            return self._solve_vector(rhs)
+        columns = [self._solve_vector(rhs[:, k]) for k in range(rhs.shape[1])]
+        return np.stack(columns, axis=1)
+
 
 class ThermalStepper:
-    """One backward-Euler integrator bound to a factorized system.
+    """One backward-Euler integrator bound to a prepared system solve.
 
     Produced by :meth:`ThermalOperator.stepper`; advances the
     temperature *rise* vector by one timestep per :meth:`step` call.
     The implicit system ``(C/dt + G) x_{n+1} = P + C/dt x_n`` was
-    factorized once when the stepper was created, so each step is a
-    pair of triangular solves.
+    prepared once when the stepper was created (factorized sparse-direct
+    or ILU-preconditioned CG, per the operator's method), so each step
+    is a pair of triangular solves or a warm-started Krylov solve.
     """
 
     def __init__(
@@ -81,41 +182,88 @@ class ThermalStepper:
         self._capacitance_over_dt = grid.capacitance_vector / self.timestep_s
 
     def step(self, rise: np.ndarray, power_w: np.ndarray) -> np.ndarray:
-        """Advance the flattened temperature-rise vector one timestep.
+        """Advance the flattened temperature-rise state one timestep.
 
         Parameters
         ----------
         rise:
             Current temperature rise above ambient, flattened to
-            ``(nx * ny,)``.
+            ``(nx * ny,)`` — or an ``(nx * ny, k)`` *stack* of states
+            (one column per banked policy/workload), advanced through
+            one multi-RHS solve.
         power_w:
-            Power injected during the step, flattened to the same shape.
+            Power injected during the step, flattened to the same shape
+            (columns broadcast against the capacitance vector).
         """
-        rhs = power_w + self._capacitance_over_dt * rise
+        rise = np.asarray(rise, dtype=float)
+        power = np.asarray(power_w, dtype=float)
+        if rise.ndim == 2:
+            rhs = power + self._capacitance_over_dt[:, np.newaxis] * rise
+        else:
+            rhs = power + self._capacitance_over_dt * rise
         return self._solve(rhs)
 
 
 class ThermalOperator:
-    """Factorization cache and multi-RHS solver for one thermal grid."""
+    """Cached solver (direct factorizations or CG) for one thermal grid.
 
-    def __init__(self, grid: ThermalGrid) -> None:
+    Parameters
+    ----------
+    grid:
+        The thermal RC network.
+    method:
+        One of :data:`SOLVE_METHODS`.  ``auto`` (the default) picks
+        sparse-direct factorization up to
+        :attr:`iterative_threshold` unknowns and the preconditioned-CG
+        fallback above it; ``direct``/``iterative`` force the choice.
+    """
+
+    #: Unknown count above which ``method="auto"`` routes solves through
+    #: preconditioned CG instead of sparse-direct factorization.  A
+    #: class attribute so deployments with more (or less) memory can
+    #: retune it: ``ThermalOperator.iterative_threshold = ...``.
+    iterative_threshold: int = 4096
+
+    def __init__(self, grid: ThermalGrid, method: str = "auto") -> None:
         self.grid = grid
+        self.method = self._resolve_method(grid, method)
         self._steady_solve: Optional[Callable[[np.ndarray], np.ndarray]] = None
         self._transient_solves: "OrderedDict[float, Callable[[np.ndarray], np.ndarray]]" = (
             OrderedDict()
         )
 
+    @classmethod
+    def _resolve_method(cls, grid: ThermalGrid, method: str) -> str:
+        if method not in SOLVE_METHODS:
+            raise TechnologyError(
+                f"unknown solve method {method!r}; choose one of {SOLVE_METHODS}"
+            )
+        if method != "auto":
+            return method
+        if grid.nx * grid.ny > cls.iterative_threshold:
+            return "iterative"
+        return "direct"
+
+    def _prepare(self, matrix) -> Callable[[np.ndarray], np.ndarray]:
+        """A solve callable for one SPD system, per the chosen method."""
+        if self.method == "iterative":
+            return _IterativeSolve(matrix)
+        return factorized(matrix.tocsc())
+
     # ------------------------------------------------------------------ #
     # the process-wide cache
     # ------------------------------------------------------------------ #
 
-    @staticmethod
-    def _cache_key(grid: ThermalGrid) -> Tuple:
-        """The matrix-defining fingerprint of a grid.
+    @classmethod
+    def _cache_key(cls, grid: ThermalGrid, method: str = "auto") -> Tuple:
+        """The matrix-defining fingerprint of a grid (plus solve method).
 
         Two grids with equal geometry and physical parameters build
         bit-identical conductance/capacitance matrices, so they may
-        share one operator (and therefore one factorization).
+        share one operator (and therefore one factorization).  The
+        *resolved* method joins the key so an explicit
+        ``method="iterative"`` request does not hand back a cached
+        direct operator (or vice versa).
         """
         return (
             grid.width_mm,
@@ -123,15 +271,16 @@ class ThermalOperator:
             grid.nx,
             grid.ny,
             grid.parameters,
+            cls._resolve_method(grid, method),
         )
 
     @classmethod
-    def for_grid(cls, grid: ThermalGrid) -> "ThermalOperator":
+    def for_grid(cls, grid: ThermalGrid, method: str = "auto") -> "ThermalOperator":
         """The shared operator of a grid (cached process-wide)."""
-        key = cls._cache_key(grid)
+        key = cls._cache_key(grid, method)
         operator = _OPERATORS.get(key)
         if operator is None:
-            operator = cls(grid)
+            operator = cls(grid, method)
             _OPERATORS[key] = operator
             while len(_OPERATORS) > _CACHE_LIMIT:
                 _OPERATORS.popitem(last=False)
@@ -151,17 +300,18 @@ class ThermalOperator:
     # ------------------------------------------------------------------ #
 
     def steady_solve(self) -> Callable[[np.ndarray], np.ndarray]:
-        """The factorized steady-state solve ``x = G \\ rhs`` (cached)."""
+        """The prepared steady-state solve ``x = G \\ rhs`` (cached)."""
         if self._steady_solve is None:
-            self._steady_solve = factorized(self.grid.conductance_matrix.tocsc())
+            self._steady_solve = self._prepare(self.grid.conductance_matrix)
         return self._steady_solve
 
     def steady_rise(self, power_w: np.ndarray) -> np.ndarray:
         """Temperature rise for one or many flattened power vectors.
 
         ``power_w`` may be a single ``(n,)`` vector or an ``(n, k)``
-        stack of right-hand sides; the factorization is applied to the
-        whole stack in one multi-RHS solve.
+        stack of right-hand sides; the direct path applies the
+        factorization to the whole stack in one multi-RHS solve, the
+        iterative path runs warm-started CG column by column.
         """
         rhs = np.asarray(power_w, dtype=float)
         size = self.grid.nx * self.grid.ny
@@ -187,7 +337,7 @@ class ThermalOperator:
         """Steady-state maps of several power maps in one multi-RHS solve.
 
         All power maps must match the grid; the stacked ``(n, k)``
-        right-hand side goes through the factorization once, replacing
+        right-hand side goes through the prepared solve once, replacing
         ``k`` independent ``spsolve`` calls (each of which used to
         re-factorize the same matrix).
         """
@@ -214,9 +364,9 @@ class ThermalOperator:
     def stepper(self, timestep_s: float) -> ThermalStepper:
         """A backward-Euler stepper for this grid at a timestep (cached).
 
-        The ``(C/dt + G)`` factorization is keyed by the timestep, so
-        every transient run with the same step — every control interval
-        of a DTM simulation, every repeat of a study — shares it.
+        The ``(C/dt + G)`` solve is keyed by the timestep, so every
+        transient run with the same step — every control interval of a
+        DTM simulation, every repeat of a study — shares it.
         """
         if timestep_s <= 0.0:
             raise TechnologyError("timestep must be positive")
@@ -226,8 +376,8 @@ class ThermalOperator:
             system = (
                 diags(self.grid.capacitance_vector / dt)
                 + self.grid.conductance_matrix
-            ).tocsc()
-            solve = factorized(system)
+            )
+            solve = self._prepare(system)
             self._transient_solves[dt] = solve
             while len(self._transient_solves) > _TIMESTEP_CACHE_LIMIT:
                 self._transient_solves.popitem(last=False)
@@ -237,7 +387,7 @@ class ThermalOperator:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ThermalOperator({self.grid.ny}x{self.grid.nx}, "
+            f"ThermalOperator({self.grid.ny}x{self.grid.nx}, {self.method}, "
             f"steady={'cached' if self._steady_solve is not None else 'cold'}, "
             f"timesteps={sorted(self._transient_solves)})"
         )

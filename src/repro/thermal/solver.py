@@ -25,17 +25,21 @@ __all__ = ["solve_steady_state", "TransientThermalResult", "solve_transient"]
 
 
 def solve_steady_state(
-    grid: ThermalGrid, power: PowerMap, ambient_c: float = 45.0
+    grid: ThermalGrid, power: PowerMap, ambient_c: float = 45.0, method: str = "auto"
 ) -> TemperatureMap:
     """Steady-state junction temperatures for a constant power map.
 
     Solves ``G * dT = P`` for the temperature rise above ambient and adds
     the ambient temperature.  ``ambient_c`` represents the local ambient
-    (board/package) temperature, not the room.  The factorization of
-    ``G`` comes from the shared :class:`ThermalOperator` cache, so
-    repeated solves on equal grids cost one factorization total.
+    (board/package) temperature, not the room.  The prepared solve comes
+    from the shared :class:`ThermalOperator` cache, so repeated solves on
+    equal grids cost one factorization total; ``method`` picks the solve
+    (``auto``/``direct``/``iterative`` — grids above the operator's
+    unknown-count threshold route through preconditioned CG
+    automatically, keeping memory bounded where a factorization's
+    fill-in won't fit).
     """
-    return ThermalOperator.for_grid(grid).solve_steady_state(power, ambient_c)
+    return ThermalOperator.for_grid(grid, method).solve_steady_state(power, ambient_c)
 
 
 @dataclass(frozen=True)
@@ -72,6 +76,7 @@ def solve_transient(
     ambient_c: float = 45.0,
     initial: Optional[TemperatureMap] = None,
     store_every: int = 1,
+    method: str = "auto",
 ) -> TransientThermalResult:
     """Integrate the thermal network over time (backward Euler).
 
@@ -93,6 +98,10 @@ def solve_transient(
         Starting temperature field; uniform ambient when omitted.
     store_every:
         Keep every n-th step in the result.
+    method:
+        Solve method (``auto``/``direct``/``iterative``); ``auto`` falls
+        back to warm-started preconditioned CG above the operator's
+        unknown-count threshold.
     """
     if duration_s <= 0.0 or timestep_s <= 0.0:
         raise TechnologyError("duration and timestep must be positive")
@@ -103,7 +112,7 @@ def solve_transient(
         raise TechnologyError("duration must span at least one timestep")
 
     size = grid.nx * grid.ny
-    stepper = ThermalOperator.for_grid(grid).stepper(timestep_s)
+    stepper = ThermalOperator.for_grid(grid, method).stepper(timestep_s)
 
     if initial is None:
         state = np.zeros(size)

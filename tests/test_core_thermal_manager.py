@@ -8,25 +8,14 @@ from repro.core import (
     DtmTracePoint,
     DynamicThermalManager,
     PerformanceState,
-    ReadoutConfig,
     ThrottlingPolicy,
 )
 from repro.oscillator import RingConfiguration
 from repro.tech import CMOS035, TechnologyError
 from repro.thermal import Floorplan, TemperatureMap
 
-
-def make_manager(policy=None, grid_resolution=12, sensor_grid=2):
-    floorplan = Floorplan.example_processor()
-    floorplan.add_sensor_grid(sensor_grid, sensor_grid)
-    return DynamicThermalManager(
-        CMOS035,
-        floorplan,
-        RingConfiguration.parse("2INV+3NAND2"),
-        policy=policy or ThrottlingPolicy(),
-        readout=ReadoutConfig(),
-        grid_resolution=grid_resolution,
-    )
+# Managers come from the shared dtm_manager_factory fixture in
+# conftest.py (the policy-bank suite builds the same ones).
 
 
 class TestPolicyValidation:
@@ -138,8 +127,8 @@ class TestDtmResultMetrics:
 
 class TestClosedLoop:
     @pytest.fixture(scope="class")
-    def managed_run(self):
-        manager = make_manager()
+    def managed_run(self, dtm_manager_factory):
+        manager = dtm_manager_factory()
         return manager.run(
             duration_s=0.6, control_interval_s=0.03, limit_c=115.0, workload_scale=1.6
         )
@@ -153,13 +142,13 @@ class TestClosedLoop:
         assert "throttled" in states or "emergency" in states
         assert managed_run.throttle_events() >= 1
 
-    def test_managed_die_cooler_than_unmanaged(self, managed_run):
+    def test_managed_die_cooler_than_unmanaged(self, managed_run, dtm_manager_factory):
         unmanaged_policy = ThrottlingPolicy(
             throttle_threshold_c=1000.0,
             release_threshold_c=900.0,
             emergency_threshold_c=1100.0,
         )
-        unmanaged = make_manager(policy=unmanaged_policy).run(
+        unmanaged = dtm_manager_factory(policy=unmanaged_policy).run(
             duration_s=0.6, control_interval_s=0.03, limit_c=115.0, workload_scale=1.6
         )
         assert managed_run.peak_temperature_c() < unmanaged.peak_temperature_c()
@@ -169,8 +158,8 @@ class TestClosedLoop:
         occupancy = managed_run.state_occupancy()
         assert sum(occupancy.values()) == pytest.approx(1.0)
 
-    def test_policy_override_runs_same_manager_unmanaged(self, managed_run):
-        unmanaged = make_manager().run(
+    def test_policy_override_runs_same_manager_unmanaged(self, managed_run, dtm_manager_factory):
+        unmanaged = dtm_manager_factory().run(
             duration_s=0.6,
             control_interval_s=0.03,
             limit_c=115.0,
@@ -184,8 +173,8 @@ class TestClosedLoop:
         assert {point.state_name for point in unmanaged.trace} == {"full-speed"}
         assert unmanaged.peak_temperature_c() > managed_run.peak_temperature_c()
 
-    def test_invalid_run_arguments_rejected(self):
-        manager = make_manager()
+    def test_invalid_run_arguments_rejected(self, dtm_manager_factory):
+        manager = dtm_manager_factory()
         with pytest.raises(TechnologyError):
             manager.run(duration_s=0.0)
         with pytest.raises(TechnologyError):

@@ -153,7 +153,9 @@ class TestRunner:
             "EXT-SUPPLY",
             "EXT-SCALING",
             "EXT-DTM",
+            "EXT-DTMSWEEP",
             "EXT-THERMALMAP",
+            "EXT-THERMALRES",
         }
 
     def test_unknown_experiment_rejected(self):

@@ -15,11 +15,9 @@ from hypothesis import strategies as st
 
 from repro.core import SensorBank, SmartTemperatureSensor, ThermalMonitor
 from repro.core.sensor_bank import BankCalibration
-from repro.cells import default_library
 from repro.engine import Axis, Sweep, SweepError
 from repro.oscillator import RingConfiguration
 from repro.tech import CMOS035, TechnologyError, sample_technology_array
-from repro.thermal import Floorplan
 
 RTOL = 1e-9
 
@@ -37,23 +35,19 @@ site_temperatures = st.lists(
 technology_seeds = st.integers(min_value=0, max_value=2**31 - 1)
 
 
-def make_bank(grid=2, library=None):
-    floorplan = Floorplan.example_processor()
-    floorplan.add_sensor_grid(grid, grid)
-    lib = library if library is not None else default_library(CMOS035)
-    return SensorBank(lib, floorplan.sensor_sites(), CONFIGURATION)
+# Banks come from the shared sensor_bank_factory fixture in conftest.py.
 
 
 @pytest.fixture(scope="module")
-def bank(library):
-    return make_bank(2, library)
+def bank(sensor_bank_factory):
+    return sensor_bank_factory(2)
 
 
 class TestBankedScanEquivalence:
     @given(temps=site_temperatures)
     @settings(**DEFAULT_SETTINGS)
-    def test_scan_matches_per_sensor_oracle(self, temps):
-        bank = make_bank(2)
+    def test_scan_matches_per_sensor_oracle(self, temps, sensor_bank_factory):
+        bank = sensor_bank_factory(2)
         temps = np.asarray(temps)
         banked = bank.scan(temps, calibration=bank.calibrate(-50.0, 150.0))
         oracle = bank.scan_loop(temps, calibrate_at=(-50.0, 150.0))
@@ -68,8 +62,8 @@ class TestBankedScanEquivalence:
 
     @given(temps=site_temperatures, seed=technology_seeds)
     @settings(max_examples=5, deadline=None)
-    def test_population_scan_matches_per_sample_oracle(self, temps, seed):
-        bank = make_bank(2)
+    def test_population_scan_matches_per_sample_oracle(self, temps, seed, sensor_bank_factory):
+        bank = sensor_bank_factory(2)
         temps = np.asarray(temps)
         population = sample_technology_array(CMOS035, 3, seed=seed)
         calibration = bank.two_point_calibration(-50.0, 150.0, technologies=population)
@@ -136,9 +130,8 @@ class TestBankStructure:
         with pytest.raises(TechnologyError):
             bank.scan(np.asarray([25.0]))
 
-    def test_requires_unique_site_names(self, library):
-        floorplan = Floorplan.example_processor()
-        floorplan.add_sensor_grid(2, 2)
+    def test_requires_unique_site_names(self, library, sensor_floorplan_factory):
+        floorplan = sensor_floorplan_factory(2)
         sites = floorplan.sensor_sites() + [floorplan.sensor_sites()[0]]
         with pytest.raises(TechnologyError):
             SensorBank(library, sites, CONFIGURATION)
@@ -154,9 +147,8 @@ class TestBankStructure:
 
 
 @pytest.fixture(scope="module")
-def monitor(tech):
-    floorplan = Floorplan.example_processor()
-    floorplan.add_sensor_grid(3, 3)
+def monitor(tech, sensor_floorplan_factory):
+    floorplan = sensor_floorplan_factory(3)
     built = ThermalMonitor(
         tech, floorplan, CONFIGURATION, grid_resolution=16
     )
@@ -190,9 +182,8 @@ class TestMonitorBankedScan:
             3.0666681976820036, rel=1e-6
         )
 
-    def test_uncalibrated_monitor_scan_rejected(self, tech):
-        floorplan = Floorplan.example_processor()
-        floorplan.add_sensor_grid(2, 2)
+    def test_uncalibrated_monitor_scan_rejected(self, tech, sensor_floorplan_factory):
+        floorplan = sensor_floorplan_factory(2)
         fresh = ThermalMonitor(tech, floorplan, CONFIGURATION, grid_resolution=16)
         with pytest.raises(TechnologyError):
             fresh.scan()

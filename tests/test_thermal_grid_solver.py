@@ -16,16 +16,9 @@ from repro.thermal import (
 )
 
 
-@pytest.fixture(scope="module")
-def uniform_power():
-    power = PowerMap.zeros(8.0, 8.0, 12, 12)
-    power.values_w += 10.0 / (12 * 12)  # 10 W spread uniformly
-    return power
-
-
-@pytest.fixture(scope="module")
-def grid(uniform_power):
-    return ThermalGrid.for_power_map(uniform_power)
+# The uniform power map / grid pair and the example-processor grid are
+# shared session fixtures in conftest.py (uniform_power_map /
+# uniform_grid / example_grid).
 
 
 class TestGridConstruction:
@@ -39,62 +32,61 @@ class TestGridConstruction:
         with pytest.raises(TechnologyError):
             ThermalGrid(8.0, 8.0, 1, 8)
 
-    def test_junction_to_ambient_resistance_realistic(self, grid):
-        theta = grid.junction_to_ambient_resistance_k_per_w()
+    def test_junction_to_ambient_resistance_realistic(self, uniform_grid):
+        theta = uniform_grid.junction_to_ambient_resistance_k_per_w()
         assert 1.0 < theta < 10.0
 
-    def test_conductance_matrix_symmetric(self, grid):
-        matrix = grid.conductance_matrix.toarray()
+    def test_conductance_matrix_symmetric(self, uniform_grid):
+        matrix = uniform_grid.conductance_matrix.toarray()
         assert np.allclose(matrix, matrix.T)
 
-    def test_power_map_mismatch_detected(self, grid):
+    def test_power_map_mismatch_detected(self, uniform_grid):
         other = PowerMap.zeros(8.0, 8.0, 6, 6)
         with pytest.raises(TechnologyError):
-            grid.check_power_map(other)
+            uniform_grid.check_power_map(other)
 
 
 class TestSteadyState:
-    def test_uniform_power_gives_uniform_rise(self, grid, uniform_power):
-        result = solve_steady_state(grid, uniform_power, ambient_c=45.0)
+    def test_uniform_power_gives_uniform_rise(self, uniform_grid, uniform_power_map):
+        result = solve_steady_state(uniform_grid, uniform_power_map, ambient_c=45.0)
         rise = result.values_c - 45.0
         assert np.all(rise > 0.0)
         # Uniform power on a uniform grid: nearly uniform temperature.
         assert result.gradient_c() < 0.5
 
-    def test_average_rise_matches_theta_ja(self, grid, uniform_power):
-        result = solve_steady_state(grid, uniform_power, ambient_c=45.0)
-        theta = grid.junction_to_ambient_resistance_k_per_w()
+    def test_average_rise_matches_theta_ja(self, uniform_grid, uniform_power_map):
+        result = solve_steady_state(uniform_grid, uniform_power_map, ambient_c=45.0)
+        theta = uniform_grid.junction_to_ambient_resistance_k_per_w()
         expected = 10.0 * theta
         assert result.mean_c() - 45.0 == pytest.approx(expected, rel=0.05)
 
-    def test_linearity_in_power(self, grid, uniform_power):
-        single = solve_steady_state(grid, uniform_power, ambient_c=0.0)
-        double = solve_steady_state(grid, uniform_power.scaled(2.0), ambient_c=0.0)
+    def test_linearity_in_power(self, uniform_grid, uniform_power_map):
+        single = solve_steady_state(uniform_grid, uniform_power_map, ambient_c=0.0)
+        double = solve_steady_state(uniform_grid, uniform_power_map.scaled(2.0), ambient_c=0.0)
         assert np.allclose(double.values_c, 2.0 * single.values_c, rtol=1e-9)
 
-    def test_hotspot_located_at_point_source(self, grid):
+    def test_hotspot_located_at_point_source(self, uniform_grid):
         power = PowerMap.zeros(8.0, 8.0, 12, 12)
         power.add_point_source(2.0, 6.0, 3.0)
-        result = solve_steady_state(grid, power, ambient_c=45.0)
+        result = solve_steady_state(uniform_grid, power, ambient_c=45.0)
         x, y = result.hotspot_location()
         assert x == pytest.approx(2.0, abs=0.5)
         assert y == pytest.approx(6.0, abs=0.5)
 
-    def test_example_floorplan_produces_gradient(self, example_power_map):
-        grid = ThermalGrid.for_power_map(example_power_map)
-        result = solve_steady_state(grid, example_power_map, ambient_c=45.0)
+    def test_example_floorplan_produces_gradient(self, example_power_map, example_grid):
+        result = solve_steady_state(example_grid, example_power_map, ambient_c=45.0)
         assert result.gradient_c() > 5.0
         assert result.max_c() < 150.0
 
 
 class TestTemperatureMap:
-    def test_sample_interpolates_inside_die(self, grid, uniform_power):
-        result = solve_steady_state(grid, uniform_power, ambient_c=45.0)
+    def test_sample_interpolates_inside_die(self, uniform_grid, uniform_power_map):
+        result = solve_steady_state(uniform_grid, uniform_power_map, ambient_c=45.0)
         centre = result.sample(4.0, 4.0)
         assert result.min_c() <= centre <= result.max_c()
 
-    def test_sample_outside_die_rejected(self, grid, uniform_power):
-        result = solve_steady_state(grid, uniform_power, ambient_c=45.0)
+    def test_sample_outside_die_rejected(self, uniform_grid, uniform_power_map):
+        result = solve_steady_state(uniform_grid, uniform_power_map, ambient_c=45.0)
         with pytest.raises(TechnologyError):
             result.sample(9.0, 1.0)
 
@@ -104,11 +96,11 @@ class TestTemperatureMap:
 
 
 class TestTransient:
-    def test_warms_towards_steady_state(self, grid, uniform_power):
-        steady = solve_steady_state(grid, uniform_power, ambient_c=45.0)
+    def test_warms_towards_steady_state(self, uniform_grid, uniform_power_map):
+        steady = solve_steady_state(uniform_grid, uniform_power_map, ambient_c=45.0)
         result = solve_transient(
-            grid,
-            lambda t: uniform_power,
+            uniform_grid,
+            lambda t: uniform_power_map,
             duration_s=2.0,
             timestep_s=0.01,
             ambient_c=45.0,
@@ -119,11 +111,11 @@ class TestTransient:
         assert np.all(np.diff(trace) >= -1e-9)
         assert result.final.max_c() == pytest.approx(steady.max_c(), rel=0.05)
 
-    def test_cooling_when_power_removed(self, grid, uniform_power):
-        steady = solve_steady_state(grid, uniform_power, ambient_c=45.0)
+    def test_cooling_when_power_removed(self, uniform_grid, uniform_power_map):
+        steady = solve_steady_state(uniform_grid, uniform_power_map, ambient_c=45.0)
         off = PowerMap.zeros(8.0, 8.0, 12, 12)
         result = solve_transient(
-            grid,
+            uniform_grid,
             lambda t: off,
             duration_s=1.0,
             timestep_s=0.01,
@@ -133,16 +125,16 @@ class TestTransient:
         )
         assert result.final.max_c() < steady.max_c()
 
-    def test_invalid_arguments_rejected(self, grid, uniform_power):
+    def test_invalid_arguments_rejected(self, uniform_grid, uniform_power_map):
         with pytest.raises(TechnologyError):
-            solve_transient(grid, lambda t: uniform_power, duration_s=0.0, timestep_s=0.01)
+            solve_transient(uniform_grid, lambda t: uniform_power_map, duration_s=0.0, timestep_s=0.01)
         with pytest.raises(TechnologyError):
-            solve_transient(grid, lambda t: uniform_power, duration_s=1.0, timestep_s=0.01,
+            solve_transient(uniform_grid, lambda t: uniform_power_map, duration_s=1.0, timestep_s=0.01,
                             store_every=0)
 
-    def test_at_time_returns_nearest_map(self, grid, uniform_power):
+    def test_at_time_returns_nearest_map(self, uniform_grid, uniform_power_map):
         result = solve_transient(
-            grid, lambda t: uniform_power, duration_s=0.5, timestep_s=0.05, store_every=1
+            uniform_grid, lambda t: uniform_power_map, duration_s=0.5, timestep_s=0.05, store_every=1
         )
         early = result.at_time(0.05)
         late = result.at_time(0.5)

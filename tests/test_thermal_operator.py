@@ -13,24 +13,31 @@ from repro.thermal import (
     solve_steady_state,
     solve_transient,
 )
+from repro.thermal.operator import _CACHE_LIMIT, _TIMESTEP_CACHE_LIMIT
+
+#: The iterative-vs-direct agreement bound (the ISSUE acceptance bar).
+ITERATIVE_RTOL = 1e-8
 
 
-@pytest.fixture()
-def grid(example_power_map):
-    return ThermalGrid.for_power_map(example_power_map)
+def _grid_at(resolution):
+    power = PowerMap.from_floorplan(
+        Floorplan.example_processor(), nx=resolution, ny=resolution
+    )
+    return ThermalGrid.for_power_map(power), power
 
 
 class TestSteadySolves:
-    def test_matches_direct_sparse_solve(self, grid, example_power_map):
-        operator = ThermalOperator(grid)
+    def test_matches_direct_sparse_solve(self, example_grid, example_power_map):
+        operator = ThermalOperator(example_grid)
         result = operator.solve_steady_state(example_power_map, ambient_c=45.0)
         reference = spsolve(
-            grid.conductance_matrix.tocsc(), example_power_map.values_w.reshape(-1)
-        ).reshape((grid.ny, grid.nx)) + 45.0
+            example_grid.conductance_matrix.tocsc(),
+            example_power_map.values_w.reshape(-1),
+        ).reshape((example_grid.ny, example_grid.nx)) + 45.0
         assert np.allclose(result.values_c, reference, rtol=1e-9, atol=1e-12)
 
-    def test_multi_rhs_matches_per_rhs(self, grid, example_power_map):
-        operator = ThermalOperator(grid)
+    def test_multi_rhs_matches_per_rhs(self, example_grid, example_power_map):
+        operator = ThermalOperator(example_grid)
         scaled = example_power_map.scaled(0.5)
         combined = operator.solve_steady_state_multi(
             [example_power_map, scaled], ambient_c=45.0
@@ -42,15 +49,17 @@ class TestSteadySolves:
         for multi, single in zip(combined, singles):
             assert np.array_equal(multi.values_c, single.values_c)
 
-    def test_solver_entry_point_routes_through_operator(self, grid, example_power_map):
-        via_operator = ThermalOperator.for_grid(grid).solve_steady_state(
+    def test_solver_entry_point_routes_through_operator(
+        self, example_grid, example_power_map
+    ):
+        via_operator = ThermalOperator.for_grid(example_grid).solve_steady_state(
             example_power_map, 45.0
         )
-        via_function = solve_steady_state(grid, example_power_map, 45.0)
+        via_function = solve_steady_state(example_grid, example_power_map, 45.0)
         assert np.array_equal(via_operator.values_c, via_function.values_c)
 
-    def test_mismatched_rhs_rejected(self, grid):
-        operator = ThermalOperator(grid)
+    def test_mismatched_rhs_rejected(self, example_grid):
+        operator = ThermalOperator(example_grid)
         with pytest.raises(TechnologyError):
             operator.steady_rise(np.zeros(3))
         with pytest.raises(TechnologyError):
@@ -58,11 +67,11 @@ class TestSteadySolves:
 
 
 class TestStepper:
-    def test_matches_manual_backward_euler(self, grid, example_power_map):
-        operator = ThermalOperator(grid)
+    def test_matches_manual_backward_euler(self, example_grid, example_power_map):
+        operator = ThermalOperator(example_grid)
         stepper = operator.stepper(1e-3)
         power = example_power_map.values_w.reshape(-1)
-        rise = np.zeros(grid.nx * grid.ny)
+        rise = np.zeros(example_grid.nx * example_grid.ny)
         for _ in range(3):
             rise = stepper.step(rise, power)
         # Manual backward Euler with a fresh factorization.
@@ -70,34 +79,141 @@ class TestStepper:
         from scipy.sparse.linalg import factorized
 
         solve = factorized(
-            (diags(grid.capacitance_vector / 1e-3) + grid.conductance_matrix).tocsc()
+            (
+                diags(example_grid.capacitance_vector / 1e-3)
+                + example_grid.conductance_matrix
+            ).tocsc()
         )
-        manual = np.zeros(grid.nx * grid.ny)
+        manual = np.zeros(example_grid.nx * example_grid.ny)
         for _ in range(3):
-            manual = solve(power + grid.capacitance_vector / 1e-3 * manual)
+            manual = solve(power + example_grid.capacitance_vector / 1e-3 * manual)
         assert np.array_equal(rise, manual)
 
-    def test_stepper_cached_per_timestep(self, grid):
-        operator = ThermalOperator(grid)
+    def test_stacked_state_matches_per_column_steps(
+        self, example_grid, example_power_map
+    ):
+        # The banked DTM path: an (n, k) state stack advances through
+        # one multi-RHS solve per step, column-for-column equal to the
+        # scalar stepper.
+        operator = ThermalOperator(example_grid)
+        stepper = operator.stepper(1e-3)
+        power = example_power_map.values_w.reshape(-1)
+        stack = np.stack([power, 0.5 * power], axis=1)
+        rise = np.zeros((example_grid.nx * example_grid.ny, 2))
+        columns = [np.zeros(example_grid.nx * example_grid.ny) for _ in range(2)]
+        for _ in range(3):
+            rise = stepper.step(rise, stack)
+            columns = [
+                stepper.step(columns[k], stack[:, k]) for k in range(2)
+            ]
+        for k in range(2):
+            assert np.allclose(rise[:, k], columns[k], rtol=1e-12, atol=0.0)
+
+    def test_stepper_cached_per_timestep(self, example_grid):
+        operator = ThermalOperator(example_grid)
         first = operator.stepper(1e-3)
         second = operator.stepper(1e-3)
         third = operator.stepper(2e-3)
         assert first._solve is second._solve
         assert first._solve is not third._solve
 
-    def test_invalid_timestep_rejected(self, grid):
+    def test_invalid_timestep_rejected(self, example_grid):
         with pytest.raises(TechnologyError):
-            ThermalOperator(grid).stepper(0.0)
+            ThermalOperator(example_grid).stepper(0.0)
 
-    def test_transient_solver_unchanged_by_operator(self, grid, example_power_map):
+    def test_transient_solver_unchanged_by_operator(
+        self, example_grid, example_power_map
+    ):
         result = solve_transient(
-            grid,
+            example_grid,
             lambda t: example_power_map,
             duration_s=5e-3,
             timestep_s=1e-3,
         )
         assert len(result.maps) == 6
         assert result.final.max_c() > 45.0
+
+
+class TestIterativeFallback:
+    """Preconditioned-CG solves versus the sparse-direct factorization."""
+
+    @pytest.fixture(scope="class")
+    def grid_and_power(self):
+        return _grid_at(24)
+
+    def test_steady_agrees_with_direct(self, grid_and_power):
+        grid, power = grid_and_power
+        rhs = power.values_w.reshape(-1)
+        direct = ThermalOperator(grid, method="direct").steady_rise(rhs)
+        iterative = ThermalOperator(grid, method="iterative").steady_rise(rhs)
+        assert np.max(np.abs(iterative - direct) / np.abs(direct)) <= ITERATIVE_RTOL
+
+    def test_multi_rhs_agrees_with_direct(self, grid_and_power):
+        grid, power = grid_and_power
+        rhs = power.values_w.reshape(-1)
+        stack = np.stack([rhs, 0.25 * rhs, 2.0 * rhs], axis=1)
+        direct = ThermalOperator(grid, method="direct").steady_rise(stack)
+        iterative = ThermalOperator(grid, method="iterative").steady_rise(stack)
+        assert iterative.shape == direct.shape == stack.shape
+        assert np.max(np.abs(iterative - direct) / np.abs(direct)) <= ITERATIVE_RTOL
+
+    def test_transient_stepping_agrees_with_direct(self, grid_and_power):
+        grid, power = grid_and_power
+        rhs = power.values_w.reshape(-1)
+        direct = ThermalOperator(grid, method="direct").stepper(0.01)
+        iterative = ThermalOperator(grid, method="iterative").stepper(0.01)
+        rise_d = np.zeros(grid.nx * grid.ny)
+        rise_i = np.zeros(grid.nx * grid.ny)
+        # Warm starts accumulate across steps; the agreement bound must
+        # hold at every step, not just the first.
+        for _ in range(20):
+            rise_d = direct.step(rise_d, rhs)
+            rise_i = iterative.step(rise_i, rhs)
+            assert np.max(np.abs(rise_i - rise_d) / np.abs(rise_d)) <= ITERATIVE_RTOL
+
+    def test_auto_routes_by_unknown_count(self, monkeypatch, grid_and_power):
+        grid, _power = grid_and_power
+        assert ThermalOperator(grid, method="auto").method == "direct"
+        monkeypatch.setattr(ThermalOperator, "iterative_threshold", 100)
+        assert ThermalOperator(grid, method="auto").method == "iterative"
+
+    def test_explicit_methods_get_distinct_cache_entries(self, grid_and_power):
+        grid, _power = grid_and_power
+        ThermalOperator.clear_cache()
+        auto = ThermalOperator.for_grid(grid)
+        direct = ThermalOperator.for_grid(grid, method="direct")
+        iterative = ThermalOperator.for_grid(grid, method="iterative")
+        # auto resolves to direct at 24x24, so those two share one entry.
+        assert auto is direct
+        assert iterative is not direct
+        assert ThermalOperator.cache_size() == 2
+
+    def test_solver_entry_points_accept_method(self, grid_and_power):
+        grid, power = grid_and_power
+        direct = solve_steady_state(grid, power, 45.0, method="direct")
+        iterative = solve_steady_state(grid, power, 45.0, method="iterative")
+        assert np.allclose(
+            iterative.values_c, direct.values_c, rtol=ITERATIVE_RTOL, atol=0.0
+        )
+        transient = solve_transient(
+            grid, lambda t: power, duration_s=0.05, timestep_s=0.01, method="iterative"
+        )
+        reference = solve_transient(
+            grid, lambda t: power, duration_s=0.05, timestep_s=0.01, method="direct"
+        )
+        assert np.allclose(
+            transient.final.values_c,
+            reference.final.values_c,
+            rtol=ITERATIVE_RTOL,
+            atol=0.0,
+        )
+
+    def test_unknown_method_rejected(self, grid_and_power):
+        grid, _power = grid_and_power
+        with pytest.raises(TechnologyError):
+            ThermalOperator(grid, method="cholesky")
+        with pytest.raises(TechnologyError):
+            ThermalOperator.for_grid(grid, method="cholesky")
 
 
 class TestProcessWideCache:
@@ -123,4 +239,75 @@ class TestProcessWideCache:
                 Floorplan.example_processor(), nx=resolution, ny=resolution
             )
             ThermalOperator.for_grid(ThermalGrid.for_power_map(power))
-        assert ThermalOperator.cache_size() <= 8
+        assert ThermalOperator.cache_size() <= _CACHE_LIMIT
+
+
+class TestCacheEviction:
+    """Insertion-order eviction of both caches, covered directly."""
+
+    def test_operator_cache_evicts_oldest_insertion_first(self):
+        ThermalOperator.clear_cache()
+        operators = {}
+        resolutions = list(range(4, 4 + _CACHE_LIMIT))
+        for resolution in resolutions:
+            grid, _power = _grid_at(resolution)
+            operators[resolution] = ThermalOperator.for_grid(grid)
+        assert ThermalOperator.cache_size() == _CACHE_LIMIT
+        # One more distinct geometry evicts exactly the oldest entry ...
+        overflow_grid, _power = _grid_at(4 + _CACHE_LIMIT)
+        ThermalOperator.for_grid(overflow_grid)
+        assert ThermalOperator.cache_size() == _CACHE_LIMIT
+        oldest_grid, _power = _grid_at(resolutions[0])
+        rebuilt = ThermalOperator.for_grid(oldest_grid)
+        assert rebuilt is not operators[resolutions[0]]
+        # ... and rebuilding the oldest evicted the (FIFO) next-oldest,
+        # while the third-oldest entry is still the original object.
+        third_grid, _power = _grid_at(resolutions[2])
+        kept = ThermalOperator.for_grid(third_grid)
+        assert kept is operators[resolutions[2]]
+        second_grid, _power = _grid_at(resolutions[1])
+        assert ThermalOperator.for_grid(second_grid) is not operators[resolutions[1]]
+
+    def test_clear_cache_forgets_every_operator(self):
+        ThermalOperator.clear_cache()
+        grid, _power = _grid_at(6)
+        before = ThermalOperator.for_grid(grid)
+        ThermalOperator.clear_cache()
+        assert ThermalOperator.cache_size() == 0
+        assert ThermalOperator.for_grid(grid) is not before
+
+    def test_timestep_cache_is_lru_not_fifo(self, example_grid):
+        operator = ThermalOperator(example_grid)
+        timesteps = [1e-3 * (k + 1) for k in range(_TIMESTEP_CACHE_LIMIT)]
+        solves = {dt: operator.stepper(dt)._solve for dt in timesteps}
+        # Touch the oldest timestep, then overflow the cache: the
+        # recently used entry survives, the least recently used one
+        # (the second-oldest) is evicted.
+        assert operator.stepper(timesteps[0])._solve is solves[timesteps[0]]
+        operator.stepper(1e-3 * (_TIMESTEP_CACHE_LIMIT + 1))
+        assert operator.stepper(timesteps[0])._solve is solves[timesteps[0]]
+        assert operator.stepper(timesteps[1])._solve is not solves[timesteps[1]]
+
+    def test_timestep_cache_bounded(self, example_grid):
+        operator = ThermalOperator(example_grid)
+        for k in range(2 * _TIMESTEP_CACHE_LIMIT):
+            operator.stepper(1e-3 * (k + 1))
+        assert len(operator._transient_solves) == _TIMESTEP_CACHE_LIMIT
+
+    def test_cross_grid_sharing_is_keyed_by_geometry_not_identity(self):
+        ThermalOperator.clear_cache()
+        grid_a, _power = _grid_at(10)
+        grid_b, _power = _grid_at(10)
+        assert grid_a is not grid_b
+        assert ThermalOperator.for_grid(grid_a) is ThermalOperator.for_grid(grid_b)
+        # Different physical parameters break the sharing.
+        from repro.thermal import ThermalGridParameters
+
+        thicker = ThermalGrid(
+            grid_a.width_mm,
+            grid_a.height_mm,
+            grid_a.nx,
+            grid_a.ny,
+            ThermalGridParameters(die_thickness_mm=0.7),
+        )
+        assert ThermalOperator.for_grid(thicker) is not ThermalOperator.for_grid(grid_a)
