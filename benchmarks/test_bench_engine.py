@@ -24,9 +24,15 @@ factorize-per-solve path they replaced; the banked DTM policy sweep
 closed loop over 8 policies with bit-identical throttle decisions; and
 the iterative CG fallback agrees with sparse-direct to 1e-8 while
 running a 96x96 grid — 4x the unknowns of the largest factorized
-benchmark grid (48x48).
+benchmark grid (48x48); and the tiled multiprocess sweep backend
+(PR 6) is at least 2x faster than serial tiles at 4 workers on the
+20000-sample Monte-Carlo x dense-grid sweep, bitwise identical to the
+dense path (the speedup floor is asserted only where >= 4 cores are
+actually available; the ``sweep-tiled-parallel`` group is recorded
+everywhere).
 """
 
+import os
 import time
 
 import numpy as np
@@ -35,7 +41,7 @@ from scipy.sparse.linalg import spsolve
 
 from repro.cells import default_library
 from repro.core import DynamicThermalManager, ReadoutConfig, SensorBank, ThrottlingPolicy
-from repro.engine import Axis, BatchEvaluator, Sweep
+from repro.engine import Axis, BatchEvaluator, ProcessExecutor, Sweep
 from repro.experiments import run_dtm_study
 from repro.oscillator import (
     PAPER_FIG3_CONFIGURATIONS,
@@ -563,3 +569,86 @@ def test_sizing_sweep_dense_grid(benchmark, vectorized, tech):
         iterations=1,
     )
     assert result.best().max_abs_error_percent < 0.25
+
+
+#: The tiled-execution benchmark workload: a Monte-Carlo population x
+#: dense temperature grid big enough that tile fan-out dominates
+#: per-task overhead (20000 x 41 = 820k elements, ~1 s of serial
+#: evaluation), split into ~2^17-element tiles.
+TILED_SAMPLES = 20000
+TILED_TILE_ELEMENTS = 1 << 17
+
+
+def _tiled_sweep():
+    # A prebuilt ring as the base context: the timed region then
+    # measures tile evaluation and transport, not per-tile cell-library
+    # construction.
+    ring = RingOscillator(default_library(CMOS035), CONFIGURATION)
+    population = sample_technology_array(CMOS035, TILED_SAMPLES, seed=1234)
+    return (
+        Sweep(ring=ring)
+        .over(Axis.sample(population))
+        .over(Axis.temperature(DENSE_GRID))
+    )
+
+
+def test_tiled_parallel_speedup_at_4_workers():
+    """The PR 6 acceptance criterion: the multiprocess backend is >= 2x
+    faster than serial tiles at 4 workers on the 20000-sample sweep,
+    with bitwise-identical results.  The floor is a statement about
+    parallel hardware, so it is asserted only where 4 cores exist (the
+    CI bench job runs on 4-vCPU runners); the bitwise-identity half
+    holds — and is checked — everywhere."""
+    sweep = _tiled_sweep()
+    workers = 4
+
+    parallel_executor = ProcessExecutor(max_workers=workers)
+    # Warm the worker pool outside the timing: pool startup is a
+    # once-per-process cost the backend amortizes by design.
+    sweep.run(executor=parallel_executor, max_tile_elements=TILED_TILE_ELEMENTS)
+
+    parallel_s, parallel = _best_time(
+        lambda: sweep.run(
+            executor=parallel_executor, max_tile_elements=TILED_TILE_ELEMENTS
+        ),
+        rounds=2,
+    )
+
+    start = time.perf_counter()
+    serial = sweep.run(executor="serial", max_tile_elements=TILED_TILE_ELEMENTS)
+    serial_s = time.perf_counter() - start
+
+    speedup = serial_s / parallel_s
+    print(f"\ntiled-parallel speedup at {TILED_SAMPLES}x{DENSE_GRID.size}, "
+          f"{workers} workers: {speedup:.2f}x "
+          f"(serial {serial_s * 1e3:.0f} ms, parallel {parallel_s * 1e3:.0f} ms)")
+
+    assert serial.dims == parallel.dims
+    assert np.array_equal(serial.values, parallel.values)
+    if (os.cpu_count() or 1) >= workers:
+        assert speedup >= 2.0
+    else:
+        pytest.skip(
+            f"speedup floor needs {workers} cores, have {os.cpu_count()}; "
+            f"bitwise identity verified"
+        )
+
+
+@pytest.mark.benchmark(group="sweep-tiled-parallel")
+@pytest.mark.parametrize("mode", ["process-4", "serial"])
+def test_tiled_sweep_execution(benchmark, mode):
+    """Records serial-tiles vs 4-worker-pool wall clock into
+    BENCH_engine.json (the CI bench job asserts this group is present)."""
+    sweep = _tiled_sweep()
+    if mode == "process-4":
+        executor = ProcessExecutor(max_workers=4)
+        # Pool startup is amortized by design; warm it outside the timing.
+        sweep.run(executor=executor, max_tile_elements=TILED_TILE_ELEMENTS)
+    else:
+        executor = "serial"
+    result = benchmark.pedantic(
+        lambda: sweep.run(executor=executor, max_tile_elements=TILED_TILE_ELEMENTS),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.shape == (TILED_SAMPLES, DENSE_GRID.size)

@@ -126,7 +126,18 @@ from .oscillator import (
     analytical_response,
 )
 from .analysis import nonlinearity, sensitivity_report
-from .engine import Axis, BatchEvaluator, Sweep, SweepResult
+from .engine import (
+    Axis,
+    BatchEvaluator,
+    HistogramReducer,
+    MeanReducer,
+    MemmapExecutor,
+    PercentileReducer,
+    ProcessExecutor,
+    SerialExecutor,
+    Sweep,
+    SweepResult,
+)
 from .core import (
     LinearCalibration,
     ReadoutConfig,
@@ -170,6 +181,12 @@ __all__ = [
     "sensitivity_report",
     "Axis",
     "BatchEvaluator",
+    "HistogramReducer",
+    "MeanReducer",
+    "MemmapExecutor",
+    "PercentileReducer",
+    "ProcessExecutor",
+    "SerialExecutor",
     "Sweep",
     "SweepResult",
     "LinearCalibration",

@@ -9,6 +9,15 @@ adapter over it.
 """
 
 from .batch import BatchEvaluator
+from .executors import (
+    Executor,
+    MemmapExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_executor,
+)
+from .reducers import HistogramReducer, MeanReducer, PercentileReducer
 from .sweep import (
     Axis,
     CANONICAL_AXIS_ORDER,
@@ -18,14 +27,28 @@ from .sweep import (
     SweepPlan,
     SweepResult,
 )
+from .tiling import Tile, TilingPlan, plan_tiles, subplan
 
 __all__ = [
     "Axis",
     "BatchEvaluator",
     "CANONICAL_AXIS_ORDER",
+    "Executor",
+    "HistogramReducer",
+    "MeanReducer",
+    "MemmapExecutor",
     "OBSERVABLES",
+    "PercentileReducer",
+    "ProcessExecutor",
+    "SerialExecutor",
     "Sweep",
     "SweepError",
     "SweepPlan",
     "SweepResult",
+    "Tile",
+    "TilingPlan",
+    "make_executor",
+    "plan_tiles",
+    "resolve_executor",
+    "subplan",
 ]

@@ -1,0 +1,242 @@
+"""Streaming reducers: aggregate a tiled sweep without the full tensor.
+
+A reducer consumes tile sub-tensors as the executor produces them and
+finalizes an aggregate once every tile has arrived, so
+:meth:`~repro.engine.sweep.Sweep.reduce` can summarize a sweep whose
+dense result would never fit in memory.  The protocol is three calls:
+
+``prepare(tiling)``
+    Allocate accumulators for the tiling's full shape.
+``update(tiling, tile, values)``
+    Fold one tile's dense sub-tensor in.  Tiles may arrive in any
+    order (the process backend streams them in completion order) and
+    each result element is covered exactly once.
+``result(tiling)``
+    Finalize and return the aggregate.
+
+Reduction happens over the *reduced* dims (``dims=None`` means all of
+them, collapsing to a scalar); the remaining dims are kept, so
+``MeanReducer(dims=("sample",))`` on a ``sample x temperature`` sweep
+returns a per-temperature curve.
+
+Exactness: :class:`MeanReducer` accumulates per-tile partial sums, so it
+matches ``np.mean`` up to summation-order rounding (well inside 1e-12
+for paper-scale sweeps).  :class:`PercentileReducer` is *exact* — it
+stages values into an unlinked disk-backed scratch array (RAM stays
+bounded by one tile plus one finalize slab) and runs ``np.percentile``
+over the assembled reduced axis at finalize time; with no kept dims the
+final slab is the whole reduced axis, the unavoidable cost of an exact
+percentile.  :class:`HistogramReducer` needs a fixed ``range`` up front
+(bin edges must agree across tiles) and accumulates counts exactly.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .sweep import SweepError
+from .tiling import Tile, TilingPlan
+
+__all__ = [
+    "MeanReducer",
+    "PercentileReducer",
+    "HistogramReducer",
+]
+
+
+def _split_dims(
+    tiling: TilingPlan, dims: Optional[Sequence[str]]
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Partition the tiling's dims into (kept, reduced)."""
+    if dims is None:
+        reduced = tuple(tiling.dims)
+    else:
+        reduced = tuple(dims)
+        unknown = [name for name in reduced if name not in tiling.dims]
+        if unknown:
+            raise SweepError(
+                f"cannot reduce over {unknown}; sweep dims are {list(tiling.dims)}"
+            )
+        if len(set(reduced)) != len(reduced):
+            raise SweepError(f"duplicate reduction dims in {list(reduced)}")
+    if not reduced:
+        raise SweepError("reduction needs at least one dim")
+    kept = tuple(name for name in tiling.dims if name not in reduced)
+    return kept, reduced
+
+
+def _tile_extent(tiling: TilingPlan, tile: Tile, name: str) -> Tuple[int, int]:
+    span = tile.bounds_for(name)
+    if span is not None:
+        return span
+    return (0, tiling.shape[tiling.dims.index(name)])
+
+
+class _AxisReducer:
+    """Shared kept/reduced-dim bookkeeping for mean and percentile."""
+
+    def __init__(self, dims: Optional[Sequence[str]] = None) -> None:
+        self.dims = tuple(dims) if dims is not None else None
+        self._kept: Tuple[str, ...] = ()
+        self._reduced: Tuple[str, ...] = ()
+        self._kept_shape: Tuple[int, ...] = ()
+        self._reduced_shape: Tuple[int, ...] = ()
+
+    def _bind(self, tiling: TilingPlan) -> None:
+        self._kept, self._reduced = _split_dims(tiling, self.dims)
+        sizes = dict(zip(tiling.dims, tiling.shape))
+        self._kept_shape = tuple(sizes[name] for name in self._kept)
+        self._reduced_shape = tuple(sizes[name] for name in self._reduced)
+
+    def _reduced_total(self) -> int:
+        return int(np.prod(self._reduced_shape, dtype=np.int64)) if self._reduced else 1
+
+    def _rearranged(
+        self, tiling: TilingPlan, values: np.ndarray
+    ) -> np.ndarray:
+        """A tile's values with kept dims leading and reduced dims flattened last."""
+        order = [tiling.dims.index(name) for name in self._kept] + [
+            tiling.dims.index(name) for name in self._reduced
+        ]
+        moved = np.transpose(values, order)
+        kept_extent = moved.shape[: len(self._kept)]
+        return moved.reshape(kept_extent + (-1,))
+
+    def _kept_index(self, tiling: TilingPlan, tile: Tile) -> Tuple[slice, ...]:
+        return tuple(
+            slice(*_tile_extent(tiling, tile, name)) for name in self._kept
+        )
+
+    def _reduced_flat_index(self, tiling: TilingPlan, tile: Tile) -> np.ndarray:
+        """Flat positions of the tile's reduced block inside the reduced space."""
+        ranges = [
+            np.arange(*_tile_extent(tiling, tile, name)) for name in self._reduced
+        ]
+        mesh = np.meshgrid(*ranges, indexing="ij")
+        return np.ravel_multi_index(
+            tuple(m.ravel() for m in mesh), self._reduced_shape
+        )
+
+
+class MeanReducer(_AxisReducer):
+    """Streaming arithmetic mean over the reduced dims."""
+
+    def __init__(self, dims: Optional[Sequence[str]] = None) -> None:
+        super().__init__(dims)
+        self._sums: Optional[np.ndarray] = None
+
+    def prepare(self, tiling: TilingPlan) -> None:
+        self._bind(tiling)
+        self._sums = np.zeros(self._kept_shape, dtype=np.float64)
+
+    def update(self, tiling: TilingPlan, tile: Tile, values: np.ndarray) -> None:
+        assert self._sums is not None
+        partial = self._rearranged(tiling, values).sum(axis=-1, dtype=np.float64)
+        self._sums[self._kept_index(tiling, tile)] += partial
+
+    def result(self, tiling: TilingPlan) -> Any:
+        assert self._sums is not None
+        mean = self._sums / float(self._reduced_total())
+        return float(mean) if mean.ndim == 0 else mean
+
+
+class PercentileReducer(_AxisReducer):
+    """Exact streaming percentile via a disk-backed scratch array.
+
+    Tiles scatter their values into an unlinked temporary-file memmap
+    shaped ``kept_shape + (reduced_total,)``; finalize runs
+    ``np.percentile`` slab-by-slab (``slab_elements`` bounds how much of
+    the scratch is resident at once).  ``q`` may be a scalar or a
+    sequence, exactly as ``np.percentile`` accepts.
+    """
+
+    def __init__(
+        self,
+        q: Any,
+        dims: Optional[Sequence[str]] = None,
+        slab_elements: int = 1 << 22,
+    ) -> None:
+        super().__init__(dims)
+        self.q = q
+        if int(slab_elements) < 1:
+            raise SweepError("slab_elements must be at least 1")
+        self.slab_elements = int(slab_elements)
+        self._scratch: Optional[np.ndarray] = None
+
+    def prepare(self, tiling: TilingPlan) -> None:
+        self._bind(tiling)
+        shape = self._kept_shape + (self._reduced_total(),)
+        handle = tempfile.TemporaryFile(prefix="sweep-pct-", suffix=".scratch")
+        self._scratch = np.memmap(handle, dtype=np.float64, mode="w+", shape=shape)
+
+    def update(self, tiling: TilingPlan, tile: Tile, values: np.ndarray) -> None:
+        assert self._scratch is not None
+        index = self._kept_index(tiling, tile) + (
+            self._reduced_flat_index(tiling, tile),
+        )
+        self._scratch[index] = self._rearranged(tiling, values)
+
+    def result(self, tiling: TilingPlan) -> Any:
+        assert self._scratch is not None
+        q_array = np.asarray(self.q, dtype=np.float64)
+        reduced_total = self._reduced_total()
+        kept_total = (
+            int(np.prod(self._kept_shape, dtype=np.int64)) if self._kept_shape else 1
+        )
+        flat = self._scratch.reshape(kept_total, reduced_total)
+        rows_per_slab = max(1, self.slab_elements // max(1, reduced_total))
+        out = np.empty(q_array.shape + (kept_total,), dtype=np.float64)
+        for start in range(0, kept_total, rows_per_slab):
+            stop = min(start + rows_per_slab, kept_total)
+            slab = np.asarray(flat[start:stop])
+            out[..., start:stop] = np.percentile(slab, q_array, axis=-1)
+        out = out.reshape(q_array.shape + self._kept_shape)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+
+class HistogramReducer:
+    """Streaming histogram with fixed, pre-declared bin edges.
+
+    ``range`` is required: tiles are binned independently, so every
+    update must agree on the edges — inferring them from the first tile
+    would silently mis-bin later tiles.  Values outside ``range`` are
+    dropped (``np.histogram`` semantics).  ``result`` returns
+    ``(counts, edges)``.
+    """
+
+    def __init__(self, bins: int = 64, range: Optional[Tuple[float, float]] = None):
+        if range is None:
+            raise SweepError(
+                "HistogramReducer needs an explicit range=(lo, hi); bin edges "
+                "must be identical across tiles"
+            )
+        lo, hi = float(range[0]), float(range[1])
+        if not lo < hi:
+            raise SweepError(f"histogram range must satisfy lo < hi, got {(lo, hi)}")
+        if int(bins) < 1:
+            raise SweepError("bins must be at least 1")
+        self.bins = int(bins)
+        self.range = (lo, hi)
+        self._edges = np.histogram_bin_edges([], bins=self.bins, range=self.range)
+        self._counts: Optional[np.ndarray] = None
+
+    def prepare(self, tiling: TilingPlan) -> None:
+        self._counts = np.zeros(self.bins, dtype=np.int64)
+
+    def update(self, tiling: TilingPlan, tile: Tile, values: np.ndarray) -> None:
+        assert self._counts is not None
+        counts, _ = np.histogram(
+            np.asarray(values, dtype=np.float64).ravel(),
+            bins=self.bins,
+            range=self.range,
+        )
+        self._counts += counts
+
+    def result(self, tiling: TilingPlan) -> Tuple[np.ndarray, np.ndarray]:
+        assert self._counts is not None
+        return self._counts.copy(), self._edges.copy()

@@ -138,6 +138,17 @@ class SweepError(ValueError):
     """Raised for invalid sweep specifications or result queries."""
 
 
+def _duplicate_labels(labels: Sequence[Any]) -> List[Any]:
+    """The labels appearing more than once, in first-appearance order."""
+    seen: set = set()
+    duplicates: List[Any] = []
+    for label in labels:
+        if label in seen and label not in duplicates:
+            duplicates.append(label)
+        seen.add(label)
+    return duplicates
+
+
 # --------------------------------------------------------------------------- #
 # axes
 # --------------------------------------------------------------------------- #
@@ -180,13 +191,21 @@ class Axis:
         """The junction-temperature axis (deg C), evaluated pointwise.
 
         The grid is kept in the caller's order (periods are evaluated
-        elementwise, so ordering is presentation only).
+        elementwise, so ordering is presentation only).  Each point must
+        be unique — duplicates would collide as coordinate labels in the
+        result (and re-evaluate the same point for nothing).
         """
         temps = np.asarray(list(temperatures_c), dtype=float)
         if temps.ndim != 1 or temps.size < 1:
             raise SweepError("temperature axis needs a 1-D grid of at least one point")
         if np.any(~np.isfinite(temps)):
             raise SweepError("temperature axis must be finite (no NaN or infinity)")
+        duplicates = _duplicate_labels([float(t) for t in temps])
+        if duplicates:
+            raise SweepError(
+                f"temperature axis has duplicate points {duplicates}; "
+                "coordinates must be unique per axis"
+            )
         return cls("temperature", tuple(float(t) for t in temps))
 
     @classmethod
@@ -327,6 +346,12 @@ class Axis:
                     f"grid resolutions must be integers >= 2, got {value!r}"
                 )
             coords.append(int(value))
+        duplicates = _duplicate_labels(coords)
+        if duplicates:
+            raise SweepError(
+                f"resolution axis has duplicate resolutions {duplicates}; "
+                "coordinates must be unique per axis"
+            )
         return cls(
             "resolution",
             tuple(coords),
@@ -367,15 +392,21 @@ class Axis:
         :func:`repro.optimize.sizing.build_sized_ring`), so it lowers to
         an outer loop over otherwise fully broadcast sub-tensors rather
         than a broadcast dimension of its own.  Mutually exclusive with
-        the ``configuration`` axis.  Like the temperature axis, each
-        ratio is evaluated independently, so duplicates are allowed
-        (``select`` on a duplicated coordinate returns the first match).
+        the ``configuration`` axis.  Ratios must be unique — a duplicate
+        would collide as a coordinate label in the result, making
+        ``select`` ambiguous and the serialized form lossy.
         """
         values = np.asarray(list(ratios), dtype=float)
         if values.ndim != 1 or values.size < 1:
             raise SweepError("width_ratio axis needs at least one ratio")
         if np.any(~np.isfinite(values)) or np.any(values <= 0.0):
             raise SweepError("width ratios must be finite and positive")
+        duplicates = _duplicate_labels([float(r) for r in values])
+        if duplicates:
+            raise SweepError(
+                f"width_ratio axis has duplicate ratios {duplicates}; "
+                "coordinates must be unique per axis"
+            )
         return cls(
             "width_ratio",
             tuple(float(r) for r in values),
@@ -424,6 +455,17 @@ class SweepResult:
                     f"axis {name!r} has {values.shape[axis]} entries but "
                     f"{len(self.coords[name])} coordinates"
                 )
+        for name in self.dims:
+            duplicates = _duplicate_labels(self.coords[name])
+            if duplicates:
+                # Duplicate labels would silently collapse in the
+                # coordinate-keyed to_dict tree (later keys overwrite
+                # earlier ones, dropping data) and make select() return
+                # an arbitrary one of the colliding entries.
+                raise SweepError(
+                    f"axis {name!r} has duplicate coordinate labels "
+                    f"{duplicates}; coordinates must be unique per axis"
+                )
 
     # ------------------------------------------------------------------ #
     # structure
@@ -471,6 +513,18 @@ class SweepResult:
                 if isinstance(candidate, (int, float))
                 and np.isclose(float(candidate), float(label), rtol=1e-12, atol=0.0)
             ]
+            if len(numeric) > 1:
+                # Near-duplicate float coordinates (e.g. a refinement
+                # axis converging on one value) make "the first isclose
+                # match" an arbitrary choice; force the caller to
+                # disambiguate by position instead of silently picking
+                # index 0.
+                matches = [labels[index] for index in numeric]
+                raise SweepError(
+                    f"label {label!r} on axis {name!r} is ambiguous: it is "
+                    f"within tolerance of coordinates {matches} at positions "
+                    f"{numeric}; select by position with isel() instead"
+                )
             if numeric:
                 return numeric[0]
         raise SweepError(
@@ -531,15 +585,87 @@ class SweepResult:
         values = self.values.reshape([self.values.shape[i] for i in keep])
         return replace(self, values=values, dims=dims, coords=coords)
 
-    def to_dict(self) -> Any:
-        """Nested plain-dict view keyed by coordinates (floats at the leaves)."""
+    def to_tree(self) -> Any:
+        """Nested plain-dict view keyed by coordinates (floats at the leaves).
+
+        Coordinate labels become dictionary keys, so uniqueness (enforced
+        at construction) is what keeps this view lossless: a duplicate
+        label would silently overwrite its sibling's subtree.
+        """
+        for name in self.dims:
+            duplicates = _duplicate_labels(self.coords[name])
+            if duplicates:  # pragma: no cover - unreachable post-validation
+                raise SweepError(
+                    f"axis {name!r} has duplicate coordinate labels "
+                    f"{duplicates}; the coordinate-keyed view would drop data"
+                )
         if not self.dims:
             return float(self.values.reshape(()))
         name = self.dims[0]
         return {
-            label: self.isel(**{name: index}).to_dict()
+            label: self.isel(**{name: index}).to_tree()
             for index, label in enumerate(self.coords[name])
         }
+
+    #: Version tag of the :meth:`to_dict` serialization, bumped on any
+    #: incompatible change so cached artifacts can be rejected cleanly.
+    SCHEMA_VERSION = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless plain-data form (dims, coords, values, observable).
+
+        The payload is built from plain lists and scalars, so it
+        round-trips through JSON and :meth:`from_dict` rebuilds an
+        identical result — the serialization tile results and cached
+        sweep artifacts travel as.  Duplicate coordinate labels raise
+        :class:`SweepError` (they cannot re-hydrate losslessly); use
+        :meth:`to_tree` for the coordinate-keyed nested view.
+        """
+        for name in self.dims:
+            duplicates = _duplicate_labels(self.coords[name])
+            if duplicates:  # pragma: no cover - unreachable post-validation
+                raise SweepError(
+                    f"axis {name!r} has duplicate coordinate labels "
+                    f"{duplicates}; the serialized result would drop data"
+                )
+        return {
+            "version": self.SCHEMA_VERSION,
+            "observable": self.observable,
+            "dims": list(self.dims),
+            "coords": {name: list(self.coords[name]) for name in self.dims},
+            "dtype": str(self.values.dtype),
+            "values": self.values.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepResult":
+        """Re-hydrate a result serialized by :meth:`to_dict`."""
+        if not isinstance(payload, Mapping):
+            raise SweepError(
+                f"from_dict takes a to_dict() mapping, got {type(payload).__name__}"
+            )
+        missing = [
+            key
+            for key in ("version", "observable", "dims", "coords", "values")
+            if key not in payload
+        ]
+        if missing:
+            raise SweepError(f"serialized sweep result is missing {missing}")
+        version = payload["version"]
+        if version != cls.SCHEMA_VERSION:
+            raise SweepError(
+                f"serialized sweep result has version {version!r}; this "
+                f"build reads version {cls.SCHEMA_VERSION}"
+            )
+        dims = tuple(payload["dims"])
+        coords = {name: tuple(labels) for name, labels in payload["coords"].items()}
+        values = np.asarray(payload["values"], dtype=payload.get("dtype", float))
+        return cls(
+            values=values,
+            dims=dims,
+            coords=coords,
+            observable=payload["observable"],
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         extent = ", ".join(
@@ -736,9 +862,35 @@ class Sweep:
             readout=self._readout,
         )
 
-    def run(self) -> SweepResult:
-        """Plan and evaluate the sweep."""
-        return self.plan().execute()
+    def run(
+        self,
+        *,
+        executor: Any = None,
+        max_tile_elements: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> SweepResult:
+        """Plan and evaluate the sweep (see :meth:`SweepPlan.execute`)."""
+        return self.plan().execute(
+            executor=executor,
+            max_tile_elements=max_tile_elements,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+
+    def reduce(
+        self,
+        reducers: Any,
+        *,
+        executor: Any = None,
+        max_tile_elements: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> Any:
+        """Plan and stream the sweep through reducers (:meth:`SweepPlan.reduce`)."""
+        return self.plan().reduce(
+            reducers,
+            executor=executor,
+            max_tile_elements=max_tile_elements,
+            memory_budget_bytes=memory_budget_bytes,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         names = [name for name in CANONICAL_AXIS_ORDER if name in self._axes]
@@ -905,8 +1057,78 @@ class SweepPlan:
             ).reshape(-1, 1)
         return np.asarray(factor(ring.rebind(population))).reshape(-1, 1)
 
-    def execute(self) -> SweepResult:
-        """Evaluate the plan and label the result."""
+    def execute(
+        self,
+        *,
+        executor: Any = None,
+        max_tile_elements: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> SweepResult:
+        """Evaluate the plan and label the result.
+
+        With no arguments (and no ``REPRO_SWEEP_EXECUTOR`` environment
+        override) this is the dense in-memory single-pass evaluation —
+        the reference semantics every other path must bit-match.
+
+        ``executor`` selects a tiled execution backend (an
+        :class:`~repro.engine.executors.Executor` instance, or one of
+        the names ``"serial"`` / ``"process"`` / ``"memmap"``); the
+        plan is then partitioned by :func:`~repro.engine.tiling.plan_tiles`
+        into bounded-memory chunks along the cheapest-to-split axes
+        (``sample``, then ``temperature``) and the tiles are evaluated
+        through the backend.  ``max_tile_elements`` /
+        ``memory_budget_bytes`` bound each tile's dense sub-tensor;
+        giving either without an executor runs the tiles serially
+        in-process.  Tiled results are bitwise identical to the dense
+        pass (each tile is an elementwise slice of the same broadcast).
+        """
+        from .executors import resolve_executor, run_plan
+
+        resolved = resolve_executor(executor)
+        if (
+            resolved is None
+            and max_tile_elements is None
+            and memory_budget_bytes is None
+        ):
+            return self._execute_dense()
+        return run_plan(
+            self,
+            executor=resolved,
+            max_tile_elements=max_tile_elements,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+
+    def reduce(
+        self,
+        reducers: Any,
+        *,
+        executor: Any = None,
+        max_tile_elements: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> Any:
+        """Stream the sweep through reducers without keeping the tensor.
+
+        ``reducers`` is a single streaming reducer (see
+        :mod:`repro.engine.reducers`) or a mapping of names to reducers.
+        Tiles are evaluated through the chosen backend and fed to every
+        reducer as they complete; the full result tensor is never
+        materialized — peak memory is one tile plus the reducers' own
+        state.  Returns the finalized reduction (or a dict of them,
+        matching the mapping's keys).
+        """
+        from .executors import resolve_executor, run_plan
+
+        return run_plan(
+            self,
+            executor=resolve_executor(executor),
+            max_tile_elements=max_tile_elements,
+            memory_budget_bytes=memory_budget_bytes,
+            reducers=reducers,
+            keep_values=False,
+        )
+
+    def _execute_dense(self) -> SweepResult:
+        """The dense single-broadcast evaluation (the oracle semantics)."""
         temp_axis = self.axis("temperature")
         temps = (
             np.asarray(temp_axis.coordinates, dtype=float)

@@ -203,17 +203,27 @@ def _batched_worst_errors(
     # One sweep over the full grid plus the insertion temperature: the
     # evaluation is elementwise in temperature, so appending the
     # reference point costs one extra column instead of a second
-    # stacked-population rebind.
+    # stacked-population rebind.  When the grid already contains the
+    # reference point its column is reused — temperature coordinates
+    # must be unique per axis.
+    temps = np.asarray(temps, dtype=float)
+    existing = np.nonzero(temps == float(reference_temperature_c))[0]
+    if existing.size:
+        grid = temps
+        ref_column = int(existing[0])
+    else:
+        grid = np.append(temps, reference_temperature_c)
+        ref_column = int(temps.size)
     all_periods = np.asarray(
         Sweep(ring=base_ring)
         .over(Axis.sample(population))
-        .over(Axis.temperature(np.append(temps, reference_temperature_c)))
+        .over(Axis.temperature(grid))
         .run()
         .values
     )
     counter = PeriodCounter(readout)
 
-    periods = all_periods[:, :-1]
+    periods = all_periods[:, : temps.size]
     codes, _ = counter.convert_batch(periods)
     measured = counter.codes_to_periods(codes)  # (samples, temperatures)
 
@@ -225,7 +235,7 @@ def _batched_worst_errors(
 
     # One-point: design slope anchored at each sample's own measured
     # period at the insertion temperature.
-    ref_periods = all_periods[:, -1:]
+    ref_periods = all_periods[:, ref_column : ref_column + 1]
     ref_codes, _ = counter.convert_batch(ref_periods)
     ref_measured = counter.codes_to_periods(ref_codes)[:, 0]
     slope = design_cal.slope_c_per_second

@@ -10,10 +10,12 @@ pytest-benchmark so runtimes are tracked as well.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..engine.executors import EXECUTOR_ENV, TILE_ELEMENTS_ENV, WORKERS_ENV
 from ..tech.libraries import CMOS035, get_technology
 from ..tech.parameters import Technology
 from .baseline_comparison import run_baseline_comparison
@@ -180,7 +182,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write the report to this file instead of stdout",
     )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=("dense", "serial", "process", "memmap"),
+        help="execution backend for every sweep in the run: dense "
+        "single-pass (default), serial tiles, a multiprocess pool, or "
+        "out-of-core memmap assembly",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count of the process backend (default: cpu count)",
+    )
+    parser.add_argument(
+        "--tile-elements",
+        type=int,
+        default=None,
+        help="per-tile element budget for tiled backends "
+        "(default: 2**20 elements, an 8 MiB tile)",
+    )
     args = parser.parse_args(argv)
+    # The registry callables take only a technology; the execution
+    # backend rides on the documented environment knobs instead, so it
+    # reaches every Sweep.run in every experiment uniformly.
+    if args.executor is not None:
+        os.environ[EXECUTOR_ENV] = args.executor
+    if args.workers is not None:
+        os.environ[WORKERS_ENV] = str(args.workers)
+    if args.tile_elements is not None:
+        os.environ[TILE_ELEMENTS_ENV] = str(args.tile_elements)
     registry = default_registry()
     if args.list_experiments:
         print("\n".join(registry.names()))

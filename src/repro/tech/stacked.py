@@ -48,6 +48,8 @@ __all__ = [
     "TechnologyArray",
     "stack_transistor_parameters",
     "stack_technologies",
+    "technology_column_arrays",
+    "technology_array_from_columns",
 ]
 
 #: A stacked parameter field: scalar (uniform across samples) on input,
@@ -95,6 +97,16 @@ def _as_column(value: ParameterLike, sample_count: int, field: str) -> np.ndarra
     if np.any(~np.isfinite(column)):
         raise TechnologyError(f"stacked field {field!r} contains non-finite values")
     return column
+
+
+def _check_row_range(start: int, stop: int, count: int) -> Tuple[int, int]:
+    """Validate a half-open population row range ``[start, stop)``."""
+    start, stop = int(start), int(stop)
+    if not 0 <= start < stop <= count:
+        raise TechnologyError(
+            f"row range [{start}, {stop}) outside the population (size {count})"
+        )
+    return start, stop
 
 
 def _infer_sample_count(values) -> int:
@@ -204,6 +216,20 @@ class TransistorParameterArray:
             raise TechnologyError("repeats must be at least 1")
         columns = {
             field: np.tile(np.asarray(getattr(self, field), dtype=float), (repeats, 1))
+            for field in _TRANSISTOR_FIELDS
+        }
+        return TransistorParameterArray(polarity=self.polarity, **columns)
+
+    def sliced(self, start: int, stop: int) -> "TransistorParameterArray":
+        """Rows ``[start, stop)`` of the population (a tiling sub-range).
+
+        Used by the sweep engine's tiling pass: slicing the stacked
+        columns is elementwise, so a sliced population evaluates
+        bit-identically to the corresponding rows of the full one.
+        """
+        start, stop = _check_row_range(start, stop, self.sample_count)
+        columns = {
+            field: np.asarray(getattr(self, field), dtype=float)[start:stop]
             for field in _TRANSISTOR_FIELDS
         }
         return TransistorParameterArray(polarity=self.polarity, **columns)
@@ -385,8 +411,87 @@ class TechnologyArray:
             extras=tuple(dict(extra) for _ in range(repeats) for extra in self.extras),
         )
 
+    def sliced(self, start: int, stop: int) -> "TechnologyArray":
+        """Rows ``[start, stop)`` of the population (a tiling sub-range).
+
+        The sweep engine's tiling pass partitions the sample axis with
+        this: every stacked column is sliced elementwise, so evaluating
+        the sub-population reproduces the corresponding rows of the full
+        broadcast bit for bit.
+        """
+        start, stop = _check_row_range(start, stop, self.sample_count)
+        return TechnologyArray(
+            name=f"{self.name}[{start}:{stop}]",
+            feature_size_um=self.feature_size_um,
+            vdd=np.asarray(self.vdd, dtype=float)[start:stop],
+            nmos=self.nmos.sliced(start, stop),
+            pmos=self.pmos.sliced(start, stop),
+            wire_cap_f_per_um=np.asarray(self.wire_cap_f_per_um, dtype=float)[
+                start:stop
+            ],
+            min_width_um=self.min_width_um,
+            metal_layers=self.metal_layers,
+            extras=tuple(dict(extra) for extra in self.extras[start:stop]),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TechnologyArray({self.name!r}, samples={self.sample_count})"
+
+
+def technology_column_arrays(array: TechnologyArray) -> Dict[str, np.ndarray]:
+    """The stacked ``(samples, 1)`` float columns of a population, flat.
+
+    Keys are ``"vdd"``, ``"wire_cap_f_per_um"`` and the dotted
+    per-device fields (``"nmos.vth0"``, ``"pmos.mobility"``, ...).  This
+    is the transport surface of the population — the sweep engine's
+    multiprocess executor packs exactly these arrays into one shared
+    memory block and rebuilds the population zero-copy in each worker
+    via :func:`technology_array_from_columns`.
+    """
+    columns: Dict[str, np.ndarray] = {
+        "vdd": np.asarray(array.vdd, dtype=float),
+        "wire_cap_f_per_um": np.asarray(array.wire_cap_f_per_um, dtype=float),
+    }
+    for polarity in ("nmos", "pmos"):
+        block = getattr(array, polarity)
+        for field in _TRANSISTOR_FIELDS:
+            columns[f"{polarity}.{field}"] = np.asarray(
+                getattr(block, field), dtype=float
+            )
+    return columns
+
+
+def technology_array_from_columns(
+    name: str,
+    feature_size_um: float,
+    min_width_um: float,
+    metal_layers: int,
+    extras: Tuple[Dict[str, float], ...],
+    columns: Dict[str, np.ndarray],
+) -> TechnologyArray:
+    """Rebuild a :class:`TechnologyArray` from its transported columns.
+
+    Inverse of :func:`technology_column_arrays`; the column arrays are
+    adopted as-is (already ``(samples, 1)`` float64), so arrays backed
+    by a shared-memory buffer stay zero-copy views of it.
+    """
+    def block(polarity: str) -> TransistorParameterArray:
+        return TransistorParameterArray(
+            polarity=polarity,
+            **{field: columns[f"{polarity}.{field}"] for field in _TRANSISTOR_FIELDS},
+        )
+
+    return TechnologyArray(
+        name=name,
+        feature_size_um=feature_size_um,
+        vdd=columns["vdd"],
+        nmos=block("nmos"),
+        pmos=block("pmos"),
+        wire_cap_f_per_um=columns["wire_cap_f_per_um"],
+        min_width_um=min_width_um,
+        metal_layers=metal_layers,
+        extras=extras,
+    )
 
 
 def stack_technologies(technologies: Sequence[Technology]) -> TechnologyArray:

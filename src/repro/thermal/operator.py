@@ -40,10 +40,29 @@ matrix itself where a sparse-direct factorization's fill-in won't fit.
 The solvers in :mod:`repro.thermal.solver`, the self-heating study and
 the DTM manager are all thin layers over this class; ``factorized`` is
 called nowhere else in the repository.
+
+Concurrency and fork semantics
+------------------------------
+
+The process-wide cache is guarded by a :class:`threading.Lock` (and each
+operator's lazy factorizations by a per-instance lock), so threaded
+callers — a sweep executor streaming tiles, a benchmark harness timing
+in a worker thread — cannot corrupt the ``OrderedDict`` mid-evict or
+factorize the same matrix twice and drop one copy.
+
+The cache is deliberately **per process**.  Worker processes of a tiled
+sweep (:mod:`repro.engine.executors`) each get their own cache — cold
+under ``spawn``, a frozen copy-on-write snapshot under ``fork`` — and
+warm it from the tiles they execute.  Factorization objects (SuperLU
+handles, ILU preconditioners) hold foreign-memory state that does not
+pickle; do **not** ship operators or steppers across process
+boundaries — ship the grid (cheap, declarative) and call
+:meth:`ThermalOperator.for_grid` on the worker side instead.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -74,6 +93,12 @@ _CACHE_LIMIT = 8
 #: interval forever.
 _TIMESTEP_CACHE_LIMIT = 4
 _OPERATORS: "OrderedDict[Tuple, ThermalOperator]" = OrderedDict()
+#: Guards every lookup/insert/evict on :data:`_OPERATORS`.  Plain dict
+#: reads are atomic in CPython, but the insert-then-evict sequence in
+#: :meth:`ThermalOperator.for_grid` is not — two threads caching
+#: distinct grids could interleave ``popitem`` with ``__setitem__`` and
+#: evict a just-inserted operator (or blow past the limit).
+_CACHE_LOCK = threading.Lock()
 
 #: Relative residual tolerance of the CG fallback.  Tight enough that
 #: the iterative path agrees with the sparse-direct factorization to
@@ -231,6 +256,10 @@ class ThermalOperator:
         self._transient_solves: "OrderedDict[float, Callable[[np.ndarray], np.ndarray]]" = (
             OrderedDict()
         )
+        # Guards the lazy factorization caches above: two threads asking
+        # a shared operator for the same solve must not factorize twice
+        # (wasted work) or interleave the stepper cache's insert/evict.
+        self._solve_lock = threading.Lock()
 
     @classmethod
     def _resolve_method(cls, grid: ThermalGrid, method: str) -> str:
@@ -276,24 +305,32 @@ class ThermalOperator:
 
     @classmethod
     def for_grid(cls, grid: ThermalGrid, method: str = "auto") -> "ThermalOperator":
-        """The shared operator of a grid (cached process-wide)."""
+        """The shared operator of a grid (cached process-wide, thread-safe).
+
+        The cache is per process: a forked/spawned sweep worker warms
+        its own (see the module docstring) — never pickle an operator
+        across a process boundary, re-request it from the grid instead.
+        """
         key = cls._cache_key(grid, method)
-        operator = _OPERATORS.get(key)
-        if operator is None:
-            operator = cls(grid, method)
-            _OPERATORS[key] = operator
-            while len(_OPERATORS) > _CACHE_LIMIT:
-                _OPERATORS.popitem(last=False)
+        with _CACHE_LOCK:
+            operator = _OPERATORS.get(key)
+            if operator is None:
+                operator = cls(grid, method)
+                _OPERATORS[key] = operator
+                while len(_OPERATORS) > _CACHE_LIMIT:
+                    _OPERATORS.popitem(last=False)
         return operator
 
     @classmethod
     def clear_cache(cls) -> None:
         """Drop every cached operator (test isolation / memory pressure)."""
-        _OPERATORS.clear()
+        with _CACHE_LOCK:
+            _OPERATORS.clear()
 
     @classmethod
     def cache_size(cls) -> int:
-        return len(_OPERATORS)
+        with _CACHE_LOCK:
+            return len(_OPERATORS)
 
     # ------------------------------------------------------------------ #
     # steady state
@@ -301,9 +338,10 @@ class ThermalOperator:
 
     def steady_solve(self) -> Callable[[np.ndarray], np.ndarray]:
         """The prepared steady-state solve ``x = G \\ rhs`` (cached)."""
-        if self._steady_solve is None:
-            self._steady_solve = self._prepare(self.grid.conductance_matrix)
-        return self._steady_solve
+        with self._solve_lock:
+            if self._steady_solve is None:
+                self._steady_solve = self._prepare(self.grid.conductance_matrix)
+            return self._steady_solve
 
     def steady_rise(self, power_w: np.ndarray) -> np.ndarray:
         """Temperature rise for one or many flattened power vectors.
@@ -371,18 +409,19 @@ class ThermalOperator:
         if timestep_s <= 0.0:
             raise TechnologyError("timestep must be positive")
         dt = float(timestep_s)
-        solve = self._transient_solves.get(dt)
-        if solve is None:
-            system = (
-                diags(self.grid.capacitance_vector / dt)
-                + self.grid.conductance_matrix
-            )
-            solve = self._prepare(system)
-            self._transient_solves[dt] = solve
-            while len(self._transient_solves) > _TIMESTEP_CACHE_LIMIT:
-                self._transient_solves.popitem(last=False)
-        else:
-            self._transient_solves.move_to_end(dt)
+        with self._solve_lock:
+            solve = self._transient_solves.get(dt)
+            if solve is None:
+                system = (
+                    diags(self.grid.capacitance_vector / dt)
+                    + self.grid.conductance_matrix
+                )
+                solve = self._prepare(system)
+                self._transient_solves[dt] = solve
+                while len(self._transient_solves) > _TIMESTEP_CACHE_LIMIT:
+                    self._transient_solves.popitem(last=False)
+            else:
+                self._transient_solves.move_to_end(dt)
         return ThermalStepper(self.grid, dt, solve)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

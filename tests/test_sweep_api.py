@@ -119,13 +119,66 @@ def test_isel_and_select_agree(result):
 
 @given(result=labeled_results())
 @settings(**DEFAULT_SETTINGS)
-def test_to_dict_depth_matches_dims(result):
-    tree = result.to_dict()
+def test_to_tree_depth_matches_dims(result):
+    tree = result.to_tree()
     node = tree
     for name in result.dims:
         assert set(node.keys()) == set(result.coords[name])
         node = node[result.coords[name][0]]
     assert isinstance(node, float)
+
+
+@given(result=labeled_results())
+@settings(**DEFAULT_SETTINGS)
+def test_to_dict_from_dict_round_trip(result):
+    rebuilt = SweepResult.from_dict(result.to_dict())
+    assert rebuilt.dims == result.dims
+    assert rebuilt.coords == result.coords
+    assert rebuilt.observable == result.observable
+    assert rebuilt.values.dtype == result.values.dtype
+    assert np.array_equal(rebuilt.values, result.values)
+
+
+def test_duplicate_coordinate_labels_rejected():
+    with pytest.raises(SweepError, match="duplicate"):
+        SweepResult(
+            values=np.zeros(2),
+            dims=("temperature",),
+            coords={"temperature": (25.0, 25.0)},
+        )
+
+
+def test_from_dict_rejects_bad_payloads():
+    result = SweepResult(
+        values=np.arange(3, dtype=float),
+        dims=("temperature",),
+        coords={"temperature": (0.0, 25.0, 50.0)},
+    )
+    payload = result.to_dict()
+    with pytest.raises(SweepError, match="version"):
+        SweepResult.from_dict({**payload, "version": 999})
+    incomplete = dict(payload)
+    del incomplete["coords"]
+    with pytest.raises(SweepError, match="coords"):
+        SweepResult.from_dict(incomplete)
+    with pytest.raises(SweepError, match="mapping"):
+        SweepResult.from_dict([payload])
+
+
+def test_select_ambiguous_close_float_labels_raise():
+    # Two distinct float coordinates, both within the isclose fallback's
+    # tolerance of the queried label (which matches neither exactly):
+    # selection must refuse to silently pick the first.
+    result = SweepResult(
+        values=np.arange(2, dtype=float),
+        dims=("temperature",),
+        coords={"temperature": (25.0 + 1e-12, 25.0 + 2e-12)},
+    )
+    with pytest.raises(SweepError, match="ambiguous"):
+        result.select(temperature=25.0)
+    # An exact match stays unambiguous, and positional selection works.
+    assert result.select(temperature=25.0 + 2e-12).values == 1.0
+    assert result.isel(temperature=1).values == 1.0
 
 
 def test_select_unknown_label_raises():

@@ -311,3 +311,98 @@ class TestCacheEviction:
             ThermalGridParameters(die_thickness_mm=0.7),
         )
         assert ThermalOperator.for_grid(thicker) is not ThermalOperator.for_grid(grid_a)
+
+
+class TestCacheConcurrency:
+    """The process-wide cache and the lazy solves are thread-safe."""
+
+    def test_concurrent_for_grid_builds_each_operator_once(self):
+        import threading
+
+        ThermalOperator.clear_cache()
+        resolutions = [4, 5, 6, 7]
+        grids = {r: _grid_at(r)[0] for r in resolutions}
+        results = {r: [] for r in resolutions}
+        barrier = threading.Barrier(8)
+
+        def worker(resolution):
+            barrier.wait()
+            for _ in range(25):
+                results[resolution].append(ThermalOperator.for_grid(grids[resolution]))
+
+        threads = [
+            threading.Thread(target=worker, args=(r,))
+            for r in resolutions
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every thread asking for a geometry got the one shared operator.
+        for resolution in resolutions:
+            assert len(set(id(op) for op in results[resolution])) == 1
+        assert ThermalOperator.cache_size() == len(resolutions)
+
+    def test_concurrent_eviction_respects_limit(self):
+        import threading
+
+        ThermalOperator.clear_cache()
+        grids = [_grid_at(r)[0] for r in range(4, 4 + 2 * _CACHE_LIMIT)]
+        barrier = threading.Barrier(4)
+
+        def churn(offset):
+            barrier.wait()
+            for grid in grids[offset::2]:
+                ThermalOperator.for_grid(grid)
+
+        threads = [threading.Thread(target=churn, args=(k % 2,)) for k in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert ThermalOperator.cache_size() <= _CACHE_LIMIT
+
+    def test_concurrent_steady_solve_factorizes_once(self, example_grid):
+        import threading
+
+        operator = ThermalOperator(example_grid)
+        solves = []
+        barrier = threading.Barrier(6)
+
+        def worker():
+            barrier.wait()
+            solves.append(operator.steady_solve())
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(id(solve) for solve in solves)) == 1
+
+    def test_concurrent_stepper_requests_share_the_solve(self, example_grid):
+        import threading
+
+        operator = ThermalOperator(example_grid)
+        steppers = []
+        barrier = threading.Barrier(6)
+
+        def worker(dt):
+            barrier.wait()
+            steppers.append(operator.stepper(dt))
+
+        threads = [
+            threading.Thread(target=worker, args=(1e-3 * (1 + k % 2),))
+            for k in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(operator._transient_solves) == 2
+        by_dt = {}
+        for stepper in steppers:
+            by_dt.setdefault(stepper.timestep_s, set()).add(id(stepper._solve))
+        for shared in by_dt.values():
+            assert len(shared) == 1
