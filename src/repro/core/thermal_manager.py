@@ -505,11 +505,18 @@ class DynamicThermalManager:
         grid_resolution: int = 24,
         ambient_c: float = 45.0,
         thermal_parameters: ThermalGridParameters = ThermalGridParameters(),
+        solve_method: str = "auto",
     ) -> None:
         self.technology = technology
         self.floorplan = floorplan
         self.policy = policy
         self.ambient_c = float(ambient_c)
+        #: How the backward-Euler systems are solved (one of
+        #: ``repro.thermal.SOLVE_METHODS``) — ``auto`` picks a direct
+        #: factorization on small grids and multigrid-preconditioned
+        #: block CG on full-die resolutions, so a banked run stays one
+        #: (possibly iterative) solve per timestep at any grid size.
+        self.solve_method = solve_method
         self.monitor = ThermalMonitor(
             technology,
             floorplan,
@@ -591,7 +598,9 @@ class DynamicThermalManager:
         # operator cache, so every run over the same grid and control
         # interval — including the managed/unmanaged pair of a study —
         # shares a single factorization.
-        stepper = ThermalOperator.for_grid(grid).stepper(control_interval_s)
+        stepper = ThermalOperator.for_grid(grid, self.solve_method).stepper(
+            control_interval_s
+        )
 
         state_index = 0
         rise = np.zeros(grid.nx * grid.ny)
@@ -694,7 +703,9 @@ class DynamicThermalManager:
 
         steps = int(np.ceil(duration_s / control_interval_s))
         grid = self._grid
-        stepper = ThermalOperator.for_grid(grid).stepper(control_interval_s)
+        stepper = ThermalOperator.for_grid(grid, self.solve_method).stepper(
+            control_interval_s
+        )
         policy_count = bank.policy_count
         column_shape = (
             (policy_count,) if sample_count is None else (policy_count, sample_count)

@@ -18,6 +18,11 @@ from .dtm_study import (
     run_dtm_policy_sweep,
     run_dtm_study,
 )
+from .placement_study import (
+    PlacementStudyResult,
+    example_workloads,
+    run_placement_study,
+)
 from .thermal_map_study import (
     ThermalMapDensityPoint,
     ThermalMapStudyResult,
@@ -61,6 +66,9 @@ __all__ = [
     "ThermalResolutionStudyResult",
     "run_thermal_map_study",
     "run_thermal_resolution_study",
+    "PlacementStudyResult",
+    "example_workloads",
+    "run_placement_study",
     "ExperimentRegistry",
     "default_registry",
     "run_all",

@@ -21,12 +21,14 @@ from ..tech.parameters import Technology
 from .baseline_comparison import run_baseline_comparison
 from .calibration_study import run_calibration_study
 from .dtm_study import run_dtm_policy_sweep, run_dtm_study
+from ..thermal.operator import METHOD_ENV, SOLVE_METHODS, THRESHOLD_ENV
 from .fig1_waveform import run_fig1
 from .fig2_sizing import run_fig2
 from .fig3_cellmix import run_fig3
 from .scaling_study import run_scaling_study
 from .selfheating_study import run_selfheating_study
 from .smart_unit import run_smart_unit
+from .placement_study import run_placement_study
 from .stage_count import run_stage_count
 from .supply_sensitivity import run_supply_sensitivity
 from .thermal_map_study import run_thermal_map_study, run_thermal_resolution_study
@@ -107,6 +109,12 @@ def _dtm_sweep_report(technology: Technology) -> str:
     ).format_table()
 
 
+def _placement_report(technology: Technology) -> str:
+    return run_placement_study(
+        technology, grid_resolution=16, candidate_grid=4, sensor_count=4, anneal_steps=80
+    ).format_table()
+
+
 def _thermal_resolution_report(technology: Technology) -> str:
     return run_thermal_resolution_study(
         technology, sample_count=25, grid_resolutions=(8, 12, 16, 24)
@@ -131,6 +139,7 @@ def default_registry() -> ExperimentRegistry:
             "EXT-DTMSWEEP": _dtm_sweep_report,
             "EXT-THERMALMAP": _thermal_map_report,
             "EXT-THERMALRES": _thermal_resolution_report,
+            "EXT-PLACEMENT": _placement_report,
         }
     )
 
@@ -203,6 +212,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="per-tile element budget for tiled backends "
         "(default: 2**20 elements, an 8 MiB tile)",
     )
+    parser.add_argument(
+        "--thermal-method",
+        default=None,
+        choices=[m for m in SOLVE_METHODS if m != "auto"],
+        help="resolve every 'auto' thermal solve to this method "
+        "(direct factorization, ILU-preconditioned CG, or "
+        "geometric-multigrid CG); explicit method choices in code win",
+    )
+    parser.add_argument(
+        "--thermal-iterative-threshold",
+        type=int,
+        default=None,
+        help="unknown count above which 'auto' thermal solves switch "
+        "from direct factorization to multigrid CG (default: the "
+        "operator's built-in threshold)",
+    )
     args = parser.parse_args(argv)
     # The registry callables take only a technology; the execution
     # backend rides on the documented environment knobs instead, so it
@@ -213,6 +238,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ[WORKERS_ENV] = str(args.workers)
     if args.tile_elements is not None:
         os.environ[TILE_ELEMENTS_ENV] = str(args.tile_elements)
+    if args.thermal_method is not None:
+        os.environ[METHOD_ENV] = args.thermal_method
+    if args.thermal_iterative_threshold is not None:
+        os.environ[THRESHOLD_ENV] = str(args.thermal_iterative_threshold)
     registry = default_registry()
     if args.list_experiments:
         print("\n".join(registry.names()))

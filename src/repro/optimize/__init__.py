@@ -1,4 +1,4 @@
-"""Sensor design-space optimisation: transistor sizing and cell mixes."""
+"""Sensor design-space optimisation: sizing, cell mixes, and placement."""
 
 from .sizing import (
     PAPER_FIG2_RATIOS,
@@ -7,6 +7,13 @@ from .sizing import (
     build_sized_ring,
     optimize_width_ratio,
     sweep_width_ratio,
+)
+from .placement import (
+    PlacementObjective,
+    PlacementResult,
+    PlacementScore,
+    anneal_placement,
+    greedy_placement,
 )
 from .cellmix import (
     DEFAULT_MIX_CELLS,
@@ -32,4 +39,9 @@ __all__ = [
     "evaluate_configuration",
     "greedy_cell_mix",
     "search_cell_mix",
+    "PlacementObjective",
+    "PlacementResult",
+    "PlacementScore",
+    "anneal_placement",
+    "greedy_placement",
 ]

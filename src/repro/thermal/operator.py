@@ -13,33 +13,65 @@ that had not changed.
 
 :class:`ThermalOperator` owns those solves instead:
 
-* the steady-state factorization of the conductance matrix ``G`` is
-  computed once per grid and solves any number of right-hand sides,
-  including an ``(n, k)`` *stack* of power maps in one multi-RHS
-  triangular solve (``G \\ P``),
-* the backward-Euler system ``(C/dt + G)`` is factorized once per
+* the steady-state solve of the conductance matrix ``G`` is prepared
+  once per grid and serves any number of right-hand sides, including an
+  ``(n, k)`` *stack* of power maps in one multi-RHS solve (``G \\ P``),
+* the backward-Euler system ``(C/dt + G)`` is prepared once per
   (grid, timestep) pair and handed out as a :class:`ThermalStepper`,
   so every transient integration with the same step reuses it, and
-* operators are cached process-wide, keyed by the grid's *defining*
-  geometry and physical parameters (two :class:`ThermalGrid` instances
-  built from the same floorplan resolution produce identical matrices,
-  so they share one operator) — which is what lets the managed and
-  unmanaged DTM runs, and every thermal-map scan of a monitor, share a
-  single factorization.
+* operators are cached process-wide (LRU, bounded), keyed by the grid's
+  *defining* geometry and physical parameters (two :class:`ThermalGrid`
+  instances built from the same floorplan resolution produce identical
+  matrices, so they share one operator) — which is what lets the
+  managed and unmanaged DTM runs, every thermal-map scan of a monitor,
+  and every candidate of a placement search share a single prepared
+  solve.
 
-Grids too large to factorize get an **iterative fallback**: above the
-configurable :attr:`ThermalOperator.iterative_threshold` unknown count
-(or on explicit ``method="iterative"`` request) the steady and
-backward-Euler solves route through preconditioned conjugate gradients
-(:func:`scipy.sparse.linalg.cg` — both systems are symmetric positive
-definite) with an ILU preconditioner (diagonal/Jacobi when the
-incomplete factorization is unavailable) and warm-started initial
-guesses from the previous solve, keeping memory bounded by the sparse
-matrix itself where a sparse-direct factorization's fill-in won't fit.
+Solve methods
+-------------
+
+``method`` selects how each SPD system is prepared:
+
+============  =========================================================
+``direct``    Sparse-direct factorization (``factorized``); exact, but
+              fill-in memory grows super-linearly with the grid.
+``iterative`` ILU-preconditioned conjugate gradients (PR 5's fallback).
+              Memory stays linear, but ILU is not grid-aware: its
+              iteration count grows with resolution and it stalls
+              outright on full-die grids (256x256+).
+``multigrid`` Geometric-multigrid-preconditioned CG
+              (:class:`repro.thermal.multigrid.GeometricMultigrid`):
+              one V-cycle per iteration keeps the iteration count
+              essentially constant in the grid size (~13 on the grids
+              here), so large grids cost the same per unknown as small
+              ones.  The default large-grid path.
+``auto``      ``direct`` at or below :attr:`iterative_threshold`
+              unknowns, ``multigrid`` above it.
+============  =========================================================
+
+Both iterative methods run the same **batched block-CG** core: an
+``(n, k)`` stack of right-hand sides advances through *one* sparse
+matrix-vector product (and one preconditioner application) per
+iteration for the whole block, with per-column convergence masking and
+per-shape warm starts — so ``ThermalStepper.step``, ``steady_rise`` and
+the policy bank stay one solve per step at any grid size instead of
+degrading into ``k`` sequential CG runs.
+
+Environment knobs (mirroring the ``REPRO_SWEEP_*`` convention, and
+surfaced as ``--thermal-method`` / ``--thermal-iterative-threshold``
+flags on the experiment runner):
+
+* ``REPRO_THERMAL_METHOD`` — overrides how ``method="auto"`` requests
+  resolve (one of :data:`SOLVE_METHODS`; explicit call-site choices
+  still win).
+* ``REPRO_THERMAL_ITERATIVE_THRESHOLD`` — overrides
+  :attr:`ThermalOperator.iterative_threshold`, the unknown count above
+  which ``auto`` stops factorizing.
 
 The solvers in :mod:`repro.thermal.solver`, the self-heating study and
 the DTM manager are all thin layers over this class; ``factorized`` is
-called nowhere else in the repository.
+called nowhere else in the repository (the multigrid coarse solve
+excepted).
 
 Concurrency and fork semantics
 ------------------------------
@@ -54,44 +86,63 @@ The cache is deliberately **per process**.  Worker processes of a tiled
 sweep (:mod:`repro.engine.executors`) each get their own cache — cold
 under ``spawn``, a frozen copy-on-write snapshot under ``fork`` — and
 warm it from the tiles they execute.  Factorization objects (SuperLU
-handles, ILU preconditioners) hold foreign-memory state that does not
-pickle; do **not** ship operators or steppers across process
-boundaries — ship the grid (cheap, declarative) and call
-:meth:`ThermalOperator.for_grid` on the worker side instead.
+handles, ILU preconditioners, multigrid hierarchies) hold
+foreign-memory state that does not pickle; do **not** ship operators or
+steppers across process boundaries — ship the grid (cheap, declarative)
+and call :meth:`ThermalOperator.for_grid` on the worker side instead.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import diags
-from scipy.sparse.linalg import LinearOperator, cg, factorized, spilu
+from scipy.sparse.linalg import factorized, spilu
 
 from ..tech.parameters import TechnologyError
 from .grid import TemperatureMap, ThermalGrid
+from .multigrid import GeometricMultigrid
 from .power import PowerMap
 
-__all__ = ["ThermalOperator", "ThermalStepper", "SOLVE_METHODS"]
+__all__ = [
+    "ThermalOperator",
+    "ThermalStepper",
+    "SOLVE_METHODS",
+    "METHOD_ENV",
+    "THRESHOLD_ENV",
+]
 
-#: The solve methods an operator can be asked for.  ``auto`` resolves to
-#: ``direct`` (sparse-direct factorization) at or below
+#: The solve methods an operator can be asked for (see the module
+#: docstring's table).  ``auto`` resolves to ``direct`` at or below
 #: :attr:`ThermalOperator.iterative_threshold` unknowns and to
-#: ``iterative`` (preconditioned CG) above it.
-SOLVE_METHODS = ("auto", "direct", "iterative")
+#: ``multigrid`` above it.
+SOLVE_METHODS = ("auto", "direct", "iterative", "multigrid")
+
+#: Environment variable overriding how ``method="auto"`` resolves.
+METHOD_ENV = "REPRO_THERMAL_METHOD"
+#: Environment variable overriding the auto direct/multigrid threshold.
+THRESHOLD_ENV = "REPRO_THERMAL_ITERATIVE_THRESHOLD"
 
 #: Process-wide operator cache.  Bounded so a long-running sweep over
-#: many distinct grid geometries cannot grow it without limit; the
-#: eviction order is insertion order (oldest grid first), which matches
-#: the workloads here (a study works one grid at a time).
+#: many distinct grid geometries cannot grow it without limit; eviction
+#: is least-recently-*used* (``for_grid`` hits refresh an entry), so an
+#: interleaved workload over a few grids — a placement search, a
+#: resolution sweep — keeps its hottest operators however they
+#: alternate.
 _CACHE_LIMIT = 8
 #: Backward-Euler solves kept per operator; a what-if sweep over many
-#: control intervals on one grid evicts the oldest timestep's
-#: factorization (or preconditioner) instead of accumulating one per
-#: interval forever.
+#: control intervals on one grid evicts the least-recently-used
+#: timestep's factorization (or preconditioner) instead of accumulating
+#: one per interval forever.
 _TIMESTEP_CACHE_LIMIT = 4
+#: Warm-start states kept per iterative solve, keyed by RHS shape (a
+#: steady scan and a 16-column policy-bank step on the same operator
+#: each keep their own previous solution).
+_WARM_START_LIMIT = 4
 _OPERATORS: "OrderedDict[Tuple, ThermalOperator]" = OrderedDict()
 #: Guards every lookup/insert/evict on :data:`_OPERATORS`.  Plain dict
 #: reads are atomic in CPython, but the insert-then-evict sequence in
@@ -100,87 +151,208 @@ _OPERATORS: "OrderedDict[Tuple, ThermalOperator]" = OrderedDict()
 #: evict a just-inserted operator (or blow past the limit).
 _CACHE_LOCK = threading.Lock()
 
-#: Relative residual tolerance of the CG fallback.  Tight enough that
-#: the iterative path agrees with the sparse-direct factorization to
+#: Relative residual tolerance of the CG solves.  Tight enough that
+#: the iterative paths agree with the sparse-direct factorization to
 #: better than 1e-8 relative on the thermal systems here (the
 #: equivalence bound the tests and benchmarks pin).
 _CG_RTOL = 1e-12
 
 
 class _IterativeSolve:
-    """Preconditioned-CG drop-in for a ``factorized`` solve callable.
+    """Batched preconditioned-CG drop-in for a ``factorized`` callable.
 
     Built once per system matrix (like a factorization, minus the
-    fill-in): the ILU preconditioner is computed at construction and
-    every :meth:`__call__` runs warm-started CG from the previous
-    solution — for a transient integration that is the previous step's
-    state, exactly the guess that makes each step a handful of
-    iterations.  Accepts the same ``(n,)`` vector or ``(n, k)`` stack a
-    direct factorization does (the stack solves column by column, so
-    memory stays bounded).
+    fill-in): the preconditioner — a geometric-multigrid V-cycle or an
+    ILU, per the operator's method — is computed at construction and
+    every :meth:`__call__` runs warm-started CG.  Accepts the same
+    ``(n,)`` vector or ``(n, k)`` stack a direct factorization does.
+
+    A stack solves as a true **block**: every CG iteration performs one
+    sparse matrix-vector product and one preconditioner application on
+    the whole ``(n, k)`` array, with scalar recurrences (``alpha``,
+    ``beta``) tracked per column.  Columns that reach the tolerance are
+    masked out of the updates (their ``alpha`` is zeroed, freezing both
+    solution and residual) while the rest keep iterating, so a stack is
+    never slower than its hardest column.  ``solve_columns_loop``
+    retains the old one-column-at-a-time behaviour as the equivalence
+    oracle the batched-RHS benchmark measures against.
+
+    Warm starts are keyed by the RHS shape: the previous ``(n,)``
+    steady solution never pollutes the initial guess of an ``(n, 16)``
+    policy-bank step (or vice versa), which is exactly the
+    cross-caller pollution the old shared ``_last_solution`` suffered.
     """
 
-    def __init__(self, matrix) -> None:
+    def __init__(
+        self,
+        matrix,
+        preconditioner: str = "ilu",
+        grid_shape: Optional[Tuple[int, int]] = None,
+    ) -> None:
         self._matrix = matrix.tocsr()
         self._size = int(self._matrix.shape[0])
-        self._preconditioner = self._build_ilu()
+        if preconditioner == "multigrid":
+            if grid_shape is None:
+                raise TechnologyError(
+                    "the multigrid preconditioner needs the grid's (ny, nx)"
+                )
+            self._preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = (
+                GeometricMultigrid(self._matrix, grid_shape)
+            )
+        elif preconditioner == "ilu":
+            self._preconditioner = self._build_ilu()
+        else:  # pragma: no cover - guarded by _prepare
+            raise TechnologyError(
+                f"unknown preconditioner {preconditioner!r}"
+            )
         # Jacobi fallback: the diagonal is strictly positive (every cell
         # carries a vertical conductance) and the operator is exactly
         # symmetric, so CG is guaranteed to converge with it even when
         # the (unsymmetric) ILU stalls or cannot be built.
-        inverse_diagonal = 1.0 / self._matrix.diagonal()
-        self._jacobi = LinearOperator(
-            (self._size, self._size), lambda x: inverse_diagonal * x
-        )
-        self._last_solution: Optional[np.ndarray] = None
+        self._inverse_diagonal = 1.0 / self._matrix.diagonal()
+        self._warm_starts: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        #: CG iterations of the most recent solve (diagnostics/tests).
+        self.last_iterations = 0
 
-    def _build_ilu(self) -> Optional[LinearOperator]:
+    def _build_ilu(self) -> Optional[Callable[[np.ndarray], np.ndarray]]:
         # A tight drop tolerance keeps the ILU close to symmetric (CG's
         # theory wants an SPD preconditioner); memory stays linear in
         # the unknown count — fill_factor bounds it by a multiple of
         # the five-point stencil's nonzeros, nothing like direct fill-in.
         try:
             ilu = spilu(self._matrix.tocsc(), drop_tol=1e-6, fill_factor=20.0)
-            return LinearOperator((self._size, self._size), ilu.solve)
         except (RuntimeError, ValueError, MemoryError):
             return None
+        return ilu.solve  # SuperLU solves (n,) and (n, k) alike
 
-    def _solve_vector(self, rhs: np.ndarray) -> np.ndarray:
-        solution = None
+    def _jacobi(self, residual: np.ndarray) -> np.ndarray:
+        return self._inverse_diagonal[:, np.newaxis] * residual
+
+    def _block_cg(
+        self,
+        rhs: np.ndarray,
+        x0: np.ndarray,
+        apply_preconditioner: Callable[[np.ndarray], np.ndarray],
+        maxiter: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Preconditioned CG on an ``(n, k)`` block, columns masked
+        independently.
+
+        Returns ``(solution, converged)`` where ``converged`` is a
+        ``(k,)`` boolean mask; the per-column criterion is
+        ``||r_j|| <= rtol * ||b_j||`` (matching scipy's ``cg`` with
+        ``atol=0``).  ``maxiter`` caps the iteration count (the
+        benchmarks use a small cap to price a known-slow preconditioner
+        without waiting for it); the default runs to the system size,
+        bounded at 1000.
+        """
+        matrix = self._matrix
+        # Convergence is tested on squared norms (one einsum per
+        # iteration instead of a norm reduction and a sqrt).
+        tolerance_sq = _CG_RTOL**2 * np.einsum("ij,ij->j", rhs, rhs)
+        solution = x0.copy()
+        residual = rhs - matrix @ solution
+        # Zero right-hand sides have the exact solution zero; count them
+        # converged immediately (norm(r) == 0 <= 0) like scipy does.
+        active = np.einsum("ij,ij->j", residual, residual) > tolerance_sq
+        if not active.any():
+            self.last_iterations = 0
+            return solution, ~active
+        preconditioned = apply_preconditioner(residual)
+        direction = preconditioned.copy()
+        rho = np.einsum("ij,ij->j", residual, preconditioned)
+        iterations = 0
+        limit = maxiter if maxiter is not None else min(self._size, 1000)
+        for iterations in range(1, limit + 1):
+            conjugated = matrix @ direction
+            curvature = np.einsum("ij,ij->j", direction, conjugated)
+            # Frozen (converged) columns get alpha = 0: their solution,
+            # residual and search direction stop changing, at the cost
+            # of a dead column riding along in the block products —
+            # far cheaper than re-packing the block every iteration.
+            step = np.where(
+                active & (curvature > 0.0),
+                rho / np.where(curvature > 0.0, curvature, 1.0),
+                0.0,
+            )
+            solution += step * direction
+            residual -= step * conjugated
+            active = np.einsum("ij,ij->j", residual, residual) > tolerance_sq
+            if not active.any():
+                break
+            preconditioned = apply_preconditioner(residual)
+            rho_next = np.einsum("ij,ij->j", residual, preconditioned)
+            beta = np.where(active, rho_next / np.where(rho != 0.0, rho, 1.0), 0.0)
+            direction = preconditioned + beta * direction
+            rho = rho_next
+        self.last_iterations = iterations
+        return solution, ~active
+
+    def _solve_block(self, rhs: np.ndarray, key: Tuple) -> np.ndarray:
+        warm = self._warm_starts.get(key)
+        if warm is not None and warm.shape == rhs.shape:
+            x0 = warm
+            self._warm_starts.move_to_end(key)
+        else:
+            x0 = np.zeros_like(rhs)
         if self._preconditioner is not None:
-            solution, info = cg(
-                self._matrix,
-                rhs,
-                x0=self._last_solution,
-                rtol=_CG_RTOL,
-                atol=0.0,
-                maxiter=min(self._size, 1000),
-                M=self._preconditioner,
-            )
-            if info != 0:
-                solution = None
-        if solution is None:
-            solution, info = cg(
-                self._matrix,
-                rhs,
-                x0=self._last_solution,
-                rtol=_CG_RTOL,
-                atol=0.0,
-                M=self._jacobi,
-            )
-            if info != 0:
+            solution, converged = self._block_cg(rhs, x0, self._preconditioner)
+        else:
+            converged = np.zeros(rhs.shape[1], dtype=bool)
+        if not converged.all():
+            # Retry the unconverged columns (all of them, if the main
+            # preconditioner was unavailable) with the guaranteed-SPD
+            # Jacobi preconditioner before giving up.
+            solution, converged = self._block_cg(rhs, x0, self._jacobi)
+            if not converged.all():
+                failed = int(np.count_nonzero(~converged))
                 raise TechnologyError(
-                    f"iterative thermal solve did not converge (CG info={info}) "
-                    f"on the {self._size}-unknown system"
+                    f"iterative thermal solve did not converge on {failed} of "
+                    f"{rhs.shape[1]} right-hand sides of the "
+                    f"{self._size}-unknown system"
                 )
-        self._last_solution = solution
+        self._warm_starts[key] = solution.copy()
+        while len(self._warm_starts) > _WARM_START_LIMIT:
+            self._warm_starts.popitem(last=False)
         return solution
 
     def __call__(self, rhs: np.ndarray) -> np.ndarray:
         rhs = np.asarray(rhs, dtype=float)
         if rhs.ndim == 1:
-            return self._solve_vector(rhs)
-        columns = [self._solve_vector(rhs[:, k]) for k in range(rhs.shape[1])]
+            return self._solve_block(rhs[:, np.newaxis], ("vec",))[:, 0]
+        return self._solve_block(rhs, ("stack", rhs.shape[1]))
+
+    def solve_columns_loop(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve an ``(n, k)`` stack one column at a time (the oracle).
+
+        This is the pre-batching behaviour — ``k`` sequential CG runs,
+        each paying its own preconditioner applications — kept as the
+        equivalence/benchmark baseline for the block path.  Columns are
+        solved cold (no warm-start state is read or written) so the
+        comparison is deterministic.
+        """
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.ndim != 2:
+            raise TechnologyError("solve_columns_loop expects an (n, k) stack")
+        columns = []
+        apply_m = (
+            self._preconditioner if self._preconditioner is not None else self._jacobi
+        )
+        for k in range(rhs.shape[1]):
+            column = rhs[:, k : k + 1]
+            solution, converged = self._block_cg(
+                column, np.zeros_like(column), apply_m
+            )
+            if not converged.all():
+                solution, converged = self._block_cg(
+                    column, np.zeros_like(column), self._jacobi
+                )
+                if not converged.all():
+                    raise TechnologyError(
+                        f"iterative thermal solve did not converge on column {k} "
+                        f"of the {self._size}-unknown system"
+                    )
+            columns.append(solution[:, 0])
         return np.stack(columns, axis=1)
 
 
@@ -191,8 +363,10 @@ class ThermalStepper:
     temperature *rise* vector by one timestep per :meth:`step` call.
     The implicit system ``(C/dt + G) x_{n+1} = P + C/dt x_n`` was
     prepared once when the stepper was created (factorized sparse-direct
-    or ILU-preconditioned CG, per the operator's method), so each step
-    is a pair of triangular solves or a warm-started Krylov solve.
+    or preconditioned CG, per the operator's method), so each step is a
+    pair of triangular solves or a warm-started Krylov solve — and an
+    ``(n, k)`` stack of states advances in one multi-RHS/block solve
+    either way.
     """
 
     def __init__(
@@ -239,14 +413,21 @@ class ThermalOperator:
     method:
         One of :data:`SOLVE_METHODS`.  ``auto`` (the default) picks
         sparse-direct factorization up to
-        :attr:`iterative_threshold` unknowns and the preconditioned-CG
-        fallback above it; ``direct``/``iterative`` force the choice.
+        :attr:`iterative_threshold` unknowns and the multigrid-CG
+        path above it; ``direct``/``iterative``/``multigrid`` force the
+        choice.  The ``REPRO_THERMAL_METHOD`` environment variable
+        overrides how ``auto`` resolves (explicit choices still win),
+        and ``REPRO_THERMAL_ITERATIVE_THRESHOLD`` overrides the
+        threshold — both read at resolve time, so a runner flag set
+        before the first solve takes effect process-wide.
     """
 
     #: Unknown count above which ``method="auto"`` routes solves through
-    #: preconditioned CG instead of sparse-direct factorization.  A
-    #: class attribute so deployments with more (or less) memory can
-    #: retune it: ``ThermalOperator.iterative_threshold = ...``.
+    #: multigrid-preconditioned CG instead of sparse-direct
+    #: factorization.  A class attribute so deployments with more (or
+    #: less) memory can retune it (``ThermalOperator.iterative_threshold
+    #: = ...``); the ``REPRO_THERMAL_ITERATIVE_THRESHOLD`` environment
+    #: variable takes precedence when set.
     iterative_threshold: int = 4096
 
     def __init__(self, grid: ThermalGrid, method: str = "auto") -> None:
@@ -262,21 +443,51 @@ class ThermalOperator:
         self._solve_lock = threading.Lock()
 
     @classmethod
+    def _effective_threshold(cls) -> int:
+        raw = os.environ.get(THRESHOLD_ENV)
+        if raw is None:
+            return cls.iterative_threshold
+        try:
+            value = int(raw)
+        except ValueError:
+            raise TechnologyError(
+                f"{THRESHOLD_ENV} must be an integer, got {raw!r}"
+            ) from None
+        if value < 0:
+            raise TechnologyError(f"{THRESHOLD_ENV} must be non-negative")
+        return value
+
+    @classmethod
     def _resolve_method(cls, grid: ThermalGrid, method: str) -> str:
         if method not in SOLVE_METHODS:
             raise TechnologyError(
                 f"unknown solve method {method!r}; choose one of {SOLVE_METHODS}"
             )
+        if method == "auto":
+            override = os.environ.get(METHOD_ENV)
+            if override:
+                if override not in SOLVE_METHODS:
+                    raise TechnologyError(
+                        f"{METHOD_ENV} must be one of {SOLVE_METHODS}, "
+                        f"got {override!r}"
+                    )
+                method = override
         if method != "auto":
             return method
-        if grid.nx * grid.ny > cls.iterative_threshold:
-            return "iterative"
+        if grid.nx * grid.ny > cls._effective_threshold():
+            return "multigrid"
         return "direct"
 
     def _prepare(self, matrix) -> Callable[[np.ndarray], np.ndarray]:
         """A solve callable for one SPD system, per the chosen method."""
+        if self.method == "multigrid":
+            return _IterativeSolve(
+                matrix,
+                preconditioner="multigrid",
+                grid_shape=(self.grid.ny, self.grid.nx),
+            )
         if self.method == "iterative":
-            return _IterativeSolve(matrix)
+            return _IterativeSolve(matrix, preconditioner="ilu")
         return factorized(matrix.tocsc())
 
     # ------------------------------------------------------------------ #
@@ -307,6 +518,11 @@ class ThermalOperator:
     def for_grid(cls, grid: ThermalGrid, method: str = "auto") -> "ThermalOperator":
         """The shared operator of a grid (cached process-wide, thread-safe).
 
+        Cache hits refresh the entry's recency (LRU), so a workload
+        alternating among a few grids — a placement search, a
+        resolution sweep — keeps all of them live instead of evicting
+        its hottest operator in insertion order.
+
         The cache is per process: a forked/spawned sweep worker warms
         its own (see the module docstring) — never pickle an operator
         across a process boundary, re-request it from the grid instead.
@@ -319,6 +535,8 @@ class ThermalOperator:
                 _OPERATORS[key] = operator
                 while len(_OPERATORS) > _CACHE_LIMIT:
                     _OPERATORS.popitem(last=False)
+            else:
+                _OPERATORS.move_to_end(key)
         return operator
 
     @classmethod
@@ -349,7 +567,8 @@ class ThermalOperator:
         ``power_w`` may be a single ``(n,)`` vector or an ``(n, k)``
         stack of right-hand sides; the direct path applies the
         factorization to the whole stack in one multi-RHS solve, the
-        iterative path runs warm-started CG column by column.
+        iterative paths run one *block* CG (one SpMV per iteration for
+        the whole stack).
         """
         rhs = np.asarray(power_w, dtype=float)
         size = self.grid.nx * self.grid.ny

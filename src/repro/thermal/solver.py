@@ -34,10 +34,10 @@ def solve_steady_state(
     (board/package) temperature, not the room.  The prepared solve comes
     from the shared :class:`ThermalOperator` cache, so repeated solves on
     equal grids cost one factorization total; ``method`` picks the solve
-    (``auto``/``direct``/``iterative`` — grids above the operator's
-    unknown-count threshold route through preconditioned CG
-    automatically, keeping memory bounded where a factorization's
-    fill-in won't fit).
+    (``auto``/``direct``/``iterative``/``multigrid`` — grids above the
+    operator's unknown-count threshold route through geometric-multigrid
+    preconditioned CG automatically, keeping both memory and iteration
+    count bounded where a factorization's fill-in won't fit).
     """
     return ThermalOperator.for_grid(grid, method).solve_steady_state(power, ambient_c)
 
@@ -99,9 +99,10 @@ def solve_transient(
     store_every:
         Keep every n-th step in the result.
     method:
-        Solve method (``auto``/``direct``/``iterative``); ``auto`` falls
-        back to warm-started preconditioned CG above the operator's
-        unknown-count threshold.
+        Solve method (``auto``/``direct``/``iterative``/``multigrid``);
+        ``auto`` switches to multigrid-preconditioned CG above the
+        operator's unknown-count threshold, keeping full-die resolutions
+        one warm-started block solve per step.
     """
     if duration_s <= 0.0 or timestep_s <= 0.0:
         raise TechnologyError("duration and timestep must be positive")

@@ -156,6 +156,7 @@ class TestRunner:
             "EXT-DTMSWEEP",
             "EXT-THERMALMAP",
             "EXT-THERMALRES",
+            "EXT-PLACEMENT",
         }
 
     def test_unknown_experiment_rejected(self):

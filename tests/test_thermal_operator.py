@@ -13,7 +13,14 @@ from repro.thermal import (
     solve_steady_state,
     solve_transient,
 )
-from repro.thermal.operator import _CACHE_LIMIT, _TIMESTEP_CACHE_LIMIT
+from repro.thermal.operator import (
+    METHOD_ENV,
+    THRESHOLD_ENV,
+    _CACHE_LIMIT,
+    _IterativeSolve,
+    _TIMESTEP_CACHE_LIMIT,
+    _WARM_START_LIMIT,
+)
 
 #: The iterative-vs-direct agreement bound (the ISSUE acceptance bar).
 ITERATIVE_RTOL = 1e-8
@@ -175,7 +182,7 @@ class TestIterativeFallback:
         grid, _power = grid_and_power
         assert ThermalOperator(grid, method="auto").method == "direct"
         monkeypatch.setattr(ThermalOperator, "iterative_threshold", 100)
-        assert ThermalOperator(grid, method="auto").method == "iterative"
+        assert ThermalOperator(grid, method="auto").method == "multigrid"
 
     def test_explicit_methods_get_distinct_cache_entries(self, grid_and_power):
         grid, _power = grid_and_power
@@ -216,6 +223,143 @@ class TestIterativeFallback:
             ThermalOperator.for_grid(grid, method="cholesky")
 
 
+class TestEnvironmentKnobs:
+    """The REPRO_THERMAL_* overrides, read at resolve time."""
+
+    def test_method_env_overrides_auto(self, monkeypatch, grid_and_power):
+        grid, _power = grid_and_power
+        monkeypatch.setenv(METHOD_ENV, "iterative")
+        assert ThermalOperator(grid, method="auto").method == "iterative"
+        monkeypatch.setenv(METHOD_ENV, "multigrid")
+        assert ThermalOperator(grid, method="auto").method == "multigrid"
+
+    def test_explicit_method_wins_over_env(self, monkeypatch, grid_and_power):
+        grid, _power = grid_and_power
+        monkeypatch.setenv(METHOD_ENV, "iterative")
+        assert ThermalOperator(grid, method="direct").method == "direct"
+
+    def test_invalid_method_env_rejected(self, monkeypatch, grid_and_power):
+        grid, _power = grid_and_power
+        monkeypatch.setenv(METHOD_ENV, "cholesky")
+        with pytest.raises(TechnologyError):
+            ThermalOperator(grid, method="auto")
+
+    def test_threshold_env_reroutes_auto(self, monkeypatch, grid_and_power):
+        grid, _power = grid_and_power
+        monkeypatch.setenv(THRESHOLD_ENV, "100")
+        assert ThermalOperator(grid, method="auto").method == "multigrid"
+        monkeypatch.setenv(THRESHOLD_ENV, str(grid.nx * grid.ny))
+        assert ThermalOperator(grid, method="auto").method == "direct"
+
+    def test_invalid_threshold_env_rejected(self, monkeypatch, grid_and_power):
+        grid, _power = grid_and_power
+        monkeypatch.setenv(THRESHOLD_ENV, "many")
+        with pytest.raises(TechnologyError):
+            ThermalOperator(grid, method="auto")
+        monkeypatch.setenv(THRESHOLD_ENV, "-5")
+        with pytest.raises(TechnologyError):
+            ThermalOperator(grid, method="auto")
+
+    def test_env_overrides_join_the_cache_key(self, monkeypatch, grid_and_power):
+        # An operator cached while an override was set must not be
+        # handed back (with the wrong prepared solve) once it is lifted.
+        grid, _power = grid_and_power
+        ThermalOperator.clear_cache()
+        monkeypatch.setenv(METHOD_ENV, "iterative")
+        overridden = ThermalOperator.for_grid(grid)
+        monkeypatch.delenv(METHOD_ENV)
+        plain = ThermalOperator.for_grid(grid)
+        assert overridden.method == "iterative"
+        assert plain.method == "direct"
+        assert overridden is not plain
+
+    @pytest.fixture(scope="class")
+    def grid_and_power(self):
+        return _grid_at(24)
+
+    def test_runner_flags_set_the_knobs(self, monkeypatch, capsys):
+        from repro.experiments.runner import main
+
+        monkeypatch.delenv(METHOD_ENV, raising=False)
+        monkeypatch.delenv(THRESHOLD_ENV, raising=False)
+        import os
+
+        assert (
+            main(
+                [
+                    "--thermal-method",
+                    "multigrid",
+                    "--thermal-iterative-threshold",
+                    "123",
+                    "--list",
+                ]
+            )
+            == 0
+        )
+        assert os.environ[METHOD_ENV] == "multigrid"
+        assert os.environ[THRESHOLD_ENV] == "123"
+        monkeypatch.delenv(METHOD_ENV)
+        monkeypatch.delenv(THRESHOLD_ENV)
+
+
+class TestWarmStartKeying:
+    """Per-RHS-shape warm starts (the cross-caller pollution fix)."""
+
+    @pytest.fixture(scope="class")
+    def solve_and_rhs(self):
+        grid, power = _grid_at(24)
+        solve = _IterativeSolve(grid.conductance_matrix, preconditioner="ilu")
+        return grid, solve, power.values_w.reshape(-1)
+
+    def test_vector_and_stack_keep_separate_states(self, solve_and_rhs):
+        grid, solve, rhs = solve_and_rhs
+        solve._warm_starts.clear()
+        solve(rhs)
+        solve(np.stack([rhs, 0.5 * rhs], axis=1))
+        assert list(solve._warm_starts) == [("vec",), ("stack", 2)]
+        assert solve._warm_starts[("vec",)].shape == (rhs.size, 1)
+        assert solve._warm_starts[("stack", 2)].shape == (rhs.size, 2)
+
+    def test_stack_solve_unpolluted_by_prior_vector_solve(self, solve_and_rhs):
+        grid, solve, rhs = solve_and_rhs
+        reference = spsolve(grid.conductance_matrix.tocsc(), 3.0 * rhs)
+        solve._warm_starts.clear()
+        solve(rhs)  # would be a bad initial guess for the stack below
+        stack = solve(np.stack([3.0 * rhs, np.zeros_like(rhs)], axis=1))
+        assert np.max(np.abs(stack[:, 0] - reference) / np.abs(reference)) <= ITERATIVE_RTOL
+        assert np.array_equal(stack[:, 1], np.zeros_like(rhs))
+
+    def test_distinct_stack_widths_do_not_collide(self, solve_and_rhs):
+        _grid, solve, rhs = solve_and_rhs
+        solve._warm_starts.clear()
+        solve(np.stack([rhs, rhs], axis=1))
+        solve(np.stack([rhs, rhs, rhs], axis=1))
+        assert ("stack", 2) in solve._warm_starts
+        assert ("stack", 3) in solve._warm_starts
+
+    def test_warm_start_store_is_bounded_lru(self, solve_and_rhs):
+        _grid, solve, rhs = solve_and_rhs
+        solve._warm_starts.clear()
+        for width in range(1, _WARM_START_LIMIT + 2):
+            solve(np.repeat(rhs[:, np.newaxis], width, axis=1))
+        assert len(solve._warm_starts) == _WARM_START_LIMIT
+        # Touch the oldest survivor, then add another width: the
+        # touched entry survives, the least recently used one goes.
+        survivor = ("stack", 2)
+        solve(np.repeat(rhs[:, np.newaxis], 2, axis=1))
+        solve(np.repeat(rhs[:, np.newaxis], _WARM_START_LIMIT + 2, axis=1))
+        assert survivor in solve._warm_starts
+        assert ("stack", 3) not in solve._warm_starts
+
+    def test_warm_start_accelerates_repeat_solves(self, solve_and_rhs):
+        _grid, solve, rhs = solve_and_rhs
+        solve._warm_starts.clear()
+        solve(rhs)
+        cold_iterations = solve.last_iterations
+        solve(rhs)
+        assert solve.last_iterations < cold_iterations
+
+
 class TestProcessWideCache:
     def test_equal_geometry_grids_share_an_operator(self, example_power_map):
         ThermalOperator.clear_cache()
@@ -243,9 +387,9 @@ class TestProcessWideCache:
 
 
 class TestCacheEviction:
-    """Insertion-order eviction of both caches, covered directly."""
+    """Bounded LRU eviction of both caches, covered directly."""
 
-    def test_operator_cache_evicts_oldest_insertion_first(self):
+    def test_operator_cache_evicts_least_recently_used(self):
         ThermalOperator.clear_cache()
         operators = {}
         resolutions = list(range(4, 4 + _CACHE_LIMIT))
@@ -260,13 +404,34 @@ class TestCacheEviction:
         oldest_grid, _power = _grid_at(resolutions[0])
         rebuilt = ThermalOperator.for_grid(oldest_grid)
         assert rebuilt is not operators[resolutions[0]]
-        # ... and rebuilding the oldest evicted the (FIFO) next-oldest,
-        # while the third-oldest entry is still the original object.
+        # ... and rebuilding the oldest evicted the next least recently
+        # used, while the third-oldest entry is still the original.
         third_grid, _power = _grid_at(resolutions[2])
         kept = ThermalOperator.for_grid(third_grid)
         assert kept is operators[resolutions[2]]
         second_grid, _power = _grid_at(resolutions[1])
         assert ThermalOperator.for_grid(second_grid) is not operators[resolutions[1]]
+
+    def test_operator_cache_hits_refresh_recency(self):
+        # The placement-search access pattern: a handful of grids hit
+        # over and over must all survive churn from new geometries.
+        ThermalOperator.clear_cache()
+        resolutions = list(range(4, 4 + _CACHE_LIMIT))
+        operators = {}
+        for resolution in resolutions:
+            grid, _power = _grid_at(resolution)
+            operators[resolution] = ThermalOperator.for_grid(grid)
+        # Touch the oldest entry, then overflow: the touched entry
+        # survives (a FIFO cache would evict it), the untouched
+        # second-oldest goes.
+        touched_grid, _power = _grid_at(resolutions[0])
+        assert ThermalOperator.for_grid(touched_grid) is operators[resolutions[0]]
+        overflow_grid, _power = _grid_at(4 + _CACHE_LIMIT)
+        ThermalOperator.for_grid(overflow_grid)
+        still_grid, _power = _grid_at(resolutions[0])
+        assert ThermalOperator.for_grid(still_grid) is operators[resolutions[0]]
+        evicted_grid, _power = _grid_at(resolutions[1])
+        assert ThermalOperator.for_grid(evicted_grid) is not operators[resolutions[1]]
 
     def test_clear_cache_forgets_every_operator(self):
         ThermalOperator.clear_cache()
