@@ -37,10 +37,16 @@ dependent; both wall clocks are recorded); and on the 256x256 full-die
 grid the geometric-multigrid solve (PR 7) is at least 3x faster than
 even a 100-iteration slice of the ILU-CG it displaced (a strict lower
 bound: ILU does not converge within 1000 iterations there), steady and
-dt=1e-2 transient both, in the slow lane.
+dt=1e-2 transient both, in the slow lane; and the sweep service's
+micro-batcher (PR 8) answers 16 concurrent point queries at least 2x
+faster than the same 16 queries issued sequentially against an
+unbatched server (one broadcast evaluation instead of 16), bitwise
+identical to local evaluation (the ``serve-microbatch`` group records
+both wall clocks).
 """
 
 import os
+import threading
 import time
 
 import numpy as np
@@ -50,6 +56,7 @@ from scipy.sparse.linalg import spsolve
 from repro.cells import default_library
 from repro.core import DynamicThermalManager, ReadoutConfig, SensorBank, ThrottlingPolicy
 from repro.engine import Axis, BatchEvaluator, ProcessExecutor, Sweep
+from repro.serve import ServeClient, start_server_thread
 from repro.experiments import run_dtm_study
 from repro.oscillator import (
     PAPER_FIG3_CONFIGURATIONS,
@@ -889,3 +896,146 @@ def test_multigrid_full_die_wall_clock(benchmark, phase):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.shape == rhs.shape
+
+
+# --------------------------------------------------------------------- #
+# PR 8: the sweep service's micro-batched point queries
+# --------------------------------------------------------------------- #
+
+#: The micro-batching benchmark workload: 16 point queries against a
+#: width_ratio base.  The geometry axis rebuilds the sized ring per
+#: ratio, so each solo evaluation carries real fixed cost (~10 ms) that
+#: one batched broadcast pays once — the exact degradation the batcher
+#: removes — while the spec payload stays a few hundred bytes, keeping
+#: transport out of the measurement.
+SERVE_POINTS = 16
+SERVE_RATIOS = tuple(float(r) for r in np.linspace(1.0, 4.5, 8))
+
+#: The batching window is pure added latency for the batch (the
+#: speedup cap is N*eval / (window + eval)), so it is kept just wide
+#: enough that 16 loopback clients reliably land inside it.
+SERVE_WINDOW_MS = 20.0
+
+
+def _serve_base_spec():
+    return Sweep(technology=CMOS035).over(Axis.width_ratio(SERVE_RATIOS)).to_dict()
+
+
+def _serve_temps(round_index):
+    """A fresh temperature grid per round: repeat rounds must measure
+    evaluation, not the service's result cache."""
+    return [
+        float(t)
+        for t in np.linspace(-40.0, 125.0, SERVE_POINTS) + 0.001 * round_index
+    ]
+
+
+def _points_concurrent(port, spec, temps):
+    """All points at once, one connection each (the batcher coalesces
+    across connections); returns the per-point results in temp order."""
+    results = [None] * len(temps)
+    errors = []
+    barrier = threading.Barrier(len(temps))
+
+    def worker(slot):
+        try:
+            with ServeClient("127.0.0.1", port) as remote:
+                barrier.wait()
+                results[slot] = remote.point(spec, temps[slot])
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(len(temps))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+def _points_sequential(port, spec, temps):
+    """The same points issued one at a time over one connection."""
+    with ServeClient("127.0.0.1", port) as remote:
+        return [remote.point(spec, t) for t in temps]
+
+
+def test_microbatch_throughput_floor_at_16_points():
+    """The PR 8 acceptance criterion: 16 concurrent point queries
+    through the micro-batcher complete >= 2x faster than the same 16
+    issued sequentially against an unbatched server (window 0: every
+    point evaluates alone), because the batch coalesces onto one
+    broadcast evaluation.  Every batched answer is bitwise identical to
+    the local evaluation of its point."""
+    spec = _serve_base_spec()
+
+    sequential_handle = start_server_thread(batch_window_ms=0.0)
+    try:
+        with ServeClient("127.0.0.1", sequential_handle.port) as remote:
+            remote.point(spec, 150.5)  # warm the evaluation path
+            start = time.perf_counter()
+            _points_sequential(sequential_handle.port, spec, _serve_temps(0))
+            sequential_s = time.perf_counter() - start
+        assert sequential_handle.server.evaluations == SERVE_POINTS + 1
+    finally:
+        sequential_handle.stop()
+
+    batched_handle = start_server_thread(batch_window_ms=SERVE_WINDOW_MS)
+    try:
+        batched_handle.server.evaluations  # touch: server is live
+        best_s = float("inf")
+        round_evaluations = []
+        results = None
+        temps = None
+        for round_index in (1, 2):
+            temps = _serve_temps(round_index)
+            before = batched_handle.server.evaluations
+            start = time.perf_counter()
+            results = _points_concurrent(batched_handle.port, spec, temps)
+            best_s = min(best_s, time.perf_counter() - start)
+            round_evaluations.append(batched_handle.server.evaluations - before)
+    finally:
+        batched_handle.stop()
+
+    speedup = sequential_s / best_s
+    print(f"\nserve-microbatch speedup at {SERVE_POINTS} points: {speedup:.1f}x "
+          f"(sequential {sequential_s * 1e3:.0f} ms, batched {best_s * 1e3:.0f} ms; "
+          f"evaluations per round {round_evaluations})")
+    assert speedup >= 2.0
+    # The concurrent burst coalesced (a straggler may open a second
+    # batch on a loaded runner; 16 solo evaluations must not happen).
+    assert min(round_evaluations) <= 2
+
+    local = Sweep.from_dict(spec).over(Axis.temperature(temps)).run()
+    for temperature, served in zip(temps, results):
+        expected = local.select(temperature=[temperature])
+        assert served.dims == expected.dims
+        assert np.array_equal(served.values, expected.values)
+
+
+@pytest.mark.benchmark(group="serve-microbatch")
+@pytest.mark.parametrize("mode", ["batched", "sequential"])
+def test_point_query_throughput(benchmark, mode):
+    """Records batched vs sequential point-query wall clock into
+    BENCH_engine.json (the CI bench job asserts this group is present);
+    the asserted >= 2x floor lives in the test above."""
+    spec = _serve_base_spec()
+    window = SERVE_WINDOW_MS if mode == "batched" else 0.0
+    handle = start_server_thread(batch_window_ms=window)
+    rounds = iter(range(10, 20))  # fresh temps per round: no cache hits
+
+    if mode == "batched":
+        def run():
+            return _points_concurrent(handle.port, spec, _serve_temps(next(rounds)))
+    else:
+        def run():
+            return _points_sequential(handle.port, spec, _serve_temps(next(rounds)))
+
+    try:
+        results = benchmark.pedantic(run, rounds=2, iterations=1)
+    finally:
+        handle.stop()
+    assert len(results) == SERVE_POINTS

@@ -38,6 +38,10 @@ Subpackages
 ``repro.engine``
     Vectorized batch evaluation of rings, sensors and Monte-Carlo
     populations.
+``repro.serve``
+    The engine as a persistent network service: NDJSON over asyncio
+    TCP, content-addressed result caching, micro-batched point
+    queries (``repro-serve`` / ``python -m repro.serve``).
 ``repro.experiments``
     One entry point per paper figure / claim (used by benchmarks).
 
@@ -101,6 +105,36 @@ and ``tests/test_engine_equivalence.py`` /
 ``tests/test_stacked_equivalence.py`` / ``tests/test_sweep_api.py``
 pin the broadcast paths to them at a relative tolerance of 1e-9 on
 periods.
+
+Environment knobs
+-----------------
+
+Every runtime knob the package reads from the environment, in one
+place.  Command-line flags (``repro-experiments``, ``repro-serve``)
+win over these; explicit keyword arguments in code win over both.
+
+=========================================  ==================================================
+variable                                   meaning (default)
+=========================================  ==================================================
+``REPRO_SWEEP_EXECUTOR``                   sweep execution backend: ``dense`` | ``serial`` |
+                                           ``process`` | ``memmap`` (``dense``)
+``REPRO_SWEEP_WORKERS``                    worker count of the ``process`` backend
+                                           (cpu count)
+``REPRO_SWEEP_TILE_ELEMENTS``              per-tile element budget of tiled backends
+                                           (``2**20``, an 8 MiB tile)
+``REPRO_THERMAL_METHOD``                   resolve ``auto`` thermal solves to ``direct`` |
+                                           ``iterative`` | ``multigrid`` (size-based choice)
+``REPRO_THERMAL_ITERATIVE_THRESHOLD``      unknown count where ``auto`` thermal solves go
+                                           iterative (operator's built-in threshold)
+``REPRO_SERVE_HOST``                       sweep-service bind address (``127.0.0.1``)
+``REPRO_SERVE_PORT``                       sweep-service bind port, 0 = ephemeral (``7753``)
+``REPRO_SERVE_CACHE_BYTES``                service result-cache budget in payload bytes
+                                           (64 MiB)
+``REPRO_SERVE_BATCH_WINDOW_MS``            service micro-batch window for point queries
+                                           (5 ms)
+``REPRO_SERVE_STREAM_THRESHOLD_BYTES``     encoded result size where service responses
+                                           switch to tile streaming (1 MiB)
+=========================================  ==================================================
 """
 
 from .tech import (

@@ -27,7 +27,7 @@ from .sweep import (
     SweepPlan,
     SweepResult,
 )
-from .tiling import Tile, TilingPlan, plan_tiles, subplan
+from .tiling import Tile, TilingPlan, plan_result_tiles, plan_tiles, subplan
 
 __all__ = [
     "Axis",
@@ -48,6 +48,7 @@ __all__ = [
     "Tile",
     "TilingPlan",
     "make_executor",
+    "plan_result_tiles",
     "plan_tiles",
     "resolve_executor",
     "subplan",

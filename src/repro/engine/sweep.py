@@ -67,7 +67,12 @@ from ..oscillator.config import ConfigurationError, RingConfiguration
 from ..oscillator.period import default_temperature_grid
 from ..oscillator.ring import RingOscillator
 from ..tech.parameters import Technology, TechnologyError
-from ..tech.stacked import TechnologyArray, stack_technologies
+from ..tech.stacked import (
+    TechnologyArray,
+    stack_technologies,
+    technology_array_from_columns,
+    technology_column_arrays,
+)
 from ..thermal.floorplan import Floorplan
 from ..thermal.grid import ThermalGrid, ThermalGridParameters
 from ..thermal.operator import SOLVE_METHODS, ThermalOperator
@@ -413,6 +418,146 @@ class Axis:
             payload={"nmos_width_um": float(nmos_width_um), "stage_count": int(stage_count)},
         )
 
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless plain-data form of a serializable axis.
+
+        The payload is built from plain lists and scalars so it
+        round-trips through JSON and :meth:`from_dict` — the form a
+        sweep spec travels in through the sweep service
+        (:mod:`repro.serve`) and its content-addressed result cache.
+        The ``site`` and ``resolution`` axes carry live objects (a
+        :class:`~repro.core.sensor_bank.SensorBank`, a
+        :class:`~repro.thermal.floorplan.Floorplan`) and have no
+        serialized form; they raise :class:`SweepError`.
+        """
+        if self.name == "temperature":
+            return {
+                "name": "temperature",
+                "coordinates": [float(t) for t in self.coordinates],
+            }
+        if self.name == "supply":
+            return {
+                "name": "supply",
+                "coordinates": [float(v) for v in self.coordinates],
+            }
+        if self.name == "width_ratio":
+            return {
+                "name": "width_ratio",
+                "coordinates": [float(r) for r in self.coordinates],
+                "nmos_width_um": float(self.payload["nmos_width_um"]),
+                "stage_count": int(self.payload["stage_count"]),
+            }
+        if self.name == "configuration":
+            return {
+                "name": "configuration",
+                "labels": [str(label) for label in self.coordinates],
+                "stages": [
+                    list(self.payload[label].stages) for label in self.coordinates
+                ],
+            }
+        if self.name == "sample":
+            population = self.payload
+            if not isinstance(population, TechnologyArray):
+                try:
+                    population = stack_technologies(list(population))
+                except TechnologyError as error:
+                    raise SweepError(
+                        "this sample axis holds an unstackable technology "
+                        "list (samples disagree on the geometry scalars) "
+                        "and cannot be serialized; pass a stackable "
+                        "population or a TechnologyArray"
+                    ) from error
+            columns = technology_column_arrays(population)
+            return {
+                "name": "sample",
+                "technology": {
+                    "name": str(population.name),
+                    "feature_size_um": float(population.feature_size_um),
+                    "min_width_um": float(population.min_width_um),
+                    "metal_layers": int(population.metal_layers),
+                    "extras": [dict(extra) for extra in population.extras],
+                },
+                "columns": {
+                    key: np.asarray(column, dtype=float).reshape(-1).tolist()
+                    for key, column in sorted(columns.items())
+                },
+            }
+        raise SweepError(
+            f"axis {self.name!r} carries live objects (a sensor bank or "
+            f"floorplan) and has no serialized form; a served sweep "
+            f"supports the configuration, width_ratio, supply, sample and "
+            f"temperature axes"
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Axis":
+        """Re-hydrate an axis serialized by :meth:`to_dict`."""
+        if not isinstance(payload, Mapping):
+            raise SweepError(
+                f"Axis.from_dict takes a to_dict() mapping, got "
+                f"{type(payload).__name__}"
+            )
+        name = payload.get("name")
+        try:
+            if name == "temperature":
+                return cls.temperature(payload["coordinates"])
+            if name == "supply":
+                return cls.supply(payload["coordinates"])
+            if name == "width_ratio":
+                return cls.width_ratio(
+                    payload["coordinates"],
+                    nmos_width_um=payload["nmos_width_um"],
+                    stage_count=payload["stage_count"],
+                )
+            if name == "configuration":
+                labels = [str(label) for label in payload["labels"]]
+                stages = payload["stages"]
+                if len(labels) != len(stages):
+                    raise SweepError(
+                        f"configuration axis has {len(labels)} labels but "
+                        f"{len(stages)} stage lists"
+                    )
+                try:
+                    configs = [
+                        RingConfiguration(tuple(str(s) for s in entry))
+                        for entry in stages
+                    ]
+                except ConfigurationError as error:
+                    raise SweepError(str(error)) from error
+                return cls.configuration(dict(zip(labels, configs)))
+            if name == "sample":
+                tech = payload["technology"]
+                columns = {
+                    key: np.asarray(values, dtype=float).reshape(-1, 1)
+                    for key, values in payload["columns"].items()
+                }
+                try:
+                    population = technology_array_from_columns(
+                        name=str(tech["name"]),
+                        feature_size_um=float(tech["feature_size_um"]),
+                        min_width_um=float(tech["min_width_um"]),
+                        metal_layers=int(tech["metal_layers"]),
+                        extras=tuple(dict(extra) for extra in tech["extras"]),
+                        columns=columns,
+                    )
+                except (TechnologyError, KeyError) as error:
+                    raise SweepError(
+                        f"invalid serialized sample population: {error}"
+                    ) from error
+                return cls.sample(population)
+        except KeyError as error:
+            raise SweepError(
+                f"serialized {name!r} axis is missing key {error}"
+            ) from None
+        raise SweepError(
+            f"unknown serialized axis {name!r}; serializable axes are "
+            f"configuration, width_ratio, supply, sample and temperature"
+        )
+
 
 # --------------------------------------------------------------------------- #
 # results
@@ -752,6 +897,140 @@ class Sweep:
             )
         self._observable = observable
         return self
+
+    #: Version tag of the :meth:`to_dict` sweep-spec serialization,
+    #: bumped on any incompatible change so a service (or a cached
+    #: artifact reader) can reject stale payloads cleanly instead of
+    #: misinterpreting them.
+    SCHEMA_VERSION = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless plain-data form of a serializable sweep spec.
+
+        The payload is built from plain lists and scalars, so it
+        round-trips through JSON and :meth:`from_dict` rebuilds a sweep
+        whose :meth:`run` is bit-identical to this one's — the request
+        format of the sweep service (:mod:`repro.serve`), which
+        content-hashes the canonicalized payload to key its result
+        cache.  Serializable sweeps are those declared from data: a
+        *registered* base technology (by name), a parseable base
+        configuration, and the configuration / width_ratio / supply /
+        sample / temperature axes.  A ``ring=`` or ``library=`` base and
+        the ``site`` / ``resolution`` axes carry live objects and raise
+        :class:`SweepError`.
+        """
+        if self._ring is not None:
+            raise SweepError(
+                "a ring= base carries a live RingOscillator and cannot be "
+                "serialized; pass technology= plus configuration= instead"
+            )
+        if self._library is not None:
+            raise SweepError(
+                "a library= base carries a live CellLibrary and cannot be "
+                "serialized; pass technology= (the default library is "
+                "rebuilt on the far side)"
+            )
+        technology = None
+        if self._technology is not None:
+            from ..tech.libraries import get_technology
+
+            name = self._technology.name
+            try:
+                registered = get_technology(name)
+            except TechnologyError:
+                registered = None
+            if registered is not self._technology and registered != self._technology:
+                raise SweepError(
+                    f"technology {name!r} is not the registered technology "
+                    f"of that name; only registered technologies serialize "
+                    f"by name (register_technology(...) first)"
+                )
+            technology = name
+        return {
+            "version": self.SCHEMA_VERSION,
+            "observable": self._observable,
+            "base": {
+                "technology": technology,
+                "configuration": (
+                    self._configuration.label()
+                    if self._configuration is not None
+                    else None
+                ),
+                "wire_length_um": float(self._wire_length_um),
+                "external_load_f": float(self._external_load_f),
+                "tap_stage": (
+                    int(self._tap_stage) if self._tap_stage is not None else None
+                ),
+                "readout": {
+                    "reference_clock_hz": float(self._readout.reference_clock_hz),
+                    "window_cycles": int(self._readout.window_cycles),
+                    "counter_bits": int(self._readout.counter_bits),
+                },
+            },
+            "axes": [
+                self._axes[name].to_dict()
+                for name in CANONICAL_AXIS_ORDER
+                if name in self._axes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Sweep":
+        """Re-hydrate a sweep spec serialized by :meth:`to_dict`."""
+        if not isinstance(payload, Mapping):
+            raise SweepError(
+                f"Sweep.from_dict takes a to_dict() mapping, got "
+                f"{type(payload).__name__}"
+            )
+        missing = [
+            key for key in ("version", "observable", "base", "axes") if key not in payload
+        ]
+        if missing:
+            raise SweepError(f"serialized sweep spec is missing {missing}")
+        version = payload["version"]
+        if version != cls.SCHEMA_VERSION:
+            raise SweepError(
+                f"serialized sweep spec has version {version!r}; this "
+                f"build reads version {cls.SCHEMA_VERSION}"
+            )
+        base = payload["base"]
+        if not isinstance(base, Mapping):
+            raise SweepError(
+                f"serialized sweep spec's base must be a mapping, got "
+                f"{type(base).__name__}"
+            )
+        technology = None
+        if base.get("technology") is not None:
+            from ..tech.libraries import get_technology
+
+            try:
+                technology = get_technology(base["technology"])
+            except TechnologyError as error:
+                raise SweepError(str(error)) from error
+        try:
+            readout = ReadoutConfig(**dict(base.get("readout") or {}))
+        except (TypeError, TechnologyError) as error:
+            raise SweepError(f"invalid serialized readout: {error}") from error
+        try:
+            sweep = cls(
+                technology=technology,
+                configuration=base.get("configuration"),
+                wire_length_um=base.get("wire_length_um", 2.0),
+                external_load_f=base.get("external_load_f", 0.0),
+                tap_stage=base.get("tap_stage"),
+                readout=readout,
+            )
+        except ConfigurationError as error:
+            raise SweepError(str(error)) from error
+        axes = payload["axes"]
+        if not isinstance(axes, Sequence) or isinstance(axes, (str, bytes)):
+            raise SweepError(
+                f"serialized sweep spec's axes must be a list, got "
+                f"{type(axes).__name__}"
+            )
+        for axis_payload in axes:
+            sweep.over(Axis.from_dict(axis_payload))
+        return sweep.observe(payload["observable"])
 
     def plan(self) -> "SweepPlan":
         """Validate the axis combination and freeze the lowering plan."""

@@ -31,7 +31,7 @@ is a bound on what tiling *can* bound, not a hard allocation cap.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,8 +42,10 @@ __all__ = [
     "DEFAULT_TILE_ELEMENTS",
     "Tile",
     "TilingPlan",
+    "plan_result_tiles",
     "plan_tiles",
     "subplan",
+    "tile_index_space",
 ]
 
 #: Default bound on a tile's dense element count when a tiled execution
@@ -171,15 +173,33 @@ def plan_tiles(
     dims = tuple(axis.name for axis in plan.axes)
     shape = tuple(len(axis) for axis in plan.axes)
     coords = {axis.name: tuple(axis.coordinates) for axis in plan.axes}
+    tiles = tile_index_space(dims, shape, _splittable_axes(plan), budget)
+    return TilingPlan(plan=plan, dims=dims, shape=shape, coords=coords, tiles=tiles)
+
+
+def tile_index_space(
+    dims: Tuple[str, ...],
+    shape: Tuple[int, ...],
+    splittable: Sequence[str],
+    budget: int,
+) -> Tuple[Tile, ...]:
+    """Partition an index space into budget-bounded contiguous tiles.
+
+    The chunking core shared by :func:`plan_tiles` (splittable =
+    ``sample``/``temperature``, the elementwise plan axes) and
+    :func:`plan_result_tiles` (splittable = every axis — slicing a
+    *materialized* tensor is always exact).  Axes are shrunk in the
+    given ``splittable`` order: the first axis splits first, later axes
+    only when a single coordinate of the earlier ones still exceeds the
+    budget.  The tiles cover the index space exactly once (a dense
+    cross product of contiguous blocks, first-split-axis major).
+    """
     sizes = dict(zip(dims, shape))
     total = int(np.prod(shape, dtype=np.int64)) if shape else 1
 
-    # Chunk lengths along the splittable axes: shrink the sample axis
-    # first; only when single-sample rows still exceed the budget does
-    # the temperature axis split too.
     chunks: Dict[str, int] = {}
     remaining = total
-    for name in _splittable_axes(plan):
+    for name in splittable:
         if remaining <= budget:
             break
         per_unit = remaining // sizes[name]  # elements per single coordinate
@@ -187,11 +207,9 @@ def plan_tiles(
         remaining = per_unit * chunks[name]
 
     if not chunks:
-        tiles: Tuple[Tile, ...] = (Tile(index=0, bounds=()),)
-        return TilingPlan(plan=plan, dims=dims, shape=shape, coords=coords, tiles=tiles)
+        return (Tile(index=0, bounds=()),)
 
-    # The dense cross product of contiguous blocks, sample-major.
-    split_names = [name for name in SPLITTABLE_AXES if name in chunks]
+    split_names = [name for name in splittable if name in chunks]
     ranges_per_axis = []
     for name in split_names:
         step = chunks[name]
@@ -209,9 +227,35 @@ def plan_tiles(
         ]
     for index, bounds in enumerate(bounds_stack):
         tile_list.append(Tile(index=index, bounds=tuple(bounds)))
-    return TilingPlan(
-        plan=plan, dims=dims, shape=shape, coords=coords, tiles=tuple(tile_list)
-    )
+    return tuple(tile_list)
+
+
+def plan_result_tiles(
+    dims: Tuple[str, ...],
+    shape: Tuple[int, ...],
+    max_tile_elements: int,
+) -> Tuple[Tile, ...]:
+    """Partition a *materialized* result's index space for streaming.
+
+    Unlike :func:`plan_tiles` — which may only split the elementwise
+    ``sample``/``temperature`` axes because each tile re-*evaluates* its
+    slice — a materialized tensor is pure data, so every axis is
+    splittable: a tile is just a contiguous slice expression.  The
+    sweep service (:mod:`repro.serve`) streams oversized results tile
+    by tile with this, bounding each response line; the client
+    reassembles via :meth:`Tile.slices`, positionally, exactly as
+    :func:`~repro.engine.executors.run_plan` assembles executor tiles.
+    Outer axes split first, so tiles are contiguous slabs of the
+    row-major tensor.
+    """
+    if len(dims) != len(shape):
+        raise SweepError(
+            f"dims ({len(dims)}) and shape ({len(shape)}) disagree on the "
+            f"dimension count"
+        )
+    if int(max_tile_elements) < 1:
+        raise SweepError("max_tile_elements must be at least 1")
+    return tile_index_space(dims, shape, list(dims), int(max_tile_elements))
 
 
 def _slice_sample_axis(axis: Axis, start: int, stop: int) -> Axis:

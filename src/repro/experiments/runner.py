@@ -228,6 +228,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         "from direct factorization to multigrid CG (default: the "
         "operator's built-in threshold)",
     )
+    serve_group = parser.add_argument_group(
+        "service mode",
+        "run the sweep-evaluation service (repro.serve) instead of the "
+        "experiment batch; the executor/thermal knobs above still apply "
+        "to every served evaluation",
+    )
+    serve_group.add_argument(
+        "--serve",
+        action="store_true",
+        help="start a persistent sweep server and block until shutdown",
+    )
+    serve_group.add_argument(
+        "--host",
+        default=None,
+        help="(with --serve) bind address (default: REPRO_SERVE_HOST or 127.0.0.1)",
+    )
+    serve_group.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="(with --serve) bind port, 0 for ephemeral "
+        "(default: REPRO_SERVE_PORT or 7753)",
+    )
+    serve_group.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="(with --serve) result-cache budget in payload bytes "
+        "(default: REPRO_SERVE_CACHE_BYTES or 64 MiB)",
+    )
+    serve_group.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=None,
+        help="(with --serve) micro-batch window for point queries "
+        "(default: REPRO_SERVE_BATCH_WINDOW_MS or 5 ms)",
+    )
     args = parser.parse_args(argv)
     # The registry callables take only a technology; the execution
     # backend rides on the documented environment knobs instead, so it
@@ -242,6 +279,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ[METHOD_ENV] = args.thermal_method
     if args.thermal_iterative_threshold is not None:
         os.environ[THRESHOLD_ENV] = str(args.thermal_iterative_threshold)
+    if args.serve:
+        if args.experiments or args.list_experiments or args.output:
+            parser.error("--serve runs the service; drop the experiment options")
+        # Imported here so the batch path stays free of the service
+        # stack (and vice versa: a server embeds no experiment code).
+        from ..serve.server import main as serve_main
+
+        serve_argv: List[str] = []
+        if args.host is not None:
+            serve_argv += ["--host", args.host]
+        if args.port is not None:
+            serve_argv += ["--port", str(args.port)]
+        if args.cache_bytes is not None:
+            serve_argv += ["--cache-bytes", str(args.cache_bytes)]
+        if args.batch_window_ms is not None:
+            serve_argv += ["--batch-window-ms", str(args.batch_window_ms)]
+        return serve_main(serve_argv)
     registry = default_registry()
     if args.list_experiments:
         print("\n".join(registry.names()))

@@ -1,0 +1,78 @@
+"""repro.serve — the sweep engine as a persistent network service.
+
+The batch workflow (:mod:`repro.engine`) pays the full evaluation cost
+on every invocation; a *service* amortizes it across requests.  This
+package wraps the engine in a long-lived asyncio server speaking
+newline-delimited JSON over TCP (stdlib only), with three layers that
+turn repeat and concurrent traffic into cheap traffic:
+
+content addressing (:mod:`repro.serve.spec`)
+    A sweep spec's canonical form is its round trip through the real
+    builder — ``Sweep.from_dict(payload).to_dict()`` — so validation
+    and normalization are one step; :func:`canonical_key` hashes the
+    canonical encoding with SHA-256.  Semantically identical requests
+    collide on the key, however they were spelled.
+
+result caching (:mod:`repro.serve.cache`)
+    A byte-bounded LRU over encoded result payloads, keyed on the
+    canonical hash, with hit / miss / eviction counters surfaced by the
+    ``stats`` op.  Identical sweeps in flight share one evaluation
+    (single-flight).
+
+micro-batching (:mod:`repro.serve.batcher`)
+    Concurrent point queries (base spec + one temperature) wait a few
+    milliseconds, stack onto one shared temperature axis, evaluate as
+    a single broadcast, and each receives its slice — bit-identical to
+    a solo evaluation because the engine is elementwise in temperature.
+
+Oversized results stream tile by tile
+(:func:`~repro.engine.tiling.plan_result_tiles`); the synchronous
+:class:`ServeClient` reassembles them transparently.  Start a server
+with ``repro-serve`` (or ``python -m repro.serve``), embed one in-
+process with :func:`start_server_thread`, and configure either through
+the ``REPRO_SERVE_*`` environment knobs documented in
+:mod:`repro.serve.server`.
+"""
+
+from .batcher import DEFAULT_BATCH_WINDOW_MS, MicroBatcher
+from .cache import DEFAULT_CACHE_BYTES, ResultCache
+from .client import ServeClient, ServeError
+from .server import (
+    BATCH_WINDOW_ENV,
+    CACHE_BYTES_ENV,
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DEFAULT_STREAM_THRESHOLD_BYTES,
+    HOST_ENV,
+    PORT_ENV,
+    STREAM_THRESHOLD_ENV,
+    ServerHandle,
+    SweepServer,
+    main,
+    start_server_thread,
+)
+from .spec import canonical_key, canonical_spec, encode_canonical
+
+__all__ = [
+    "BATCH_WINDOW_ENV",
+    "CACHE_BYTES_ENV",
+    "DEFAULT_BATCH_WINDOW_MS",
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_STREAM_THRESHOLD_BYTES",
+    "HOST_ENV",
+    "MicroBatcher",
+    "PORT_ENV",
+    "ResultCache",
+    "STREAM_THRESHOLD_ENV",
+    "ServeClient",
+    "ServeError",
+    "ServerHandle",
+    "SweepServer",
+    "canonical_key",
+    "canonical_spec",
+    "encode_canonical",
+    "main",
+    "start_server_thread",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.serve``: run a sweep-evaluation server."""
+
+from .server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

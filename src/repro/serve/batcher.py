@@ -1,0 +1,131 @@
+"""Micro-batching of concurrent point queries onto one broadcast.
+
+The dominant traffic pattern of a sensor-evaluation service is the
+*point query*: "this spec, at this one temperature" — a request whose
+marginal cost inside the engine is nearly zero (the whole delay stack
+is elementwise in temperature, so evaluating 32 temperatures costs
+almost the same one broadcast as evaluating 1) but whose fixed cost
+(ring construction, population stacking) dominates when each point is
+evaluated alone.  The micro-batcher converts concurrency into that
+almost-free axis: the first point query for a base spec opens a batch
+and starts a short window; every compatible query arriving inside the
+window joins it; at the deadline the batch evaluates **once**, with all
+the collected temperatures stacked onto a shared ``temperature`` axis,
+and each request is answered with its own slice of the shared result.
+
+Because the engine is elementwise in temperature (the tiling layer's
+bitwise-identity guarantee, :mod:`repro.engine.tiling`), a batched
+point's slice is bit-identical to what a solo evaluation of that point
+would have produced — batching changes latency, never values.  (The
+endpoint-fit observables couple temperatures and are rejected for
+point queries upstream, in the server's request validation.)
+
+Batches are keyed on the *base* spec's canonical hash
+(:func:`repro.serve.spec.canonical_key` of the spec without its
+temperature axis), so only genuinely compatible queries coalesce.
+Duplicate temperatures within a batch share one grid point — the axis
+stays duplicate-free as the engine requires — and each duplicate
+request still receives its slice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, List, Mapping, Tuple
+
+from ..engine.sweep import SweepResult
+
+__all__ = ["DEFAULT_BATCH_WINDOW_MS", "MicroBatcher"]
+
+#: Default batching window: long enough to coalesce a concurrent burst,
+#: short enough to be invisible next to an evaluation.
+DEFAULT_BATCH_WINDOW_MS = 5.0
+
+
+class _Batch:
+    """One open batch: the shared base spec plus the queued points."""
+
+    __slots__ = ("spec", "points")
+
+    def __init__(self, spec: Mapping[str, Any]) -> None:
+        self.spec = spec
+        self.points: List[Tuple[float, asyncio.Future]] = []
+
+
+class MicroBatcher:
+    """Coalesce concurrent point queries per base spec, per window.
+
+    ``evaluate`` is the async evaluation hook: it receives a serialized
+    sweep payload (the base spec with the batch's stacked temperature
+    axis appended) and returns the evaluated
+    :class:`~repro.engine.sweep.SweepResult`.  The server passes its
+    counted, thread-offloaded evaluator, so batch evaluations show up
+    in the same evaluation counter as full sweeps.
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[Dict[str, Any]], Awaitable[SweepResult]],
+        window_ms: float = DEFAULT_BATCH_WINDOW_MS,
+    ) -> None:
+        if float(window_ms) < 0.0:
+            raise ValueError("window_ms must be non-negative")
+        self._evaluate = evaluate
+        self.window_ms = float(window_ms)
+        self._open: Dict[str, _Batch] = {}
+        # Counters, reported via the server's ``stats`` op.
+        self.batches = 0
+        self.batched_points = 0
+        self.largest_batch = 0
+
+    async def submit(
+        self, base_key: str, spec: Mapping[str, Any], temperature_c: float
+    ) -> SweepResult:
+        """Queue one point query; resolves to its slice of the batch result.
+
+        The returned result keeps a length-1 temperature axis, so it is
+        exactly what a solo sweep of ``spec`` + ``temperature=[t]``
+        would have returned.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        batch = self._open.get(base_key)
+        if batch is None:
+            batch = _Batch(spec)
+            self._open[base_key] = batch
+            loop.create_task(self._flush_later(base_key))
+        batch.points.append((float(temperature_c), future))
+        return await future
+
+    async def _flush_later(self, base_key: str) -> None:
+        await asyncio.sleep(self.window_ms / 1000.0)
+        batch = self._open.pop(base_key)
+        # Stack the batch onto one shared, duplicate-free temperature
+        # axis (sorted: the canonical grid order, and what makes the
+        # batch spec itself deterministic for a given point set).
+        temperatures = sorted({t for t, _ in batch.points})
+        payload = dict(batch.spec)
+        payload["axes"] = list(payload.get("axes", ())) + [
+            {"name": "temperature", "coordinates": temperatures}
+        ]
+        self.batches += 1
+        self.batched_points += len(batch.points)
+        self.largest_batch = max(self.largest_batch, len(batch.points))
+        try:
+            result = await self._evaluate(payload)
+        except Exception as error:  # noqa: BLE001 - forwarded per request
+            for _, future in batch.points:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for temperature, future in batch.points:
+            if not future.done():  # pragma: no branch - cancelled clients
+                future.set_result(result.select(temperature=[temperature]))
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "batches": self.batches,
+            "batched_points": self.batched_points,
+            "largest_batch": self.largest_batch,
+            "window_ms": self.window_ms,
+        }

@@ -1,0 +1,117 @@
+"""Byte-bounded LRU result cache keyed on canonical spec hashes.
+
+The service's working set is "results users keep asking for", whose
+sizes span four orders of magnitude (a point query's single value to a
+full Monte-Carlo tensor), so the eviction budget is expressed in
+*payload bytes*, not entry counts: each entry is charged the size of
+its canonical JSON encoding — the same bytes a response line carries —
+plus nothing else, and least-recently-*used* entries are evicted until
+the budget holds.  An entry larger than the whole budget is simply not
+admitted (caching it would evict everything else for a single request).
+
+The cache is thread-safe: the server touches it from the event loop
+while evaluations complete in worker threads, and the hit/miss/eviction
+counters (reported by the ``stats`` op and asserted by the service
+tests) must not tear.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..engine.sweep import SweepError
+
+__all__ = ["DEFAULT_CACHE_BYTES", "ResultCache"]
+
+#: Default result-cache budget: 64 MiB of encoded result payloads —
+#: thousands of point-query slices, or a handful of full Monte-Carlo
+#: tensors.
+DEFAULT_CACHE_BYTES = 64 << 20
+
+
+class ResultCache:
+    """An LRU mapping of canonical spec keys to result payloads.
+
+    Values are stored as ``(payload, encoded_size)`` pairs: the decoded
+    result mapping (ready to embed in a response envelope) plus the
+    byte size it is charged against the budget.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if int(max_bytes) < 0:
+            raise SweepError("max_bytes must be non-negative")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached payload for ``key`` (refreshing its recency), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: str, payload: Any, size_bytes: int) -> bool:
+        """Admit (or refresh) a payload; returns False when it exceeds
+        the whole budget and was not admitted."""
+        size = int(size_bytes)
+        if size < 0:
+            raise SweepError("size_bytes must be non-negative")
+        with self._lock:
+            if size > self.max_bytes:
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (payload, size)
+            self._bytes += size
+            while self._bytes > self.max_bytes:
+                _evicted_key, (_payload, evicted_size) = self._entries.popitem(
+                    last=False
+                )
+                self._bytes -= evicted_size
+                self._evictions += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership probe that does NOT touch recency or counters."""
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus the current occupancy."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"ResultCache({stats['entries']} entries, {stats['bytes']}/"
+            f"{stats['max_bytes']} bytes, {stats['hits']} hits)"
+        )

@@ -1,0 +1,189 @@
+"""Synchronous client for the sweep service.
+
+A thin blocking wrapper over one TCP connection: it speaks the NDJSON
+protocol of :mod:`repro.serve.protocol`, raises :class:`ServeError`
+(carrying the structured error ``code``) for server-side rejections,
+and reassembles tile-streamed results transparently, so callers always
+see the same thing — a result payload byte-identical (post
+``to_dict``) to what a local ``Sweep.run()`` would have produced, or
+the re-hydrated :class:`~repro.engine.sweep.SweepResult` itself.
+
+The client is deliberately stdlib-synchronous (``socket`` +
+``makefile``): it is what the tests, the example, the benchmark, and
+the runner's smoke path use, none of which want an event loop of
+their own.  One client = one connection; concurrency comes from
+running several clients (the micro-batcher coalesces across
+connections, not within one).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from ..engine.sweep import Sweep, SweepError, SweepResult
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A structured rejection from the server (or a transport failure).
+
+    ``code`` is the stable protocol error code
+    (:data:`repro.serve.protocol.E_BAD_SPEC` et al.), or ``"transport"``
+    for connection-level failures raised client-side.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """One blocking connection to a :class:`~repro.serve.server.SweepServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7753, timeout: float = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+
+    def _read_line(self) -> Any:
+        line = self._file.readline()
+        if not line:
+            raise ServeError("transport", "server closed the connection")
+        try:
+            return json.loads(line.decode("utf-8"))
+        except ValueError as error:  # pragma: no cover - server bug guard
+            raise ServeError("transport", f"unparseable response line: {error}")
+
+    def _request(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        """Send one request; return its ok-envelope (streams reassembled)."""
+        self._file.write(
+            json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        self._file.flush()
+        response = self._read_line()
+        if not isinstance(response, dict):  # pragma: no cover - server bug guard
+            raise ServeError("transport", f"malformed response: {response!r}")
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise ServeError(
+                error.get("code", "unknown"), error.get("message", "unknown error")
+            )
+        if response.get("stream"):
+            response["result"] = self._read_stream(response)
+            del response["stream"]
+        return response
+
+    def _read_stream(self, header: Mapping[str, Any]) -> Dict[str, Any]:
+        """Reassemble a tile stream into one result payload.
+
+        Tiles are positional slices of the full tensor
+        (:meth:`repro.engine.tiling.Tile.slices` semantics), so
+        reassembly is plain slice assignment into an empty array.
+        """
+        meta = header["meta"]
+        dims = tuple(meta["dims"])
+        shape = tuple(len(meta["coords"][name]) for name in dims)
+        dtype = meta.get("dtype", "float64")
+        values = np.empty(shape, dtype=dtype)
+        seen = 0
+        while True:
+            line = self._read_line()
+            if line.get("done"):
+                break
+            bounds = {str(name): (int(start), int(stop)) for name, start, stop in line["bounds"]}
+            expression = tuple(
+                slice(*bounds[name]) if name in bounds else slice(None)
+                for name in dims
+            )
+            values[expression] = np.asarray(line["values"], dtype=dtype)
+            seen += 1
+        expected = int(header.get("tile_count", seen))
+        if seen != expected:
+            raise ServeError(
+                "transport", f"tile stream carried {seen} tiles, expected {expected}"
+            )
+        return {
+            "version": meta["version"],
+            "observable": meta["observable"],
+            "dims": list(dims),
+            "coords": meta["coords"],
+            "dtype": dtype,
+            "values": values.tolist(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> Dict[str, Any]:
+        return self._request({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request({"op": "stats"})["stats"]
+
+    def sweep_payload(
+        self, spec: Union[Sweep, Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        """The served result payload (``SweepResult.to_dict`` form)."""
+        response = self._request({"op": "sweep", "spec": _spec_payload(spec)})
+        return response["result"]
+
+    def sweep(self, spec: Union[Sweep, Mapping[str, Any]]) -> SweepResult:
+        """Evaluate a full sweep remotely; returns the re-hydrated result."""
+        return SweepResult.from_dict(self.sweep_payload(spec))
+
+    def point_payload(
+        self, spec: Union[Sweep, Mapping[str, Any]], temperature_c: float
+    ) -> Dict[str, Any]:
+        response = self._request(
+            {
+                "op": "point",
+                "spec": _spec_payload(spec),
+                "temperature_c": float(temperature_c),
+            }
+        )
+        return response["result"]
+
+    def point(
+        self, spec: Union[Sweep, Mapping[str, Any]], temperature_c: float
+    ) -> SweepResult:
+        """One micro-batchable point query (base spec + one temperature)."""
+        return SweepResult.from_dict(self.point_payload(spec, temperature_c))
+
+    def shutdown(self) -> None:
+        """Stop the server cleanly (the connection closes afterwards)."""
+        self._request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _spec_payload(spec: Union[Sweep, Mapping[str, Any]]) -> Mapping[str, Any]:
+    if isinstance(spec, Sweep):
+        return spec.to_dict()
+    if isinstance(spec, Mapping):
+        return spec
+    raise SweepError(
+        f"spec must be a Sweep or a serialized spec mapping, got "
+        f"{type(spec).__name__}"
+    )

@@ -1,0 +1,96 @@
+"""The service's wire protocol: newline-delimited JSON envelopes.
+
+One request per line, one response per line (or, for oversized
+results, a stream: a header line, one line per tile, a terminator) —
+the simplest protocol a stdlib socket client can speak while staying
+human-debuggable with ``nc``.  Requests are objects with an ``op``
+field; responses echo the request's optional ``id`` and carry either
+``"ok": true`` plus op-specific fields, or ``"ok": false`` plus a
+structured ``error`` object with a stable machine-readable ``code``
+(the strings below are API: clients and tests dispatch on them) and a
+human-readable ``message``.
+
+Operations
+----------
+
+``ping``
+    Liveness plus the spec schema version the server reads.
+``sweep``
+    Evaluate (or serve from cache) a full serialized sweep spec;
+    responds with the result payload or a tile stream.
+``point``
+    A micro-batchable point query: a serialized *base* spec (no
+    temperature axis) plus one ``temperature_c``; compatible concurrent
+    points coalesce into one broadcast evaluation.
+``stats``
+    Cache / batcher / evaluation counters.
+``shutdown``
+    Acknowledge, then stop the server cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = [
+    "E_BAD_JSON",
+    "E_BAD_REQUEST",
+    "E_BAD_SPEC",
+    "E_INTERNAL",
+    "E_UNKNOWN_OP",
+    "E_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "decode_line",
+    "encode_line",
+    "error_envelope",
+    "ok_envelope",
+]
+
+#: Stream-reader line budget: result lines for cached full tensors can
+#: reach tens of megabytes before tile streaming kicks in, far past
+#: asyncio's 64 KiB default.
+MAX_LINE_BYTES = 64 << 20
+
+OPS = ("ping", "sweep", "point", "stats", "shutdown")
+
+# Stable error codes (API — dispatch on these, not on messages).
+E_BAD_JSON = "bad-json"  #: the request line was not valid JSON
+E_BAD_REQUEST = "bad-request"  #: valid JSON but not a valid request envelope
+E_UNKNOWN_OP = "unknown-op"  #: the ``op`` field names no operation
+E_BAD_SPEC = "bad-spec"  #: the spec payload failed engine validation
+E_VERSION = "version-mismatch"  #: the spec's schema version is not ours
+E_INTERNAL = "internal"  #: unexpected server-side failure
+
+
+def encode_line(payload: Mapping[str, Any]) -> bytes:
+    """One protocol line: compact JSON plus the terminating newline."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Any:
+    """Parse one protocol line (raises ``ValueError`` on bad JSON)."""
+    return json.loads(line.decode("utf-8"))
+
+
+def ok_envelope(
+    op: str, request_id: Optional[Any] = None, **fields: Any
+) -> Dict[str, Any]:
+    envelope: Dict[str, Any] = {"ok": True, "op": op}
+    if request_id is not None:
+        envelope["id"] = request_id
+    envelope.update(fields)
+    return envelope
+
+
+def error_envelope(
+    code: str, message: str, request_id: Optional[Any] = None
+) -> Dict[str, Any]:
+    envelope: Dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if request_id is not None:
+        envelope["id"] = request_id
+    return envelope

@@ -1,0 +1,670 @@
+"""The sweep-evaluation server: asyncio streams over NDJSON.
+
+:class:`SweepServer` binds a TCP socket and answers the protocol ops of
+:mod:`repro.serve.protocol`.  The evaluation path is deliberately thin
+around the existing engine — a request's spec is canonicalized
+(:func:`~repro.serve.spec.canonical_spec`, which *is* validation),
+content-addressed (:func:`~repro.serve.spec.canonical_key`), looked up
+in the byte-bounded LRU (:class:`~repro.serve.cache.ResultCache`), and
+only on a miss handed to ``Sweep.from_dict(...).run()`` on a worker
+thread.  Identical sweeps in flight at the same moment share one
+evaluation (single-flight); concurrent *point* queries coalesce onto a
+shared temperature axis (:class:`~repro.serve.batcher.MicroBatcher`).
+Results whose encoded payload exceeds the stream threshold leave as a
+tile stream (:func:`~repro.engine.tiling.plan_result_tiles`) instead of
+one giant line.
+
+Every knob is available both as a constructor argument / CLI flag and
+as a ``REPRO_SERVE_*`` environment variable (the flag wins):
+
+========================================  =====================================
+variable                                  meaning
+========================================  =====================================
+``REPRO_SERVE_HOST``                      bind address (default ``127.0.0.1``)
+``REPRO_SERVE_PORT``                      bind port (default ``7753``; 0 = ephemeral)
+``REPRO_SERVE_CACHE_BYTES``               result-cache budget in payload bytes
+``REPRO_SERVE_BATCH_WINDOW_MS``           micro-batch window in milliseconds
+``REPRO_SERVE_STREAM_THRESHOLD_BYTES``    payload size that switches to tiles
+========================================  =====================================
+
+The server is single-process: evaluations already parallelize through
+the engine's executor knobs (``REPRO_SWEEP_EXECUTOR`` et al.), which a
+served deployment sets the same way a batch run would.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import math
+import os
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..engine.sweep import Sweep, SweepError, SweepResult, _ENDPOINT_OBSERVABLES
+from ..engine.tiling import plan_result_tiles
+from .batcher import DEFAULT_BATCH_WINDOW_MS, MicroBatcher
+from .cache import DEFAULT_CACHE_BYTES, ResultCache
+from .protocol import (
+    E_BAD_JSON,
+    E_BAD_REQUEST,
+    E_BAD_SPEC,
+    E_INTERNAL,
+    E_UNKNOWN_OP,
+    E_VERSION,
+    MAX_LINE_BYTES,
+    OPS,
+    decode_line,
+    encode_line,
+    error_envelope,
+    ok_envelope,
+)
+from .spec import canonical_key, canonical_spec, encode_canonical
+
+__all__ = [
+    "BATCH_WINDOW_ENV",
+    "CACHE_BYTES_ENV",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_STREAM_THRESHOLD_BYTES",
+    "HOST_ENV",
+    "PORT_ENV",
+    "STREAM_THRESHOLD_ENV",
+    "ServerHandle",
+    "SweepServer",
+    "main",
+    "start_server_thread",
+]
+
+HOST_ENV = "REPRO_SERVE_HOST"
+PORT_ENV = "REPRO_SERVE_PORT"
+CACHE_BYTES_ENV = "REPRO_SERVE_CACHE_BYTES"
+BATCH_WINDOW_ENV = "REPRO_SERVE_BATCH_WINDOW_MS"
+STREAM_THRESHOLD_ENV = "REPRO_SERVE_STREAM_THRESHOLD_BYTES"
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7753
+
+#: Result payloads at or below this encoded size travel as one response
+#: line; larger ones as a tile stream.  1 MiB keeps single lines cheap
+#: to buffer while full Monte-Carlo tensors still stream.
+DEFAULT_STREAM_THRESHOLD_BYTES = 1 << 20
+
+#: Rough encoded size of one value in a JSON tile line (a float64's
+#: shortest round-trip repr plus separators) — converts the stream
+#: threshold into a per-tile element budget.
+_BYTES_PER_VALUE = 32
+
+
+def _env_value(name: str, parse, fallback):
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return fallback
+    try:
+        return parse(raw)
+    except ValueError as error:
+        raise SweepError(f"{name}={raw!r} is not a valid value: {error}") from error
+
+
+class _RequestError(Exception):
+    """A request-level failure with a stable protocol error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class SweepServer:
+    """A persistent sweep-evaluation service on one TCP socket.
+
+    ``evaluations`` counts every engine evaluation the server performs
+    (full sweeps and micro-batches alike) — the hook the cache and
+    batching tests assert against: a repeat query must leave it
+    untouched, eight coalesced points must bump it once.
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
+        batch_window_ms: Optional[float] = None,
+        stream_threshold_bytes: Optional[int] = None,
+        run_kwargs: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.host = host if host is not None else _env_value(HOST_ENV, str, DEFAULT_HOST)
+        self.port = int(
+            port if port is not None else _env_value(PORT_ENV, int, DEFAULT_PORT)
+        )
+        if cache_bytes is None:
+            cache_bytes = _env_value(CACHE_BYTES_ENV, int, DEFAULT_CACHE_BYTES)
+        if batch_window_ms is None:
+            batch_window_ms = _env_value(
+                BATCH_WINDOW_ENV, float, DEFAULT_BATCH_WINDOW_MS
+            )
+        if stream_threshold_bytes is None:
+            stream_threshold_bytes = _env_value(
+                STREAM_THRESHOLD_ENV, int, DEFAULT_STREAM_THRESHOLD_BYTES
+            )
+        self.stream_threshold_bytes = int(stream_threshold_bytes)
+        if self.stream_threshold_bytes < 1:
+            raise SweepError("stream_threshold_bytes must be at least 1")
+        self.cache = ResultCache(int(cache_bytes))
+        self.batcher = MicroBatcher(self._evaluate_payload, float(batch_window_ms))
+        self._run_kwargs = dict(run_kwargs or {})
+        self.evaluations = 0
+        self.requests = 0
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._connections: set = set()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind the socket (resolving port 0 to the kernel's pick)."""
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` op (or :meth:`request_shutdown`)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stopped.wait()
+        finally:
+            await self.aclose()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop (safe from within the loop)."""
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Drain open connections: cancel their handler tasks and wait,
+        # so loop teardown never races a half-closed stream.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    # ------------------------------------------------------------------ #
+    # evaluation (the counted hook)
+    # ------------------------------------------------------------------ #
+
+    async def _evaluate_payload(self, payload: Mapping[str, Any]) -> SweepResult:
+        """One engine evaluation of a serialized spec, off the event loop."""
+        sweep = Sweep.from_dict(payload)
+        self.evaluations += 1
+        return await asyncio.to_thread(sweep.run, **self._run_kwargs)
+
+    async def _sweep_payload(self, key: str, canonical: Dict[str, Any]) -> Tuple[Dict[str, Any], int, bool]:
+        """The result payload for a canonical sweep: cache, then engine.
+
+        Returns ``(payload, encoded_size, cached)``.  Concurrent misses
+        on the same key share one evaluation (single-flight): the first
+        request evaluates, the rest await its future.
+        """
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached, len(_encode_result(cached)), True
+        waiter = self._inflight.get(key)
+        if waiter is not None:
+            payload, size = await asyncio.shield(waiter)
+            return payload, size, True
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        # Mark exceptions retrieved even when no duplicate request ever
+        # awaits the future.
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._inflight[key] = future
+        try:
+            result = await self._evaluate_payload(canonical)
+            payload = result.to_dict()
+            size = len(_encode_result(payload))
+            self.cache.put(key, payload, size)
+            future.set_result((payload, size))
+            return payload, size, False
+        except Exception as error:
+            future.set_exception(error)
+            raise
+        finally:
+            self._inflight.pop(key, None)
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        encode_line(
+                            error_envelope(
+                                E_BAD_REQUEST,
+                                f"request line exceeds {MAX_LINE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                keep_going = await self._dispatch(line, writer)
+                if not keep_going:
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels open connections; finish closing below
+            # instead of ending as a cancelled task (which asyncio's
+            # stream machinery would log as an unhandled error).
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, line: bytes, writer: asyncio.StreamWriter) -> bool:
+        """Answer one request line; False ends the connection."""
+        self.requests += 1
+        request_id: Optional[Any] = None
+        try:
+            try:
+                message = decode_line(line)
+            except ValueError as error:
+                raise _RequestError(E_BAD_JSON, f"request is not valid JSON: {error}")
+            if not isinstance(message, Mapping):
+                raise _RequestError(
+                    E_BAD_REQUEST,
+                    f"request must be a JSON object, got {type(message).__name__}",
+                )
+            request_id = message.get("id")
+            op = message.get("op")
+            if not isinstance(op, str):
+                raise _RequestError(E_BAD_REQUEST, "request is missing its 'op' field")
+            if op == "ping":
+                writer.write(
+                    encode_line(
+                        ok_envelope("ping", request_id, version=Sweep.SCHEMA_VERSION)
+                    )
+                )
+            elif op == "stats":
+                writer.write(encode_line(ok_envelope("stats", request_id, stats=self.stats())))
+            elif op == "shutdown":
+                writer.write(encode_line(ok_envelope("shutdown", request_id)))
+                await writer.drain()
+                self.request_shutdown()
+                return False
+            elif op == "sweep":
+                await self._handle_sweep(message, request_id, writer)
+            elif op == "point":
+                await self._handle_point(message, request_id, writer)
+            else:
+                raise _RequestError(
+                    E_UNKNOWN_OP, f"unknown op {op!r}; ops are {list(OPS)}"
+                )
+        except _RequestError as error:
+            writer.write(encode_line(error_envelope(error.code, error.message, request_id)))
+        except SweepError as error:
+            writer.write(encode_line(error_envelope(E_BAD_SPEC, str(error), request_id)))
+        except Exception as error:  # noqa: BLE001 - protocol boundary
+            writer.write(
+                encode_line(
+                    error_envelope(
+                        E_INTERNAL, f"{type(error).__name__}: {error}", request_id
+                    )
+                )
+            )
+        await writer.drain()
+        return True
+
+    def _spec_from(self, message: Mapping[str, Any]) -> Mapping[str, Any]:
+        spec = message.get("spec")
+        if not isinstance(spec, Mapping):
+            raise _RequestError(
+                E_BAD_REQUEST,
+                f"request needs a 'spec' object, got "
+                f"{type(spec).__name__ if spec is not None else 'nothing'}",
+            )
+        version = spec.get("version")
+        if version is not None and version != Sweep.SCHEMA_VERSION:
+            raise _RequestError(
+                E_VERSION,
+                f"spec has schema version {version!r}; this server reads "
+                f"version {Sweep.SCHEMA_VERSION}",
+            )
+        return spec
+
+    async def _handle_sweep(
+        self,
+        message: Mapping[str, Any],
+        request_id: Optional[Any],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        spec = self._spec_from(message)
+        canonical = canonical_spec(spec)
+        key = _key_of(canonical)
+        payload, size, cached = await self._sweep_payload(key, canonical)
+        await self._respond_result(writer, "sweep", request_id, key, payload, size, cached)
+
+    async def _handle_point(
+        self,
+        message: Mapping[str, Any],
+        request_id: Optional[Any],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        spec = self._spec_from(message)
+        temperature = message.get("temperature_c")
+        if (
+            isinstance(temperature, bool)
+            or not isinstance(temperature, (int, float))
+            or not math.isfinite(temperature)
+        ):
+            raise _RequestError(
+                E_BAD_REQUEST,
+                f"point requests need a finite 'temperature_c' number, got "
+                f"{temperature!r}",
+            )
+        base = canonical_spec(spec)
+        if any(axis.get("name") == "temperature" for axis in base["axes"]):
+            raise _RequestError(
+                E_BAD_REQUEST,
+                "a point spec must not carry a temperature axis; the query's "
+                "'temperature_c' is the point (use op=sweep for a grid)",
+            )
+        if base["observable"] in _ENDPOINT_OBSERVABLES:
+            raise _RequestError(
+                E_BAD_REQUEST,
+                f"observable {base['observable']!r} couples every temperature "
+                f"to the grid endpoints, so point queries cannot be batched; "
+                f"use op=sweep with the full temperature grid",
+            )
+        base_key = _key_of(base)
+        full = dict(base)
+        full["axes"] = list(base["axes"]) + [
+            {"name": "temperature", "coordinates": [float(temperature)]}
+        ]
+        full_key = _key_of(full)
+        cached = self.cache.get(full_key)
+        if cached is not None:
+            await self._respond_result(
+                writer, "point", request_id, full_key, cached,
+                len(_encode_result(cached)), True,
+            )
+            return
+        result = await self.batcher.submit(base_key, base, float(temperature))
+        payload = result.to_dict()
+        size = len(_encode_result(payload))
+        self.cache.put(full_key, payload, size)
+        await self._respond_result(
+            writer, "point", request_id, full_key, payload, size, False
+        )
+
+    async def _respond_result(
+        self,
+        writer: asyncio.StreamWriter,
+        op: str,
+        request_id: Optional[Any],
+        key: str,
+        payload: Dict[str, Any],
+        size: int,
+        cached: bool,
+    ) -> None:
+        """One result line — or a tile stream when the payload is big."""
+        dims = tuple(payload["dims"])
+        if size <= self.stream_threshold_bytes or not dims:
+            writer.write(
+                encode_line(
+                    ok_envelope(op, request_id, key=key, cached=cached, result=payload)
+                )
+            )
+            await writer.drain()
+            return
+        shape = tuple(len(payload["coords"][name]) for name in dims)
+        values = np.asarray(payload["values"], dtype=payload.get("dtype", "float64"))
+        tiles = plan_result_tiles(
+            dims, shape, max(1, self.stream_threshold_bytes // _BYTES_PER_VALUE)
+        )
+        meta = {
+            "version": payload["version"],
+            "observable": payload["observable"],
+            "dims": list(dims),
+            "coords": payload["coords"],
+            "dtype": payload.get("dtype", "float64"),
+        }
+        writer.write(
+            encode_line(
+                ok_envelope(
+                    op,
+                    request_id,
+                    key=key,
+                    cached=cached,
+                    stream=True,
+                    meta=meta,
+                    tile_count=len(tiles),
+                )
+            )
+        )
+        await writer.drain()
+        for tile in tiles:
+            writer.write(
+                encode_line(
+                    {
+                        "tile": tile.index,
+                        "bounds": [list(bound) for bound in tile.bounds],
+                        "values": values[tile.slices(dims)].tolist(),
+                    }
+                )
+            )
+            await writer.drain()
+        writer.write(encode_line({"done": True, "tiles": len(tiles)}))
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "evaluations": self.evaluations,
+            "requests": self.requests,
+            "inflight": len(self._inflight),
+            "cache": self.cache.stats(),
+            "batcher": self.batcher.stats(),
+        }
+
+
+def _encode_result(payload: Mapping[str, Any]) -> bytes:
+    """The byte size a result payload is charged at (its compact JSON)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def _key_of(canonical: Mapping[str, Any]) -> str:
+    """Key an *already canonical* payload without re-round-tripping it."""
+    return hashlib.sha256(encode_canonical(canonical)).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# threaded embedding (tests, benchmarks, the CI smoke step)
+# --------------------------------------------------------------------------- #
+
+
+class ServerHandle:
+    """A server running on a daemon thread, stoppable from the caller."""
+
+    def __init__(self, server: SweepServer) -> None:
+        self.server = server
+        self.thread: Optional[threading.Thread] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request shutdown (idempotent) and join the serving thread."""
+        if self.loop is not None:
+            try:
+                self.loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed: the server stopped on its own
+        if self.thread is not None:
+            self.thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def start_server_thread(**kwargs: Any) -> ServerHandle:
+    """Start a :class:`SweepServer` on a daemon thread and wait for bind.
+
+    Keyword arguments go to the :class:`SweepServer` constructor;
+    ``port=0`` (the default here) binds an ephemeral port, readable as
+    ``handle.port`` once this returns.
+    """
+    kwargs.setdefault("port", 0)
+    server = SweepServer(**kwargs)
+    handle = ServerHandle(server)
+    ready = threading.Event()
+    failure: List[BaseException] = []
+
+    def _run() -> None:
+        async def _main() -> None:
+            try:
+                await server.start()
+            except BaseException as error:  # noqa: BLE001 - reported to caller
+                failure.append(error)
+                ready.set()
+                return
+            handle.loop = asyncio.get_running_loop()
+            ready.set()
+            try:
+                await server._stopped.wait()
+            finally:
+                await server.aclose()
+
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    handle.thread = thread
+    thread.start()
+    if not ready.wait(timeout=30.0):  # pragma: no cover - hung interpreter
+        raise SweepError("sweep server failed to start within 30 s")
+    if failure:
+        raise SweepError(f"sweep server failed to bind: {failure[0]}") from failure[0]
+    return handle
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """`repro-serve` / ``python -m repro.serve``: run a server until stopped."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Persistent sweep-evaluation service: NDJSON over TCP, "
+            "content-addressed result caching, micro-batched point queries."
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default=None,
+        help=f"bind address (default {HOST_ENV} or {DEFAULT_HOST})",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=f"bind port, 0 for ephemeral (default {PORT_ENV} or {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help=(
+            f"result-cache budget in payload bytes "
+            f"(default {CACHE_BYTES_ENV} or {DEFAULT_CACHE_BYTES})"
+        ),
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=None,
+        help=(
+            f"micro-batch window in milliseconds "
+            f"(default {BATCH_WINDOW_ENV} or {DEFAULT_BATCH_WINDOW_MS})"
+        ),
+    )
+    parser.add_argument(
+        "--stream-threshold-bytes",
+        type=int,
+        default=None,
+        help=(
+            f"encoded payload size that switches responses to tile "
+            f"streaming (default {STREAM_THRESHOLD_ENV} or "
+            f"{DEFAULT_STREAM_THRESHOLD_BYTES})"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    server = SweepServer(
+        host=args.host,
+        port=args.port,
+        cache_bytes=args.cache_bytes,
+        batch_window_ms=args.batch_window_ms,
+        stream_threshold_bytes=args.stream_threshold_bytes,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"repro-serve listening on {server.host}:{server.port}", flush=True)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

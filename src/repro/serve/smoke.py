@@ -1,0 +1,78 @@
+"""End-to-end service smoke: one server, one client, one round trip.
+
+``python -m repro.serve.smoke`` is the CI fast-lane's service check: it
+starts a real :class:`~repro.serve.server.SweepServer` on an ephemeral
+port (in-process, on a daemon thread), drives it with the synchronous
+client, and asserts the service contract end to end —
+
+* a served sweep is byte-identical (post ``to_dict``) to the same
+  sweep evaluated locally,
+* the repeat request is answered from the cache with zero new engine
+  evaluations,
+* a point query agrees with the sweep's slice,
+* ``shutdown`` stops the server cleanly.
+
+Exit code 0 means the service path works on this interpreter; any
+assertion or hang (the thread join is bounded) fails the step.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from ..engine.sweep import Axis, Sweep
+from ..oscillator import RingConfiguration
+from ..tech import CMOS035
+from .client import ServeClient
+from .server import start_server_thread
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    del argv  # no options: the smoke is deliberately fixed
+    sweep = (
+        Sweep(technology=CMOS035, configuration=RingConfiguration.parse("5INV"))
+        .over(Axis.temperature([-40.0, 25.0, 125.0]))
+        .observe("period")
+    )
+    local = sweep.run().to_dict()
+
+    handle = start_server_thread(port=0)
+    try:
+        with ServeClient("127.0.0.1", handle.port) as client:
+            pong = client.ping()
+            assert pong["version"] == Sweep.SCHEMA_VERSION, pong
+
+            served = client.sweep_payload(sweep)
+            assert served == local, "served result differs from local evaluation"
+
+            before = client.stats()["evaluations"]
+            repeat = client.sweep_payload(sweep)
+            after = client.stats()
+            assert repeat == local, "cached result differs from local evaluation"
+            assert after["evaluations"] == before, (
+                f"repeat request re-evaluated: {before} -> {after['evaluations']}"
+            )
+            assert after["cache"]["hits"] >= 1, after["cache"]
+
+            base = Sweep(
+                technology=CMOS035, configuration=RingConfiguration.parse("5INV")
+            ).observe("period")
+            point = client.point(base, 25.0)
+            assert point.select(temperature=25.0).item() == (
+                sweep.run().select(temperature=25.0).item()
+            ), "point query disagrees with the sweep slice"
+
+            client.shutdown()
+    finally:
+        handle.stop()
+    alive = handle.thread is not None and handle.thread.is_alive()
+    assert not alive, "server thread survived shutdown"
+    print("repro.serve smoke: ok (round trip, cache hit, point query, shutdown)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Canonical sweep-spec form and its content-addressed key.
+
+The sweep service answers repeat queries from a result cache, which is
+only as good as its key: two *semantically identical* requests must
+collide, however their payloads were spelled.  The serialized form
+(:meth:`repro.engine.sweep.Sweep.to_dict`) already fixes most spelling
+freedom, but a payload that arrives off the wire may still differ in
+JSON key order, axis declaration order, or numeric dtype (``25`` vs
+``25.0``, a numpy scalar vs a Python float).
+
+:func:`canonical_spec` removes all of it by round-tripping the payload
+through the real builder — ``Sweep.from_dict(payload).to_dict()`` — so
+canonicalization *is* validation: axes come back in
+:data:`~repro.engine.sweep.CANONICAL_AXIS_ORDER`, coordinates come back
+as plain Python floats/ints, defaults are materialized, and anything
+the engine would reject raises :class:`~repro.engine.sweep.SweepError`
+right here instead of at evaluation time.  :func:`canonical_key` then
+hashes the sorted-key compact JSON encoding of that canonical form with
+SHA-256.
+
+The key's stability across releases is load-bearing (a canonicalization
+drift silently splits the cache in two), so
+``tests/test_serve_spec.py`` pins the key of a representative spec to a
+committed golden hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Union
+
+from ..engine.sweep import Sweep, SweepError
+
+__all__ = ["canonical_key", "canonical_spec", "encode_canonical"]
+
+
+def canonical_spec(spec: Union[Sweep, Mapping[str, Any]]) -> Dict[str, Any]:
+    """The canonical plain-data form of a sweep spec.
+
+    Accepts a :class:`~repro.engine.sweep.Sweep` or a serialized spec
+    mapping; returns the normalized payload (canonical axis order,
+    plain Python scalars, defaults materialized).  Raises
+    :class:`~repro.engine.sweep.SweepError` for anything the engine
+    could not evaluate.
+    """
+    if isinstance(spec, Sweep):
+        payload = spec.to_dict()
+    elif isinstance(spec, Mapping):
+        payload = spec
+    else:
+        raise SweepError(
+            f"canonical_spec takes a Sweep or a serialized spec mapping, "
+            f"got {type(spec).__name__}"
+        )
+    return Sweep.from_dict(payload).to_dict()
+
+
+def encode_canonical(payload: Mapping[str, Any]) -> bytes:
+    """The canonical byte encoding of an (already canonical) payload.
+
+    Compact separators and sorted keys, so the encoding is a pure
+    function of the payload's content — the exact bytes
+    :func:`canonical_key` hashes.
+    """
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise SweepError(f"spec payload is not JSON-serializable: {error}") from error
+
+
+def canonical_key(spec: Union[Sweep, Mapping[str, Any]]) -> str:
+    """Content-address a sweep spec: SHA-256 of its canonical encoding.
+
+    Semantically identical specs — same axes in any declaration order,
+    same coordinates in any numeric dtype, same base context however
+    defaulted — map to the same hex key; any semantic difference maps
+    to a different one (modulo SHA-256).  This is the result-cache key
+    of the sweep service.
+    """
+    return hashlib.sha256(encode_canonical(canonical_spec(spec))).hexdigest()

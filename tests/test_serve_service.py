@@ -1,0 +1,313 @@
+"""End-to-end contracts of the sweep service (repro.serve).
+
+Each test runs a real :class:`~repro.serve.server.SweepServer` on an
+ephemeral port (in-process, daemon thread) and drives it with the
+blocking :class:`~repro.serve.client.ServeClient` — the same transport
+production trafic uses, no mocked sockets.  The contracts:
+
+* a served result is **byte-identical** (post ``to_dict``) to the same
+  sweep evaluated locally;
+* a repeat request is answered from the cache with **zero** new engine
+  evaluations (asserted through the server's evaluation counter);
+* concurrent compatible point queries coalesce into **one** broadcast
+  evaluation, each answer bitwise equal to its solo evaluation;
+* the result cache evicts least-recently-used entries under a small
+  byte budget;
+* malformed or version-foreign payloads are rejected with structured
+  error codes, and the connection survives the rejection;
+* oversized results stream as tiles and reassemble equal;
+* a ``shutdown`` op stops the server cleanly.
+"""
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import Axis, Sweep
+from repro.serve import ServeClient, ServeError, canonical_key, start_server_thread
+from repro.serve.protocol import (
+    E_BAD_JSON,
+    E_BAD_REQUEST,
+    E_BAD_SPEC,
+    E_UNKNOWN_OP,
+    E_VERSION,
+)
+from repro.tech import CMOS035
+
+TEMPS = [-40.0, 25.0, 125.0]
+
+
+def small_sweep(observable="period"):
+    return (
+        Sweep(technology=CMOS035, configuration="5INV")
+        .over(Axis.temperature(TEMPS))
+        .observe(observable)
+    )
+
+
+def base_spec(observable="period"):
+    return (
+        Sweep(technology=CMOS035, configuration="5INV")
+        .observe(observable)
+        .to_dict()
+    )
+
+
+@pytest.fixture()
+def server():
+    handle = start_server_thread(batch_window_ms=1.0)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient("127.0.0.1", server.port) as remote:
+        yield remote
+
+
+# --------------------------------------------------------------------------- #
+# round trip + cache
+# --------------------------------------------------------------------------- #
+
+
+def test_served_result_is_byte_identical_to_local(client):
+    sweep = small_sweep()
+    local = sweep.run().to_dict()
+    served = client.sweep_payload(sweep)
+    # Through a JSON round trip (as any remote caller sees it), the
+    # payloads are equal — same dims, coords, dtype and exact values.
+    assert json.loads(json.dumps(served)) == json.loads(json.dumps(local))
+    assert served == local
+
+
+def test_repeat_request_hits_cache_with_zero_evaluations(server, client):
+    sweep = small_sweep()
+    first = client.sweep_payload(sweep)
+    evaluations = server.server.evaluations
+    assert evaluations == 1
+    again = client.sweep_payload(sweep)
+    assert again == first
+    assert server.server.evaluations == evaluations  # zero new evaluations
+    stats = client.stats()
+    assert stats["cache"]["hits"] >= 1
+    assert stats["cache"]["entries"] >= 1
+
+
+def test_respelled_request_still_hits_cache(server, client):
+    payload = small_sweep().to_dict()
+    client.sweep_payload(payload)
+    respelled = json.loads(json.dumps(payload))
+    for axis in respelled["axes"]:
+        if axis["name"] == "temperature":
+            axis["coordinates"] = [-40, 25, 125]  # ints, same grid
+    del respelled["base"]["tap_stage"]  # defaults omitted, same spec
+    client.sweep_payload(respelled)
+    assert server.server.evaluations == 1
+    assert canonical_key(respelled) == canonical_key(payload)
+
+
+def test_concurrent_identical_sweeps_share_one_evaluation(server):
+    spec = small_sweep("power").to_dict()
+    results = [None] * 4
+
+    def worker(slot):
+        with ServeClient("127.0.0.1", server.port) as remote:
+            results[slot] = remote.sweep_payload(spec)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(result == results[0] for result in results)
+    assert server.server.evaluations == 1  # single-flight, not four passes
+
+
+# --------------------------------------------------------------------------- #
+# micro-batched point queries
+# --------------------------------------------------------------------------- #
+
+
+def test_concurrent_points_coalesce_into_one_evaluation():
+    handle = start_server_thread(batch_window_ms=500.0)
+    try:
+        spec = base_spec()
+        temps = [float(t) for t in np.linspace(-40.0, 125.0, 8)]
+        results = [None] * len(temps)
+        barrier = threading.Barrier(len(temps))
+
+        def worker(slot):
+            with ServeClient("127.0.0.1", handle.port) as remote:
+                barrier.wait()
+                results[slot] = remote.point(spec, temps[slot])
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(len(temps))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert handle.server.evaluations == 1
+        assert handle.server.batcher.batches == 1
+        assert handle.server.batcher.largest_batch == len(temps)
+
+        local = (
+            Sweep(technology=CMOS035, configuration="5INV")
+            .over(Axis.temperature(temps))
+            .run()
+        )
+        for temperature, result in zip(temps, results):
+            assert result.dims == ("temperature",)
+            assert result.item() == local.select(temperature=temperature).item()
+    finally:
+        handle.stop()
+
+
+def test_point_slice_equals_solo_point_evaluation(client):
+    temperature = 85.0
+    served = client.point_payload(base_spec(), temperature)
+    solo = (
+        Sweep(technology=CMOS035, configuration="5INV")
+        .over(Axis.temperature([temperature]))
+        .run()
+        .to_dict()
+    )
+    assert served == solo
+
+
+def test_repeated_point_is_served_from_cache(server, client):
+    client.point_payload(base_spec(), 25.0)
+    evaluations = server.server.evaluations
+    client.point_payload(base_spec(), 25.0)
+    assert server.server.evaluations == evaluations
+
+
+def test_point_rejects_temperature_axis_and_endpoint_observables(client):
+    carrying_axis = small_sweep().to_dict()
+    with pytest.raises(ServeError, match="temperature axis") as caught:
+        client.point_payload(carrying_axis, 25.0)
+    assert caught.value.code == E_BAD_REQUEST
+
+    with pytest.raises(ServeError, match="couples every temperature") as caught:
+        client.point_payload(base_spec("calibration_error_c"), 25.0)
+    assert caught.value.code == E_BAD_REQUEST
+
+    with pytest.raises(ServeError, match="temperature_c") as caught:
+        client._request({"op": "point", "spec": base_spec()})
+    assert caught.value.code == E_BAD_REQUEST
+
+
+# --------------------------------------------------------------------------- #
+# cache eviction
+# --------------------------------------------------------------------------- #
+
+
+def test_lru_eviction_under_small_byte_budget():
+    probe = small_sweep().run().to_dict()
+    payload_bytes = len(json.dumps(probe, separators=(",", ":")).encode())
+    # Room for roughly one result at a time: the second distinct sweep
+    # must push the first out.
+    handle = start_server_thread(cache_bytes=payload_bytes + 16)
+    try:
+        with ServeClient("127.0.0.1", handle.port) as remote:
+            remote.sweep_payload(small_sweep("period"))
+            remote.sweep_payload(small_sweep("power"))
+            stats = remote.stats()
+            assert stats["cache"]["evictions"] >= 1
+            assert stats["cache"]["bytes"] <= payload_bytes + 16
+            # The evicted sweep re-evaluates on the next request.
+            before = handle.server.evaluations
+            remote.sweep_payload(small_sweep("period"))
+            assert handle.server.evaluations == before + 1
+    finally:
+        handle.stop()
+
+
+# --------------------------------------------------------------------------- #
+# protocol errors
+# --------------------------------------------------------------------------- #
+
+
+def test_malformed_and_invalid_requests_return_structured_errors(server, client):
+    # Raw malformed JSON line, spoken directly over the socket.
+    with socket.create_connection(("127.0.0.1", server.port), timeout=10) as raw:
+        stream = raw.makefile("rwb")
+        stream.write(b"this is not json\n")
+        stream.flush()
+        response = json.loads(stream.readline())
+        assert response["ok"] is False
+        assert response["error"]["code"] == E_BAD_JSON
+
+        # The connection survives the rejection.
+        stream.write(b'{"op":"ping"}\n')
+        stream.flush()
+        assert json.loads(stream.readline())["ok"] is True
+
+    with pytest.raises(ServeError) as caught:
+        client._request({"op": "transmogrify"})
+    assert caught.value.code == E_UNKNOWN_OP
+
+    with pytest.raises(ServeError) as caught:
+        client._request({"no": "op"})
+    assert caught.value.code == E_BAD_REQUEST
+
+    with pytest.raises(ServeError) as caught:
+        client.sweep_payload({"version": 99, "observable": "period"})
+    assert caught.value.code == E_VERSION
+
+    bad_spec = small_sweep().to_dict()
+    bad_spec["observable"] = "resistance"
+    with pytest.raises(ServeError) as caught:
+        client.sweep_payload(bad_spec)
+    assert caught.value.code == E_BAD_SPEC
+
+    # After all the rejections the connection still answers.
+    assert client.ping()["ok"] is True
+
+
+# --------------------------------------------------------------------------- #
+# tile streaming
+# --------------------------------------------------------------------------- #
+
+
+def test_streamed_result_reassembles_byte_identical():
+    sweep = (
+        Sweep(technology=CMOS035, configuration="5INV")
+        .over(Axis.supply([3.0, 3.3]))
+        .over(Axis.temperature([float(t) for t in np.linspace(-40.0, 125.0, 30)]))
+    )
+    local = sweep.run().to_dict()
+    handle = start_server_thread(stream_threshold_bytes=256)
+    try:
+        with ServeClient("127.0.0.1", handle.port) as remote:
+            served = remote.sweep_payload(sweep)
+            assert served == local
+            # And the stream really was a stream: the payload is far
+            # larger than the threshold.
+            size = len(json.dumps(local, separators=(",", ":")).encode())
+            assert size > 256
+    finally:
+        handle.stop()
+
+
+# --------------------------------------------------------------------------- #
+# lifecycle
+# --------------------------------------------------------------------------- #
+
+
+def test_shutdown_op_stops_the_server_cleanly():
+    handle = start_server_thread()
+    with ServeClient("127.0.0.1", handle.port) as remote:
+        assert remote.ping()["version"] == Sweep.SCHEMA_VERSION
+        remote.shutdown()
+    handle.thread.join(timeout=10)
+    assert not handle.thread.is_alive()
+    # The port is released: a fresh connection is refused.
+    with pytest.raises(OSError):
+        socket.create_connection(("127.0.0.1", handle.port), timeout=2)

@@ -1,0 +1,214 @@
+"""Sweep-spec serialization and content addressing (repro.serve.spec).
+
+Three contracts:
+
+* **lossless round trip** — ``Sweep.from_dict(sweep.to_dict())``
+  evaluates bit-identically to the original sweep, through JSON, for
+  every serializable axis kind;
+* **canonical key** — semantically identical specs (axes declared in
+  any order, coordinates in any numeric dtype, defaults spelled or
+  omitted) collide on one SHA-256 key, semantically different specs do
+  not, and the key of a representative spec is pinned to a committed
+  golden hash (a canonicalization drift silently splits the service's
+  cache, so it must show up here as a failing test);
+* **structured rejection** — live-object bases and axes, unknown
+  payloads, and foreign schema versions raise ``SweepError`` with a
+  message saying why, instead of serializing something lossy.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import Axis, Sweep, SweepError
+from repro.serve import canonical_key, canonical_spec, encode_canonical
+from repro.tech import CMOS035, sample_technology_array
+
+#: The committed golden pin: the canonical key of GOLDEN_SWEEP below.
+#: If an intentional serialization change moves this hash, bump
+#: ``Sweep.SCHEMA_VERSION`` and re-pin — never re-pin alone, because a
+#: silent key change orphans every cached result in deployed services.
+GOLDEN_KEY = "33e9820896c9ab6e368d50a7b66e70acd83a90aa3aa0f0cbbfd6baf1391562be"
+
+
+def golden_sweep():
+    return (
+        Sweep(technology=CMOS035)
+        .over(Axis.configuration(["5INV", "2INV+3NAND2"]))
+        .over(Axis.supply([3.0, 3.3]))
+        .over(Axis.temperature([-40.0, 25.0, 125.0]))
+        .observe("period")
+    )
+
+
+def sweep_variants():
+    temps = [-40.0, 25.0, 125.0]
+    population = sample_technology_array(CMOS035, 7, seed=5)
+    return {
+        "temperature-only": (
+            Sweep(technology=CMOS035, configuration="5INV")
+            .over(Axis.temperature(temps))
+        ),
+        "configuration-grid": golden_sweep(),
+        "monte-carlo": (
+            Sweep(technology=CMOS035, configuration="2INV+3NAND2")
+            .over(Axis.sample(population))
+            .over(Axis.temperature(temps))
+            .observe("code")
+        ),
+        "sizing": (
+            Sweep(technology=CMOS035)
+            .over(Axis.width_ratio([1.5, 2.5, 3.5], nmos_width_um=1.05, stage_count=5))
+            .over(Axis.temperature(temps))
+        ),
+        "endpoint-observable": (
+            Sweep(technology=CMOS035, configuration="5INV")
+            .over(Axis.temperature(temps))
+            .observe("calibration_error_c")
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# round trips
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", sorted(sweep_variants()))
+def test_round_trip_runs_bit_identical(name):
+    sweep = sweep_variants()[name]
+    payload = sweep.to_dict()
+    rebuilt = Sweep.from_dict(json.loads(json.dumps(payload)))
+    original = sweep.run()
+    again = rebuilt.run()
+    assert again.dims == original.dims
+    assert again.coords == original.coords
+    assert again.values.dtype == original.values.dtype
+    assert np.array_equal(again.values, original.values)
+
+
+@pytest.mark.parametrize("name", sorted(sweep_variants()))
+def test_serialization_is_idempotent(name):
+    payload = sweep_variants()[name].to_dict()
+    assert Sweep.from_dict(payload).to_dict() == payload
+
+
+def test_payload_is_json_clean():
+    payload = golden_sweep().to_dict()
+    encoded = json.dumps(payload, sort_keys=True, allow_nan=False)
+    assert json.loads(encoded) == json.loads(json.dumps(payload))
+
+
+# --------------------------------------------------------------------------- #
+# canonical key
+# --------------------------------------------------------------------------- #
+
+
+def test_golden_key_pin():
+    assert canonical_key(golden_sweep()) == GOLDEN_KEY
+
+
+def test_key_ignores_axis_declaration_order():
+    forward = golden_sweep()
+    reversed_axes = (
+        Sweep(technology=CMOS035)
+        .over(Axis.temperature([-40.0, 25.0, 125.0]))
+        .over(Axis.supply([3.0, 3.3]))
+        .over(Axis.configuration(["5INV", "2INV+3NAND2"]))
+        .observe("period")
+    )
+    assert canonical_key(reversed_axes) == canonical_key(forward)
+
+
+def test_key_ignores_numeric_dtype_and_json_spelling():
+    payload = golden_sweep().to_dict()
+    respelled = json.loads(json.dumps(payload))
+    for axis in respelled["axes"]:
+        if axis["name"] == "temperature":
+            axis["coordinates"] = [-40, 25, 125]  # ints, not floats
+        if axis["name"] == "supply":
+            axis["coordinates"] = [
+                np.float64(3.0), np.float64(3.3)
+            ]  # numpy scalars survive canonicalization too
+    assert canonical_key(respelled) == GOLDEN_KEY
+
+
+def test_key_ignores_omitted_defaults():
+    payload = golden_sweep().to_dict()
+    del payload["base"]["tap_stage"]
+    del payload["base"]["wire_length_um"]
+    assert canonical_key(payload) == GOLDEN_KEY
+
+
+def test_key_separates_semantic_differences():
+    keys = {
+        canonical_key(sweep) for sweep in sweep_variants().values()
+    }
+    assert len(keys) == len(sweep_variants())
+    shifted = (
+        Sweep(technology=CMOS035)
+        .over(Axis.configuration(["5INV", "2INV+3NAND2"]))
+        .over(Axis.supply([3.0, 3.3]))
+        .over(Axis.temperature([-40.0, 25.0, 120.0]))  # one point moved
+        .observe("period")
+    )
+    assert canonical_key(shifted) != GOLDEN_KEY
+
+
+def test_canonical_spec_validates():
+    with pytest.raises(SweepError, match="takes a Sweep or a serialized"):
+        canonical_spec(42)
+    with pytest.raises(SweepError, match="missing"):
+        canonical_spec({"version": 1})
+
+
+def test_encode_canonical_rejects_non_json():
+    with pytest.raises(SweepError, match="not JSON-serializable"):
+        encode_canonical({"values": float("nan")})
+
+
+# --------------------------------------------------------------------------- #
+# structured rejections
+# --------------------------------------------------------------------------- #
+
+
+def test_live_ring_base_does_not_serialize(mixed_ring):
+    with pytest.raises(SweepError, match="ring= base"):
+        Sweep(ring=mixed_ring).to_dict()
+
+
+def test_live_library_base_does_not_serialize(library):
+    with pytest.raises(SweepError, match="library= base"):
+        Sweep(library=library).to_dict()
+
+
+def test_site_axis_does_not_serialize(sensor_bank_factory):
+    axis = Axis.site(sensor_bank_factory(2))
+    with pytest.raises(SweepError, match="no serialized form"):
+        axis.to_dict()
+
+
+def test_version_mismatch_is_rejected():
+    payload = golden_sweep().to_dict()
+    payload["version"] = 99
+    with pytest.raises(SweepError, match="version 99"):
+        Sweep.from_dict(payload)
+
+
+def test_unknown_axis_is_rejected():
+    payload = golden_sweep().to_dict()
+    payload["axes"].append({"name": "frequency", "coordinates": [1.0]})
+    with pytest.raises(SweepError, match="frequency"):
+        Sweep.from_dict(payload)
+
+
+def test_unregistered_technology_does_not_serialize():
+    # Same name as the registered process, different parameters: a name
+    # round trip would silently evaluate the wrong technology.
+    lowered = CMOS035.with_supply(2.9)
+    sweep = Sweep(technology=lowered, configuration="5INV").over(
+        Axis.temperature([25.0])
+    )
+    with pytest.raises(SweepError, match="registered"):
+        sweep.to_dict()
