@@ -21,8 +21,12 @@ This example
    evaluations because both spellings collide on one canonical key,
 4. fires 8 concurrent point queries (same base spec, different
    temperatures) from 8 threads and shows the micro-batcher folds them
-   into **one** broadcast evaluation, and
-5. prints the server's cache / batcher statistics.
+   into **one** broadcast evaluation,
+5. prints the server's cache / batcher statistics, and
+6. **restarts** the server over a persistent disk cache directory
+   (``cache_dir`` / ``REPRO_SERVE_CACHE_DIR``) and shows the freshly
+   started server answers the repeat sweep from disk with **zero**
+   evaluations — the warm-restart contract a long campaign relies on.
 
 Run with:  python examples/sweep_service.py
 """
@@ -30,6 +34,7 @@ Run with:  python examples/sweep_service.py
 from __future__ import annotations
 
 import json
+import tempfile
 import threading
 import time
 
@@ -47,7 +52,8 @@ def main() -> None:
         .observe("period")
     )
 
-    handle = start_server_thread(batch_window_ms=25.0)
+    cache_dir = tempfile.mkdtemp(prefix="repro-serve-cache-")
+    handle = start_server_thread(batch_window_ms=25.0, cache_dir=cache_dir)
     try:
         print(f"Server        : 127.0.0.1:{handle.port} (ephemeral, in-process)")
 
@@ -123,6 +129,27 @@ def main() -> None:
         print(f"Evaluations   : {stats['evaluations']} total for all of the above")
     finally:
         handle.stop()
+
+    # -- 6: warm restart from the disk cache ---------------------------------
+    # The server process is gone; its results are not.  A fresh server
+    # over the same cache directory serves the repeat without a single
+    # engine evaluation — what a multi-day campaign (or a second host
+    # sharing the directory) relies on.
+    restarted = start_server_thread(batch_window_ms=25.0, cache_dir=cache_dir)
+    try:
+        with ServeClient("127.0.0.1", restarted.port) as client:
+            start = time.perf_counter()
+            warm = client.sweep_payload(sweep)
+            warm_ms = (time.perf_counter() - start) * 1e3
+            disk = client.stats()["cache"]["disk"]
+        print(
+            f"Warm restart  : {warm_ms:7.1f} ms  "
+            f"({restarted.server.evaluations} evaluations on the new server, "
+            f"{disk['hits']} disk hit(s), payload equal: "
+            f"{warm == sweep.run().to_dict()})"
+        )
+    finally:
+        restarted.stop()
 
 
 if __name__ == "__main__":

@@ -128,10 +128,20 @@ variable                                   meaning (default)
                                            iterative (operator's built-in threshold)
 ``REPRO_SERVE_HOST``                       sweep-service bind address (``127.0.0.1``)
 ``REPRO_SERVE_PORT``                       sweep-service bind port, 0 = ephemeral (``7753``)
-``REPRO_SERVE_CACHE_BYTES``                service result-cache budget in payload bytes
-                                           (64 MiB)
-``REPRO_SERVE_BATCH_WINDOW_MS``            service micro-batch window for point queries
-                                           (5 ms)
+``REPRO_SERVE_WORKERS``                    concurrent service evaluation slots; above 1,
+                                           evaluations route through a shared process
+                                           pool of the same size (1)
+``REPRO_SERVE_QUEUE_DEPTH``                bounded service evaluation-queue depth; beyond
+                                           it requests fail fast with ``busy`` (128)
+``REPRO_SERVE_CACHE_BYTES``                service memory result-cache budget in payload
+                                           bytes (64 MiB)
+``REPRO_SERVE_CACHE_DIR``                  service disk-cache directory; results persist
+                                           across restarts and between servers sharing
+                                           it (unset = memory only)
+``REPRO_SERVE_DISK_CACHE_BYTES``           service disk-tier byte budget, LRU-evicted by
+                                           file mtime (1 GiB)
+``REPRO_SERVE_BATCH_WINDOW_MS``            service coalescing window for point queries
+                                           and overlapping sweeps (5 ms)
 ``REPRO_SERVE_STREAM_THRESHOLD_BYTES``     encoded result size where service responses
                                            switch to tile streaming (1 MiB)
 =========================================  ==================================================

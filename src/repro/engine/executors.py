@@ -267,6 +267,10 @@ def _evaluate_shared_tile(plan: SweepPlan, tile: Tile, meta, shm) -> np.ndarray:
     return np.ascontiguousarray(subplan(restored, tile)._execute_dense().values)
 
 
+def _noop() -> None:
+    """Prewarm task: forces the lazy pool to actually spawn workers."""
+
+
 def _run_remote_tile(plan: SweepPlan, tile: Tile, meta) -> np.ndarray:
     """Worker entry: evaluate one tile densely and return its values."""
     if meta is None:
@@ -346,6 +350,18 @@ class ProcessExecutor(Executor):
             if self.reuse:
                 _POOLS[key] = pool
         return pool
+
+    def prewarm(self) -> None:
+        """Spin the worker pool up eagerly (it otherwise spawns lazily).
+
+        ``ProcessPoolExecutor`` forks/spawns workers on first submit, so
+        a long-lived embedder (the sweep service) would pay pool startup
+        on its first request; submitting one no-op per slot moves that
+        cost to initialization time.
+        """
+        pool = self._pool()
+        for future in [pool.submit(_noop) for _ in range(self.max_workers)]:
+            future.result()
 
     def run_tiles(self, tiling: TilingPlan) -> Iterator[Tuple[Tile, np.ndarray]]:
         skeleton, shm, meta = _export_population(tiling.plan)

@@ -262,8 +262,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--batch-window-ms",
         type=float,
         default=None,
-        help="(with --serve) micro-batch window for point queries "
-        "(default: REPRO_SERVE_BATCH_WINDOW_MS or 5 ms)",
+        help="(with --serve) coalescing window for point queries and "
+        "overlapping sweeps (default: REPRO_SERVE_BATCH_WINDOW_MS or 5 ms)",
+    )
+    serve_group.add_argument(
+        "--serve-workers",
+        type=int,
+        default=None,
+        help="(with --serve) concurrent evaluation slots; above 1, "
+        "evaluations route through a shared process pool "
+        "(default: REPRO_SERVE_WORKERS or 1)",
+    )
+    serve_group.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="(with --serve) bounded evaluation-queue depth; beyond it "
+        "requests fail fast with 'busy' "
+        "(default: REPRO_SERVE_QUEUE_DEPTH or 128)",
+    )
+    serve_group.add_argument(
+        "--cache-dir",
+        default=None,
+        help="(with --serve) disk cache directory: results persist "
+        "across server restarts (default: REPRO_SERVE_CACHE_DIR; "
+        "unset = memory only)",
+    )
+    serve_group.add_argument(
+        "--disk-cache-bytes",
+        type=int,
+        default=None,
+        help="(with --serve) disk-tier byte budget, LRU-evicted by "
+        "file mtime (default: REPRO_SERVE_DISK_CACHE_BYTES or 1 GiB)",
     )
     args = parser.parse_args(argv)
     # The registry callables take only a technology; the execution
@@ -295,6 +325,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             serve_argv += ["--cache-bytes", str(args.cache_bytes)]
         if args.batch_window_ms is not None:
             serve_argv += ["--batch-window-ms", str(args.batch_window_ms)]
+        if args.serve_workers is not None:
+            serve_argv += ["--workers", str(args.serve_workers)]
+        if args.queue_depth is not None:
+            serve_argv += ["--queue-depth", str(args.queue_depth)]
+        if args.cache_dir is not None:
+            serve_argv += ["--cache-dir", args.cache_dir]
+        if args.disk_cache_bytes is not None:
+            serve_argv += ["--disk-cache-bytes", str(args.disk_cache_bytes)]
         return serve_main(serve_argv)
     registry = default_registry()
     if args.list_experiments:

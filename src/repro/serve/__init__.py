@@ -3,7 +3,7 @@
 The batch workflow (:mod:`repro.engine`) pays the full evaluation cost
 on every invocation; a *service* amortizes it across requests.  This
 package wraps the engine in a long-lived asyncio server speaking
-newline-delimited JSON over TCP (stdlib only), with three layers that
+newline-delimited JSON over TCP (stdlib only), with four layers that
 turn repeat and concurrent traffic into cheap traffic:
 
 content addressing (:mod:`repro.serve.spec`)
@@ -14,65 +14,99 @@ content addressing (:mod:`repro.serve.spec`)
     collide on the key, however they were spelled.
 
 result caching (:mod:`repro.serve.cache`)
-    A byte-bounded LRU over encoded result payloads, keyed on the
-    canonical hash, with hit / miss / eviction counters surfaced by the
-    ``stats`` op.  Identical sweeps in flight share one evaluation
-    (single-flight).
+    A byte-bounded memory LRU over encoded result payloads, keyed on
+    the canonical hash, fronting an optional **disk tier**
+    (:class:`DiskCache`, ``REPRO_SERVE_CACHE_DIR``): one atomic file
+    per entry, corruption-safe loads, mtime-LRU eviction — so a
+    restarted server, or a second host sharing the directory, serves
+    previously computed sweeps with zero evaluations.  Identical
+    sweeps in flight share one evaluation (single-flight, across
+    workers).
 
-micro-batching (:mod:`repro.serve.batcher`)
-    Concurrent point queries (base spec + one temperature) wait a few
-    milliseconds, stack onto one shared temperature axis, evaluate as
-    a single broadcast, and each receives its slice — bit-identical to
-    a solo evaluation because the engine is elementwise in temperature.
+coalescing (:mod:`repro.serve.batcher`)
+    Concurrent temperature-split work — point queries *and* sweeps
+    whose specs differ only along the temperature axis — waits a few
+    milliseconds, stacks onto one shared union temperature axis,
+    evaluates as a single broadcast, and each request receives its own
+    slice — bit-identical to a solo evaluation because the engine is
+    elementwise in temperature.
+
+parallel evaluation (the scheduler in :mod:`repro.serve.server`)
+    A bounded priority queue (optional per-request ``priority`` /
+    ``deadline_ms`` fields, ``busy`` backpressure when full) feeding
+    ``REPRO_SERVE_WORKERS`` concurrent evaluation slots over one
+    shared process pool, so distinct concurrent sweeps genuinely
+    occupy multiple cores.
 
 Oversized results stream tile by tile
 (:func:`~repro.engine.tiling.plan_result_tiles`); the synchronous
-:class:`ServeClient` reassembles them transparently.  Start a server
-with ``repro-serve`` (or ``python -m repro.serve``), embed one in-
-process with :func:`start_server_thread`, and configure either through
-the ``REPRO_SERVE_*`` environment knobs documented in
+:class:`ServeClient` reassembles them transparently and retries dead
+connections with bounded exponential backoff.  Start a server with
+``repro-serve`` (or ``python -m repro.serve``), embed one in-process
+with :func:`start_server_thread`, and configure either through the
+``REPRO_SERVE_*`` environment knobs documented in
 :mod:`repro.serve.server`.
 """
 
 from .batcher import DEFAULT_BATCH_WINDOW_MS, MicroBatcher
-from .cache import DEFAULT_CACHE_BYTES, ResultCache
+from .cache import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_DISK_CACHE_BYTES,
+    DiskCache,
+    ResultCache,
+)
 from .client import ServeClient, ServeError
 from .server import (
     BATCH_WINDOW_ENV,
     CACHE_BYTES_ENV,
+    CACHE_DIR_ENV,
     DEFAULT_HOST,
     DEFAULT_PORT,
+    DEFAULT_QUEUE_DEPTH,
     DEFAULT_STREAM_THRESHOLD_BYTES,
+    DEFAULT_WORKERS,
+    DISK_CACHE_BYTES_ENV,
     HOST_ENV,
     PORT_ENV,
+    QUEUE_DEPTH_ENV,
     STREAM_THRESHOLD_ENV,
     ServerHandle,
     SweepServer,
+    WORKERS_ENV,
     main,
     start_server_thread,
 )
-from .spec import canonical_key, canonical_spec, encode_canonical
+from .spec import canonical_key, canonical_spec, encode_canonical, split_temperature
 
 __all__ = [
     "BATCH_WINDOW_ENV",
     "CACHE_BYTES_ENV",
+    "CACHE_DIR_ENV",
     "DEFAULT_BATCH_WINDOW_MS",
     "DEFAULT_CACHE_BYTES",
+    "DEFAULT_DISK_CACHE_BYTES",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_STREAM_THRESHOLD_BYTES",
+    "DEFAULT_WORKERS",
+    "DISK_CACHE_BYTES_ENV",
+    "DiskCache",
     "HOST_ENV",
     "MicroBatcher",
     "PORT_ENV",
+    "QUEUE_DEPTH_ENV",
     "ResultCache",
     "STREAM_THRESHOLD_ENV",
     "ServeClient",
     "ServeError",
     "ServerHandle",
     "SweepServer",
+    "WORKERS_ENV",
     "canonical_key",
     "canonical_spec",
     "encode_canonical",
     "main",
+    "split_temperature",
     "start_server_thread",
 ]

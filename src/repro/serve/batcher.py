@@ -1,37 +1,46 @@
-"""Micro-batching of concurrent point queries onto one broadcast.
+"""Coalescing of concurrent temperature-split work onto one broadcast.
 
-The dominant traffic pattern of a sensor-evaluation service is the
-*point query*: "this spec, at this one temperature" — a request whose
-marginal cost inside the engine is nearly zero (the whole delay stack
-is elementwise in temperature, so evaluating 32 temperatures costs
-almost the same one broadcast as evaluating 1) but whose fixed cost
-(ring construction, population stacking) dominates when each point is
-evaluated alone.  The micro-batcher converts concurrency into that
-almost-free axis: the first point query for a base spec opens a batch
-and starts a short window; every compatible query arriving inside the
-window joins it; at the deadline the batch evaluates **once**, with all
-the collected temperatures stacked onto a shared ``temperature`` axis,
-and each request is answered with its own slice of the shared result.
+The dominant traffic pattern of a sensor-evaluation service is
+temperature-split repetition: *point queries* ("this spec, at this one
+temperature") and *overlapping sweeps* ("this spec, over my grid" from
+several experiment fan-outs whose grids differ but whose base spec is
+identical).  Both have near-zero marginal cost inside the engine — the
+whole delay stack is elementwise in temperature, so evaluating 32
+temperatures costs almost the same one broadcast as evaluating 1 — but
+full fixed cost (ring construction, population stacking) when each
+request is evaluated alone.
+
+The batcher converts concurrency into that almost-free axis.  The
+first request for a base spec (the canonical spec *minus* its
+temperature axis) opens a batch and starts a short window; every
+compatible request arriving inside the window joins it; at the
+deadline the batch evaluates **once**, with the union of all the
+collected temperature grids stacked onto one shared, sorted,
+duplicate-free ``temperature`` axis, and each request is answered with
+its own slice of the shared result
+(:meth:`~repro.engine.sweep.SweepResult.select` with the request's own
+grid, in the request's own order).
 
 Because the engine is elementwise in temperature (the tiling layer's
-bitwise-identity guarantee, :mod:`repro.engine.tiling`), a batched
-point's slice is bit-identical to what a solo evaluation of that point
-would have produced — batching changes latency, never values.  (The
-endpoint-fit observables couple temperatures and are rejected for
-point queries upstream, in the server's request validation.)
+bitwise-identity guarantee, :mod:`repro.engine.tiling`), a coalesced
+request's slice is bit-identical to what a solo evaluation would have
+produced — batching changes latency, never values.  (The endpoint-fit
+observables couple temperatures and are kept out of the batcher
+upstream, in the server's request routing; so are sweeps without an
+explicit temperature axis, whose grid is the engine's to choose.)
 
-Batches are keyed on the *base* spec's canonical hash
-(:func:`repro.serve.spec.canonical_key` of the spec without its
-temperature axis), so only genuinely compatible queries coalesce.
-Duplicate temperatures within a batch share one grid point — the axis
-stays duplicate-free as the engine requires — and each duplicate
-request still receives its slice.
+Batches are keyed on the *base* spec's canonical hash, so only
+genuinely compatible requests coalesce — a point query and a full
+sweep over the same base land in the same batch.  Scheduling metadata
+rides along: a batch evaluates at the highest member priority, and
+with the most lenient member deadline (none at all if any member has
+none), so coalescing can only ever improve a neighbour's service.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Awaitable, Callable, Dict, List, Mapping, Tuple
+from typing import Any, Awaitable, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..engine.sweep import SweepResult
 
@@ -42,30 +51,51 @@ __all__ = ["DEFAULT_BATCH_WINDOW_MS", "MicroBatcher"]
 DEFAULT_BATCH_WINDOW_MS = 5.0
 
 
-class _Batch:
-    """One open batch: the shared base spec plus the queued points."""
+class _Member:
+    """One coalesced request: its temperature grid and its future."""
 
-    __slots__ = ("spec", "points")
+    __slots__ = ("temperatures", "future", "priority", "deadline")
+
+    def __init__(
+        self,
+        temperatures: Tuple[float, ...],
+        future: asyncio.Future,
+        priority: int,
+        deadline: Optional[float],
+    ) -> None:
+        self.temperatures = temperatures
+        self.future = future
+        self.priority = priority
+        self.deadline = deadline
+
+
+class _Batch:
+    """One open batch: the shared base spec plus the queued members."""
+
+    __slots__ = ("spec", "members", "timer")
 
     def __init__(self, spec: Mapping[str, Any]) -> None:
         self.spec = spec
-        self.points: List[Tuple[float, asyncio.Future]] = []
+        self.members: List[_Member] = []
+        self.timer: Optional[asyncio.Task] = None
 
 
 class MicroBatcher:
-    """Coalesce concurrent point queries per base spec, per window.
+    """Coalesce concurrent temperature-split requests per base spec.
 
     ``evaluate`` is the async evaluation hook: it receives a serialized
-    sweep payload (the base spec with the batch's stacked temperature
-    axis appended) and returns the evaluated
+    sweep payload (the base spec with the batch's union temperature
+    axis appended) plus the batch's aggregated ``priority`` and
+    ``deadline`` keywords, and returns the evaluated
     :class:`~repro.engine.sweep.SweepResult`.  The server passes its
-    counted, thread-offloaded evaluator, so batch evaluations show up
-    in the same evaluation counter as full sweeps.
+    scheduler-routed, counted evaluator, so batch evaluations share
+    the same worker pool, queue and evaluation counter as everything
+    else.
     """
 
     def __init__(
         self,
-        evaluate: Callable[[Dict[str, Any]], Awaitable[SweepResult]],
+        evaluate: Callable[..., Awaitable[SweepResult]],
         window_ms: float = DEFAULT_BATCH_WINDOW_MS,
     ) -> None:
         if float(window_ms) < 0.0:
@@ -73,59 +103,107 @@ class MicroBatcher:
         self._evaluate = evaluate
         self.window_ms = float(window_ms)
         self._open: Dict[str, _Batch] = {}
+        self._draining: Optional[BaseException] = None
         # Counters, reported via the server's ``stats`` op.
         self.batches = 0
         self.batched_points = 0
+        self.coalesced_sweeps = 0
         self.largest_batch = 0
 
     async def submit(
-        self, base_key: str, spec: Mapping[str, Any], temperature_c: float
+        self,
+        base_key: str,
+        spec: Mapping[str, Any],
+        temperatures: Sequence[float],
+        priority: int = 0,
+        deadline: Optional[float] = None,
     ) -> SweepResult:
-        """Queue one point query; resolves to its slice of the batch result.
+        """Queue one request; resolves to its slice of the batch result.
 
-        The returned result keeps a length-1 temperature axis, so it is
-        exactly what a solo sweep of ``spec`` + ``temperature=[t]``
-        would have returned.
+        ``temperatures`` is the request's own grid — one entry for a
+        point query, the full grid for a coalesced sweep.  The returned
+        result keeps its temperature axis restricted to exactly that
+        grid, in that order, so it is exactly what a solo sweep of
+        ``spec`` + ``temperature=temperatures`` would have returned.
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
+        if self._draining is not None:
+            future.set_exception(self._draining)
+            return await future
         batch = self._open.get(base_key)
         if batch is None:
             batch = _Batch(spec)
             self._open[base_key] = batch
-            loop.create_task(self._flush_later(base_key))
-        batch.points.append((float(temperature_c), future))
+            batch.timer = loop.create_task(self._flush_later(base_key))
+        grid = tuple(float(t) for t in temperatures)
+        batch.members.append(_Member(grid, future, int(priority), deadline))
+        if len(grid) == 1:
+            self.batched_points += 1
+        else:
+            self.coalesced_sweeps += 1
         return await future
 
     async def _flush_later(self, base_key: str) -> None:
         await asyncio.sleep(self.window_ms / 1000.0)
-        batch = self._open.pop(base_key)
+        batch = self._open.pop(base_key, None)
+        if batch is None:  # pragma: no cover - drained underneath the timer
+            return
+        await self._flush(batch)
+
+    async def _flush(self, batch: _Batch) -> None:
         # Stack the batch onto one shared, duplicate-free temperature
         # axis (sorted: the canonical grid order, and what makes the
-        # batch spec itself deterministic for a given point set).
-        temperatures = sorted({t for t, _ in batch.points})
+        # batch spec itself deterministic for a given member set).
+        union = sorted({t for member in batch.members for t in member.temperatures})
         payload = dict(batch.spec)
         payload["axes"] = list(payload.get("axes", ())) + [
-            {"name": "temperature", "coordinates": temperatures}
+            {"name": "temperature", "coordinates": union}
         ]
+        priority = max(member.priority for member in batch.members)
+        deadlines = [member.deadline for member in batch.members]
+        deadline = None if any(d is None for d in deadlines) else max(deadlines)
         self.batches += 1
-        self.batched_points += len(batch.points)
-        self.largest_batch = max(self.largest_batch, len(batch.points))
+        self.largest_batch = max(self.largest_batch, len(batch.members))
         try:
-            result = await self._evaluate(payload)
+            result = await self._evaluate(payload, priority=priority, deadline=deadline)
         except Exception as error:  # noqa: BLE001 - forwarded per request
-            for _, future in batch.points:
-                if not future.done():
-                    future.set_exception(error)
+            for member in batch.members:
+                if not member.future.done():
+                    member.future.set_exception(error)
             return
-        for temperature, future in batch.points:
-            if not future.done():  # pragma: no branch - cancelled clients
-                future.set_result(result.select(temperature=[temperature]))
+        for member in batch.members:
+            if not member.future.done():  # pragma: no branch - cancelled clients
+                member.future.set_result(
+                    result.select(temperature=list(member.temperatures))
+                )
+
+    def drain(self, error: BaseException) -> int:
+        """Fail every pending member with ``error`` and refuse new work.
+
+        The server's graceful-shutdown hook: open batch windows are
+        cancelled and their members resolved immediately with the
+        structured shutting-down error — no future is ever abandoned
+        to hang a client through the shutdown race.  Returns the
+        number of members failed.
+        """
+        self._draining = error
+        failed = 0
+        for batch in self._open.values():
+            if batch.timer is not None:
+                batch.timer.cancel()
+            for member in batch.members:
+                if not member.future.done():
+                    member.future.set_exception(error)
+                    failed += 1
+        self._open.clear()
+        return failed
 
     def stats(self) -> Dict[str, Any]:
         return {
             "batches": self.batches,
             "batched_points": self.batched_points,
+            "coalesced_sweeps": self.coalesced_sweeps,
             "largest_batch": self.largest_batch,
             "window_ms": self.window_ms,
         }

@@ -1,4 +1,4 @@
-"""Byte-bounded LRU result cache keyed on canonical spec hashes.
+"""Result caching for the sweep service: a memory LRU over a disk tier.
 
 The service's working set is "results users keep asking for", whose
 sizes span four orders of magnitude (a point query's single value to a
@@ -9,7 +9,23 @@ plus nothing else, and least-recently-*used* entries are evicted until
 the budget holds.  An entry larger than the whole budget is simply not
 admitted (caching it would evict everything else for a single request).
 
-The cache is thread-safe: the server touches it from the event loop
+Two tiers share the canonical spec key (:func:`~repro.serve.spec.canonical_key`):
+
+* The **memory tier** (:class:`ResultCache`) holds decoded payloads,
+  answers in microseconds, and dies with the process.
+* The optional **disk tier** (:class:`DiskCache`) persists one file per
+  entry under a shared directory, so a restarted server — or a second
+  host mounting the same directory — serves previously computed sweeps
+  with zero evaluations.  Writes are atomic (write to a process-unique
+  temp name, then ``os.replace``), loads are corruption-safe (any
+  unreadable/unparseable/foreign file is treated as a miss and
+  removed, never surfaced to a client), and the byte budget is
+  enforced by LRU on file mtime (a disk hit refreshes its file's
+  mtime, so recently-served entries survive eviction sweeps).
+
+The memory tier always fronts the disk tier: a disk hit is promoted
+into memory, and every admission is written through to disk.  Both
+tiers are thread-safe — the server touches them from the event loop
 while evaluations complete in worker threads, and the hit/miss/eviction
 counters (reported by the ``stats`` op and asserted by the service
 tests) must not tear.
@@ -17,18 +33,200 @@ tests) must not tear.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
-from ..engine.sweep import SweepError
+from ..engine.sweep import SweepError, SweepResult
 
-__all__ = ["DEFAULT_CACHE_BYTES", "ResultCache"]
+__all__ = ["DEFAULT_CACHE_BYTES", "DEFAULT_DISK_CACHE_BYTES", "DiskCache", "ResultCache"]
 
 #: Default result-cache budget: 64 MiB of encoded result payloads —
 #: thousands of point-query slices, or a handful of full Monte-Carlo
 #: tensors.
 DEFAULT_CACHE_BYTES = 64 << 20
+
+#: Default disk-tier budget: a restart-surviving archive can afford to
+#: be an order of magnitude roomier than the in-memory tier.
+DEFAULT_DISK_CACHE_BYTES = 1 << 30
+
+#: Disk-tier entries are ``<key>.json`` (the key is a SHA-256 hex
+#: digest, so the name is filesystem-safe by construction); writes land
+#: under a ``.tmp``-suffixed process-unique name first.
+_ENTRY_SUFFIX = ".json"
+
+
+class DiskCache:
+    """One-file-per-entry persistent payload store under a directory.
+
+    Entries are the compact JSON encoding of a result payload, named by
+    their canonical spec key.  The store is safe against concurrent
+    writers (atomic rename; last writer wins — both wrote the same
+    bytes for the same key anyway, the key is content-addressed) and
+    against corruption (a partial/garbled/foreign file is a miss, and
+    is deleted so it cannot fail again).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        max_bytes: int = DEFAULT_DISK_CACHE_BYTES,
+    ) -> None:
+        if int(max_bytes) < 0:
+            raise SweepError("max_bytes must be non-negative")
+        self.directory = str(directory)
+        self.max_bytes = int(max_bytes)
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._rejected = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + _ENTRY_SUFFIX)
+
+    def get(self, key: str) -> Optional[Tuple[Dict[str, Any], int]]:
+        """The ``(payload, encoded_size)`` stored for ``key``, or None.
+
+        A hit refreshes the entry file's mtime — the disk tier's LRU
+        clock — so entries the service keeps serving are the last to
+        be evicted.  Any failure to read or validate the file (torn
+        write from a crashed process, disk corruption, a stray foreign
+        file under the shared directory) is a miss: the offender is
+        removed and the caller re-evaluates, so a bad file can never
+        crash the server or poison a response.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            payload = json.loads(raw.decode("utf-8"))
+            if not _looks_like_result(payload):
+                raise ValueError("not a serialized sweep result")
+        except FileNotFoundError:
+            with self._lock:
+                self._misses += 1
+            return None
+        except (OSError, ValueError):
+            # Corruption-safe load: drop the bad entry and miss.
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+            with self._lock:
+                self._misses += 1
+            return None
+        try:
+            os.utime(path)  # refresh the LRU clock
+        except OSError:  # pragma: no cover - entry evicted underneath us
+            pass
+        with self._lock:
+            self._hits += 1
+        return payload, len(raw)
+
+    def put(self, key: str, encoded: bytes) -> bool:
+        """Persist an encoded payload atomically; False when oversized.
+
+        The write lands under a process-unique temporary name and is
+        renamed into place, so a reader (or a crashed writer) can never
+        observe a half-written entry.  After admission the directory is
+        swept: oldest-mtime entries are removed until the byte budget
+        holds again.
+        """
+        if len(encoded) > self.max_bytes:
+            with self._lock:
+                self._rejected += 1
+            return False
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(encoded)
+            os.replace(tmp, path)
+        except OSError:
+            # A full or read-only cache volume degrades to "no disk
+            # tier", never to a failed request.
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return False
+        self._evict()
+        return True
+
+    def _evict(self) -> None:
+        """Remove oldest-mtime entries until the byte budget holds."""
+        entries = []
+        total = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:  # pragma: no cover - directory vanished
+            return
+        for name in names:
+            if not name.endswith(_ENTRY_SUFFIX):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:  # pragma: no cover - racing eviction
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        for _mtime, size, path in sorted(entries):
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - racing eviction
+                continue
+            with self._lock:
+                self._evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                return
+
+    def stats(self) -> Dict[str, int]:
+        entries = 0
+        occupied = 0
+        try:
+            for name in os.listdir(self.directory):
+                if not name.endswith(_ENTRY_SUFFIX):
+                    continue
+                try:
+                    occupied += os.stat(os.path.join(self.directory, name)).st_size
+                    entries += 1
+                except OSError:  # pragma: no cover - racing eviction
+                    continue
+        except OSError:  # pragma: no cover - directory vanished
+            pass
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "rejected": self._rejected,
+                "entries": entries,
+                "bytes": occupied,
+                "max_bytes": self.max_bytes,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiskCache({self.directory!r}, max_bytes={self.max_bytes})"
+
+
+def _looks_like_result(payload: Any) -> bool:
+    """Cheap structural validation of a decoded disk entry."""
+    return (
+        isinstance(payload, dict)
+        and payload.get("version") == SweepResult.SCHEMA_VERSION
+        and isinstance(payload.get("dims"), list)
+        and isinstance(payload.get("coords"), dict)
+        and "values" in payload
+        and isinstance(payload.get("observable"), str)
+    )
 
 
 class ResultCache:
@@ -36,13 +234,21 @@ class ResultCache:
 
     Values are stored as ``(payload, encoded_size)`` pairs: the decoded
     result mapping (ready to embed in a response envelope) plus the
-    byte size it is charged against the budget.
+    byte size it is charged against the budget.  With a ``disk`` tier
+    attached, misses fall through to it (promoting hits back into
+    memory) and admissions write through, so the cache's contents
+    survive the process.
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_CACHE_BYTES,
+        disk: Optional[DiskCache] = None,
+    ) -> None:
         if int(max_bytes) < 0:
             raise SweepError("max_bytes must be non-negative")
         self.max_bytes = int(max_bytes)
+        self.disk = disk
         self._entries: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
         self._lock = threading.Lock()
         self._bytes = 0
@@ -51,22 +257,44 @@ class ResultCache:
         self._evictions = 0
 
     def get(self, key: str) -> Optional[Any]:
-        """The cached payload for ``key`` (refreshing its recency), or None."""
+        """The cached payload for ``key`` (refreshing its recency), or None.
+
+        Memory first; on a memory miss the disk tier (when attached) is
+        consulted and a disk hit is promoted into the memory tier so
+        the next repeat is served without touching the filesystem.
+        """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return entry[0]
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry[0]
+            self._misses += 1
+        if self.disk is None:
+            return None
+        persisted = self.disk.get(key)
+        if persisted is None:
+            return None
+        payload, size = persisted
+        self._admit(key, payload, size)
+        return payload
 
-    def put(self, key: str, payload: Any, size_bytes: int) -> bool:
+    def put(self, key: str, payload: Any, size_bytes: int, encoded: Optional[bytes] = None) -> bool:
         """Admit (or refresh) a payload; returns False when it exceeds
-        the whole budget and was not admitted."""
+        the whole memory budget and was not admitted there.
+
+        ``encoded`` (the payload's compact JSON bytes, when the caller
+        already has them) is written through to the disk tier; without
+        it only the memory tier is touched.
+        """
         size = int(size_bytes)
         if size < 0:
             raise SweepError("size_bytes must be non-negative")
+        if self.disk is not None and encoded is not None:
+            self.disk.put(key, encoded)
+        return self._admit(key, payload, size)
+
+    def _admit(self, key: str, payload: Any, size: int) -> bool:
         with self._lock:
             if size > self.max_bytes:
                 return False
@@ -97,10 +325,10 @@ class ResultCache:
         with self._lock:
             return key in self._entries
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         """Hit/miss/eviction counters plus the current occupancy."""
         with self._lock:
-            return {
+            stats: Dict[str, Any] = {
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
@@ -108,6 +336,9 @@ class ResultCache:
                 "bytes": self._bytes,
                 "max_bytes": self.max_bytes,
             }
+        if self.disk is not None:
+            stats["disk"] = self.disk.stats()
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stats = self.stats()

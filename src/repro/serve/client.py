@@ -8,6 +8,15 @@ see the same thing — a result payload byte-identical (post
 ``to_dict``) to what a local ``Sweep.run()`` would have produced, or
 the re-hydrated :class:`~repro.engine.sweep.SweepResult` itself.
 
+Transport failures are structured, never raw socket exceptions: a
+server that is down gets a bounded connect-retry loop (exponential
+backoff) before ``ServeError("transport", ...)``; a server that stops
+answering surfaces as ``ServeError("timeout", ...)`` after the socket
+timeout instead of an indefinite hang; and an idempotent request whose
+connection died before any response byte arrived is retried once over
+a fresh connection (``shutdown`` is never retried — a lost ack may
+still have stopped the server).
+
 The client is deliberately stdlib-synchronous (``socket`` +
 ``makefile``): it is what the tests, the example, the benchmark, and
 the runner's smoke path use, none of which want an event loop of
@@ -20,6 +29,7 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
@@ -33,8 +43,10 @@ class ServeError(RuntimeError):
     """A structured rejection from the server (or a transport failure).
 
     ``code`` is the stable protocol error code
-    (:data:`repro.serve.protocol.E_BAD_SPEC` et al.), or ``"transport"``
-    for connection-level failures raised client-side.
+    (:data:`repro.serve.protocol.E_BAD_SPEC` et al.), or one of two
+    client-side codes: ``"transport"`` for connection-level failures
+    and ``"timeout"`` for a server that accepted the request but never
+    answered within the socket timeout.
     """
 
     def __init__(self, code: str, message: str) -> None:
@@ -44,20 +56,86 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """One blocking connection to a :class:`~repro.serve.server.SweepServer`."""
+    """One blocking connection to a :class:`~repro.serve.server.SweepServer`.
+
+    ``connect_retries`` failed connection attempts are retried with
+    exponential backoff starting at ``retry_backoff_s`` (so a client
+    racing a server's startup, or a server mid-restart, connects as
+    soon as the socket binds); exhaustion raises a structured
+    ``ServeError("transport", ...)`` instead of a raw
+    ``ConnectionRefusedError``.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 7753, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7753,
+        timeout: float = 60.0,
+        connect_retries: int = 3,
+        retry_backoff_s: float = 0.05,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        if int(connect_retries) < 0:
+            raise SweepError("connect_retries must be non-negative")
+        if float(retry_backoff_s) < 0.0:
+            raise SweepError("retry_backoff_s must be non-negative")
+        self._host = host
+        self._port = int(port)
+        self._timeout = float(timeout)
+        self._connect_retries = int(connect_retries)
+        self._retry_backoff_s = float(retry_backoff_s)
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
 
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
 
+    def _connect(self) -> None:
+        """(Re)open the connection, with bounded exponential backoff."""
+        self._teardown()
+        backoff = self._retry_backoff_s
+        attempts = self._connect_retries + 1
+        for attempt in range(attempts):
+            try:
+                self._sock = socket.create_connection(
+                    (self._host, self._port), timeout=self._timeout
+                )
+                self._file = self._sock.makefile("rwb")
+                return
+            except OSError as error:
+                if attempt + 1 >= attempts:
+                    raise ServeError(
+                        "transport",
+                        f"could not connect to {self._host}:{self._port} after "
+                        f"{attempts} attempt(s): {error}",
+                    ) from error
+                time.sleep(backoff)
+                backoff *= 2.0
+
+    def _teardown(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+            self._sock = None
+
     def _read_line(self) -> Any:
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except socket.timeout as error:
+            raise ServeError(
+                "timeout",
+                f"no response from {self._host}:{self._port} within "
+                f"{self._timeout} s",
+            ) from error
         if not line:
             raise ServeError("transport", "server closed the connection")
         try:
@@ -65,12 +143,33 @@ class ServeClient:
         except ValueError as error:  # pragma: no cover - server bug guard
             raise ServeError("transport", f"unparseable response line: {error}")
 
-    def _request(self, message: Mapping[str, Any]) -> Dict[str, Any]:
-        """Send one request; return its ok-envelope (streams reassembled)."""
-        self._file.write(
-            json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
-        )
-        self._file.flush()
+    def _request(
+        self, message: Mapping[str, Any], retry: bool = True
+    ) -> Dict[str, Any]:
+        """Send one request; return its ok-envelope (streams reassembled).
+
+        A request whose connection broke before *any* response byte
+        arrived is retried once over a fresh connection when ``retry``
+        — safe for every idempotent op (the server's result cache makes
+        a replayed sweep/point free); ``shutdown`` passes
+        ``retry=False``.
+        """
+        try:
+            return self._round_trip(message)
+        except ServeError as error:
+            if not retry or error.code != "transport":
+                raise
+            self._connect()
+            return self._round_trip(message)
+
+    def _round_trip(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        try:
+            self._file.write(
+                json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+            )
+            self._file.flush()
+        except OSError as error:
+            raise ServeError("transport", f"send failed: {error}") from error
         response = self._read_line()
         if not isinstance(response, dict):  # pragma: no cover - server bug guard
             raise ServeError("transport", f"malformed response: {response!r}")
@@ -133,43 +232,75 @@ class ServeClient:
         return self._request({"op": "stats"})["stats"]
 
     def sweep_payload(
-        self, spec: Union[Sweep, Mapping[str, Any]]
+        self,
+        spec: Union[Sweep, Mapping[str, Any]],
+        priority: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         """The served result payload (``SweepResult.to_dict`` form)."""
-        response = self._request({"op": "sweep", "spec": _spec_payload(spec)})
+        message: Dict[str, Any] = {"op": "sweep", "spec": _spec_payload(spec)}
+        if priority is not None:
+            message["priority"] = int(priority)
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
+        response = self._request(message)
         return response["result"]
 
-    def sweep(self, spec: Union[Sweep, Mapping[str, Any]]) -> SweepResult:
+    def sweep(
+        self,
+        spec: Union[Sweep, Mapping[str, Any]],
+        priority: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> SweepResult:
         """Evaluate a full sweep remotely; returns the re-hydrated result."""
-        return SweepResult.from_dict(self.sweep_payload(spec))
+        return SweepResult.from_dict(
+            self.sweep_payload(spec, priority=priority, deadline_ms=deadline_ms)
+        )
 
     def point_payload(
-        self, spec: Union[Sweep, Mapping[str, Any]], temperature_c: float
+        self,
+        spec: Union[Sweep, Mapping[str, Any]],
+        temperature_c: float,
+        priority: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
-        response = self._request(
-            {
-                "op": "point",
-                "spec": _spec_payload(spec),
-                "temperature_c": float(temperature_c),
-            }
-        )
+        message: Dict[str, Any] = {
+            "op": "point",
+            "spec": _spec_payload(spec),
+            "temperature_c": float(temperature_c),
+        }
+        if priority is not None:
+            message["priority"] = int(priority)
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
+        response = self._request(message)
         return response["result"]
 
     def point(
-        self, spec: Union[Sweep, Mapping[str, Any]], temperature_c: float
+        self,
+        spec: Union[Sweep, Mapping[str, Any]],
+        temperature_c: float,
+        priority: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
     ) -> SweepResult:
         """One micro-batchable point query (base spec + one temperature)."""
-        return SweepResult.from_dict(self.point_payload(spec, temperature_c))
+        return SweepResult.from_dict(
+            self.point_payload(
+                spec, temperature_c, priority=priority, deadline_ms=deadline_ms
+            )
+        )
 
     def shutdown(self) -> None:
-        """Stop the server cleanly (the connection closes afterwards)."""
-        self._request({"op": "shutdown"})
+        """Stop the server cleanly (the connection closes afterwards).
+
+        Never retried: a lost acknowledgement may still have stopped
+        the server, and replaying the op against a freshly restarted
+        one would stop the wrong instance.
+        """
+        self._request({"op": "shutdown"}, retry=False)
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServeClient":
         return self

@@ -23,9 +23,36 @@ Operations
     temperature axis) plus one ``temperature_c``; compatible concurrent
     points coalesce into one broadcast evaluation.
 ``stats``
-    Cache / batcher / evaluation counters.
+    Cache / batcher / scheduler / evaluation counters.
 ``shutdown``
     Acknowledge, then stop the server cleanly.
+
+Scheduling fields
+-----------------
+
+``sweep`` and ``point`` requests accept two optional fields, both
+defaulting to today's behavior (no field, no change):
+
+``priority`` (integer, default ``0``)
+    Higher-priority requests are evaluated first when the server's
+    bounded evaluation queue holds more work than its workers can run
+    at once.  Equal priorities evaluate in arrival order.  Requests
+    that coalesce into one batch evaluate at the *highest* priority of
+    any member.
+``deadline_ms`` (positive number, optional)
+    A relative time budget, measured from the moment the server reads
+    the request.  A request still *queued* when its budget expires is
+    failed with the ``deadline-expired`` error code **without being
+    evaluated**; an evaluation already running is never aborted.
+    Coalesced batches use the most lenient member deadline (and none
+    at all if any member has none), so joining a batch can only relax
+    a deadline, never tighten a neighbour's.
+
+Backpressure: when the evaluation queue is full, new ``sweep`` /
+``point`` requests fail immediately with the ``busy`` error code
+instead of growing server memory without bound.  While the server is
+shutting down, pending and newly-arriving evaluations fail with
+``shutting-down``.
 """
 
 from __future__ import annotations
@@ -37,7 +64,10 @@ __all__ = [
     "E_BAD_JSON",
     "E_BAD_REQUEST",
     "E_BAD_SPEC",
+    "E_BUSY",
+    "E_DEADLINE",
     "E_INTERNAL",
+    "E_SHUTTING_DOWN",
     "E_UNKNOWN_OP",
     "E_VERSION",
     "MAX_LINE_BYTES",
@@ -62,6 +92,9 @@ E_UNKNOWN_OP = "unknown-op"  #: the ``op`` field names no operation
 E_BAD_SPEC = "bad-spec"  #: the spec payload failed engine validation
 E_VERSION = "version-mismatch"  #: the spec's schema version is not ours
 E_INTERNAL = "internal"  #: unexpected server-side failure
+E_BUSY = "busy"  #: the bounded evaluation queue is full; retry later
+E_DEADLINE = "deadline-expired"  #: the request's deadline passed while queued
+E_SHUTTING_DOWN = "shutting-down"  #: the server is draining; request not evaluated
 
 
 def encode_line(payload: Mapping[str, Any]) -> bytes:

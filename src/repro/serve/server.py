@@ -5,14 +5,30 @@
 around the existing engine — a request's spec is canonicalized
 (:func:`~repro.serve.spec.canonical_spec`, which *is* validation),
 content-addressed (:func:`~repro.serve.spec.canonical_key`), looked up
-in the byte-bounded LRU (:class:`~repro.serve.cache.ResultCache`), and
-only on a miss handed to ``Sweep.from_dict(...).run()`` on a worker
-thread.  Identical sweeps in flight at the same moment share one
-evaluation (single-flight); concurrent *point* queries coalesce onto a
-shared temperature axis (:class:`~repro.serve.batcher.MicroBatcher`).
-Results whose encoded payload exceeds the stream threshold leave as a
-tile stream (:func:`~repro.engine.tiling.plan_result_tiles`) instead of
-one giant line.
+in the two-tier result cache (:class:`~repro.serve.cache.ResultCache`:
+a byte-bounded memory LRU over an optional restart-surviving disk
+tier), and only on a miss handed to the evaluation scheduler.
+
+The scheduler is what makes the front end *parallel*: a bounded
+priority queue feeds ``workers`` concurrent evaluation slots, each
+running ``Sweep.from_dict(...).run()`` on a worker thread — and, with
+more than one worker, through a shared
+:class:`~repro.engine.executors.ProcessExecutor` pool (the PR 6
+shared-memory technology-column transport), so concurrent distinct
+sweeps genuinely occupy multiple cores.  Requests carry optional
+``priority`` / ``deadline_ms`` fields; a full queue answers ``busy``
+instead of growing without bound, and a queued request whose deadline
+passes is failed with ``deadline-expired`` without being evaluated.
+
+Identical sweeps in flight at the same moment share one evaluation
+(single-flight, across workers); concurrent requests that differ only
+along the temperature axis — point queries *and* overlapping sweep
+grids — coalesce onto one union-grid broadcast
+(:class:`~repro.serve.batcher.MicroBatcher`) and are each answered
+with their own bitwise-exact slice.  Results whose encoded payload
+exceeds the stream threshold leave as a tile stream
+(:func:`~repro.engine.tiling.plan_result_tiles`) instead of one giant
+line.
 
 Every knob is available both as a constructor argument / CLI flag and
 as a ``REPRO_SERVE_*`` environment variable (the flag wins):
@@ -22,14 +38,17 @@ variable                                  meaning
 ========================================  =====================================
 ``REPRO_SERVE_HOST``                      bind address (default ``127.0.0.1``)
 ``REPRO_SERVE_PORT``                      bind port (default ``7753``; 0 = ephemeral)
-``REPRO_SERVE_CACHE_BYTES``               result-cache budget in payload bytes
-``REPRO_SERVE_BATCH_WINDOW_MS``           micro-batch window in milliseconds
+``REPRO_SERVE_WORKERS``                   concurrent evaluation slots (default 1;
+                                          >1 routes through a shared process pool)
+``REPRO_SERVE_QUEUE_DEPTH``               bounded evaluation-queue depth (beyond
+                                          it, requests fail fast with ``busy``)
+``REPRO_SERVE_CACHE_BYTES``               memory result-cache budget in payload bytes
+``REPRO_SERVE_CACHE_DIR``                 disk-tier directory: results persist across
+                                          restarts (and between hosts sharing it)
+``REPRO_SERVE_DISK_CACHE_BYTES``          disk-tier byte budget (LRU via mtime)
+``REPRO_SERVE_BATCH_WINDOW_MS``           coalescing window in milliseconds
 ``REPRO_SERVE_STREAM_THRESHOLD_BYTES``    payload size that switches to tiles
 ========================================  =====================================
-
-The server is single-process: evaluations already parallelize through
-the engine's executor knobs (``REPRO_SWEEP_EXECUTOR`` et al.), which a
-served deployment sets the same way a batch run would.
 """
 
 from __future__ import annotations
@@ -37,6 +56,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import hashlib
+import itertools
 import json
 import math
 import os
@@ -45,15 +65,24 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..engine.executors import ProcessExecutor
 from ..engine.sweep import Sweep, SweepError, SweepResult, _ENDPOINT_OBSERVABLES
 from ..engine.tiling import plan_result_tiles
 from .batcher import DEFAULT_BATCH_WINDOW_MS, MicroBatcher
-from .cache import DEFAULT_CACHE_BYTES, ResultCache
+from .cache import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_DISK_CACHE_BYTES,
+    DiskCache,
+    ResultCache,
+)
 from .protocol import (
     E_BAD_JSON,
     E_BAD_REQUEST,
     E_BAD_SPEC,
+    E_BUSY,
+    E_DEADLINE,
     E_INTERNAL,
+    E_SHUTTING_DOWN,
     E_UNKNOWN_OP,
     E_VERSION,
     MAX_LINE_BYTES,
@@ -63,31 +92,52 @@ from .protocol import (
     error_envelope,
     ok_envelope,
 )
-from .spec import canonical_key, canonical_spec, encode_canonical
+from .spec import canonical_key, canonical_spec, encode_canonical, split_temperature
 
 __all__ = [
     "BATCH_WINDOW_ENV",
     "CACHE_BYTES_ENV",
+    "CACHE_DIR_ENV",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_STREAM_THRESHOLD_BYTES",
+    "DEFAULT_WORKERS",
+    "DISK_CACHE_BYTES_ENV",
     "HOST_ENV",
     "PORT_ENV",
+    "QUEUE_DEPTH_ENV",
     "STREAM_THRESHOLD_ENV",
     "ServerHandle",
     "SweepServer",
+    "WORKERS_ENV",
     "main",
     "start_server_thread",
 ]
 
 HOST_ENV = "REPRO_SERVE_HOST"
 PORT_ENV = "REPRO_SERVE_PORT"
+WORKERS_ENV = "REPRO_SERVE_WORKERS"
+QUEUE_DEPTH_ENV = "REPRO_SERVE_QUEUE_DEPTH"
 CACHE_BYTES_ENV = "REPRO_SERVE_CACHE_BYTES"
+CACHE_DIR_ENV = "REPRO_SERVE_CACHE_DIR"
+DISK_CACHE_BYTES_ENV = "REPRO_SERVE_DISK_CACHE_BYTES"
 BATCH_WINDOW_ENV = "REPRO_SERVE_BATCH_WINDOW_MS"
 STREAM_THRESHOLD_ENV = "REPRO_SERVE_STREAM_THRESHOLD_BYTES"
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7753
+
+#: Default evaluation concurrency: one slot, evaluated in-process —
+#: exactly the pre-scheduler behavior.  More slots route evaluations
+#: through a shared process pool of the same size.
+DEFAULT_WORKERS = 1
+
+#: Default bound of the evaluation queue.  Deep enough that a burst of
+#: fan-out traffic queues instead of failing, shallow enough that a
+#: stalled server fails fast (``busy``) rather than accumulating an
+#: unbounded backlog of request payloads in memory.
+DEFAULT_QUEUE_DEPTH = 128
 
 #: Result payloads at or below this encoded size travel as one response
 #: line; larger ones as a tile stream.  1 MiB keeps single lines cheap
@@ -119,20 +169,169 @@ class _RequestError(Exception):
         self.message = message
 
 
+def _shutting_down_error() -> _RequestError:
+    return _RequestError(
+        E_SHUTTING_DOWN, "server is shutting down; the request was not evaluated"
+    )
+
+
+class _Job:
+    """One queued evaluation: payload, deadline and the waiting future."""
+
+    __slots__ = ("payload", "deadline", "future")
+
+    def __init__(
+        self,
+        payload: Mapping[str, Any],
+        deadline: Optional[float],
+        future: asyncio.Future,
+    ) -> None:
+        self.payload = payload
+        self.deadline = deadline
+        self.future = future
+
+
+class _EvalScheduler:
+    """A bounded priority queue feeding N concurrent evaluation slots.
+
+    Jobs are ``(-priority, seq, job)`` heap entries: higher priorities
+    pop first, arrival order breaks ties.  ``submit`` fails fast with
+    ``busy`` when the queue is full (backpressure instead of unbounded
+    memory growth) and each worker checks a job's deadline *before*
+    evaluating — an expired job costs nothing but its queue slot.
+    """
+
+    def __init__(self, evaluate, workers: int, queue_depth: int) -> None:
+        self._evaluate = evaluate
+        self.workers = int(workers)
+        self.queue_depth = int(queue_depth)
+        if self.workers < 1:
+            raise SweepError("workers must be at least 1")
+        if self.queue_depth < 1:
+            raise SweepError("queue_depth must be at least 1")
+        self._queue: Optional[asyncio.PriorityQueue] = None
+        self._tasks: List[asyncio.Task] = []
+        self._seq = itertools.count()
+        self._draining: Optional[_RequestError] = None
+        # Counters, reported via the server's ``stats`` op.
+        self.scheduled = 0
+        self.completed = 0
+        self.rejected_busy = 0
+        self.expired = 0
+        self.peak_queued = 0
+
+    def start(self) -> None:
+        """Create the queue and spawn the worker tasks (on a running loop)."""
+        self._queue = asyncio.PriorityQueue(maxsize=self.queue_depth)
+        self._tasks = [
+            asyncio.get_running_loop().create_task(
+                self._worker(), name=f"repro-serve-eval-{index}"
+            )
+            for index in range(self.workers)
+        ]
+
+    async def submit(
+        self,
+        payload: Mapping[str, Any],
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> SweepResult:
+        """Queue one evaluation; resolves to its result (or a scheduling error)."""
+        if self._draining is not None:
+            raise self._draining
+        assert self._queue is not None, "scheduler used before start()"
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        job = _Job(payload, deadline, future)
+        try:
+            self._queue.put_nowait((-int(priority), next(self._seq), job))
+        except asyncio.QueueFull:
+            self.rejected_busy += 1
+            raise _RequestError(
+                E_BUSY,
+                f"evaluation queue is full ({self.queue_depth} pending); "
+                f"retry later or raise the queue depth",
+            ) from None
+        self.scheduled += 1
+        self.peak_queued = max(self.peak_queued, self._queue.qsize())
+        return await future
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            _negative_priority, _seq, job = await self._queue.get()
+            if job.future.done():  # requester gone (cancelled connection)
+                continue
+            if job.deadline is not None and loop.time() >= job.deadline:
+                self.expired += 1
+                job.future.set_exception(
+                    _RequestError(
+                        E_DEADLINE,
+                        "the request's deadline passed while it was queued; "
+                        "it was not evaluated",
+                    )
+                )
+                continue
+            try:
+                result = await self._evaluate(job.payload)
+            except asyncio.CancelledError:
+                if not job.future.done():
+                    job.future.set_exception(_shutting_down_error())
+                raise
+            except Exception as error:  # noqa: BLE001 - forwarded per request
+                if not job.future.done():
+                    job.future.set_exception(error)
+            else:
+                self.completed += 1
+                if not job.future.done():
+                    job.future.set_result(result)
+
+    def drain(self, error: _RequestError) -> None:
+        """Refuse new work, fail queued jobs, cancel the worker slots."""
+        self._draining = error
+        if self._queue is not None:
+            while True:
+                try:
+                    _priority, _seq, job = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not job.future.done():
+                    job.future.set_exception(error)
+        for task in self._tasks:
+            task.cancel()
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "queued": self._queue.qsize() if self._queue is not None else 0,
+            "peak_queued": self.peak_queued,
+            "scheduled": self.scheduled,
+            "completed": self.completed,
+            "rejected_busy": self.rejected_busy,
+            "expired": self.expired,
+        }
+
+
 class SweepServer:
     """A persistent sweep-evaluation service on one TCP socket.
 
     ``evaluations`` counts every engine evaluation the server performs
-    (full sweeps and micro-batches alike) — the hook the cache and
+    (full sweeps and coalesced batches alike) — the hook the cache and
     batching tests assert against: a repeat query must leave it
-    untouched, eight coalesced points must bump it once.
+    untouched, eight coalesced points must bump it once, and a restart
+    onto a warm disk cache must serve repeats at zero.
     """
 
     def __init__(
         self,
         host: Optional[str] = None,
         port: Optional[int] = None,
+        workers: Optional[int] = None,
+        queue_depth: Optional[int] = None,
         cache_bytes: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        disk_cache_bytes: Optional[int] = None,
         batch_window_ms: Optional[float] = None,
         stream_threshold_bytes: Optional[int] = None,
         run_kwargs: Optional[Mapping[str, Any]] = None,
@@ -141,8 +340,21 @@ class SweepServer:
         self.port = int(
             port if port is not None else _env_value(PORT_ENV, int, DEFAULT_PORT)
         )
+        self.workers = int(
+            workers if workers is not None else _env_value(WORKERS_ENV, int, DEFAULT_WORKERS)
+        )
+        if self.workers < 1:
+            raise SweepError("workers must be at least 1")
+        if queue_depth is None:
+            queue_depth = _env_value(QUEUE_DEPTH_ENV, int, DEFAULT_QUEUE_DEPTH)
         if cache_bytes is None:
             cache_bytes = _env_value(CACHE_BYTES_ENV, int, DEFAULT_CACHE_BYTES)
+        if cache_dir is None:
+            cache_dir = _env_value(CACHE_DIR_ENV, str, None)
+        if disk_cache_bytes is None:
+            disk_cache_bytes = _env_value(
+                DISK_CACHE_BYTES_ENV, int, DEFAULT_DISK_CACHE_BYTES
+            )
         if batch_window_ms is None:
             batch_window_ms = _env_value(
                 BATCH_WINDOW_ENV, float, DEFAULT_BATCH_WINDOW_MS
@@ -154,14 +366,33 @@ class SweepServer:
         self.stream_threshold_bytes = int(stream_threshold_bytes)
         if self.stream_threshold_bytes < 1:
             raise SweepError("stream_threshold_bytes must be at least 1")
-        self.cache = ResultCache(int(cache_bytes))
-        self.batcher = MicroBatcher(self._evaluate_payload, float(batch_window_ms))
+        self.cache_dir = cache_dir
+        disk = DiskCache(cache_dir, int(disk_cache_bytes)) if cache_dir else None
+        self.cache = ResultCache(int(cache_bytes), disk=disk)
+        self.batcher = MicroBatcher(self._scheduled_evaluate, float(batch_window_ms))
+        # Late binding (not the bound method itself) so a test can
+        # swap ``_evaluate_payload`` on the instance to a controlled
+        # evaluator and the scheduler picks it up.
+        self.scheduler = _EvalScheduler(
+            lambda payload: self._evaluate_payload(payload),
+            self.workers,
+            int(queue_depth),
+        )
         self._run_kwargs = dict(run_kwargs or {})
+        #: The shared tile executor of a multi-worker server: every
+        #: concurrent evaluation submits its tiles to one reused
+        #: process pool (PR 6 shared-memory transport), sized to the
+        #: worker count, so N slots genuinely occupy N cores.
+        self._executor: Optional[ProcessExecutor] = (
+            ProcessExecutor(max_workers=self.workers) if self.workers > 1 else None
+        )
         self.evaluations = 0
         self.requests = 0
         self._inflight: Dict[str, asyncio.Future] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopped: Optional[asyncio.Event] = None
+        self._stopping = False
+        self._active_dispatches = 0
         self._connections: set = set()
 
     # ------------------------------------------------------------------ #
@@ -169,8 +400,12 @@ class SweepServer:
     # ------------------------------------------------------------------ #
 
     async def start(self) -> None:
-        """Bind the socket (resolving port 0 to the kernel's pick)."""
+        """Bind the socket (resolving port 0) and start the scheduler."""
         self._stopped = asyncio.Event()
+        self.scheduler.start()
+        if self._executor is not None:
+            # Pay worker-pool startup now, not on the first request.
+            await asyncio.to_thread(self._executor.prewarm)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
@@ -191,10 +426,28 @@ class SweepServer:
             self._stopped.set()
 
     async def aclose(self) -> None:
+        # Ordering matters: stop accepting, then resolve every pending
+        # future with the structured shutting-down error, then give the
+        # request handlers awaiting those futures a bounded window to
+        # write their error responses — only then tear down the
+        # connections.  Nothing is abandoned: a client blocked on a
+        # batched point or a queued sweep sees ``shutting-down``, not a
+        # silent hang.
+        self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        error = _shutting_down_error()
+        self.batcher.drain(error)
+        self.scheduler.drain(error)
+        if self._connections:
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while (
+                self._active_dispatches > 0
+                and asyncio.get_running_loop().time() < deadline
+            ):
+                await asyncio.sleep(0.01)
         # Drain open connections: cancel their handler tasks and wait,
         # so loop teardown never races a half-closed stream.
         for task in list(self._connections):
@@ -211,14 +464,42 @@ class SweepServer:
         """One engine evaluation of a serialized spec, off the event loop."""
         sweep = Sweep.from_dict(payload)
         self.evaluations += 1
-        return await asyncio.to_thread(sweep.run, **self._run_kwargs)
+        return await asyncio.to_thread(self._run_sweep, sweep)
 
-    async def _sweep_payload(self, key: str, canonical: Dict[str, Any]) -> Tuple[Dict[str, Any], int, bool]:
+    def _run_sweep(self, sweep: Sweep) -> SweepResult:
+        kwargs = dict(self._run_kwargs)
+        if self._executor is not None:
+            kwargs.setdefault("executor", self._executor)
+        return sweep.run(**kwargs)
+
+    async def _scheduled_evaluate(
+        self,
+        payload: Mapping[str, Any],
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> SweepResult:
+        """The batcher's evaluation hook: route through the scheduler."""
+        return await self.scheduler.submit(payload, priority=priority, deadline=deadline)
+
+    async def _sweep_payload(
+        self,
+        key: str,
+        canonical: Dict[str, Any],
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> Tuple[Dict[str, Any], int, bool]:
         """The result payload for a canonical sweep: cache, then engine.
 
         Returns ``(payload, encoded_size, cached)``.  Concurrent misses
-        on the same key share one evaluation (single-flight): the first
-        request evaluates, the rest await its future.
+        on the same key share one evaluation (single-flight — the
+        registration happens on the event loop before the scheduler or
+        batcher ever sees the job, so it holds across workers): the
+        first request evaluates, the rest await its future.  A miss
+        whose spec carries an explicit temperature axis (and an
+        elementwise observable) goes through the coalescer, merging
+        with any concurrent sweep or point sharing its base spec;
+        everything else is scheduled as an independent evaluation,
+        unchanged.
         """
         cached = self.cache.get(key)
         if cached is not None:
@@ -235,10 +516,19 @@ class SweepServer:
         )
         self._inflight[key] = future
         try:
-            result = await self._evaluate_payload(canonical)
+            base, temperatures = split_temperature(canonical)
+            if temperatures and canonical["observable"] not in _ENDPOINT_OBSERVABLES:
+                result = await self.batcher.submit(
+                    _key_of(base), base, temperatures, priority, deadline
+                )
+            else:
+                result = await self.scheduler.submit(
+                    canonical, priority=priority, deadline=deadline
+                )
             payload = result.to_dict()
-            size = len(_encode_result(payload))
-            self.cache.put(key, payload, size)
+            encoded = _encode_result(payload)
+            size = len(encoded)
+            self.cache.put(key, payload, size, encoded=encoded)
             future.set_result((payload, size))
             return payload, size, False
         except Exception as error:
@@ -296,6 +586,7 @@ class SweepServer:
     async def _dispatch(self, line: bytes, writer: asyncio.StreamWriter) -> bool:
         """Answer one request line; False ends the connection."""
         self.requests += 1
+        self._active_dispatches += 1
         request_id: Optional[Any] = None
         try:
             try:
@@ -325,8 +616,12 @@ class SweepServer:
                 self.request_shutdown()
                 return False
             elif op == "sweep":
+                if self._stopping:
+                    raise _shutting_down_error()
                 await self._handle_sweep(message, request_id, writer)
             elif op == "point":
+                if self._stopping:
+                    raise _shutting_down_error()
                 await self._handle_point(message, request_id, writer)
             else:
                 raise _RequestError(
@@ -344,6 +639,8 @@ class SweepServer:
                     )
                 )
             )
+        finally:
+            self._active_dispatches -= 1
         await writer.drain()
         return True
 
@@ -364,6 +661,35 @@ class SweepServer:
             )
         return spec
 
+    def _scheduling_from(
+        self, message: Mapping[str, Any]
+    ) -> Tuple[int, Optional[float]]:
+        """Parse the optional ``priority`` / ``deadline_ms`` fields."""
+        priority = message.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise _RequestError(
+                E_BAD_REQUEST,
+                f"'priority' must be an integer, got {priority!r}",
+            )
+        deadline_ms = message.get("deadline_ms")
+        deadline: Optional[float] = None
+        if deadline_ms is not None:
+            if (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or not math.isfinite(deadline_ms)
+                or deadline_ms <= 0
+            ):
+                raise _RequestError(
+                    E_BAD_REQUEST,
+                    f"'deadline_ms' must be a positive finite number of "
+                    f"milliseconds, got {deadline_ms!r}",
+                )
+            deadline = (
+                asyncio.get_running_loop().time() + float(deadline_ms) / 1000.0
+            )
+        return int(priority), deadline
+
     async def _handle_sweep(
         self,
         message: Mapping[str, Any],
@@ -371,9 +697,12 @@ class SweepServer:
         writer: asyncio.StreamWriter,
     ) -> None:
         spec = self._spec_from(message)
+        priority, deadline = self._scheduling_from(message)
         canonical = canonical_spec(spec)
         key = _key_of(canonical)
-        payload, size, cached = await self._sweep_payload(key, canonical)
+        payload, size, cached = await self._sweep_payload(
+            key, canonical, priority, deadline
+        )
         await self._respond_result(writer, "sweep", request_id, key, payload, size, cached)
 
     async def _handle_point(
@@ -383,6 +712,7 @@ class SweepServer:
         writer: asyncio.StreamWriter,
     ) -> None:
         spec = self._spec_from(message)
+        priority, deadline = self._scheduling_from(message)
         temperature = message.get("temperature_c")
         if (
             isinstance(temperature, bool)
@@ -421,10 +751,13 @@ class SweepServer:
                 len(_encode_result(cached)), True,
             )
             return
-        result = await self.batcher.submit(base_key, base, float(temperature))
+        result = await self.batcher.submit(
+            base_key, base, [float(temperature)], priority, deadline
+        )
         payload = result.to_dict()
-        size = len(_encode_result(payload))
-        self.cache.put(full_key, payload, size)
+        encoded = _encode_result(payload)
+        size = len(encoded)
+        self.cache.put(full_key, payload, size, encoded=encoded)
         await self._respond_result(
             writer, "point", request_id, full_key, payload, size, False
         )
@@ -500,6 +833,7 @@ class SweepServer:
             "inflight": len(self._inflight),
             "cache": self.cache.stats(),
             "batcher": self.batcher.stats(),
+            "scheduler": self.scheduler.stats(),
         }
 
 
@@ -602,7 +936,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro-serve",
         description=(
             "Persistent sweep-evaluation service: NDJSON over TCP, "
-            "content-addressed result caching, micro-batched point queries."
+            "multi-worker parallel evaluation, restart-surviving "
+            "content-addressed result caching, coalesced sweep and "
+            "point queries."
         ),
     )
     parser.add_argument(
@@ -617,12 +953,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"bind port, 0 for ephemeral (default {PORT_ENV} or {DEFAULT_PORT})",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            f"concurrent evaluation slots; above 1, evaluations route "
+            f"through a shared process pool of the same size "
+            f"(default {WORKERS_ENV} or {DEFAULT_WORKERS})"
+        ),
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help=(
+            f"bounded evaluation-queue depth — beyond it requests fail "
+            f"fast with the 'busy' error code "
+            f"(default {QUEUE_DEPTH_ENV} or {DEFAULT_QUEUE_DEPTH})"
+        ),
+    )
+    parser.add_argument(
         "--cache-bytes",
         type=int,
         default=None,
         help=(
-            f"result-cache budget in payload bytes "
+            f"memory result-cache budget in payload bytes "
             f"(default {CACHE_BYTES_ENV} or {DEFAULT_CACHE_BYTES})"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            f"disk cache directory — results persist across restarts, "
+            f"and servers sharing the directory share the cache "
+            f"(default {CACHE_DIR_ENV}; unset = memory only)"
+        ),
+    )
+    parser.add_argument(
+        "--disk-cache-bytes",
+        type=int,
+        default=None,
+        help=(
+            f"disk-tier byte budget, LRU-evicted via file mtime "
+            f"(default {DISK_CACHE_BYTES_ENV} or {DEFAULT_DISK_CACHE_BYTES})"
         ),
     )
     parser.add_argument(
@@ -630,7 +1004,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=None,
         help=(
-            f"micro-batch window in milliseconds "
+            f"coalescing window for point queries and overlapping "
+            f"sweeps, in milliseconds "
             f"(default {BATCH_WINDOW_ENV} or {DEFAULT_BATCH_WINDOW_MS})"
         ),
     )
@@ -649,7 +1024,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     server = SweepServer(
         host=args.host,
         port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
         cache_bytes=args.cache_bytes,
+        cache_dir=args.cache_dir,
+        disk_cache_bytes=args.disk_cache_bytes,
         batch_window_ms=args.batch_window_ms,
         stream_threshold_bytes=args.stream_threshold_bytes,
     )

@@ -10,14 +10,21 @@ client, and asserts the service contract end to end —
 * the repeat request is answered from the cache with zero new engine
   evaluations,
 * a point query agrees with the sweep's slice,
-* ``shutdown`` stops the server cleanly.
+* ``shutdown`` stops the server cleanly,
+* and, when ``REPRO_SERVE_CACHE_DIR`` is set, a **restarted** server
+  on the same cache directory serves the repeat from disk with zero
+  evaluations — the warm-restart contract.
 
-Exit code 0 means the service path works on this interpreter; any
-assertion or hang (the thread join is bounded) fails the step.
+The server honors every ``REPRO_SERVE_*`` knob, so the CI lane also
+runs this smoke with ``REPRO_SERVE_WORKERS=2`` to cover the
+multi-worker scheduler path.  Exit code 0 means the service path works
+on this interpreter; any assertion or hang (the thread join is
+bounded) fails the step.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import List, Optional
 
@@ -25,7 +32,7 @@ from ..engine.sweep import Axis, Sweep
 from ..oscillator import RingConfiguration
 from ..tech import CMOS035
 from .client import ServeClient
-from .server import start_server_thread
+from .server import CACHE_DIR_ENV, start_server_thread
 
 __all__ = ["main"]
 
@@ -70,7 +77,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         handle.stop()
     alive = handle.thread is not None and handle.thread.is_alive()
     assert not alive, "server thread survived shutdown"
-    print("repro.serve smoke: ok (round trip, cache hit, point query, shutdown)")
+
+    checks = "round trip, cache hit, point query, shutdown"
+    if os.environ.get(CACHE_DIR_ENV):
+        # Warm restart: a fresh server process state over the same disk
+        # cache must serve the repeat without a single evaluation.
+        restarted = start_server_thread(port=0)
+        try:
+            with ServeClient("127.0.0.1", restarted.port) as client:
+                warm = client.sweep_payload(sweep)
+                assert warm == local, "disk-cached result differs from local"
+                stats = client.stats()
+                assert stats["evaluations"] == 0, (
+                    f"warm restart re-evaluated: {stats['evaluations']}"
+                )
+                assert stats["cache"]["disk"]["hits"] >= 1, stats["cache"]
+                client.shutdown()
+        finally:
+            restarted.stop()
+        checks += ", warm restart from disk"
+    print(f"repro.serve smoke: ok ({checks})")
     return 0
 
 

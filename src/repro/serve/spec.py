@@ -28,11 +28,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, Mapping, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..engine.sweep import Sweep, SweepError
 
-__all__ = ["canonical_key", "canonical_spec", "encode_canonical"]
+__all__ = ["canonical_key", "canonical_spec", "encode_canonical", "split_temperature"]
 
 
 def canonical_spec(spec: Union[Sweep, Mapping[str, Any]]) -> Dict[str, Any]:
@@ -69,6 +69,31 @@ def encode_canonical(payload: Mapping[str, Any]) -> bytes:
         ).encode("utf-8")
     except (TypeError, ValueError) as error:
         raise SweepError(f"spec payload is not JSON-serializable: {error}") from error
+
+
+def split_temperature(
+    canonical: Mapping[str, Any],
+) -> Tuple[Dict[str, Any], Optional[List[float]]]:
+    """Split an (already canonical) payload into base spec + temperature grid.
+
+    Returns ``(base, temperatures)``: the payload with its explicit
+    ``temperature`` axis removed, and that axis's coordinate list — or
+    ``None`` when the payload declares no temperature axis (the grid is
+    then the engine's to choose, and the spec is not coalescable).  The
+    base is what the server's sweep coalescer keys batches on: two
+    requests differing only along the temperature axis share a base.
+    """
+    axes = canonical.get("axes", ())
+    temperatures: Optional[List[float]] = None
+    rest: List[Any] = []
+    for axis in axes:
+        if isinstance(axis, Mapping) and axis.get("name") == "temperature":
+            temperatures = [float(t) for t in axis.get("coordinates", ())]
+        else:
+            rest.append(axis)
+    base = dict(canonical)
+    base["axes"] = rest
+    return base, temperatures
 
 
 def canonical_key(spec: Union[Sweep, Mapping[str, Any]]) -> str:

@@ -1,0 +1,668 @@
+"""Concurrency, persistence and scheduling contracts of the sweep service.
+
+The multi-worker serving PR's test surface:
+
+* the evaluation **scheduler**: priority ordering under a saturated
+  queue, deadline expiry *without* evaluation, ``busy`` backpressure
+  when the bounded queue is full, drain semantics;
+* **cross-worker single-flight**: identical concurrent sweeps share one
+  evaluation even when several workers could have run them;
+* the **disk tier**: a killed-and-restarted server (and a second
+  server sharing the directory) serves repeats with zero evaluations;
+  a corrupted cache file is skipped and re-evaluated, never crashing
+  or poisoning a response;
+* **sweep coalescing**: concurrent sweeps sharing a base spec but
+  differing along the temperature axis evaluate once, each answer
+  bitwise equal to its solo evaluation (hypothesis-tested over random
+  grids); non-mergeable requests fall back to independent evaluation
+  unchanged;
+* **graceful shutdown**: requests pending in the batch window resolve
+  with the structured ``shutting-down`` error instead of hanging;
+* **client transport**: a dead server surfaces as a structured
+  ``transport`` error after bounded retries, a silent server as
+  ``timeout``.
+"""
+
+import asyncio
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Axis, Sweep
+from repro.serve import (
+    MicroBatcher,
+    ServeClient,
+    ServeError,
+    canonical_key,
+    start_server_thread,
+)
+from repro.serve.protocol import (
+    E_BAD_REQUEST,
+    E_BUSY,
+    E_DEADLINE,
+    E_SHUTTING_DOWN,
+)
+from repro.serve.server import SweepServer, _EvalScheduler, _RequestError
+from repro.tech import CMOS035
+
+TEMPS = [-40.0, 25.0, 125.0]
+
+
+def small_sweep(observable="period", temps=TEMPS):
+    return (
+        Sweep(technology=CMOS035, configuration="5INV")
+        .over(Axis.temperature(list(temps)))
+        .observe(observable)
+    )
+
+
+def base_spec(observable="period"):
+    return (
+        Sweep(technology=CMOS035, configuration="5INV")
+        .observe(observable)
+        .to_dict()
+    )
+
+
+# --------------------------------------------------------------------------- #
+# scheduler unit contracts (no sockets: a loop, a fake evaluator)
+# --------------------------------------------------------------------------- #
+
+
+def test_scheduler_orders_by_priority_then_arrival():
+    completed = []
+
+    async def scenario():
+        gate = asyncio.Event()
+
+        async def evaluate(payload):
+            await gate.wait()
+            completed.append(payload["tag"])
+            return payload["tag"]
+
+        scheduler = _EvalScheduler(evaluate, workers=1, queue_depth=16)
+        scheduler.start()
+        # The first job occupies the single worker...
+        filler = asyncio.ensure_future(scheduler.submit({"tag": "filler"}))
+        await asyncio.sleep(0.01)
+        # ...so these queue, and must pop highest-priority-first with
+        # arrival order breaking the tie.
+        jobs = [
+            asyncio.ensure_future(scheduler.submit({"tag": "low"}, priority=0)),
+            asyncio.ensure_future(scheduler.submit({"tag": "high"}, priority=5)),
+            asyncio.ensure_future(scheduler.submit({"tag": "high2"}, priority=5)),
+            asyncio.ensure_future(scheduler.submit({"tag": "mid"}, priority=3)),
+        ]
+        await asyncio.sleep(0.01)
+        gate.set()
+        await asyncio.gather(filler, *jobs)
+        scheduler.drain(_RequestError(E_SHUTTING_DOWN, "test over"))
+
+    asyncio.run(scenario())
+    assert completed == ["filler", "high", "high2", "mid", "low"]
+
+
+def test_scheduler_expires_queued_deadline_without_evaluating():
+    evaluated = []
+
+    async def scenario():
+        gate = asyncio.Event()
+
+        async def evaluate(payload):
+            await gate.wait()
+            evaluated.append(payload["tag"])
+            return payload["tag"]
+
+        scheduler = _EvalScheduler(evaluate, workers=1, queue_depth=16)
+        scheduler.start()
+        filler = asyncio.ensure_future(scheduler.submit({"tag": "filler"}))
+        await asyncio.sleep(0.01)
+        doomed = asyncio.ensure_future(
+            scheduler.submit(
+                {"tag": "doomed"},
+                deadline=asyncio.get_running_loop().time() + 0.02,
+            )
+        )
+        await asyncio.sleep(0.05)  # the deadline passes while queued
+        gate.set()
+        await filler
+        with pytest.raises(_RequestError) as caught:
+            await doomed
+        assert caught.value.code == E_DEADLINE
+        assert scheduler.expired == 1
+        scheduler.drain(_RequestError(E_SHUTTING_DOWN, "test over"))
+
+    asyncio.run(scenario())
+    assert evaluated == ["filler"]  # the doomed job never ran
+
+
+def test_scheduler_rejects_beyond_queue_depth_with_busy():
+    async def scenario():
+        gate = asyncio.Event()
+
+        async def evaluate(payload):
+            await gate.wait()
+            return None
+
+        scheduler = _EvalScheduler(evaluate, workers=1, queue_depth=1)
+        scheduler.start()
+        running = asyncio.ensure_future(scheduler.submit({"tag": "running"}))
+        await asyncio.sleep(0.01)
+        queued = asyncio.ensure_future(scheduler.submit({"tag": "queued"}))
+        await asyncio.sleep(0.01)
+        with pytest.raises(_RequestError) as caught:
+            await scheduler.submit({"tag": "overflow"})
+        assert caught.value.code == E_BUSY
+        assert scheduler.rejected_busy == 1
+        gate.set()
+        await asyncio.gather(running, queued)
+        scheduler.drain(_RequestError(E_SHUTTING_DOWN, "test over"))
+
+    asyncio.run(scenario())
+
+
+def test_scheduler_drain_fails_queued_jobs_and_refuses_new_ones():
+    async def scenario():
+        async def evaluate(payload):
+            await asyncio.sleep(3600)
+
+        scheduler = _EvalScheduler(evaluate, workers=1, queue_depth=16)
+        scheduler.start()
+        running = asyncio.ensure_future(scheduler.submit({"tag": "running"}))
+        queued = asyncio.ensure_future(scheduler.submit({"tag": "queued"}))
+        await asyncio.sleep(0.01)
+        scheduler.drain(_RequestError(E_SHUTTING_DOWN, "draining"))
+        for job in (running, queued):
+            with pytest.raises(_RequestError) as caught:
+                await job
+            assert caught.value.code == E_SHUTTING_DOWN
+        with pytest.raises(_RequestError):
+            await scheduler.submit({"tag": "late"})
+
+    asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end scheduling (real sockets, controlled evaluator)
+# --------------------------------------------------------------------------- #
+
+
+def _slow_evaluator(handle, hold_s, order=None):
+    """Replace the server's evaluator with one that sleeps then records."""
+    original = SweepServer._evaluate_payload
+
+    async def slow(payload):
+        await asyncio.sleep(hold_s)
+        if order is not None:
+            order.append(payload["observable"])
+        return await original(handle.server, payload)
+
+    handle.server._evaluate_payload = slow
+
+
+def test_priority_jumps_the_saturated_queue_end_to_end():
+    handle = start_server_thread(workers=1, batch_window_ms=0.0)
+    order = []
+    _slow_evaluator(handle, 0.15, order)
+    try:
+        done = []
+
+        def request(observable, priority, delay):
+            time.sleep(delay)
+            with ServeClient("127.0.0.1", handle.port) as remote:
+                remote.sweep_payload(small_sweep(observable), priority=priority)
+                done.append(observable)
+
+        threads = [
+            # "period" occupies the worker; "power" (priority 0) then
+            # "frequency" (priority 5) queue behind it — the higher
+            # priority must evaluate first despite arriving later.
+            threading.Thread(target=request, args=("period", 0, 0.0)),
+            threading.Thread(target=request, args=("power", 0, 0.05)),
+            threading.Thread(target=request, args=("frequency", 5, 0.10)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert order == ["period", "frequency", "power"]
+        assert sorted(done) == ["frequency", "period", "power"]
+    finally:
+        handle.stop()
+
+
+def test_expired_deadline_returns_structured_error_without_evaluating():
+    handle = start_server_thread(workers=1, batch_window_ms=0.0)
+    _slow_evaluator(handle, 0.3)
+    try:
+        def occupy():
+            with ServeClient("127.0.0.1", handle.port) as remote:
+                remote.sweep_payload(small_sweep("period"))
+
+        filler = threading.Thread(target=occupy)
+        filler.start()
+        time.sleep(0.1)  # the filler owns the only worker
+        with ServeClient("127.0.0.1", handle.port) as remote:
+            with pytest.raises(ServeError) as caught:
+                remote.sweep_payload(small_sweep("power"), deadline_ms=50)
+            assert caught.value.code == E_DEADLINE
+        filler.join()
+        # Only the filler was ever evaluated.
+        assert handle.server.evaluations == 1
+        assert handle.server.scheduler.expired == 1
+    finally:
+        handle.stop()
+
+
+def test_saturated_queue_answers_busy():
+    handle = start_server_thread(workers=1, queue_depth=1, batch_window_ms=0.0)
+    _slow_evaluator(handle, 0.4)
+    try:
+        started = threading.Barrier(3)
+        codes = []
+
+        def request(observable):
+            with ServeClient("127.0.0.1", handle.port) as remote:
+                started.wait()
+                try:
+                    remote.sweep_payload(small_sweep(observable))
+                    codes.append("ok")
+                except ServeError as error:
+                    codes.append(error.code)
+
+        threads = [
+            threading.Thread(target=request, args=(obs,))
+            for obs in ("period", "power", "frequency")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # One ran, one queued, one bounced: exactly one busy rejection
+        # (modulo scheduling, at least one request must bounce).
+        assert codes.count("busy") >= 1
+        assert codes.count("ok") == len(codes) - codes.count("busy")
+        assert handle.server.scheduler.rejected_busy >= 1
+    finally:
+        handle.stop()
+
+
+def test_invalid_scheduling_fields_are_rejected(tmp_path):
+    handle = start_server_thread()
+    try:
+        with ServeClient("127.0.0.1", handle.port) as remote:
+            for message in (
+                {"op": "sweep", "spec": small_sweep().to_dict(), "priority": "high"},
+                {"op": "sweep", "spec": small_sweep().to_dict(), "priority": True},
+                {"op": "sweep", "spec": small_sweep().to_dict(), "deadline_ms": -5},
+                {"op": "sweep", "spec": small_sweep().to_dict(), "deadline_ms": "soon"},
+            ):
+                with pytest.raises(ServeError) as caught:
+                    remote._request(message)
+                assert caught.value.code == E_BAD_REQUEST
+        assert handle.server.evaluations == 0
+    finally:
+        handle.stop()
+
+
+def test_identical_sweeps_share_one_evaluation_across_workers():
+    handle = start_server_thread(workers=2, batch_window_ms=1.0)
+    try:
+        spec = small_sweep("power").to_dict()
+        results = [None] * 4
+        barrier = threading.Barrier(4)
+
+        def worker(slot):
+            with ServeClient("127.0.0.1", handle.port) as remote:
+                barrier.wait()
+                results[slot] = remote.sweep_payload(spec)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(result == results[0] for result in results)
+        # Two workers were available, but single-flight still collapsed
+        # four identical requests into one evaluation.
+        assert handle.server.evaluations == 1
+    finally:
+        handle.stop()
+
+
+# --------------------------------------------------------------------------- #
+# the disk tier: restart survival and corruption safety
+# --------------------------------------------------------------------------- #
+
+
+def test_restarted_server_serves_repeats_from_disk_with_zero_evaluations(tmp_path):
+    cache_dir = str(tmp_path / "serve-cache")
+    sweep = small_sweep()
+    local = sweep.run().to_dict()
+
+    first = start_server_thread(cache_dir=cache_dir)
+    try:
+        with ServeClient("127.0.0.1", first.port) as remote:
+            assert remote.sweep_payload(sweep) == local
+        assert first.server.evaluations == 1
+    finally:
+        first.stop()
+    assert not first.thread.is_alive()
+
+    # A brand-new server over the same directory: the repeat must be a
+    # disk hit, not an evaluation.
+    second = start_server_thread(cache_dir=cache_dir)
+    try:
+        with ServeClient("127.0.0.1", second.port) as remote:
+            assert remote.sweep_payload(sweep) == local
+            stats = remote.stats()
+        assert second.server.evaluations == 0
+        assert stats["cache"]["disk"]["hits"] == 1
+        # Promoted into memory: the next repeat never touches the disk.
+        with ServeClient("127.0.0.1", second.port) as remote:
+            assert remote.sweep_payload(sweep) == local
+            stats = remote.stats()
+        assert stats["cache"]["disk"]["hits"] == 1
+        assert second.server.evaluations == 0
+    finally:
+        second.stop()
+
+
+def test_two_servers_sharing_a_cache_directory_share_results(tmp_path):
+    cache_dir = str(tmp_path / "shared-cache")
+    sweep = small_sweep("power")
+    writer = start_server_thread(cache_dir=cache_dir)
+    reader = start_server_thread(cache_dir=cache_dir)
+    try:
+        with ServeClient("127.0.0.1", writer.port) as remote:
+            expected = remote.sweep_payload(sweep)
+        with ServeClient("127.0.0.1", reader.port) as remote:
+            assert remote.sweep_payload(sweep) == expected
+        assert writer.server.evaluations == 1
+        assert reader.server.evaluations == 0
+    finally:
+        writer.stop()
+        reader.stop()
+
+
+def test_corrupted_cache_file_is_skipped_and_reevaluated(tmp_path):
+    cache_dir = str(tmp_path / "serve-cache")
+    sweep = small_sweep()
+    local = sweep.run().to_dict()
+
+    first = start_server_thread(cache_dir=cache_dir)
+    try:
+        with ServeClient("127.0.0.1", first.port) as remote:
+            remote.sweep_payload(sweep)
+    finally:
+        first.stop()
+
+    key = canonical_key(sweep)
+    entry = os.path.join(cache_dir, key + ".json")
+    assert os.path.exists(entry)
+    with open(entry, "wb") as handle:
+        handle.write(b'{"version": 1, "truncated mid-wri')  # torn write
+
+    second = start_server_thread(cache_dir=cache_dir)
+    try:
+        with ServeClient("127.0.0.1", second.port) as remote:
+            # Never crashes, never serves garbage: the corrupt entry is
+            # dropped, the sweep re-evaluates, the answer is exact.
+            assert remote.sweep_payload(sweep) == local
+        assert second.server.evaluations == 1
+        # The re-evaluation healed the entry on disk.
+        with open(entry, "rb") as handle:
+            assert json.load(handle) == local
+    finally:
+        second.stop()
+
+
+def test_foreign_garbage_in_cache_dir_is_never_served(tmp_path):
+    cache_dir = str(tmp_path / "serve-cache")
+    os.makedirs(cache_dir)
+    sweep = small_sweep()
+    key = canonical_key(sweep)
+    # Valid JSON, wrong shape: must fail structural validation.
+    with open(os.path.join(cache_dir, key + ".json"), "w") as handle:
+        json.dump({"version": 1, "totally": "unrelated"}, handle)
+    server = start_server_thread(cache_dir=cache_dir)
+    try:
+        with ServeClient("127.0.0.1", server.port) as remote:
+            assert remote.sweep_payload(sweep) == sweep.run().to_dict()
+        assert server.server.evaluations == 1
+    finally:
+        server.stop()
+
+
+# --------------------------------------------------------------------------- #
+# sweep coalescing
+# --------------------------------------------------------------------------- #
+
+
+def test_concurrent_overlapping_sweeps_coalesce_into_one_evaluation():
+    handle = start_server_thread(batch_window_ms=500.0)
+    try:
+        grids = [
+            [-40.0, 25.0, 125.0],
+            [0.0, 25.0, 85.0],  # overlaps at 25, differs elsewhere
+        ]
+        results = [None] * len(grids)
+        barrier = threading.Barrier(len(grids))
+
+        def worker(slot):
+            with ServeClient("127.0.0.1", handle.port) as remote:
+                barrier.wait()
+                results[slot] = remote.sweep_payload(small_sweep(temps=grids[slot]))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(len(grids))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert handle.server.evaluations == 1
+        assert handle.server.batcher.coalesced_sweeps == 2
+        for grid, served in zip(grids, results):
+            assert served == small_sweep(temps=grid).run().to_dict()
+    finally:
+        handle.stop()
+
+
+def test_unsorted_grid_coalesces_and_preserves_request_order():
+    handle = start_server_thread(batch_window_ms=200.0)
+    try:
+        grid = [125.0, -40.0, 25.0]  # deliberately unsorted
+        with ServeClient("127.0.0.1", handle.port) as remote:
+            served = remote.sweep_payload(small_sweep(temps=grid))
+        assert served == small_sweep(temps=grid).run().to_dict()
+        assert served["coords"]["temperature"] == grid
+    finally:
+        handle.stop()
+
+
+def test_non_mergeable_concurrent_sweeps_fall_back_to_independent_evaluation():
+    handle = start_server_thread(batch_window_ms=300.0)
+    try:
+        # Same window, but different base specs (different observables):
+        # nothing to coalesce — both evaluate, both exact.
+        observables = ["period", "power"]
+        results = [None] * len(observables)
+        barrier = threading.Barrier(len(observables))
+
+        def worker(slot):
+            with ServeClient("127.0.0.1", handle.port) as remote:
+                barrier.wait()
+                results[slot] = remote.sweep_payload(small_sweep(observables[slot]))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(observables))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert handle.server.evaluations == 2
+        for observable, served in zip(observables, results):
+            assert served == small_sweep(observable).run().to_dict()
+    finally:
+        handle.stop()
+
+
+def test_endpoint_observable_sweep_bypasses_the_coalescer():
+    handle = start_server_thread(batch_window_ms=200.0)
+    try:
+        sweep = small_sweep("calibration_error_c")
+        with ServeClient("127.0.0.1", handle.port) as remote:
+            assert remote.sweep_payload(sweep) == sweep.run().to_dict()
+        # Evaluated directly: endpoint-fit observables couple the whole
+        # grid, so slicing a union would change their values.
+        assert handle.server.batcher.batches == 0
+        assert handle.server.evaluations == 1
+    finally:
+        handle.stop()
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    grids=st.lists(
+        st.lists(
+            st.sampled_from([-40.0, -15.0, 0.0, 25.0, 60.0, 85.0, 125.0]),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_coalesced_slices_are_bitwise_equal_to_solo_runs(grids):
+    """Property: whatever grids coalesce, every slice is bit-exact.
+
+    Drives the real :class:`MicroBatcher` (window 0: each flush takes
+    whatever joined synchronously) with the real engine, comparing each
+    member's slice against its solo evaluation — including unsorted,
+    partially overlapping and duplicate-across-members grids.
+    """
+    base = base_spec()
+    base_key = canonical_key(base)
+
+    async def scenario():
+        async def evaluate(payload, priority=0, deadline=None):
+            return Sweep.from_dict(payload).run()
+
+        batcher = MicroBatcher(evaluate, window_ms=1.0)
+        jobs = [
+            asyncio.ensure_future(batcher.submit(base_key, base, grid))
+            for grid in grids
+        ]
+        return await asyncio.gather(*jobs)
+
+    results = asyncio.run(scenario())
+    for grid, result in zip(grids, results):
+        solo = small_sweep(temps=grid).run()
+        assert result.to_dict() == solo.to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# graceful shutdown vs. the batch window
+# --------------------------------------------------------------------------- #
+
+
+def test_shutdown_resolves_pending_batch_with_structured_error():
+    # A window long enough that the point is still pending when the
+    # shutdown lands: the old race left its future (and client) hanging.
+    handle = start_server_thread(batch_window_ms=60_000.0)
+    try:
+        outcome = {}
+        pending_sent = threading.Event()
+
+        def pending_point():
+            with ServeClient("127.0.0.1", handle.port, timeout=30.0) as remote:
+                try:
+                    pending_sent.set()
+                    remote.point(base_spec(), 25.0)
+                    outcome["result"] = "ok"
+                except ServeError as error:
+                    outcome["result"] = error.code
+
+        waiter = threading.Thread(target=pending_point)
+        waiter.start()
+        pending_sent.wait(timeout=10)
+        time.sleep(0.2)  # let the point land in the open batch window
+        with ServeClient("127.0.0.1", handle.port) as remote:
+            remote.shutdown()
+        waiter.join(timeout=10)
+        assert not waiter.is_alive(), "pending client hung through shutdown"
+        assert outcome["result"] == E_SHUTTING_DOWN
+        assert handle.server.evaluations == 0  # drained, not evaluated
+    finally:
+        handle.stop()
+
+
+# --------------------------------------------------------------------------- #
+# client transport errors
+# --------------------------------------------------------------------------- #
+
+
+def test_dead_server_surfaces_as_structured_transport_error():
+    # Bind-then-close: the port is real but nobody listens.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    started = time.monotonic()
+    with pytest.raises(ServeError) as caught:
+        ServeClient("127.0.0.1", port, connect_retries=2, retry_backoff_s=0.01)
+    assert caught.value.code == "transport"
+    # The retries actually backed off (0.01 + 0.02) before giving up.
+    assert time.monotonic() - started >= 0.03
+
+
+def test_request_retries_once_over_a_fresh_connection():
+    # Kill the client's connection under it: the next idempotent
+    # request must reconnect and succeed instead of raising.
+    handle = start_server_thread()
+    try:
+        client = ServeClient(
+            "127.0.0.1", handle.port, connect_retries=3, retry_backoff_s=0.02
+        )
+        try:
+            assert client.ping()["ok"] is True
+            client._sock.shutdown(socket.SHUT_RDWR)
+            assert client.ping()["ok"] is True  # reconnected transparently
+        finally:
+            client.close()
+    finally:
+        handle.stop()
+
+
+def test_unresponsive_server_surfaces_as_timeout_error():
+    # A listener that accepts and then says nothing.
+    mute = socket.socket()
+    mute.bind(("127.0.0.1", 0))
+    mute.listen(1)
+    port = mute.getsockname()[1]
+    try:
+        client = ServeClient("127.0.0.1", port, timeout=0.2, connect_retries=0)
+        try:
+            with pytest.raises(ServeError) as caught:
+                client._request({"op": "ping"}, retry=False)
+            assert caught.value.code == "timeout"
+        finally:
+            client.close()
+    finally:
+        mute.close()
