@@ -42,7 +42,12 @@ micro-batcher (PR 8) answers 16 concurrent point queries at least 2x
 faster than the same 16 queries issued sequentially against an
 unbatched server (one broadcast evaluation instead of 16), bitwise
 identical to local evaluation (the ``serve-microbatch`` group records
-both wall clocks).
+both wall clocks); and the technology-node study (PR 10) — 4 nodes x
+200 Monte-Carlo samples x 41 temperatures, the workload the declarative
+``technology`` sweep axis amortizes — runs at least 2x faster through
+the per-node banked broadcast the axis lowers onto than through
+rebinding a scalar technology per sample, to 1e-9 relative agreement
+(the ``sweep-technology-axis`` group records both forms).
 """
 
 import os
@@ -64,7 +69,7 @@ from repro.oscillator import (
     RingConfiguration,
     RingOscillator,
 )
-from repro.tech import CMOS035, sample_technology_array
+from repro.tech import CMOS013, CMOS018, CMOS025, CMOS035, sample_technology_array
 from repro.thermal import Floorplan, PowerMap, ThermalGrid, ThermalOperator
 
 CONFIGURATION = RingConfiguration.parse("2INV+3NAND2")
@@ -1039,6 +1044,78 @@ def test_point_query_throughput(benchmark, mode):
     finally:
         handle.stop()
     assert len(results) == SERVE_POINTS
+
+
+# --------------------------------------------------------------------- #
+# PR 10: the technology sweep axis
+# --------------------------------------------------------------------- #
+
+#: The technology-study workload: every built-in node, each with its own
+#: 200-sample Monte-Carlo population (nodes differ in geometry, so the
+#: populations cannot stack across nodes), on the dense 41-point grid.
+TECH_AXIS_NODES = (CMOS035, CMOS025, CMOS018, CMOS013)
+TECH_AXIS_SAMPLES = 200
+
+
+def _per_node_workload():
+    """(ring, population) per node, built outside the timed regions so
+    both forms measure evaluation, not library construction."""
+    return [
+        (
+            RingOscillator(default_library(node), CONFIGURATION),
+            sample_technology_array(node, TECH_AXIS_SAMPLES, seed=1234),
+        )
+        for node in TECH_AXIS_NODES
+    ]
+
+
+def test_technology_axis_speedup_at_4x200x41():
+    """The PR 10 acceptance criterion: the per-node banked broadcast the
+    ``technology`` axis lowers onto (one struct-of-arrays pass per node)
+    is >= 2x faster than rebinding a scalar technology per sample across
+    4 nodes x 200 samples x 41 temperatures, agreeing to 1e-9 relative
+    on every period."""
+    workload = _per_node_workload()
+
+    banked_s, banked = _best_time(
+        lambda: [ring.period_matrix(pop, DENSE_GRID) for ring, pop in workload]
+    )
+
+    start = time.perf_counter()
+    looped = [ring.period_matrix_loop(pop, DENSE_GRID) for ring, pop in workload]
+    looped_s = time.perf_counter() - start
+
+    speedup = looped_s / banked_s
+    print(f"\ntechnology-axis speedup at {len(TECH_AXIS_NODES)}x"
+          f"{TECH_AXIS_SAMPLES}x{DENSE_GRID.size}: {speedup:.1f}x "
+          f"(looped {looped_s * 1e3:.0f} ms, banked {banked_s * 1e3:.0f} ms)")
+    assert speedup >= 2.0
+
+    for fast, slow in zip(banked, looped):
+        assert fast.shape == slow.shape == (TECH_AXIS_SAMPLES, DENSE_GRID.size)
+        assert float(np.max(np.abs(fast - slow) / np.abs(slow))) <= 1e-9
+
+
+@pytest.mark.benchmark(group="sweep-technology-axis")
+@pytest.mark.parametrize("mode", ["banked", "looped"])
+def test_technology_study_4_nodes(benchmark, mode):
+    """Records the 4-node x 200-sample x 41-temperature technology study
+    in its banked-broadcast vs per-sample-rebind forms into
+    BENCH_engine.json (the CI bench job asserts this group is present);
+    the asserted >= 2x floor lives in the test above."""
+    workload = _per_node_workload()
+    evaluate_one = (
+        (lambda ring, pop: ring.period_matrix(pop, DENSE_GRID))
+        if mode == "banked"
+        else (lambda ring, pop: ring.period_matrix_loop(pop, DENSE_GRID))
+    )
+    matrices = benchmark.pedantic(
+        lambda: [evaluate_one(ring, pop) for ring, pop in workload],
+        rounds=2,
+        iterations=1,
+    )
+    assert len(matrices) == len(TECH_AXIS_NODES)
+    assert all(m.shape == (TECH_AXIS_SAMPLES, DENSE_GRID.size) for m in matrices)
 
 
 # --------------------------------------------------------------------- #

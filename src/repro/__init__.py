@@ -89,6 +89,29 @@ objects over a base context, pick an observable, and get a labeled
 >>> result.select(configuration="5INV").values.shape
 (41,)
 
+Technology nodes themselves are a sweep axis — ``Axis.technology``
+evaluates one banked sweep per node and stacks the results, so a
+scaling study is a declaration, not a hand-written loop:
+
+>>> study = (
+...     Sweep(configuration="2INV+3NAND2")
+...     .over(Axis.technology(["cmos035", "cmos018"]))
+...     .over(Axis.temperature(np.linspace(-40.0, 125.0, 12)))
+...     .run()
+... )
+>>> study.dims
+('technology', 'temperature')
+
+Technology identity is content-addressed: every registered node gets a
+SHA-256 digest of its canonical parameter bundle, serialized specs
+reference nodes as ``{"name", "digest"}`` objects, and a receiving
+registry that binds the same name to different physics refuses the
+spec (``repro.tech.registry``, ``TechnologyMismatchError``; the sweep
+service reports it as the structured ``tech-mismatch`` error code).
+Re-registering a node under the same name therefore changes every
+cache key that mentions it — stale cached results cannot be served
+across re-registrations, in memory or from a shared disk cache.
+
 :class:`repro.engine.BatchEvaluator` remains as a thin
 backward-compatible adapter over the sweep API:
 

@@ -8,10 +8,12 @@ bespoke entry point threading positional ndarray dimensions by hand.
 This module turns the workload itself into data:
 
 * :class:`Axis` — one named axis with coordinate labels.  The known
-  axes are ``configuration``, ``width_ratio``, ``resolution`` (the
-  thermal grid's density), ``site``, ``supply``, ``sample`` and
-  ``temperature`` (that tuple, :data:`CANONICAL_AXIS_ORDER`, is also
-  the canonical broadcast order of the result dimensions).
+  axes are ``technology`` (registered process nodes, one evaluation
+  context per coordinate), ``configuration``, ``width_ratio``,
+  ``resolution`` (the thermal grid's density), ``site``, ``supply``,
+  ``sample`` and ``temperature`` (that tuple,
+  :data:`CANONICAL_AXIS_ORDER`, is also the canonical broadcast order
+  of the result dimensions).
 * :class:`Sweep` — a builder that composes axes over a base context
   (technology / library / configuration / ring) plus an observable
   (period, frequency, the sensor transfer curve, calibration error,
@@ -86,20 +88,25 @@ __all__ = [
     "SweepError",
     "SweepPlan",
     "SweepResult",
+    "TechnologyMismatchError",
 ]
 
 #: The canonical broadcast order of the named axes: every
 #: :class:`SweepResult` carries its dimensions in this order no matter
-#: the order the axes were declared in.  ``site`` (the sensor-bank
-#: location axis) sits outside the ``supply``/``sample`` pair because
-#: those two lower onto one flat supply-major population axis that must
-#: stay contiguous to un-reshape; ``resolution`` (the thermal grid's
-#: density — a grid-refinement axis that re-solves the die's thermal
-#: field per coordinate, one cached
+#: the order the axes were declared in.  ``technology`` is outermost —
+#: each node is a complete evaluation context (its own cell library and
+#: rings), so the axis lowers to an outer per-node loop around the fully
+#: broadcast inner sweep.  ``site`` (the sensor-bank location axis) sits
+#: outside the ``supply``/``sample`` pair because those two lower onto
+#: one flat supply-major population axis that must stay contiguous to
+#: un-reshape; ``resolution`` (the thermal grid's density — a
+#: grid-refinement axis that re-solves the die's thermal field per
+#: coordinate, one cached
 #: :class:`~repro.thermal.operator.ThermalOperator` entry each) sits
 #: just outside ``site`` because each refinement produces one junction
 #: temperature per site.
 CANONICAL_AXIS_ORDER = (
+    "technology",
     "configuration",
     "width_ratio",
     "resolution",
@@ -143,6 +150,142 @@ class SweepError(ValueError):
     """Raised for invalid sweep specifications or result queries."""
 
 
+class TechnologyMismatchError(SweepError):
+    """A serialized technology reference does not match this process.
+
+    Raised by :meth:`Sweep.from_dict` / :meth:`Axis.from_dict` when a
+    ``{name, digest}`` technology reference names a node this process's
+    registry does not know, or knows under a *different* content digest
+    — e.g. two hosts sharing a cache directory that disagree about what
+    a name means, or one host after
+    ``register_technology(..., overwrite=True)``.  Structured so the
+    sweep service can answer with its ``tech-mismatch`` error code
+    instead of silently evaluating the wrong physics.
+
+    Attributes
+    ----------
+    technology_name:
+        The node name the spec referenced.
+    spec_digest:
+        The content digest the spec declared (``None`` if absent).
+    local_digest:
+        The digest this process's registry holds for that name
+        (``None`` when the name is unregistered here).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        technology_name: Optional[str] = None,
+        spec_digest: Optional[str] = None,
+        local_digest: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.technology_name = technology_name
+        self.spec_digest = spec_digest
+        self.local_digest = local_digest
+
+
+def _technology_to_dict(tech: Technology) -> Dict[str, Any]:
+    """Serialize a base/axis technology as a content-addressed reference.
+
+    Registered nodes (value-equal to their registry entry) travel as a
+    compact ``{name, digest}`` pair; unregistered nodes carry their full
+    declarative parameter bundle inline (plus the digest computed over
+    it, so the receiver can verify the payload survived transport).
+    Either way the canonical spec contains the digest — the caches key
+    on what the technology *is*, not what it is called.
+    """
+    from ..tech.registry import default_registry, technology_digest
+
+    spec = default_registry().spec_for(tech)
+    if spec is not None:
+        return {"name": spec.name, "digest": spec.digest}
+    return {
+        "name": tech.name,
+        "digest": technology_digest(tech),
+        "parameters": tech.to_dict(),
+    }
+
+
+def _technology_from_dict(payload: Mapping[str, Any]) -> Technology:
+    """Resolve a serialized technology reference against this process.
+
+    ``{name, digest}`` references resolve through the registry and the
+    digest must match the registered node's; inline ``parameters``
+    bundles are rebuilt (re-running all parameter-range validation) and
+    their recomputed digest must match the declared one.  Mismatches
+    raise :class:`TechnologyMismatchError` — never a silent fallback to
+    whatever this process happens to call ``name``.
+    """
+    from ..tech.registry import default_registry, technology_digest
+
+    if not isinstance(payload, Mapping):
+        raise SweepError(
+            f"a serialized technology must be a mapping of the form "
+            f"{{name, digest[, parameters]}}, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - {"name", "digest", "parameters"})
+    if unknown:
+        raise SweepError(
+            f"serialized technology has unknown field(s) {unknown}; "
+            f"expected {{name, digest[, parameters]}}"
+        )
+    name = payload.get("name")
+    digest = payload.get("digest")
+    if not isinstance(name, str) or not name:
+        raise SweepError("serialized technology needs a non-empty string 'name'")
+    if not isinstance(digest, str) or not digest:
+        raise SweepError("serialized technology needs a non-empty string 'digest'")
+    if payload.get("parameters") is not None:
+        try:
+            tech = Technology.from_dict(payload["parameters"])
+        except TechnologyError as error:
+            raise SweepError(
+                f"invalid inline technology parameters for {name!r}: {error}"
+            ) from error
+        if tech.name != name:
+            raise SweepError(
+                f"serialized technology name {name!r} does not match its "
+                f"inline parameter bundle's name {tech.name!r}"
+            )
+        actual = technology_digest(tech)
+        if actual != digest:
+            raise TechnologyMismatchError(
+                f"inline parameters for technology {name!r} hash to "
+                f"{actual[:12]}..., not the declared digest {digest[:12]}...; "
+                f"the spec was corrupted or tampered with in transport",
+                technology_name=name,
+                spec_digest=digest,
+                local_digest=actual,
+            )
+        return tech
+    registry = default_registry()
+    if name not in registry:
+        raise TechnologyMismatchError(
+            f"technology {name!r} (digest {digest[:12]}...) is not registered "
+            f"in this process and the spec carries no inline parameters; "
+            f"register the node here or serialize it from an unregistered "
+            f"Technology object",
+            technology_name=name,
+            spec_digest=digest,
+            local_digest=None,
+        )
+    spec = registry.spec(name)
+    if spec.digest != digest:
+        raise TechnologyMismatchError(
+            f"technology {name!r} is registered here with digest "
+            f"{spec.digest[:12]}... but the spec references digest "
+            f"{digest[:12]}...; the two registries disagree about what "
+            f"{name!r} means — refusing to evaluate the wrong physics",
+            technology_name=name,
+            spec_digest=digest,
+            local_digest=spec.digest,
+        )
+    return spec.technology
+
+
 def _duplicate_labels(labels: Sequence[Any]) -> List[Any]:
     """The labels appearing more than once, in first-appearance order."""
     seen: set = set()
@@ -163,9 +306,10 @@ def _duplicate_labels(labels: Sequence[Any]) -> List[Any]:
 class Axis:
     """One named sweep axis: coordinate labels plus the lowering payload.
 
-    Use the named constructors (:meth:`temperature`, :meth:`sample`,
-    :meth:`configuration`, :meth:`supply`, :meth:`width_ratio`) — they
-    validate the values and attach the payload the planner lowers from.
+    Use the named constructors (:meth:`technology`, :meth:`temperature`,
+    :meth:`sample`, :meth:`configuration`, :meth:`supply`,
+    :meth:`width_ratio`) — they validate the values and attach the
+    payload the planner lowers from.
     Coordinates keep the caller's order (the planner never reorders
     *within* an axis, only the axes themselves into
     :data:`CANONICAL_AXIS_ORDER`).
@@ -190,6 +334,50 @@ class Axis:
     # ------------------------------------------------------------------ #
     # named constructors
     # ------------------------------------------------------------------ #
+
+    @classmethod
+    def technology(
+        cls, technologies: Sequence[Union[Technology, str]]
+    ) -> "Axis":
+        """The technology-node axis: one process node per coordinate.
+
+        Accepts :class:`~repro.tech.parameters.Technology` objects or
+        registered node names (resolved through the content-addressed
+        registry).  Coordinates are the node names, so they must be
+        unique.  Each node is a complete evaluation context — its own
+        default cell library and rings — so the axis lowers to an outer
+        per-node loop around the fully broadcast inner sweep, stacked
+        outermost in the canonical result order.  Mutually exclusive
+        with a ``technology=``/``library=``/``ring=`` base and with the
+        ``site``/``sample`` axes (a sensor bank or a concrete
+        Monte-Carlo population pins one node).
+        """
+        from ..tech.libraries import get_technology
+
+        nodes: List[Technology] = []
+        for entry in list(technologies):
+            if isinstance(entry, str):
+                try:
+                    entry = get_technology(entry)
+                except TechnologyError as error:
+                    raise SweepError(str(error)) from error
+            if not isinstance(entry, Technology):
+                raise SweepError(
+                    f"the technology axis takes Technology objects or "
+                    f"registered names, got {type(entry).__name__}"
+                )
+            nodes.append(entry)
+        if not nodes:
+            raise SweepError("technology axis needs at least one node")
+        duplicates = _duplicate_labels([node.name for node in nodes])
+        if duplicates:
+            raise SweepError(
+                f"technology axis has duplicate node names {duplicates}; "
+                "coordinates must be unique per axis"
+            )
+        return cls(
+            "technology", tuple(node.name for node in nodes), payload=tuple(nodes)
+        )
 
     @classmethod
     def temperature(cls, temperatures_c: Sequence[float]) -> "Axis":
@@ -434,6 +622,11 @@ class Axis:
         :class:`~repro.thermal.floorplan.Floorplan`) and have no
         serialized form; they raise :class:`SweepError`.
         """
+        if self.name == "technology":
+            return {
+                "name": "technology",
+                "nodes": [_technology_to_dict(node) for node in self.payload],
+            }
         if self.name == "temperature":
             return {
                 "name": "temperature",
@@ -489,8 +682,8 @@ class Axis:
         raise SweepError(
             f"axis {self.name!r} carries live objects (a sensor bank or "
             f"floorplan) and has no serialized form; a served sweep "
-            f"supports the configuration, width_ratio, supply, sample and "
-            f"temperature axes"
+            f"supports the technology, configuration, width_ratio, supply, "
+            f"sample and temperature axes"
         )
 
     @classmethod
@@ -503,6 +696,16 @@ class Axis:
             )
         name = payload.get("name")
         try:
+            if name == "technology":
+                nodes = payload["nodes"]
+                if not isinstance(nodes, Sequence) or isinstance(nodes, (str, bytes)):
+                    raise SweepError(
+                        f"serialized technology axis's nodes must be a list, "
+                        f"got {type(nodes).__name__}"
+                    )
+                return cls.technology(
+                    [_technology_from_dict(entry) for entry in nodes]
+                )
             if name == "temperature":
                 return cls.temperature(payload["coordinates"])
             if name == "supply":
@@ -555,7 +758,8 @@ class Axis:
             ) from None
         raise SweepError(
             f"unknown serialized axis {name!r}; serializable axes are "
-            f"configuration, width_ratio, supply, sample and temperature"
+            f"technology, configuration, width_ratio, supply, sample and "
+            f"temperature"
         )
 
 
@@ -901,8 +1105,12 @@ class Sweep:
     #: Version tag of the :meth:`to_dict` sweep-spec serialization,
     #: bumped on any incompatible change so a service (or a cached
     #: artifact reader) can reject stale payloads cleanly instead of
-    #: misinterpreting them.
-    SCHEMA_VERSION = 1
+    #: misinterpreting them.  Version 2 made technology references
+    #: content-addressed: the base technology and technology-axis nodes
+    #: serialize as ``{name, digest}`` (inline parameter bundles for
+    #: unregistered nodes), so canonical cache keys change whenever a
+    #: node's *parameters* change — not just its name.
+    SCHEMA_VERSION = 2
 
     def to_dict(self) -> Dict[str, Any]:
         """Lossless plain-data form of a serializable sweep spec.
@@ -913,11 +1121,13 @@ class Sweep:
         format of the sweep service (:mod:`repro.serve`), which
         content-hashes the canonicalized payload to key its result
         cache.  Serializable sweeps are those declared from data: a
-        *registered* base technology (by name), a parseable base
-        configuration, and the configuration / width_ratio / supply /
-        sample / temperature axes.  A ``ring=`` or ``library=`` base and
-        the ``site`` / ``resolution`` axes carry live objects and raise
-        :class:`SweepError`.
+        base technology (a registered node travels as its
+        content-addressed ``{name, digest}`` reference, an unregistered
+        one inlines its full parameter bundle), a parseable base
+        configuration, and the technology / configuration / width_ratio
+        / supply / sample / temperature axes.  A ``ring=`` or
+        ``library=`` base and the ``site`` / ``resolution`` axes carry
+        live objects and raise :class:`SweepError`.
         """
         if self._ring is not None:
             raise SweepError(
@@ -932,20 +1142,7 @@ class Sweep:
             )
         technology = None
         if self._technology is not None:
-            from ..tech.libraries import get_technology
-
-            name = self._technology.name
-            try:
-                registered = get_technology(name)
-            except TechnologyError:
-                registered = None
-            if registered is not self._technology and registered != self._technology:
-                raise SweepError(
-                    f"technology {name!r} is not the registered technology "
-                    f"of that name; only registered technologies serialize "
-                    f"by name (register_technology(...) first)"
-                )
-            technology = name
+            technology = _technology_to_dict(self._technology)
         return {
             "version": self.SCHEMA_VERSION,
             "observable": self._observable,
@@ -976,7 +1173,14 @@ class Sweep:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Sweep":
-        """Re-hydrate a sweep spec serialized by :meth:`to_dict`."""
+        """Re-hydrate a sweep spec serialized by :meth:`to_dict`.
+
+        Technology references are verified against this process's
+        registry by content digest; a name the registry does not know
+        (with no inline parameters) or knows under a different digest
+        raises :class:`TechnologyMismatchError` rather than silently
+        evaluating whatever this process calls that name.
+        """
         if not isinstance(payload, Mapping):
             raise SweepError(
                 f"Sweep.from_dict takes a to_dict() mapping, got "
@@ -1001,12 +1205,7 @@ class Sweep:
             )
         technology = None
         if base.get("technology") is not None:
-            from ..tech.libraries import get_technology
-
-            try:
-                technology = get_technology(base["technology"])
-            except TechnologyError as error:
-                raise SweepError(str(error)) from error
+            technology = _technology_from_dict(base["technology"])
         try:
             readout = ReadoutConfig(**dict(base.get("readout") or {}))
         except (TypeError, TechnologyError) as error:
@@ -1037,6 +1236,28 @@ class Sweep:
         axes = tuple(
             self._axes[name] for name in CANONICAL_AXIS_ORDER if name in self._axes
         )
+        if "technology" in self._axes:
+            if (
+                self._technology is not None
+                or self._library is not None
+                or self._ring is not None
+            ):
+                raise SweepError(
+                    "a technology axis supplies the node per coordinate; "
+                    "drop the technology=/library=/ring= base"
+                )
+            if "site" in self._axes:
+                raise SweepError(
+                    "the site axis's bank is built in one technology and "
+                    "cannot be combined with a technology axis"
+                )
+            if "sample" in self._axes:
+                raise SweepError(
+                    "a sample axis holds a concrete Monte-Carlo population "
+                    "drawn from one node and cannot be combined with a "
+                    "technology axis; draw per-node populations and sweep "
+                    "them as separate runs"
+                )
         site_axis = self._axes.get("site")
         resolution_axis = self._axes.get("resolution")
         if resolution_axis is not None:
@@ -1185,6 +1406,10 @@ class SweepPlan:
     appended when none was declared); :meth:`execute` performs the
     lowering:
 
+    * ``technology`` loops the whole inner sweep per node (each node is
+      a complete evaluation context — its own default library and rings
+      — so per-node slices are bitwise identical to running the inner
+      sweep against that node directly),
     * ``supply`` x ``sample`` stack into one struct-of-arrays
       population (supply-major, so the flat sample axis un-reshapes to
       ``(supply, sample)``),
@@ -1408,6 +1633,28 @@ class SweepPlan:
 
     def _execute_dense(self) -> SweepResult:
         """The dense single-broadcast evaluation (the oracle semantics)."""
+        tech_axis = self.axis("technology")
+        if tech_axis is not None:
+            # Outermost per-node loop: each node re-enters this method
+            # as the sub-plan's technology= base, so a node's slice takes
+            # exactly the code path (and produces bitwise the numbers) of
+            # an equivalent single-node sweep.
+            inner_axes = tuple(
+                axis for axis in self.axes if axis.name != "technology"
+            )
+            slices = [
+                replace(self, axes=inner_axes, technology=node)
+                ._execute_dense()
+                .values
+                for node in tech_axis.payload
+            ]
+            coords = {axis.name: tuple(axis.coordinates) for axis in self.axes}
+            return SweepResult(
+                values=np.stack(slices),
+                dims=tuple(axis.name for axis in self.axes),
+                coords=coords,
+                observable=self.observable,
+            )
         temp_axis = self.axis("temperature")
         temps = (
             np.asarray(temp_axis.coordinates, dtype=float)

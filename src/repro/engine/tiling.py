@@ -22,8 +22,10 @@ identical** to dense ones.  The endpoint-fit observables
 (``transfer_c`` / ``calibration_error_c`` / ``nonlinearity_percent``)
 couple every temperature to the grid's extremes, so for them the
 temperature axis is never split (the sample axis still is).  Axes that
-re-solve shared state per coordinate (``configuration``, ``resolution``,
-``site``, ``width_ratio``) are never split; when none of the splittable
+re-solve shared state per coordinate (``technology``, ``configuration``,
+``resolution``, ``site``, ``width_ratio``) are never split — a
+``technology`` axis rides whole inside every tile, its per-node loop
+re-entered by the tile's dense evaluation; when none of the splittable
 axes is present the sweep is one tile regardless of budget — the budget
 is a bound on what tiling *can* bound, not a hard allocation cap.
 """

@@ -7,6 +7,10 @@ the technology scales?  It evaluates the same cell-mix sensor on the
 0.35 / 0.25 / 0.18 / 0.13 um nodes and reports sensitivity, linearity
 and the supply-scaling headroom, plus the power-density trend that
 drives the motivation in the first place.
+
+The node loop is declared through the sweep engine's ``technology``
+axis (one characterisation sweep, one 25 C spot sweep), with the
+original hand-written per-node loop retained as its bitwise oracle.
 """
 
 from __future__ import annotations
@@ -102,11 +106,65 @@ class ScalingStudyResult:
         return "\n".join(lines)
 
 
+def _node_matrices(
+    configuration: RingConfiguration,
+    nodes: Sequence[Technology],
+    temps: np.ndarray,
+    use_technology_axis: bool,
+) -> tuple:
+    """``(periods[N, T], periods_25c[N], powers_25c[N])`` for the node set.
+
+    The declarative form runs the whole study as two sweeps with a
+    ``technology`` axis; the loop form is the original hand-written
+    per-node loop, retained as the oracle the axis lowering is tested
+    bitwise against (``tests/test_experiments_extensions.py``).
+    """
+    if use_technology_axis:
+        tech_axis = Axis.technology(nodes)
+        periods = (
+            Sweep(configuration=configuration)
+            .over(tech_axis)
+            .over(Axis.temperature(temps))
+            .run()
+            .values
+        )
+        spot = (
+            Sweep(configuration=configuration)
+            .over(tech_axis)
+            .over(Axis.temperature([25.0]))
+        )
+        periods_25c = spot.run().values[:, 0]
+        powers_25c = spot.observe("power").run().values[:, 0]
+        return periods, periods_25c, powers_25c
+    rows = []
+    periods_25c_list = []
+    powers_25c_list = []
+    for tech in nodes:
+        library = default_library(tech)
+        rows.append(
+            Sweep(library=library, configuration=configuration)
+            .over(Axis.temperature(temps))
+            .run()
+            .values
+        )
+        spot = Sweep(library=library, configuration=configuration).over(
+            Axis.temperature([25.0])
+        )
+        periods_25c_list.append(spot.run().item())
+        powers_25c_list.append(spot.observe("power").run().item())
+    return (
+        np.stack(rows),
+        np.asarray(periods_25c_list, dtype=float),
+        np.asarray(powers_25c_list, dtype=float),
+    )
+
+
 def run_scaling_study(
     configuration_text: str = "2INV+3NAND2",
     nodes: Sequence[Technology] = DEFAULT_NODES,
     temperatures_c: Optional[Sequence[float]] = None,
     reoptimize: bool = False,
+    use_technology_axis: bool = True,
 ) -> ScalingStudyResult:
     """Evaluate one ring configuration on several technology nodes.
 
@@ -114,11 +172,14 @@ def run_scaling_study(
     showing that the paper's *method* ports across nodes even when the
     particular mix chosen for 0.35 um does not stay optimal.
 
-    The nodes differ in geometry (so they cannot stack into one
-    population), but each node's characterisation runs through the
-    declarative sweep engine: one ``period`` sweep over the temperature
-    grid plus one point evaluation of the ``period``/``power``
-    observables at 25 C.
+    The node loop is declared, not hand-written: by default the
+    characterisation is one ``period`` sweep over a ``technology`` axis
+    stacked on the temperature grid, plus one technology x [25 C] spot
+    sweep for the ``period``/``power`` observables — so the whole study
+    serializes, content-addresses and caches like any other sweep.
+    ``use_technology_axis=False`` runs the original per-node loop
+    instead; the two are bitwise identical, and the loop form is kept
+    as the oracle that pins the axis lowering.
     """
     configuration = RingConfiguration.parse(configuration_text)
     temps = (
@@ -126,28 +187,19 @@ def run_scaling_study(
         if temperatures_c is not None
         else default_temperature_grid(points=21)
     )
+    periods, periods_25c, powers_25c = _node_matrices(
+        configuration, nodes, temps, use_technology_axis
+    )
     points: List[NodePoint] = []
-    for tech in nodes:
-        library = default_library(tech)
-        periods = (
-            Sweep(library=library, configuration=configuration)
-            .over(Axis.temperature(temps))
-            .run()
-            .values
-        )
-        response = TemperatureResponse(configuration.label(), temps, periods)
-        spot = Sweep(library=library, configuration=configuration).over(
-            Axis.temperature([25.0])
-        )
-        period_25c = spot.run().item()
-        power_25c = spot.observe("power").run().item()
+    for index, tech in enumerate(nodes):
+        response = TemperatureResponse(configuration.label(), temps, periods[index])
         reopt_label = None
         reopt_nl = None
         if reoptimize:
             from ..optimize.cellmix import search_cell_mix
 
             best = search_cell_mix(
-                library, stage_count=configuration.stage_count,
+                default_library(tech), stage_count=configuration.stage_count,
                 temperatures_c=temps, top_k=1,
             ).best()
             reopt_label = best.label
@@ -157,12 +209,12 @@ def run_scaling_study(
                 technology_name=tech.name,
                 feature_size_um=tech.feature_size_um,
                 vdd=tech.vdd,
-                period_at_25c_s=period_25c,
+                period_at_25c_s=float(periods_25c[index]),
                 relative_sensitivity_per_k=sensitivity_report(response).relative_sensitivity_per_k,
                 max_nonlinearity_percent=nonlinearity(response).max_abs_error_percent,
                 reoptimized_label=reopt_label,
                 reoptimized_nonlinearity_percent=reopt_nl,
-                sensor_power_at_25c_w=power_25c,
+                sensor_power_at_25c_w=float(powers_25c[index]),
             )
         )
     # The generalised-scaling power-density factor for a 2x shrink with the

@@ -23,6 +23,20 @@ Two tiers share the canonical spec key (:func:`~repro.serve.spec.canonical_key`)
   enforced by LRU on file mtime (a disk hit refreshes its file's
   mtime, so recently-served entries survive eviction sweeps).
 
+Because the disk directory outlives any single process — and may be
+shared by hosts running different builds — each disk entry is a
+*stamped envelope*, not a bare result payload::
+
+    {"spec_version": <Sweep.SCHEMA_VERSION>,
+     "tech_digest": <technology digest of the spec, or null>,
+     "result": <serialized SweepResult>}
+
+A load validates both stamps: an entry written under a different spec
+schema (including any pre-envelope legacy file) or carrying a
+different technology digest than the requesting spec is dropped and
+the sweep re-evaluated — the cache can never serve a payload computed
+under a different idea of the technology than the key claims.
+
 The memory tier always fronts the disk tier: a disk hit is promoted
 into memory, and every admission is written through to disk.  Both
 tiers are thread-safe — the server touches them from the event loop
@@ -39,7 +53,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
-from ..engine.sweep import SweepError, SweepResult
+from ..engine.sweep import Sweep, SweepError, SweepResult
 
 __all__ = ["DEFAULT_CACHE_BYTES", "DEFAULT_DISK_CACHE_BYTES", "DiskCache", "ResultCache"]
 
@@ -61,12 +75,15 @@ _ENTRY_SUFFIX = ".json"
 class DiskCache:
     """One-file-per-entry persistent payload store under a directory.
 
-    Entries are the compact JSON encoding of a result payload, named by
-    their canonical spec key.  The store is safe against concurrent
-    writers (atomic rename; last writer wins — both wrote the same
-    bytes for the same key anyway, the key is content-addressed) and
-    against corruption (a partial/garbled/foreign file is a miss, and
-    is deleted so it cannot fail again).
+    Entries are stamped envelopes (spec schema version + technology
+    digest) around the compact JSON encoding of a result payload,
+    named by their canonical spec key.  The store is safe against
+    concurrent writers (atomic rename; last writer wins — both wrote
+    the same bytes for the same key anyway, the key is
+    content-addressed), against corruption (a partial/garbled/foreign
+    file is a miss, and is deleted so it cannot fail again), and
+    against staleness (an envelope whose stamps disagree with the
+    requesting spec is dropped, never served).
     """
 
     def __init__(
@@ -84,26 +101,45 @@ class DiskCache:
         self._misses = 0
         self._evictions = 0
         self._rejected = 0
+        self._stale_dropped = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key + _ENTRY_SUFFIX)
 
-    def get(self, key: str) -> Optional[Tuple[Dict[str, Any], int]]:
-        """The ``(payload, encoded_size)`` stored for ``key``, or None.
+    def get(
+        self, key: str, tech_digest: Optional[str] = None
+    ) -> Optional[Tuple[Dict[str, Any], int]]:
+        """The ``(payload, stored_size)`` stored for ``key``, or None.
+
+        ``tech_digest`` is the technology digest of the *requesting*
+        spec (None for a spec with no registered technology reference);
+        an entry stamped with any other digest — or written under a
+        different spec schema version, including pre-envelope legacy
+        files — is stale: it is dropped and the caller re-evaluates.
 
         A hit refreshes the entry file's mtime — the disk tier's LRU
         clock — so entries the service keeps serving are the last to
         be evicted.  Any failure to read or validate the file (torn
         write from a crashed process, disk corruption, a stray foreign
-        file under the shared directory) is a miss: the offender is
-        removed and the caller re-evaluates, so a bad file can never
-        crash the server or poison a response.
+        file under the shared directory) is likewise a miss: the
+        offender is removed, so a bad file can never crash the server
+        or poison a response.
         """
         path = self._path(key)
+        stale = False
         try:
             with open(path, "rb") as handle:
                 raw = handle.read()
-            payload = json.loads(raw.decode("utf-8"))
+            envelope = json.loads(raw.decode("utf-8"))
+            if not isinstance(envelope, dict) or "result" not in envelope:
+                raise ValueError("not a stamped cache envelope")
+            if (
+                envelope.get("spec_version") != Sweep.SCHEMA_VERSION
+                or envelope.get("tech_digest") != tech_digest
+            ):
+                stale = True
+                raise ValueError("stale cache envelope")
+            payload = envelope["result"]
             if not _looks_like_result(payload):
                 raise ValueError("not a serialized sweep result")
         except FileNotFoundError:
@@ -111,13 +147,15 @@ class DiskCache:
                 self._misses += 1
             return None
         except (OSError, ValueError):
-            # Corruption-safe load: drop the bad entry and miss.
+            # Corruption/staleness-safe load: drop the entry and miss.
             try:
                 os.remove(path)
             except OSError:  # pragma: no cover - racing cleanup
                 pass
             with self._lock:
                 self._misses += 1
+                if stale:
+                    self._stale_dropped += 1
             return None
         try:
             os.utime(path)  # refresh the LRU clock
@@ -127,10 +165,15 @@ class DiskCache:
             self._hits += 1
         return payload, len(raw)
 
-    def put(self, key: str, encoded: bytes) -> bool:
+    def put(
+        self, key: str, encoded: bytes, tech_digest: Optional[str] = None
+    ) -> bool:
         """Persist an encoded payload atomically; False when oversized.
 
-        The write lands under a process-unique temporary name and is
+        ``encoded`` is the compact JSON encoding of the result payload;
+        it is spliced verbatim into the stamped envelope (no decode /
+        re-encode of what may be a tens-of-megabytes tensor).  The
+        write lands under a process-unique temporary name and is
         renamed into place, so a reader (or a crashed writer) can never
         observe a half-written entry.  After admission the directory is
         swept: oldest-mtime entries are removed until the byte budget
@@ -140,11 +183,15 @@ class DiskCache:
             with self._lock:
                 self._rejected += 1
             return False
+        stamped = (
+            b'{"spec_version":%d,"tech_digest":%s,"result":'
+            % (Sweep.SCHEMA_VERSION, json.dumps(tech_digest).encode("utf-8"))
+        ) + encoded + b"}"
         path = self._path(key)
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
             with open(tmp, "wb") as handle:
-                handle.write(encoded)
+                handle.write(stamped)
             os.replace(tmp, path)
         except OSError:
             # A full or read-only cache volume degrades to "no disk
@@ -208,6 +255,7 @@ class DiskCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "rejected": self._rejected,
+                "stale_dropped": self._stale_dropped,
                 "entries": entries,
                 "bytes": occupied,
                 "max_bytes": self.max_bytes,
@@ -256,12 +304,14 @@ class ResultCache:
         self._misses = 0
         self._evictions = 0
 
-    def get(self, key: str) -> Optional[Any]:
+    def get(self, key: str, tech_digest: Optional[str] = None) -> Optional[Any]:
         """The cached payload for ``key`` (refreshing its recency), or None.
 
         Memory first; on a memory miss the disk tier (when attached) is
-        consulted and a disk hit is promoted into the memory tier so
-        the next repeat is served without touching the filesystem.
+        consulted — passing ``tech_digest``, the requesting spec's
+        technology digest, so a stale disk envelope is dropped rather
+        than served — and a disk hit is promoted into the memory tier
+        so the next repeat is served without touching the filesystem.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -272,26 +322,34 @@ class ResultCache:
             self._misses += 1
         if self.disk is None:
             return None
-        persisted = self.disk.get(key)
+        persisted = self.disk.get(key, tech_digest)
         if persisted is None:
             return None
         payload, size = persisted
         self._admit(key, payload, size)
         return payload
 
-    def put(self, key: str, payload: Any, size_bytes: int, encoded: Optional[bytes] = None) -> bool:
+    def put(
+        self,
+        key: str,
+        payload: Any,
+        size_bytes: int,
+        encoded: Optional[bytes] = None,
+        tech_digest: Optional[str] = None,
+    ) -> bool:
         """Admit (or refresh) a payload; returns False when it exceeds
         the whole memory budget and was not admitted there.
 
         ``encoded`` (the payload's compact JSON bytes, when the caller
-        already has them) is written through to the disk tier; without
-        it only the memory tier is touched.
+        already has them) is written through to the disk tier, stamped
+        with ``tech_digest``; without it only the memory tier is
+        touched.
         """
         size = int(size_bytes)
         if size < 0:
             raise SweepError("size_bytes must be non-negative")
         if self.disk is not None and encoded is not None:
-            self.disk.put(key, encoded)
+            self.disk.put(key, encoded, tech_digest)
         return self._admit(key, payload, size)
 
     def _admit(self, key: str, payload: Any, size: int) -> bool:

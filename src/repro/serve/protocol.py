@@ -53,6 +53,22 @@ Backpressure: when the evaluation queue is full, new ``sweep`` /
 instead of growing server memory without bound.  While the server is
 shutting down, pending and newly-arriving evaluations fail with
 ``shutting-down``.
+
+Technology identity
+-------------------
+
+A spec's technology references are content-addressed: a registered
+node travels as ``{"name": ..., "digest": ...}`` (the digest is the
+SHA-256 of its declarative parameter bundle, computed at registration),
+an unregistered node inlines its full ``parameters`` bundle alongside
+the digest.  The server verifies every digest against its own registry
+while canonicalizing the spec; a name the server does not know, or
+knows under a *different* digest (two hosts disagreeing about what a
+name means), fails with the ``tech-mismatch`` error code instead of
+silently evaluating the server's idea of that technology.  Because the
+digest is part of the canonical spec, the result cache — including a
+disk directory shared across hosts — keys on what the technology *is*,
+never on what it is called.
 """
 
 from __future__ import annotations
@@ -68,6 +84,7 @@ __all__ = [
     "E_DEADLINE",
     "E_INTERNAL",
     "E_SHUTTING_DOWN",
+    "E_TECH_MISMATCH",
     "E_UNKNOWN_OP",
     "E_VERSION",
     "MAX_LINE_BYTES",
@@ -91,6 +108,7 @@ E_BAD_REQUEST = "bad-request"  #: valid JSON but not a valid request envelope
 E_UNKNOWN_OP = "unknown-op"  #: the ``op`` field names no operation
 E_BAD_SPEC = "bad-spec"  #: the spec payload failed engine validation
 E_VERSION = "version-mismatch"  #: the spec's schema version is not ours
+E_TECH_MISMATCH = "tech-mismatch"  #: a technology digest disagrees with the server's registry
 E_INTERNAL = "internal"  #: unexpected server-side failure
 E_BUSY = "busy"  #: the bounded evaluation queue is full; retry later
 E_DEADLINE = "deadline-expired"  #: the request's deadline passed while queued

@@ -66,7 +66,13 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..engine.executors import ProcessExecutor
-from ..engine.sweep import Sweep, SweepError, SweepResult, _ENDPOINT_OBSERVABLES
+from ..engine.sweep import (
+    Sweep,
+    SweepError,
+    SweepResult,
+    TechnologyMismatchError,
+    _ENDPOINT_OBSERVABLES,
+)
 from ..engine.tiling import plan_result_tiles
 from .batcher import DEFAULT_BATCH_WINDOW_MS, MicroBatcher
 from .cache import (
@@ -83,6 +89,7 @@ from .protocol import (
     E_DEADLINE,
     E_INTERNAL,
     E_SHUTTING_DOWN,
+    E_TECH_MISMATCH,
     E_UNKNOWN_OP,
     E_VERSION,
     MAX_LINE_BYTES,
@@ -501,7 +508,8 @@ class SweepServer:
         everything else is scheduled as an independent evaluation,
         unchanged.
         """
-        cached = self.cache.get(key)
+        tech_digest = _tech_digest_of(canonical)
+        cached = self.cache.get(key, tech_digest)
         if cached is not None:
             return cached, len(_encode_result(cached)), True
         waiter = self._inflight.get(key)
@@ -528,7 +536,7 @@ class SweepServer:
             payload = result.to_dict()
             encoded = _encode_result(payload)
             size = len(encoded)
-            self.cache.put(key, payload, size, encoded=encoded)
+            self.cache.put(key, payload, size, encoded=encoded, tech_digest=tech_digest)
             future.set_result((payload, size))
             return payload, size, False
         except Exception as error:
@@ -629,6 +637,13 @@ class SweepServer:
                 )
         except _RequestError as error:
             writer.write(encode_line(error_envelope(error.code, error.message, request_id)))
+        except TechnologyMismatchError as error:
+            # Before the SweepError catch below (it is one): a digest
+            # disagreement is its own stable code, so clients can tell
+            # "our registries disagree" from a malformed spec.
+            writer.write(
+                encode_line(error_envelope(E_TECH_MISMATCH, str(error), request_id))
+            )
         except SweepError as error:
             writer.write(encode_line(error_envelope(E_BAD_SPEC, str(error), request_id)))
         except Exception as error:  # noqa: BLE001 - protocol boundary
@@ -744,7 +759,8 @@ class SweepServer:
             {"name": "temperature", "coordinates": [float(temperature)]}
         ]
         full_key = _key_of(full)
-        cached = self.cache.get(full_key)
+        tech_digest = _tech_digest_of(full)
+        cached = self.cache.get(full_key, tech_digest)
         if cached is not None:
             await self._respond_result(
                 writer, "point", request_id, full_key, cached,
@@ -757,7 +773,7 @@ class SweepServer:
         payload = result.to_dict()
         encoded = _encode_result(payload)
         size = len(encoded)
-        self.cache.put(full_key, payload, size, encoded=encoded)
+        self.cache.put(full_key, payload, size, encoded=encoded, tech_digest=tech_digest)
         await self._respond_result(
             writer, "point", request_id, full_key, payload, size, False
         )
@@ -845,6 +861,31 @@ def _encode_result(payload: Mapping[str, Any]) -> bytes:
 def _key_of(canonical: Mapping[str, Any]) -> str:
     """Key an *already canonical* payload without re-round-tripping it."""
     return hashlib.sha256(encode_canonical(canonical)).hexdigest()
+
+
+def _tech_digest_of(canonical: Mapping[str, Any]) -> Optional[str]:
+    """The technology digest a canonical spec's cache entry is stamped with.
+
+    A base technology reference contributes its registration digest; a
+    technology *axis* contributes every node's.  One digest is stamped
+    verbatim; several collapse into one SHA-256 over the ordered list
+    (the stamp is a single string either way).  A spec with no
+    technology reference at all (e.g. a sample-axis population, which
+    travels as raw parameter columns) stamps None — the canonical key
+    still covers its full content.
+    """
+    digests: List[str] = []
+    technology = canonical["base"].get("technology")
+    if technology is not None:
+        digests.append(str(technology["digest"]))
+    for axis in canonical["axes"]:
+        if axis.get("name") == "technology":
+            digests.extend(str(node["digest"]) for node in axis["nodes"])
+    if not digests:
+        return None
+    if len(digests) == 1:
+        return digests[0]
+    return hashlib.sha256(",".join(digests).encode("ascii")).hexdigest()
 
 
 # --------------------------------------------------------------------------- #

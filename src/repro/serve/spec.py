@@ -18,6 +18,17 @@ right here instead of at evaluation time.  :func:`canonical_key` then
 hashes the sorted-key compact JSON encoding of that canonical form with
 SHA-256.
 
+Technology references inside the canonical form are themselves
+content-addressed: a registered node canonicalizes to its ``{name,
+digest}`` reference (the digest of its declarative parameter bundle,
+verified against this process's registry during the round trip — a
+disagreement raises
+:class:`~repro.engine.sweep.TechnologyMismatchError`), and an inline
+bundle that matches a registered node collapses to the same reference.
+Re-registering a node with different parameters therefore changes every
+key that mentions it: stale cache entries become unreachable instead of
+wrong.
+
 The key's stability across releases is load-bearing (a canonicalization
 drift silently splits the cache in two), so
 ``tests/test_serve_spec.py`` pins the key of a representative spec to a

@@ -6,7 +6,12 @@ Public surface:
   :class:`~repro.tech.parameters.TransistorParameters` — parameter
   containers.
 * :data:`~repro.tech.libraries.CMOS035` (and smaller nodes) — predefined
-  technologies; the paper's experiments use the 0.35 um node.
+  technologies declared as data bundles; the paper's experiments use the
+  0.35 um node.
+* :mod:`~repro.tech.registry` — the content-addressed registry: each
+  node is a validated declarative bundle with a stable SHA-256 digest
+  (:func:`~repro.tech.registry.technology_digest`), which is what sweep
+  serialization and the serve caches key on.
 * :mod:`~repro.tech.temperature` — temperature dependence of mobility,
   threshold voltage and saturation velocity.
 * :mod:`~repro.tech.corners` — process corners and Monte-Carlo sampling.
@@ -36,6 +41,12 @@ from .temperature import (
     threshold_voltage_at,
     thermal_voltage,
 )
+from .registry import (
+    TechnologyRegistry,
+    TechnologySpec,
+    default_registry,
+    technology_digest,
+)
 from .libraries import (
     CMOS013,
     CMOS018,
@@ -43,6 +54,7 @@ from .libraries import (
     CMOS035,
     available_technologies,
     get_technology,
+    get_technology_digest,
     register_technology,
 )
 from .corners import (
@@ -79,12 +91,17 @@ __all__ = [
     "saturation_velocity_at",
     "threshold_voltage_at",
     "thermal_voltage",
+    "TechnologyRegistry",
+    "TechnologySpec",
+    "default_registry",
+    "technology_digest",
     "CMOS013",
     "CMOS018",
     "CMOS025",
     "CMOS035",
     "available_technologies",
     "get_technology",
+    "get_technology_digest",
     "register_technology",
     "STANDARD_CORNERS",
     "CornerSpec",

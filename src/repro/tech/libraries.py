@@ -1,4 +1,4 @@
-"""Predefined technology nodes.
+"""Predefined technology nodes, declared as data.
 
 The paper characterises its sensor in a 0.35 um CMOS process operated at
 3.3 V.  We do not have the authors' foundry models, so :data:`CMOS035`
@@ -15,16 +15,25 @@ DESIGN.md for the substitution rationale.
 
 Additional nodes (0.25, 0.18, 0.13 um) are provided for scaling studies
 mentioned in the paper's introduction (junction temperature rising with
-scaling); they are derived from the 0.35 um node by constant-field-like
-scaling rules in :mod:`repro.tech.scaling` and then adjusted to typical
+scaling); their parameter values follow constant-field-like scaling of
+the 0.35 um node (:mod:`repro.tech.scaling`) adjusted to typical
 published supply/threshold values.
+
+Each node is a plain declarative bundle — the :meth:`Technology.to_dict`
+payload — validated by :meth:`Technology.from_dict` and registered in
+the process-wide :class:`~repro.tech.registry.TechnologyRegistry`, which
+computes a stable content digest per node at registration.  Everything
+downstream (sweep serialization, the serve caches) identifies a node by
+that digest, so editing any number below re-keys every
+content-addressed cache instead of silently serving stale physics.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Iterable
 
-from .parameters import Technology, TechnologyError, TransistorParameters
+from .parameters import TECHNOLOGY_DICT_VERSION, Technology
+from .registry import TechnologySpec, default_registry
 
 __all__ = [
     "CMOS035",
@@ -33,162 +42,162 @@ __all__ = [
     "CMOS013",
     "available_technologies",
     "get_technology",
+    "get_technology_digest",
     "register_technology",
 ]
 
+#: Characterisation range shared by every built-in node (the paper
+#: sweeps -50 C .. 150 C).
+_DESIGN_RANGE = {"t_min_c": -50.0, "t_max_c": 150.0}
 
-def _make_cmos035() -> Technology:
-    nmos = TransistorParameters(
-        polarity="nmos",
-        vth0=0.55,
-        mobility=430.0,
-        alpha=1.30,
-        channel_length_um=0.35,
-        cox_f_per_um2=4.6e-15,
-        vsat_cm_per_s=8.0e6,
-        vth_temp_coeff=0.9e-3,
-        mobility_temp_exponent=1.55,
-        vsat_temp_coeff=1.2e-4,
-        alpha_temp_coeff=2.0e-4,
-        body_effect_gamma=0.45,
-        subthreshold_slope_mv_per_dec=85.0,
-        junction_cap_f_per_um=1.1e-15,
-        overlap_cap_f_per_um=0.35e-15,
-    )
-    pmos = TransistorParameters(
-        polarity="pmos",
-        vth0=0.65,
-        mobility=160.0,
-        alpha=1.70,
-        channel_length_um=0.35,
-        cox_f_per_um2=4.6e-15,
-        vsat_cm_per_s=6.5e6,
-        vth_temp_coeff=1.9e-3,
-        mobility_temp_exponent=1.25,
-        vsat_temp_coeff=1.0e-4,
-        alpha_temp_coeff=1.0e-4,
-        body_effect_gamma=0.40,
-        subthreshold_slope_mv_per_dec=90.0,
-        junction_cap_f_per_um=1.3e-15,
-        overlap_cap_f_per_um=0.35e-15,
-    )
-    return Technology(
-        name="cmos035",
-        feature_size_um=0.35,
-        vdd=3.3,
-        nmos=nmos,
-        pmos=pmos,
-        wire_cap_f_per_um=0.2e-15,
-        min_width_um=0.5,
-        metal_layers=4,
-        extra={"t_min_c": -50.0, "t_max_c": 150.0},
-    )
-
-
-def _make_cmos025() -> Technology:
-    base = _make_cmos035()
-    nmos = base.nmos.scaled(
-        vth0=0.50,
-        channel_length_um=0.25,
-        cox_f_per_um2=6.0e-15,
-        alpha=1.25,
-        mobility=400.0,
-    )
-    pmos = base.pmos.scaled(
-        vth0=0.58,
-        channel_length_um=0.25,
-        cox_f_per_um2=6.0e-15,
-        alpha=1.60,
-        mobility=150.0,
-    )
-    return Technology(
-        name="cmos025",
-        feature_size_um=0.25,
-        vdd=2.5,
-        nmos=nmos,
-        pmos=pmos,
-        wire_cap_f_per_um=0.21e-15,
-        min_width_um=0.36,
-        metal_layers=5,
-        extra={"t_min_c": -50.0, "t_max_c": 150.0},
-    )
-
-
-def _make_cmos018() -> Technology:
-    base = _make_cmos035()
-    nmos = base.nmos.scaled(
-        vth0=0.45,
-        channel_length_um=0.18,
-        cox_f_per_um2=8.3e-15,
-        alpha=1.22,
-        mobility=370.0,
-        vth_temp_coeff=0.8e-3,
-    )
-    pmos = base.pmos.scaled(
-        vth0=0.50,
-        channel_length_um=0.18,
-        cox_f_per_um2=8.3e-15,
-        alpha=1.50,
-        mobility=140.0,
-        vth_temp_coeff=1.6e-3,
-    )
-    return Technology(
-        name="cmos018",
-        feature_size_um=0.18,
-        vdd=1.8,
-        nmos=nmos,
-        pmos=pmos,
-        wire_cap_f_per_um=0.22e-15,
-        min_width_um=0.27,
-        metal_layers=6,
-        extra={"t_min_c": -50.0, "t_max_c": 150.0},
-    )
-
-
-def _make_cmos013() -> Technology:
-    base = _make_cmos035()
-    nmos = base.nmos.scaled(
-        vth0=0.38,
-        channel_length_um=0.13,
-        cox_f_per_um2=11.0e-15,
-        alpha=1.18,
-        mobility=340.0,
-        vth_temp_coeff=0.7e-3,
-    )
-    pmos = base.pmos.scaled(
-        vth0=0.42,
-        channel_length_um=0.13,
-        cox_f_per_um2=11.0e-15,
-        alpha=1.45,
-        mobility=130.0,
-        vth_temp_coeff=1.4e-3,
-    )
-    return Technology(
-        name="cmos013",
-        feature_size_um=0.13,
-        vdd=1.2,
-        nmos=nmos,
-        pmos=pmos,
-        wire_cap_f_per_um=0.24e-15,
-        min_width_um=0.2,
-        metal_layers=7,
-        extra={"t_min_c": -50.0, "t_max_c": 150.0},
-    )
-
-
-CMOS035: Technology = _make_cmos035()
-CMOS025: Technology = _make_cmos025()
-CMOS018: Technology = _make_cmos018()
-CMOS013: Technology = _make_cmos013()
-
-_REGISTRY: Dict[str, Technology] = {
-    tech.name: tech for tech in (CMOS035, CMOS025, CMOS018, CMOS013)
+#: The paper's 0.35 um transistor blocks; the smaller nodes below are
+#: declared as overrides of these.
+_CMOS035_NMOS = {
+    "polarity": "nmos",
+    "vth0": 0.55,
+    "mobility": 430.0,
+    "alpha": 1.30,
+    "channel_length_um": 0.35,
+    "cox_f_per_um2": 4.6e-15,
+    "vsat_cm_per_s": 8.0e6,
+    "vth_temp_coeff": 0.9e-3,
+    "mobility_temp_exponent": 1.55,
+    "vsat_temp_coeff": 1.2e-4,
+    "alpha_temp_coeff": 2.0e-4,
+    "body_effect_gamma": 0.45,
+    "subthreshold_slope_mv_per_dec": 85.0,
+    "junction_cap_f_per_um": 1.1e-15,
+    "overlap_cap_f_per_um": 0.35e-15,
 }
+_CMOS035_PMOS = {
+    "polarity": "pmos",
+    "vth0": 0.65,
+    "mobility": 160.0,
+    "alpha": 1.70,
+    "channel_length_um": 0.35,
+    "cox_f_per_um2": 4.6e-15,
+    "vsat_cm_per_s": 6.5e6,
+    "vth_temp_coeff": 1.9e-3,
+    "mobility_temp_exponent": 1.25,
+    "vsat_temp_coeff": 1.0e-4,
+    "alpha_temp_coeff": 1.0e-4,
+    "body_effect_gamma": 0.40,
+    "subthreshold_slope_mv_per_dec": 90.0,
+    "junction_cap_f_per_um": 1.3e-15,
+    "overlap_cap_f_per_um": 0.35e-15,
+}
+
+#: The built-in nodes as declarative bundles (``Technology.to_dict``
+#: payloads).  Ordered largest feature size first.
+_NODE_BUNDLES = (
+    {
+        "version": TECHNOLOGY_DICT_VERSION,
+        "name": "cmos035",
+        "feature_size_um": 0.35,
+        "vdd": 3.3,
+        "nmos": _CMOS035_NMOS,
+        "pmos": _CMOS035_PMOS,
+        "wire_cap_f_per_um": 0.2e-15,
+        "min_width_um": 0.5,
+        "metal_layers": 4,
+        "extra": _DESIGN_RANGE,
+    },
+    {
+        "version": TECHNOLOGY_DICT_VERSION,
+        "name": "cmos025",
+        "feature_size_um": 0.25,
+        "vdd": 2.5,
+        "nmos": {
+            **_CMOS035_NMOS,
+            "vth0": 0.50,
+            "channel_length_um": 0.25,
+            "cox_f_per_um2": 6.0e-15,
+            "alpha": 1.25,
+            "mobility": 400.0,
+        },
+        "pmos": {
+            **_CMOS035_PMOS,
+            "vth0": 0.58,
+            "channel_length_um": 0.25,
+            "cox_f_per_um2": 6.0e-15,
+            "alpha": 1.60,
+            "mobility": 150.0,
+        },
+        "wire_cap_f_per_um": 0.21e-15,
+        "min_width_um": 0.36,
+        "metal_layers": 5,
+        "extra": _DESIGN_RANGE,
+    },
+    {
+        "version": TECHNOLOGY_DICT_VERSION,
+        "name": "cmos018",
+        "feature_size_um": 0.18,
+        "vdd": 1.8,
+        "nmos": {
+            **_CMOS035_NMOS,
+            "vth0": 0.45,
+            "channel_length_um": 0.18,
+            "cox_f_per_um2": 8.3e-15,
+            "alpha": 1.22,
+            "mobility": 370.0,
+            "vth_temp_coeff": 0.8e-3,
+        },
+        "pmos": {
+            **_CMOS035_PMOS,
+            "vth0": 0.50,
+            "channel_length_um": 0.18,
+            "cox_f_per_um2": 8.3e-15,
+            "alpha": 1.50,
+            "mobility": 140.0,
+            "vth_temp_coeff": 1.6e-3,
+        },
+        "wire_cap_f_per_um": 0.22e-15,
+        "min_width_um": 0.27,
+        "metal_layers": 6,
+        "extra": _DESIGN_RANGE,
+    },
+    {
+        "version": TECHNOLOGY_DICT_VERSION,
+        "name": "cmos013",
+        "feature_size_um": 0.13,
+        "vdd": 1.2,
+        "nmos": {
+            **_CMOS035_NMOS,
+            "vth0": 0.38,
+            "channel_length_um": 0.13,
+            "cox_f_per_um2": 11.0e-15,
+            "alpha": 1.18,
+            "mobility": 340.0,
+            "vth_temp_coeff": 0.7e-3,
+        },
+        "pmos": {
+            **_CMOS035_PMOS,
+            "vth0": 0.42,
+            "channel_length_um": 0.13,
+            "cox_f_per_um2": 11.0e-15,
+            "alpha": 1.45,
+            "mobility": 130.0,
+            "vth_temp_coeff": 1.4e-3,
+        },
+        "wire_cap_f_per_um": 0.24e-15,
+        "min_width_um": 0.2,
+        "metal_layers": 7,
+        "extra": _DESIGN_RANGE,
+    },
+)
+
+for _bundle in _NODE_BUNDLES:
+    default_registry().register(_bundle)
+
+CMOS035: Technology = default_registry().get("cmos035")
+CMOS025: Technology = default_registry().get("cmos025")
+CMOS018: Technology = default_registry().get("cmos018")
+CMOS013: Technology = default_registry().get("cmos013")
 
 
 def available_technologies() -> Iterable[str]:
     """Names of all registered technology nodes, sorted by feature size."""
-    return sorted(_REGISTRY, key=lambda name: -_REGISTRY[name].feature_size_um)
+    return default_registry().names()
 
 
 def get_technology(name: str) -> Technology:
@@ -199,28 +208,37 @@ def get_technology(name: str) -> Technology:
     TechnologyError
         If the name is unknown.
     """
-    try:
-        return _REGISTRY[name]
-    except KeyError as exc:
-        known = ", ".join(available_technologies())
-        raise TechnologyError(
-            f"unknown technology {name!r}; available: {known}"
-        ) from exc
+    return default_registry().get(name)
 
 
-def register_technology(tech: Technology, overwrite: bool = False) -> None:
-    """Add a user-defined technology to the registry.
+def get_technology_digest(name: str) -> str:
+    """The content digest registered for ``name``.
+
+    Raises
+    ------
+    TechnologyError
+        If the name is unknown.
+    """
+    return default_registry().digest(name)
+
+
+def register_technology(tech: Technology, overwrite: bool = False) -> TechnologySpec:
+    """Add a user-defined technology to the process-wide registry.
 
     Parameters
     ----------
     tech:
-        The technology to register.
+        The technology to register — a live :class:`Technology` or a
+        declarative bundle mapping (``Technology.to_dict`` payload).
     overwrite:
         If false (default), registering a name that already exists raises
-        :class:`TechnologyError`.
+        :class:`TechnologyError`.  An overwrite with different parameter
+        values changes the name's content digest, so cached sweep results
+        keyed on the old digest become unreachable (never served stale).
+
+    Returns
+    -------
+    TechnologySpec
+        The registered spec (node + declarative bundle + digest).
     """
-    if tech.name in _REGISTRY and not overwrite:
-        raise TechnologyError(
-            f"technology {tech.name!r} is already registered; pass overwrite=True"
-        )
-    _REGISTRY[tech.name] = tech
+    return default_registry().register(tech, overwrite=overwrite)

@@ -32,7 +32,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -47,6 +47,11 @@ CELSIUS_OFFSET = 273.15
 #: Boltzmann constant over electron charge (volts per kelvin); used by the
 #: diode baseline sensor and by subthreshold terms.
 K_B_OVER_Q = 8.617333262e-5
+
+#: Schema version of the :meth:`Technology.to_dict` declarative bundle.
+#: Bump when the bundle layout changes; digests are computed over the
+#: versioned payload, so a bump re-keys every content-addressed cache.
+TECHNOLOGY_DICT_VERSION = 1
 
 
 def celsius_to_kelvin(temp_c: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
@@ -203,6 +208,62 @@ class TransistorParameters:
         """
         return dataclasses.replace(self, **overrides)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a plain JSON-compatible dict (every field)."""
+        payload: Dict[str, Any] = {"polarity": self.polarity}
+        for name in _TRANSISTOR_FIELD_NAMES:
+            payload[name] = float(getattr(self, name))
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TransistorParameters":
+        """Rebuild from :meth:`to_dict` output, re-running all validation.
+
+        Unknown keys are rejected rather than ignored: a typo'd field in
+        a declarative technology bundle must fail loudly, not silently
+        fall back to a default value.
+        """
+        if not isinstance(payload, Mapping):
+            raise TechnologyError(
+                f"transistor parameters must be a mapping, got "
+                f"{type(payload).__name__}"
+            )
+        allowed = {"polarity", *_TRANSISTOR_FIELD_NAMES}
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise TechnologyError(
+                f"unknown transistor parameter field(s) {unknown}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        kwargs: Dict[str, Any] = {}
+        for key, value in payload.items():
+            kwargs[key] = value if key == "polarity" else _as_float(key, value)
+        try:
+            return cls(**kwargs)
+        except TypeError as error:  # missing required field
+            raise TechnologyError(
+                f"incomplete transistor parameters: {error}"
+            ) from error
+
+
+#: Every numeric field of :class:`TransistorParameters`, in declaration
+#: order — the serialization schema for one transistor block.
+_TRANSISTOR_FIELD_NAMES = tuple(
+    f.name for f in dataclasses.fields(TransistorParameters) if f.name != "polarity"
+)
+
+
+def _as_float(name: str, value: Any) -> float:
+    """Coerce a serialized numeric field, rejecting non-finite values."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TechnologyError(
+            f"field {name!r} must be a number, got {type(value).__name__}"
+        )
+    result = float(value)
+    if not math.isfinite(result):
+        raise TechnologyError(f"field {name!r} must be finite, got {result!r}")
+    return result
+
 
 @dataclass(frozen=True)
 class Technology:
@@ -299,6 +360,90 @@ class Technology:
         low = self.extra.get("t_min_c", -50.0)
         high = self.extra.get("t_max_c", 150.0)
         return (low, high)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a versioned, JSON-compatible declarative bundle.
+
+        The payload is the complete parameter content of the node — the
+        input to :func:`repro.tech.registry.technology_digest` — so two
+        technologies serialize identically iff they are value-equal.
+        """
+        return {
+            "version": TECHNOLOGY_DICT_VERSION,
+            "name": self.name,
+            "feature_size_um": float(self.feature_size_um),
+            "vdd": float(self.vdd),
+            "nmos": self.nmos.to_dict(),
+            "pmos": self.pmos.to_dict(),
+            "wire_cap_f_per_um": float(self.wire_cap_f_per_um),
+            "min_width_um": float(self.min_width_um),
+            "metal_layers": int(self.metal_layers),
+            "extra": {key: float(value) for key, value in sorted(self.extra.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Technology":
+        """Rebuild a node from :meth:`to_dict` output.
+
+        Every parameter-range check in the dataclass constructors runs
+        again on load, so an out-of-range bundle (negative mobility,
+        supply below threshold, ...) fails here — at declaration time —
+        rather than deep inside an evaluation.
+        """
+        if not isinstance(payload, Mapping):
+            raise TechnologyError(
+                f"technology bundle must be a mapping, got {type(payload).__name__}"
+            )
+        version = payload.get("version")
+        if version != TECHNOLOGY_DICT_VERSION:
+            raise TechnologyError(
+                f"technology bundle has version {version!r}; this build reads "
+                f"version {TECHNOLOGY_DICT_VERSION}"
+            )
+        allowed = {
+            "version",
+            "name",
+            "feature_size_um",
+            "vdd",
+            "nmos",
+            "pmos",
+            "wire_cap_f_per_um",
+            "min_width_um",
+            "metal_layers",
+            "extra",
+        }
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise TechnologyError(
+                f"unknown technology bundle field(s) {unknown}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        missing = sorted(allowed - {"extra"} - set(payload))
+        if missing:
+            raise TechnologyError(f"technology bundle is missing field(s) {missing}")
+        name = payload["name"]
+        if not isinstance(name, str) or not name:
+            raise TechnologyError("technology bundle 'name' must be a non-empty string")
+        metal_layers = payload["metal_layers"]
+        if isinstance(metal_layers, bool) or not isinstance(metal_layers, int):
+            raise TechnologyError("technology bundle 'metal_layers' must be an int")
+        extra = payload.get("extra", {})
+        if not isinstance(extra, Mapping):
+            raise TechnologyError("technology bundle 'extra' must be a mapping")
+        return cls(
+            name=name,
+            feature_size_um=_as_float("feature_size_um", payload["feature_size_um"]),
+            vdd=_as_float("vdd", payload["vdd"]),
+            nmos=TransistorParameters.from_dict(payload["nmos"]),
+            pmos=TransistorParameters.from_dict(payload["pmos"]),
+            wire_cap_f_per_um=_as_float(
+                "wire_cap_f_per_um", payload["wire_cap_f_per_um"]
+            ),
+            min_width_um=_as_float("min_width_um", payload["min_width_um"]),
+            metal_layers=metal_layers,
+            extra={key: _as_float(f"extra[{key}]", value)
+                   for key, value in extra.items()},
+        )
 
 
 def validate_operating_point(tech: Technology, temperature_c: float) -> None:

@@ -1,0 +1,193 @@
+"""Content-addressed, declarative technology registry.
+
+A technology node used to be an opaque Python object looked up by bare
+name — and that name was all the sweep-spec canonicalization hashed, so
+the restart-surviving disk cache (:mod:`repro.serve.cache`) could serve
+results computed under *different device parameters* whenever two hosts
+(or one host after ``register_technology(..., overwrite=True)``)
+disagreed about what a name meant.
+
+This module makes technology identity content-addressed:
+
+* :meth:`~repro.tech.parameters.Technology.to_dict` serializes a node as
+  a versioned declarative bundle (plain JSON-compatible data, every
+  parameter-range check re-run on load);
+* :func:`technology_digest` computes a stable SHA-256 over the compact
+  sorted-keys JSON encoding of that bundle, so the digest depends only
+  on parameter *values* — never on dict key order or Python object
+  identity — and two nodes share a digest iff they are value-equal;
+* :class:`TechnologyRegistry` stores :class:`TechnologySpec` entries
+  (bundle + digest, computed once at registration) and answers
+  name→node, name→digest and digest-verification queries.
+
+:mod:`repro.tech.libraries` declares the built-in nodes as data bundles
+and registers them in the module-level default registry
+(:func:`default_registry`); the sweep serializer
+(:meth:`repro.engine.sweep.Sweep.to_dict`) emits registered nodes as
+``{name, digest}`` pairs and verifies the digest on load, so every
+content-addressed cache keys on what a technology *is*, not what it is
+called.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+from .parameters import Technology, TechnologyError
+
+__all__ = [
+    "TechnologyRegistry",
+    "TechnologySpec",
+    "default_registry",
+    "technology_digest",
+]
+
+
+def technology_digest(tech: Technology) -> str:
+    """Stable SHA-256 content digest of a technology node.
+
+    The digest is computed over the compact, sorted-keys JSON encoding
+    of :meth:`Technology.to_dict`, so it is invariant to dict key order
+    and to how the node was constructed, and changes whenever any
+    parameter value (or the bundle schema version) changes.
+    """
+    if not isinstance(tech, Technology):
+        raise TechnologyError(
+            f"technology_digest expects a Technology, got {type(tech).__name__}"
+        )
+    encoded = json.dumps(
+        tech.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class TechnologySpec:
+    """One registered node: the live object, its declarative bundle and
+    its content digest (computed once, at construction)."""
+
+    technology: Technology
+    payload: Dict[str, Any] = field(repr=False)
+    digest: str
+
+    @property
+    def name(self) -> str:
+        return self.technology.name
+
+    @classmethod
+    def from_technology(cls, tech: Technology) -> "TechnologySpec":
+        """Wrap a live node (its bundle is just ``to_dict()``)."""
+        return cls(
+            technology=tech, payload=tech.to_dict(), digest=technology_digest(tech)
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TechnologySpec":
+        """Instantiate from a declarative bundle, re-running validation.
+
+        The digest is computed over the *canonical re-serialization* of
+        the rebuilt node, so any JSON-roundtrip artifacts (key order,
+        int-vs-float spellings of the same value) cannot change it.
+        """
+        return cls.from_technology(Technology.from_dict(payload))
+
+
+class TechnologyRegistry:
+    """Name → :class:`TechnologySpec` mapping with content digests.
+
+    Registration computes the node's digest once; lookups are plain
+    dict reads.  The module-level :func:`default_registry` instance is
+    what :func:`repro.tech.libraries.get_technology` and the sweep
+    serializer consult.
+    """
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, TechnologySpec] = {}
+
+    def register(
+        self,
+        tech: Union[Technology, Mapping[str, Any], TechnologySpec],
+        overwrite: bool = False,
+    ) -> TechnologySpec:
+        """Register a node (live object, declarative bundle, or spec).
+
+        Re-registering an existing name raises unless ``overwrite=True``
+        — and an overwrite with different parameters changes the name's
+        digest, so previously cached results keyed on the old digest
+        become unreachable rather than silently stale.
+        """
+        if isinstance(tech, TechnologySpec):
+            spec = tech
+        elif isinstance(tech, Technology):
+            spec = TechnologySpec.from_technology(tech)
+        elif isinstance(tech, Mapping):
+            spec = TechnologySpec.from_dict(tech)
+        else:
+            raise TechnologyError(
+                f"cannot register a {type(tech).__name__}; expected a "
+                f"Technology, a declarative bundle mapping or a TechnologySpec"
+            )
+        if spec.name in self._specs and not overwrite:
+            raise TechnologyError(
+                f"technology {spec.name!r} is already registered; pass overwrite=True"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def spec(self, name: str) -> TechnologySpec:
+        try:
+            return self._specs[name]
+        except KeyError as exc:
+            known = ", ".join(self.names())
+            raise TechnologyError(
+                f"unknown technology {name!r}; available: {known}"
+            ) from exc
+
+    def get(self, name: str) -> Technology:
+        """Look up a registered node by name (unknown names raise)."""
+        return self.spec(name).technology
+
+    def digest(self, name: str) -> str:
+        """The content digest registered for ``name`` (unknown names raise)."""
+        return self.spec(name).digest
+
+    def spec_for(self, tech: Technology) -> Optional[TechnologySpec]:
+        """The spec registered under ``tech.name``, if it is value-equal.
+
+        Returns ``None`` when the name is unknown *or* when the
+        registered node differs from ``tech`` — the caller must then
+        treat ``tech`` as unregistered (serialize it inline).
+        """
+        spec = self._specs.get(tech.name)
+        if spec is not None and spec.technology == tech:
+            return spec
+        return None
+
+    def names(self) -> List[str]:
+        """All registered names, sorted by descending feature size."""
+        return sorted(
+            self._specs,
+            key=lambda name: -self._specs[name].technology.feature_size_um,
+        )
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+#: The process-wide registry holding the built-in nodes (populated by
+#: :mod:`repro.tech.libraries` at import) plus any user registrations.
+_DEFAULT_REGISTRY = TechnologyRegistry()
+
+
+def default_registry() -> TechnologyRegistry:
+    """The process-wide default :class:`TechnologyRegistry`."""
+    return _DEFAULT_REGISTRY

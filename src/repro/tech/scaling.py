@@ -31,7 +31,13 @@ class ScalingRules:
     ``voltage_factor`` U >= 1 shrinks voltages by 1/U.  Classic
     constant-field scaling uses U = S; constant-voltage scaling uses
     U = 1.  Threshold voltages in practice scale more slowly than the
-    supply, captured by ``threshold_factor``.
+    supply, captured by ``threshold_factor`` (also >= 1).
+
+    The documented ranges are enforced: this transformation only
+    *shrinks* a node.  A ``dimension_factor`` below 1 would silently
+    "scale up" with inverted power-density math
+    (:func:`power_density_scaling_factor` assumes S/U >= 1); derive
+    larger nodes by scaling down from a larger parent instead.
     """
 
     dimension_factor: float
@@ -39,20 +45,42 @@ class ScalingRules:
     threshold_factor: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.dimension_factor <= 0:
-            raise TechnologyError("dimension_factor must be positive")
-        if self.voltage_factor <= 0:
-            raise TechnologyError("voltage_factor must be positive")
-        if self.threshold_factor <= 0:
-            raise TechnologyError("threshold_factor must be positive")
+        if not self.dimension_factor > 1.0:
+            raise TechnologyError(
+                f"dimension_factor must be > 1 (S shrinks dimensions by 1/S), "
+                f"got {self.dimension_factor}"
+            )
+        if not self.voltage_factor >= 1.0:
+            raise TechnologyError(
+                f"voltage_factor must be >= 1 (U shrinks voltages by 1/U), "
+                f"got {self.voltage_factor}"
+            )
+        if not self.threshold_factor >= 1.0:
+            raise TechnologyError(
+                f"threshold_factor must be >= 1 (thresholds never scale up), "
+                f"got {self.threshold_factor}"
+            )
+
+
+#: Below this threshold-voltage magnitude (V) the square-law/alpha-power
+#: device models stop being credible; scaling past it is an error, not a
+#: silent clamp.
+_MIN_SCALED_VTH0 = 0.1
 
 
 def _scale_device(
     params: TransistorParameters, rules: ScalingRules
 ) -> TransistorParameters:
     s = rules.dimension_factor
+    vth0 = params.vth0 / rules.threshold_factor
+    if vth0 < _MIN_SCALED_VTH0:
+        raise TechnologyError(
+            f"threshold_factor {rules.threshold_factor} scales the {params.polarity} "
+            f"vth0 to {vth0:.3f} V, below the {_MIN_SCALED_VTH0} V validity floor "
+            f"of the device models; reduce threshold_factor"
+        )
     return params.scaled(
-        vth0=max(params.vth0 / rules.threshold_factor, 0.1),
+        vth0=vth0,
         channel_length_um=params.channel_length_um / s,
         cox_f_per_um2=params.cox_f_per_um2 * s,
         junction_cap_f_per_um=params.junction_cap_f_per_um / s,

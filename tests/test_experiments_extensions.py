@@ -75,6 +75,17 @@ class TestScalingStudyExperiment:
     def test_power_density_trend_positive(self, result):
         assert result.power_density_trend > 1.0
 
+    def test_technology_axis_matches_per_node_loop(self, result):
+        # The study's node loop is declared through the engine's
+        # ``technology`` axis; the retained hand-written loop is its
+        # oracle, and every reported figure must agree bitwise.
+        oracle = run_scaling_study(
+            temperatures_c=np.linspace(-50.0, 150.0, 9),
+            use_technology_axis=False,
+        )
+        assert oracle.points == result.points
+        assert oracle.format_table() == result.format_table()
+
 
 class TestDtmExperiment:
     @pytest.fixture(scope="class")

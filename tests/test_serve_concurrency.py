@@ -49,7 +49,7 @@ from repro.serve.protocol import (
     E_SHUTTING_DOWN,
 )
 from repro.serve.server import SweepServer, _EvalScheduler, _RequestError
-from repro.tech import CMOS035
+from repro.tech import CMOS035, get_technology_digest
 
 TEMPS = [-40.0, 25.0, 125.0]
 
@@ -416,11 +416,65 @@ def test_corrupted_cache_file_is_skipped_and_reevaluated(tmp_path):
             # dropped, the sweep re-evaluates, the answer is exact.
             assert remote.sweep_payload(sweep) == local
         assert second.server.evaluations == 1
-        # The re-evaluation healed the entry on disk.
+        # The re-evaluation healed the entry on disk: a stamped
+        # envelope (spec schema version + technology digest) around
+        # the exact result payload.
         with open(entry, "rb") as handle:
-            assert json.load(handle) == local
+            envelope = json.load(handle)
+        assert envelope["result"] == local
+        assert envelope["spec_version"] == Sweep.SCHEMA_VERSION
+        assert envelope["tech_digest"] == get_technology_digest("cmos035")
     finally:
         second.stop()
+
+
+def test_legacy_unstamped_disk_entry_is_dropped_and_reevaluated(tmp_path):
+    # A cache directory written by a pre-envelope build holds bare
+    # result payloads.  They carry no spec-version / technology-digest
+    # stamp, so there is no way to know what they were computed under:
+    # they must be dropped and re-evaluated, never served.
+    cache_dir = str(tmp_path / "serve-cache")
+    os.makedirs(cache_dir)
+    sweep = small_sweep()
+    local = sweep.run().to_dict()
+    key = canonical_key(sweep)
+    entry = os.path.join(cache_dir, key + ".json")
+    with open(entry, "w") as handle:
+        json.dump(local, handle)  # legacy: raw payload, no envelope
+
+    server = start_server_thread(cache_dir=cache_dir)
+    try:
+        with ServeClient("127.0.0.1", server.port) as remote:
+            assert remote.sweep_payload(sweep) == local
+        assert server.server.evaluations == 1  # not served from disk
+    finally:
+        server.stop()
+    with open(entry, "rb") as handle:
+        assert json.load(handle)["spec_version"] == Sweep.SCHEMA_VERSION
+
+
+def test_disk_entry_with_foreign_tech_digest_is_never_served(tmp_path):
+    # Belt and braces against a tampered / hand-copied shared directory:
+    # an envelope whose technology digest disagrees with the requesting
+    # spec's is stale by definition, whatever its key claims.
+    from repro.serve.cache import DiskCache
+
+    sweep = small_sweep()
+    payload = sweep.run().to_dict()
+    encoded = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    key = canonical_key(sweep)
+    digest = get_technology_digest("cmos035")
+
+    disk = DiskCache(str(tmp_path / "disk"))
+    assert disk.put(key, encoded, tech_digest=digest)
+    hit = disk.get(key, digest)
+    assert hit is not None and hit[0] == payload
+
+    assert disk.get(key, "0" * 64) is None  # foreign digest: dropped
+    assert disk.get(key, digest) is None  # and gone for good
+    stats = disk.stats()
+    assert stats["stale_dropped"] == 1
+    assert stats["entries"] == 0
 
 
 def test_foreign_garbage_in_cache_dir_is_never_served(tmp_path):

@@ -32,10 +32,11 @@ from repro.serve.protocol import (
     E_BAD_JSON,
     E_BAD_REQUEST,
     E_BAD_SPEC,
+    E_TECH_MISMATCH,
     E_UNKNOWN_OP,
     E_VERSION,
 )
-from repro.tech import CMOS035
+from repro.tech import CMOS035, register_technology
 
 TEMPS = [-40.0, 25.0, 125.0]
 
@@ -269,6 +270,37 @@ def test_malformed_and_invalid_requests_return_structured_errors(server, client)
 
     # After all the rejections the connection still answers.
     assert client.ping()["ok"] is True
+
+
+def test_disagreeing_registries_fail_with_tech_mismatch(server, client):
+    # A client whose registry binds "cmos035" to *different physics*
+    # serializes the same name under a different digest.  Simulate it by
+    # re-registering the name, serializing, then restoring the original
+    # binding before the server (same process, same registry) reads the
+    # spec: the digests disagree, and the server must refuse rather
+    # than silently evaluate ITS idea of cmos035.
+    variant = CMOS035.with_supply(3.0)
+    register_technology(variant, overwrite=True)
+    try:
+        foreign = (
+            Sweep(technology=variant, configuration="5INV")
+            .over(Axis.temperature(TEMPS))
+            .to_dict()
+        )
+    finally:
+        register_technology(CMOS035, overwrite=True)
+    reference = foreign["base"]["technology"]
+    assert reference["name"] == "cmos035"
+    assert "parameters" not in reference  # a bare name+digest reference
+
+    with pytest.raises(ServeError, match="disagree") as caught:
+        client.sweep_payload(foreign)
+    assert caught.value.code == E_TECH_MISMATCH
+    assert server.server.evaluations == 0  # refused before evaluation
+
+    # The connection survives, and the honest spec still evaluates.
+    assert client.ping()["ok"] is True
+    assert client.sweep_payload(small_sweep()) == small_sweep().run().to_dict()
 
 
 # --------------------------------------------------------------------------- #

@@ -23,13 +23,15 @@ import pytest
 
 from repro.engine import Axis, Sweep, SweepError
 from repro.serve import canonical_key, canonical_spec, encode_canonical
-from repro.tech import CMOS035, sample_technology_array
+from repro.tech import CMOS035, get_technology_digest, sample_technology_array
 
 #: The committed golden pin: the canonical key of GOLDEN_SWEEP below.
 #: If an intentional serialization change moves this hash, bump
 #: ``Sweep.SCHEMA_VERSION`` and re-pin — never re-pin alone, because a
 #: silent key change orphans every cached result in deployed services.
-GOLDEN_KEY = "33e9820896c9ab6e368d50a7b66e70acd83a90aa3aa0f0cbbfd6baf1391562be"
+#: (Re-pinned with the v1 -> v2 bump: technology references became
+#: content-addressed ``{name, digest}`` objects.)
+GOLDEN_KEY = "73a912cb64d994c3021f7cc345d33d13d4d4fb4478c6f852edc266373ff845d6"
 
 
 def golden_sweep():
@@ -203,12 +205,23 @@ def test_unknown_axis_is_rejected():
         Sweep.from_dict(payload)
 
 
-def test_unregistered_technology_does_not_serialize():
+def test_unregistered_technology_inlines_its_bundle():
     # Same name as the registered process, different parameters: a name
-    # round trip would silently evaluate the wrong technology.
+    # round trip would silently evaluate the wrong technology, so an
+    # unregistered node travels as its full inline parameter bundle —
+    # and keys differently from the registered node of the same name.
     lowered = CMOS035.with_supply(2.9)
     sweep = Sweep(technology=lowered, configuration="5INV").over(
         Axis.temperature([25.0])
     )
-    with pytest.raises(SweepError, match="registered"):
-        sweep.to_dict()
+    payload = sweep.to_dict()
+    reference = payload["base"]["technology"]
+    assert reference["name"] == "cmos035"
+    assert "parameters" in reference  # inline, not a bare name reference
+    assert reference["digest"] != get_technology_digest("cmos035")
+    rebuilt = Sweep.from_dict(json.loads(json.dumps(payload)))
+    assert np.array_equal(rebuilt.run().values, sweep.run().values)
+    registered = Sweep(technology=CMOS035, configuration="5INV").over(
+        Axis.temperature([25.0])
+    )
+    assert canonical_key(sweep) != canonical_key(registered)

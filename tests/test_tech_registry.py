@@ -1,0 +1,218 @@
+"""The declarative technology registry (repro.tech.registry).
+
+Technology identity is content-addressed: a node is a validated
+parameter bundle plus the SHA-256 digest of that bundle, computed at
+registration.  The contracts:
+
+* **digest is a pure function of content** — invariant to dict key
+  order and JSON round trips, changed by any parameter change;
+* **bundles round-trip losslessly** — ``Technology.to_dict`` /
+  ``from_dict`` rebuild an equal node, and reject unknown keys,
+  foreign versions and malformed fields with a message saying why;
+* **re-registration moves the key** — overwriting a name with
+  different parameters changes the digest, hence every canonical sweep
+  key that mentions the name: stale cached results become unreachable
+  instead of wrong, and payloads serialized under the old digest fail
+  with a structured mismatch rather than evaluating the wrong physics.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.engine import Axis, Sweep
+from repro.engine.sweep import TechnologyMismatchError
+from repro.serve import canonical_key
+from repro.tech import (
+    CMOS018,
+    CMOS035,
+    Technology,
+    TechnologyError,
+    TechnologyRegistry,
+    TechnologySpec,
+    default_registry,
+    get_technology,
+    get_technology_digest,
+    register_technology,
+    technology_digest,
+)
+
+
+def reordered(mapping):
+    """The same mapping with reversed key order (recursively)."""
+    if isinstance(mapping, dict):
+        return {key: reordered(mapping[key]) for key in reversed(list(mapping))}
+    return mapping
+
+
+# --------------------------------------------------------------------------- #
+# digest
+# --------------------------------------------------------------------------- #
+
+
+class TestDigest:
+    def test_digest_is_stable_hex(self):
+        digest = technology_digest(CMOS035)
+        assert len(digest) == 64
+        assert digest == technology_digest(CMOS035)
+        assert digest == get_technology_digest("cmos035")
+
+    def test_digest_invariant_to_key_order(self):
+        payload = CMOS035.to_dict()
+        shuffled = Technology.from_dict(reordered(payload))
+        assert technology_digest(shuffled) == technology_digest(CMOS035)
+
+    def test_digest_invariant_to_json_round_trip(self):
+        payload = json.loads(json.dumps(CMOS035.to_dict()))
+        assert technology_digest(Technology.from_dict(payload)) == technology_digest(
+            CMOS035
+        )
+
+    def test_digest_changes_with_any_parameter(self):
+        base = technology_digest(CMOS035)
+        assert technology_digest(CMOS035.with_supply(3.0)) != base
+        lowered_vth = CMOS035.with_transistors(
+            nmos=CMOS035.nmos.scaled(vth0=CMOS035.nmos.vth0 * 0.9)
+        )
+        assert technology_digest(lowered_vth) != base
+        assert technology_digest(CMOS018) != base
+
+    def test_digest_takes_a_technology(self):
+        with pytest.raises(TechnologyError, match="Technology"):
+            technology_digest({"name": "cmos035"})
+
+
+# --------------------------------------------------------------------------- #
+# declarative bundles
+# --------------------------------------------------------------------------- #
+
+
+class TestBundleRoundTrip:
+    def test_round_trip_is_lossless(self):
+        rebuilt = Technology.from_dict(CMOS035.to_dict())
+        assert rebuilt == CMOS035
+
+    def test_foreign_version_rejected(self):
+        payload = CMOS035.to_dict()
+        payload["version"] = 99
+        with pytest.raises(TechnologyError, match="version 99"):
+            Technology.from_dict(payload)
+
+    def test_unknown_key_rejected(self):
+        payload = CMOS035.to_dict()
+        payload["leakage_model"] = "bsim4"
+        with pytest.raises(TechnologyError, match="leakage_model"):
+            Technology.from_dict(payload)
+
+    def test_unknown_transistor_key_rejected(self):
+        payload = CMOS035.to_dict()
+        payload["nmos"]["fudge"] = 1.0
+        with pytest.raises(TechnologyError, match="fudge"):
+            Technology.from_dict(payload)
+
+    def test_validation_still_applies(self):
+        payload = CMOS035.to_dict()
+        payload["vdd"] = 0.1  # below both thresholds
+        with pytest.raises(TechnologyError):
+            Technology.from_dict(payload)
+
+
+# --------------------------------------------------------------------------- #
+# the registry
+# --------------------------------------------------------------------------- #
+
+
+class TestRegistry:
+    def test_spec_carries_payload_and_digest(self):
+        spec = default_registry().spec("cmos035")
+        assert isinstance(spec, TechnologySpec)
+        assert spec.name == "cmos035"
+        assert spec.technology is CMOS035
+        assert spec.digest == technology_digest(CMOS035)
+        assert Technology.from_dict(spec.payload) == CMOS035
+
+    def test_spec_for_requires_value_equality(self):
+        registry = default_registry()
+        assert registry.spec_for(CMOS035) is registry.spec("cmos035")
+        # Same name, different content: no silent name match.
+        assert registry.spec_for(CMOS035.with_supply(2.9)) is None
+
+    def test_register_from_plain_bundle(self):
+        registry = TechnologyRegistry()
+        spec = registry.register(CMOS035.to_dict())
+        assert spec.technology == CMOS035
+        assert spec.digest == technology_digest(CMOS035)
+        assert "cmos035" in registry
+
+    def test_unknown_name_lists_available(self):
+        registry = TechnologyRegistry()
+        registry.register(CMOS035)
+        with pytest.raises(TechnologyError, match="available"):
+            registry.spec("cmos007")
+
+
+class TestReRegistration:
+    def sweep_payload_for(self, name):
+        return (
+            Sweep(technology=get_technology(name), configuration="5INV")
+            .over(Axis.temperature([25.0]))
+            .to_dict()
+        )
+
+    def test_overwrite_moves_digest_and_canonical_key(self):
+        name = "regtest_overwrite_node"
+        original = dataclasses.replace(CMOS035, name=name)
+        register_technology(original)
+        try:
+            key_before = canonical_key(self.sweep_payload_for(name))
+            digest_before = get_technology_digest(name)
+            stale_payload = self.sweep_payload_for(name)
+
+            revised = dataclasses.replace(original, vdd=3.0)
+            register_technology(revised, overwrite=True)
+
+            assert get_technology_digest(name) != digest_before
+            # Every canonical key that mentions the name moves with the
+            # digest, so results cached under the old registration are
+            # unreachable — never served for the new physics.
+            key_after = canonical_key(self.sweep_payload_for(name))
+            assert key_after != key_before
+            # And a spec serialized under the old registration fails
+            # structurally instead of evaluating the wrong node.
+            with pytest.raises(TechnologyMismatchError, match="disagree"):
+                Sweep.from_dict(stale_payload)
+        finally:
+            register_technology(original, overwrite=True)
+
+    def test_duplicate_without_overwrite_rejected(self):
+        name = "regtest_duplicate_node"
+        register_technology(dataclasses.replace(CMOS035, name=name))
+        with pytest.raises(TechnologyError, match="overwrite=True"):
+            register_technology(dataclasses.replace(CMOS018, name=name))
+
+    def test_unknown_name_in_payload_is_a_mismatch(self):
+        payload = (
+            Sweep(technology=CMOS035, configuration="5INV")
+            .over(Axis.temperature([25.0]))
+            .to_dict()
+        )
+        payload["base"]["technology"] = {
+            "name": "cmos_unheard_of",
+            "digest": payload["base"]["technology"]["digest"],
+        }
+        with pytest.raises(TechnologyMismatchError, match="cmos_unheard_of"):
+            Sweep.from_dict(payload)
+
+    def test_tampered_inline_bundle_is_a_mismatch(self):
+        unregistered = CMOS035.with_supply(2.9)
+        payload = (
+            Sweep(technology=unregistered, configuration="5INV")
+            .over(Axis.temperature([25.0]))
+            .to_dict()
+        )
+        reference = payload["base"]["technology"]
+        assert "parameters" in reference
+        reference["parameters"]["vdd"] = 3.1  # digest no longer matches
+        with pytest.raises(TechnologyMismatchError, match="corrupted or tampered"):
+            Sweep.from_dict(payload)

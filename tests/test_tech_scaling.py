@@ -14,9 +14,24 @@ class TestScalingRules:
         with pytest.raises(TechnologyError):
             ScalingRules(dimension_factor=0.0, voltage_factor=1.0)
         with pytest.raises(TechnologyError):
-            ScalingRules(dimension_factor=1.0, voltage_factor=-1.0)
+            ScalingRules(dimension_factor=2.0, voltage_factor=-1.0)
         with pytest.raises(TechnologyError):
-            ScalingRules(dimension_factor=1.0, voltage_factor=1.0, threshold_factor=0.0)
+            ScalingRules(dimension_factor=2.0, voltage_factor=1.0, threshold_factor=0.0)
+
+    def test_enforces_documented_ranges(self):
+        # The docstring ranges are the contract: S > 1 (the rules only
+        # shrink a node), U >= 1, threshold_factor >= 1.
+        with pytest.raises(TechnologyError, match="dimension_factor"):
+            ScalingRules(dimension_factor=1.0, voltage_factor=1.0)
+        with pytest.raises(TechnologyError, match="dimension_factor"):
+            ScalingRules(dimension_factor=0.5, voltage_factor=1.0)
+        with pytest.raises(TechnologyError, match="voltage_factor"):
+            ScalingRules(dimension_factor=2.0, voltage_factor=0.99)
+        with pytest.raises(TechnologyError, match="threshold_factor"):
+            ScalingRules(dimension_factor=2.0, voltage_factor=1.0, threshold_factor=0.9)
+        # The boundary cases the ranges permit.
+        ScalingRules(dimension_factor=1.0000001, voltage_factor=1.0)
+        ScalingRules(dimension_factor=2.0, voltage_factor=1.0, threshold_factor=1.0)
 
 
 class TestScaleTechnology:
@@ -38,6 +53,16 @@ class TestScaleTechnology:
         rules = ScalingRules(dimension_factor=2.0, voltage_factor=8.0, threshold_factor=1.0)
         with pytest.raises(TechnologyError):
             scale_technology(CMOS035, rules, name="broken")
+
+    def test_rejects_vth_below_model_floor_instead_of_clamping(self):
+        # 0.55 V / 6 = 0.092 V — below the 0.1 V validity floor of the
+        # device models.  The old behavior silently clamped to 0.1 V,
+        # yielding a technology the rules never described.
+        rules = ScalingRules(
+            dimension_factor=2.0, voltage_factor=1.2, threshold_factor=6.0
+        )
+        with pytest.raises(TechnologyError, match="validity floor"):
+            scale_technology(CMOS035, rules, name="clamped")
 
     def test_scaled_name_applied(self):
         rules = ScalingRules(dimension_factor=1.4, voltage_factor=1.3, threshold_factor=1.1)
